@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md's experiment index) and prints the
+reproduced artifact directly to the terminal (bypassing capture), so
+``pytest benchmarks/ --benchmark-only`` output contains both the
+timing table and the reproduced rows/series.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def report(capfd):
+    """Print experiment output to the real terminal, uncaptured."""
+
+    def emit(*lines):
+        with capfd.disabled():
+            for line in lines:
+                print(line)
+
+    return emit
+
+
+def full_scale() -> bool:
+    """Heavy hunts (minutes) run only when REPRO_FULL=1."""
+    return os.environ.get("REPRO_FULL", "") == "1"

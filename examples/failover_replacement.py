@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Replacing a dead server without stopping the world.
+
+The paper's introduction motivates reconfiguration with exactly this
+operational story: "server failures are inevitable in distributed
+settings, so a method for safely and efficiently adjusting the
+membership is essential."  This example plays it end to end on the
+simulated cluster:
+
+1. a 3-node cluster serves client requests;
+2. the leader crashes mid-stream; the client driver fails over to a new
+   leader and keeps going;
+3. the dead node is removed by hot reconfiguration (R3 forces a
+   committed entry of the new term first -- visible below);
+4. a fresh node joins, catching up on the full log inline;
+5. safety is checked across all replicas at the end.
+
+Run:  python examples/failover_replacement.py
+"""
+
+import statistics
+
+from repro.runtime import Cluster, FailoverDriver
+from repro.schemes import RaftSingleNodeScheme
+
+
+def main() -> None:
+    cluster = Cluster(
+        frozenset({1, 2, 3}),
+        RaftSingleNodeScheme(),
+        seed=11,
+        extra_nodes={4},
+    )
+    assert cluster.elect(1)
+    driver = FailoverDriver(cluster, leader=1)
+    print(f"cluster {{1,2,3}} up, leader S{driver.leader}\n")
+
+    print("== Normal operation ==")
+    for i in range(10):
+        driver.submit(("put", f"k{i}", i))
+    healthy = [r.latency_ms for r in cluster.records[-10:]]
+    print(f"10 requests, median {statistics.median(healthy):.3f} ms\n")
+
+    print("== Leader S1 crashes ==")
+    crash_time = cluster.sim.now
+    cluster.crash(1)
+    record = driver.submit(("put", "during-outage", True))
+    event = driver.events[-1]
+    print(
+        f"client failed over: S{event.old_leader} -> S{event.new_leader} "
+        f"({event.elections_tried} election(s)); next request served "
+        f"{record.completed_ms - crash_time:.3f} ms after the crash\n"
+    )
+
+    print("== Removing the dead node (hot reconfiguration) ==")
+    before = sorted(cluster.servers[driver.leader].config())
+    driver.reconfigure(frozenset({2, 3}))
+    print(f"config {before} -> [2, 3] "
+          f"(R3 made the new leader commit a no-op of its term first)\n")
+
+    print("== Adding replacement node S4 ==")
+    driver.reconfigure(frozenset({2, 3, 4}))
+    for i in range(10, 20):
+        driver.submit(("put", f"k{i}", i))
+    cluster.sync_followers(driver.leader)
+    print(f"S4 log length after catch-up: {len(cluster.servers[4].log)} "
+          f"(leader: {len(cluster.servers[driver.leader].log)})\n")
+
+    print("== Final state ==")
+    violations = cluster.check_safety()
+    print("replicated state safety:", "OK" if not violations else violations)
+    lats = cluster.latencies()
+    print(f"{len(lats)} requests completed, mean {statistics.mean(lats):.3f} ms, "
+          f"max {max(lats):.3f} ms")
+    print(f"leader changes: {len(driver.events)}")
+    # The crashed node's durable log is intact but stale; on restart it
+    # would catch up like any follower.
+    cluster.restart(1)
+    print(f"S1 restarted with {len(cluster.servers[1].log)} durable entries "
+          f"(will catch up on next broadcast)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""A replicated key-value store with zero-downtime reconfiguration.
+
+This is the paper's motivating application (Section 2.2's distributed
+KV store) running on the executable stack: the verified-model-faithful
+Raft specification handlers, scheduled over a discrete-event simulated
+network, with *hot* reconfiguration -- client traffic keeps flowing
+while the membership changes 3 → 4 → 5 → 4 nodes.
+
+Run:  python examples/kvstore_cluster.py
+"""
+
+import statistics
+
+from repro.runtime import ReplicatedKV
+from repro.schemes import RaftSingleNodeScheme
+
+
+def main() -> None:
+    kv = ReplicatedKV(
+        frozenset({1, 2, 3}),
+        RaftSingleNodeScheme(),
+        seed=42,
+        extra_nodes={4, 5},
+    )
+    print(f"cluster up, leader = S{kv.leader}\n")
+
+    print("== Writing under the initial 3-node configuration ==")
+    for i in range(20):
+        kv.put(f"user:{i}", {"id": i, "balance": 100 + i})
+    base = statistics.median(kv.cluster.latencies()[-20:])
+    print(f"20 puts done; median latency {base:.3f} ms (simulated)\n")
+
+    print("== Growing to 4 nodes while serving traffic ==")
+    lat = kv.reconfigure(frozenset({1, 2, 3, 4}))
+    print(f"reconfig committed in {lat:.3f} ms (new node catches up inline)")
+    for i in range(20, 40):
+        kv.put(f"user:{i}", {"id": i, "balance": 100 + i})
+    print(f"20 more puts; median latency "
+          f"{statistics.median(kv.cluster.latencies()[-20:]):.3f} ms\n")
+
+    print("== Growing to 5 nodes ==")
+    lat = kv.reconfigure(frozenset({1, 2, 3, 4, 5}))
+    print(f"reconfig committed in {lat:.3f} ms")
+    kv.put("checkpoint", True)
+
+    print("\n== Shrinking back to 4 nodes (drop S5) ==")
+    lat = kv.reconfigure(frozenset({1, 2, 3, 4}))
+    print(f"reconfig committed in {lat:.3f} ms\n")
+
+    for i in range(40, 50):
+        kv.put(f"user:{i}", {"id": i, "balance": 100 + i})
+    kv.delete("user:0")
+    kv.sync()
+
+    print("== Consistency check across replicas ==")
+    leader_view = kv.snapshot()
+    print(f"leader sees {len(leader_view)} keys; user:1 =",
+          leader_view["user:1"])
+    for nid in (1, 2, 3, 4):
+        view = kv.snapshot_at(nid)
+        prefix_ok = all(leader_view.get(k) == v for k, v in view.items())
+        print(f"  S{nid}: {len(view)} keys, prefix-consistent: {prefix_ok}")
+
+    violations = kv.cluster.check_safety()
+    print("\nreplicated state safety:", "OK" if not violations else violations)
+    lats = kv.cluster.latencies()
+    print(f"{len(lats)} requests total, mean latency "
+          f"{statistics.mean(lats):.3f} ms, max {max(lats):.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

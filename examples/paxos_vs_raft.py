@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Raft-style vs Paxos-style elections over the same Adore model.
+
+Appendix A of the paper: "Paxos and Raft use different approaches to
+ensure that a candidate's log is sufficiently up-to-date... In Paxos,
+replicas respond to the candidate with their own logs, and the
+candidate chooses the one whose last entry has the latest timestamp.
+A candidate in Raft sends its log to the replicas, which compare
+against their own logs to decide how to vote."
+
+This script runs the same scenario through both network-level variants
+and checks each against the Adore model with the lockstep refinement
+checker — one abstract model, two protocols.
+
+Run:  python examples/paxos_vs_raft.py
+"""
+
+from repro.paxos import PaxosSystem
+from repro.raft import RaftSystem
+from repro.refinement import PaxosSimulationChecker, SimulationChecker
+from repro.schemes import RaftSingleNodeScheme
+
+CONF = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+def orphan_scenario(system_cls):
+    """Leader 1 commits one entry, leaves one orphan; leader 2 takes over."""
+    system = system_cls(CONF, SCHEME)
+    system.elect(1)
+    system.deliver_all()
+    system.invoke(1, "committed")
+    system.commit(1)
+    system.deliver_all()
+    system.invoke(1, "orphan")  # never replicated
+    system.elect(2)
+    system.deliver_all()
+    return system
+
+
+def main() -> None:
+    print("== The orphan-entry scenario, both protocols ==\n")
+    raft = orphan_scenario(RaftSystem)
+    paxos = orphan_scenario(PaxosSystem)
+
+    print("Raft:  leader 2's log after the takeover:")
+    print("   ", [e.describe() for e in raft.servers[2].log])
+    print("    (Raft candidates keep their own log; the orphan stays on")
+    print("     S1 until overwritten — S1 denied S2's vote, but S3's")
+    print("     granted vote plus S2's own made a quorum)\n")
+
+    print("Paxos: leader 2's log after the takeover:")
+    print("   ", [e.describe() for e in paxos.servers[2].log])
+    print("    (Paxos candidates adopt the best promised log: S1's")
+    print("     promise carried the orphan, so S2 rescued it)\n")
+
+    for name, system in (("Raft", raft), ("Paxos", paxos)):
+        violations = system.check_log_safety()
+        print(f"{name}: committed-prefix safety:",
+              "OK" if not violations else violations)
+
+    print("\n== Both protocols refine the same Adore model ==\n")
+    for name, checker in (
+        ("Raft ", SimulationChecker),
+        ("Paxos", PaxosSimulationChecker),
+    ):
+        sim = checker(CONF, SCHEME)
+        sim.elect(1, [2, 3])
+        sim.invoke(1, "committed")
+        sim.commit(1, [2, 3])
+        sim.invoke(1, "orphan")
+        sim.elect(2, [1, 3])
+        sim.invoke(2, "next")
+        sim.commit(2, [1, 3])
+        print(f"{name}: {len(sim.steps)} mirrored steps, "
+              f"ℝ held throughout: {sim.ok}")
+        tip = sim.adore.tree
+        print(f"       Adore tree: {len(tip)} caches, "
+              f"{len(tip.ccaches())} commits")
+    print("\nSame cache-tree abstraction, two election styles — the")
+    print("genericity Section 5 claims ('many protocols, including")
+    print("various Paxos variants and Raft').")
+
+
+if __name__ == "__main__":
+    main()

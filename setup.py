@@ -1,0 +1,18 @@
+"""Legacy setup shim: this environment lacks the ``wheel`` package, so
+PEP 660 editable installs fail; ``pip install -e . --no-use-pep517``
+uses this file instead.  Metadata mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Python reproduction of 'Adore: Atomic Distributed Objects with "
+        "Certified Reconfiguration' (PLDI 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,29 @@
+"""Python reproduction of *Adore: Atomic Distributed Objects with
+Certified Reconfiguration* (Honoré, Kim, Shin, Shao -- PLDI 2022).
+
+Subpackages:
+
+* :mod:`repro.core` -- the Adore model: cache tree, operational
+  semantics, oracles, and the safety invariants of Section 4/Appendix B.
+* :mod:`repro.cado` -- CADO, Adore without reconfiguration.
+* :mod:`repro.ado` -- the original ADO model of Appendix D.1.
+* :mod:`repro.schemes` -- reconfiguration schemes (Section 6) and the
+  REFLEXIVE/OVERLAP assumption checkers.
+* :mod:`repro.raft` -- the network-based Raft-like specification
+  (Section 5), its SRaft restriction, and the historically buggy
+  single-node variant of Fig. 4.
+* :mod:`repro.refinement` -- the refinement relation, the trace
+  reordering lemmas of Appendix C, and the Raft → Adore simulation
+  checker.
+* :mod:`repro.mc` -- an explicit-state bounded model checker over the
+  Adore semantics, with fault-injection ablations.
+* :mod:`repro.runtime` -- a discrete-event simulated deployment (the
+  analogue of the paper's OCaml extraction) used for the Fig. 16
+  latency experiment, including a replicated key-value store.
+* :mod:`repro.analysis` -- statistics and reporting helpers for the
+  experiment harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,80 @@
+"""The original ADO model (Appendix D.1, Fig. 19-23).
+
+The precursor of Adore: an event-sourced model with a separate
+persistent log of committed methods, a cache tree of uncommitted ones,
+a per-client active-cache map, and an owner map assigning each
+timestamp its unique leader (or NoOwn).  Included both for completeness
+and so the documentation can contrast the two models: the ADO deletes
+stale branches and hides election/commit metadata, which is exactly
+what Adore adds back to support protocol-level reasoning and
+reconfiguration.
+"""
+
+from .cid import CID, ROOT, RootCID, ancestors, depth, is_le, is_lt, next_cid, nid_of, time_of
+from .events import (
+    Event,
+    InvokeMinus,
+    InvokePlus,
+    PullMinus,
+    PullPlus,
+    PullStar,
+    PushMinus,
+    PushPlus,
+)
+from .interp import initial_state, interp, interp_all, partition
+from .semantics import (
+    ADO_FAIL,
+    AdoFail,
+    AdoMachine,
+    AdoOracle,
+    PullOkAdo,
+    PullPreempt,
+    PushOkAdo,
+    RandomAdoOracle,
+    ScriptedAdoOracle,
+    validate_ado_pull,
+    validate_ado_push,
+)
+from .state import NO_OWN, AdoCache, AdoState, FrozenDict, position_valid, vote_no_own
+
+__all__ = [
+    "ADO_FAIL",
+    "AdoCache",
+    "AdoFail",
+    "AdoMachine",
+    "AdoOracle",
+    "AdoState",
+    "CID",
+    "Event",
+    "FrozenDict",
+    "InvokeMinus",
+    "InvokePlus",
+    "NO_OWN",
+    "PullMinus",
+    "PullOkAdo",
+    "PullPlus",
+    "PullPreempt",
+    "PullStar",
+    "PushMinus",
+    "PushOkAdo",
+    "PushPlus",
+    "ROOT",
+    "RandomAdoOracle",
+    "RootCID",
+    "ScriptedAdoOracle",
+    "ancestors",
+    "depth",
+    "initial_state",
+    "interp",
+    "interp_all",
+    "is_le",
+    "is_lt",
+    "next_cid",
+    "nid_of",
+    "partition",
+    "position_valid",
+    "time_of",
+    "validate_ado_pull",
+    "validate_ado_push",
+    "vote_no_own",
+]

@@ -1,0 +1,80 @@
+"""Cache identifiers for the ADO model (Appendix D.1, Fig. 19/23).
+
+``CID ≜ ⟨N_nid * N_time * CID⟩ | Root``: a cache's identity *is* its
+path -- a linked chain of (creator, timestamp) links back to ``Root``.
+The tree structure of the ADO cache set is induced entirely by these
+chains; the strict order ``cid1 < cid2`` is the proper-ancestor
+relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+
+@dataclass(frozen=True)
+class RootCID:
+    """The distinguished ``Root`` identifier."""
+
+    def __repr__(self) -> str:
+        return "Root"
+
+
+ROOT = RootCID()
+
+
+@dataclass(frozen=True)
+class CID:
+    """A non-root identifier: ``⟨nid, time, parent⟩``."""
+
+    nid: int
+    time: int
+    parent: Union["CID", RootCID]
+
+    def __repr__(self) -> str:
+        return f"<n{self.nid},t{self.time},{self.parent!r}>"
+
+
+CIDLike = Union[CID, RootCID]
+
+
+def nid_of(cid: CID) -> int:
+    """``nidOf(cid)`` (Fig. 23)."""
+    return cid.nid
+
+
+def time_of(cid: CID) -> int:
+    """``timeOf(cid)`` (Fig. 23)."""
+    return cid.time
+
+
+def next_cid(cid: CID) -> CID:
+    """``nextCID(cid) ≜ ⟨nid, time, cid⟩``: the same creator and round
+    extend their own chain by one link (Fig. 23)."""
+    return CID(nid=cid.nid, time=cid.time, parent=cid)
+
+
+def ancestors(cid: CIDLike) -> Iterator[CIDLike]:
+    """The proper ancestors of ``cid``, nearest first, ending at Root."""
+    current = cid
+    while isinstance(current, CID):
+        current = current.parent
+        yield current
+
+
+def is_lt(a: CIDLike, b: CIDLike) -> bool:
+    """``a < b``: ``a`` is a proper ancestor of ``b`` (Fig. 23)."""
+    if isinstance(b, RootCID):
+        return False
+    return any(a == anc for anc in ancestors(b))
+
+
+def is_le(a: CIDLike, b: CIDLike) -> bool:
+    """``a ≤ b``: ancestor-or-equal."""
+    return a == b or is_lt(a, b)
+
+
+def depth(cid: CIDLike) -> int:
+    """Chain length back to Root (Root itself has depth 0)."""
+    return sum(1 for _ in ancestors(cid))

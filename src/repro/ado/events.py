@@ -1,0 +1,76 @@
+"""ADO events (Fig. 19): the possible outcomes of each operation.
+
+The ADO model is event-sourced: every operation appends one event to a
+global log, and the state is the fold of :func:`repro.ado.interp.interp`
+over that log (``interpAll``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from .cid import CID, CIDLike
+
+Method = Hashable
+
+
+@dataclass(frozen=True)
+class PullPlus:
+    """``Pull⁺(nid, time, cid)``: a successful election; ``cid`` is the
+    parent cache the new leader builds on."""
+
+    nid: int
+    time: int
+    cid: CIDLike
+
+
+@dataclass(frozen=True)
+class PullStar:
+    """``Pull*(nid, time)``: a preempting failure -- the candidate lost
+    but stole enough votes to block earlier timestamps."""
+
+    nid: int
+    time: int
+
+
+@dataclass(frozen=True)
+class PullMinus:
+    """``Pull⁻(nid)``: a no-effect election failure."""
+
+    nid: int
+
+
+@dataclass(frozen=True)
+class InvokePlus:
+    """``Invoke⁺(nid, M)``: a successful method invocation."""
+
+    nid: int
+    method: Method
+
+
+@dataclass(frozen=True)
+class InvokeMinus:
+    """``Invoke⁻(nid)``: a failed method invocation."""
+
+    nid: int
+
+
+@dataclass(frozen=True)
+class PushPlus:
+    """``Push⁺(nid, ccid)``: a successful commit up to cache ``ccid``."""
+
+    nid: int
+    ccid: CID
+
+
+@dataclass(frozen=True)
+class PushMinus:
+    """``Push⁻(nid)``: a failed commit."""
+
+    nid: int
+
+
+Event = Union[
+    PullPlus, PullStar, PullMinus, InvokePlus, InvokeMinus, PushPlus, PushMinus
+]

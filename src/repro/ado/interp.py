@@ -1,0 +1,80 @@
+"""ADO event interpretation (Fig. 22) and log folding.
+
+``interp : Ev_ADO → Σ_ADO → Σ_ADO`` consumes one event;
+``interp_all`` folds a whole event log from the initial state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from .cid import CID, is_le, is_lt, next_cid, depth
+from .events import (
+    Event,
+    InvokeMinus,
+    InvokePlus,
+    PullMinus,
+    PullPlus,
+    PullStar,
+    PushMinus,
+    PushPlus,
+)
+from .state import AdoCache, AdoState, vote_no_own
+
+
+def initial_state() -> AdoState:
+    """The empty ADO state."""
+    return AdoState()
+
+
+def partition(
+    caches: Iterable[AdoCache], ccid: CID
+) -> Tuple[Tuple[AdoCache, ...], frozenset]:
+    """``partition(cs, cid)`` (Fig. 23).
+
+    Splits the uncommitted caches into the committed prefix (ancestors
+    of ``ccid`` including itself, sorted root-to-leaf) and the surviving
+    suffix (proper descendants of ``ccid``).  Sibling branches are
+    stale and silently discarded -- this is where the ADO model, unlike
+    Adore, physically deletes state.
+    """
+    committed = sorted(
+        (c for c in caches if is_le(c.cid, ccid)),
+        key=lambda c: depth(c.cid),
+    )
+    survivors = frozenset(c for c in caches if is_lt(ccid, c.cid))
+    return tuple(committed), survivors
+
+
+def interp(event: Event, state: AdoState) -> AdoState:
+    """One step of Fig. 22."""
+    if isinstance(event, PullPlus):
+        cids = state.cids.set(event.nid, CID(event.nid, event.time, event.cid))
+        owners = vote_no_own(
+            state.owners.set(event.time, event.nid), event.time - 1
+        )
+        return AdoState(state.persist, state.caches, cids, owners)
+    if isinstance(event, PullStar):
+        owners = vote_no_own(state.owners, event.time)
+        return AdoState(state.persist, state.caches, state.cids, owners)
+    if isinstance(event, (PullMinus, InvokeMinus, PushMinus)):
+        return state
+    if isinstance(event, InvokePlus):
+        active = state.cids.get(event.nid)
+        caches = state.caches | {AdoCache(active, event.method)}
+        cids = state.cids.set(event.nid, next_cid(active))
+        return AdoState(state.persist, caches, cids, state.owners)
+    if isinstance(event, PushPlus):
+        committed, survivors = partition(state.caches, event.ccid)
+        persist = state.persist + committed
+        cids = state.cids.set(event.nid, next_cid(event.ccid))
+        return AdoState(persist, survivors, cids, state.owners)
+    raise TypeError(f"unknown ADO event {event!r}")
+
+
+def interp_all(events: Iterable[Event]) -> AdoState:
+    """``interpAll(evs) ≜ fold(evs, interp, initState)`` (Fig. 19)."""
+    state = initial_state()
+    for event in events:
+        state = interp(event, state)
+    return state

@@ -1,0 +1,233 @@
+"""ADO operation semantics (Fig. 20-21): oracles and event generation.
+
+Operations append events to a global log; validity of the oracle
+choices is specified by the VALIDPULLORACLE / VALIDPUSHORACLE rules of
+Fig. 20 and checked eagerly.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..core.errors import InvalidOracleOutcome
+from .cid import CID, CIDLike, ROOT, is_le, nid_of, time_of
+from .events import (
+    Event,
+    InvokeMinus,
+    InvokePlus,
+    Method,
+    PullMinus,
+    PullPlus,
+    PullStar,
+    PushMinus,
+    PushPlus,
+)
+from .interp import interp, interp_all
+from .state import NO_OWN, AdoState, position_valid
+
+
+# ----------------------------------------------------------------------
+# Oracle outcomes
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PullOkAdo:
+    """``Ok(time, cid)``: a successful election adopting cache ``cid``."""
+
+    time: int
+    cid: CIDLike
+
+
+@dataclass(frozen=True)
+class PullPreempt:
+    """``Preempt(time)``: a failed election that still burnt ``time``."""
+
+    time: int
+
+
+@dataclass(frozen=True)
+class PushOkAdo:
+    """``Ok(cid)``: commit up to cache ``cid``."""
+
+    cid: CID
+
+
+@dataclass(frozen=True)
+class AdoFail:
+    """``Fail``: no effect."""
+
+
+ADO_FAIL = AdoFail()
+
+
+def validate_ado_pull(state: AdoState, nid: int, outcome) -> None:
+    """VALIDPULLORACLE (Fig. 20): fresh, unowned time; live parent."""
+    if isinstance(outcome, AdoFail):
+        return
+    if isinstance(outcome, PullPreempt):
+        if not state.no_owner_at(outcome.time):
+            raise InvalidOracleOutcome(
+                f"preempt at owned time {outcome.time}"
+            )
+        return
+    if not isinstance(outcome, PullOkAdo):
+        raise InvalidOracleOutcome(f"not a pull outcome: {outcome!r}")
+    cid = outcome.cid
+    if isinstance(cid, CID) and time_of(cid) >= outcome.time:
+        raise InvalidOracleOutcome(
+            f"pull time {outcome.time} not above parent's {time_of(cid)}"
+        )
+    if not state.no_owner_at(outcome.time):
+        raise InvalidOracleOutcome(f"time {outcome.time} already owned")
+    if cid != state.root() and cid not in state.cache_cids():
+        raise InvalidOracleOutcome(
+            f"parent {cid!r} neither a live cache nor the committed root"
+        )
+
+
+def validate_ado_push(state: AdoState, nid: int, outcome) -> None:
+    """VALIDPUSHORACLE (Fig. 20): own, current-time, live cache; caller
+    must be the maximum owner (not preempted)."""
+    if isinstance(outcome, AdoFail):
+        return
+    if not isinstance(outcome, PushOkAdo):
+        raise InvalidOracleOutcome(f"not a push outcome: {outcome!r}")
+    cid = outcome.cid
+    if nid_of(cid) != nid:
+        raise InvalidOracleOutcome(f"push of foreign cache {cid!r}")
+    if cid not in state.cache_cids():
+        raise InvalidOracleOutcome(f"push of unknown cache {cid!r}")
+    if state.max_owner() != nid:
+        raise InvalidOracleOutcome(
+            f"node {nid} is not the maximum owner "
+            f"({state.max_owner()!r} is)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Oracles
+# ----------------------------------------------------------------------
+
+class AdoOracle(ABC):
+    """Resolves the ADO pull/push nondeterminism."""
+
+    @abstractmethod
+    def pull_outcome(self, state: AdoState, nid: int):
+        ...
+
+    @abstractmethod
+    def push_outcome(self, state: AdoState, nid: int):
+        ...
+
+
+class ScriptedAdoOracle(AdoOracle):
+    """Replays fixed outcomes, validating each against the state."""
+
+    def __init__(self, outcomes) -> None:
+        self._outcomes = list(outcomes)
+        self._cursor = 0
+
+    def _next(self):
+        if self._cursor >= len(self._outcomes):
+            raise InvalidOracleOutcome("scripted ADO oracle exhausted")
+        outcome = self._outcomes[self._cursor]
+        self._cursor += 1
+        return outcome
+
+    def pull_outcome(self, state: AdoState, nid: int):
+        outcome = self._next()
+        validate_ado_pull(state, nid, outcome)
+        return outcome
+
+    def push_outcome(self, state: AdoState, nid: int):
+        outcome = self._next()
+        validate_ado_push(state, nid, outcome)
+        return outcome
+
+
+class RandomAdoOracle(AdoOracle):
+    """Samples a valid outcome (or fails)."""
+
+    def __init__(self, seed: Optional[int] = None, fail_prob: float = 0.1):
+        self._rng = random.Random(seed)
+        self.fail_prob = fail_prob
+
+    def pull_outcome(self, state: AdoState, nid: int):
+        if self._rng.random() < self.fail_prob:
+            return ADO_FAIL
+        time = self._fresh_time(state)
+        candidates: List[CIDLike] = [state.root()] + [
+            c for c in sorted(state.cache_cids(), key=repr)
+            if time_of(c) < time
+        ]
+        return PullOkAdo(time=time, cid=self._rng.choice(candidates))
+
+    def push_outcome(self, state: AdoState, nid: int):
+        if self._rng.random() < self.fail_prob:
+            return ADO_FAIL
+        if state.max_owner() != nid:
+            return ADO_FAIL
+        own = [c for c in sorted(state.cache_cids(), key=repr) if nid_of(c) == nid]
+        if not own:
+            return ADO_FAIL
+        return PushOkAdo(cid=self._rng.choice(own))
+
+    def _fresh_time(self, state: AdoState) -> int:
+        owned = [t for t in state.owners.keys()]
+        return (max(owned) if owned else 0) + 1
+
+
+# ----------------------------------------------------------------------
+# The machine
+# ----------------------------------------------------------------------
+
+class AdoMachine:
+    """An event-sourced ADO instance (Fig. 19-23).
+
+    Keeps the full event log; the state is always ``interpAll`` of it
+    (recomputed incrementally).
+    """
+
+    def __init__(self, oracle: AdoOracle) -> None:
+        self.oracle = oracle
+        self.events: List[Event] = []
+        self.state: AdoState = interp_all([])
+
+    def _emit(self, event: Event) -> Event:
+        self.events.append(event)
+        self.state = interp(event, self.state)
+        return event
+
+    def pull(self, nid: int) -> Event:
+        """The pull generation rules (Fig. 21)."""
+        outcome = self.oracle.pull_outcome(self.state, nid)
+        if isinstance(outcome, AdoFail):
+            return self._emit(PullMinus(nid))
+        if isinstance(outcome, PullPreempt):
+            return self._emit(PullStar(nid, outcome.time))
+        return self._emit(PullPlus(nid, outcome.time, outcome.cid))
+
+    def invoke(self, nid: int, method: Method) -> Event:
+        """MethodInvocation / MethodFailure (Fig. 21)."""
+        active = self.state.active_cid(nid)
+        if active is None or not position_valid(self.state, active):
+            return self._emit(InvokeMinus(nid))
+        return self._emit(InvokePlus(nid, method))
+
+    def push(self, nid: int) -> Event:
+        """The push generation rules (Fig. 21)."""
+        outcome = self.oracle.push_outcome(self.state, nid)
+        if isinstance(outcome, AdoFail):
+            return self._emit(PushMinus(nid))
+        return self._emit(PushPlus(nid, outcome.cid))
+
+    def persistent_methods(self) -> List[Method]:
+        """The committed method sequence (the persistent log)."""
+        return [cache.method for cache in self.state.persist]
+
+    def replay(self) -> AdoState:
+        """Recompute the state from the event log (sanity check)."""
+        return interp_all(self.events)

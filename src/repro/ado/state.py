@@ -1,0 +1,154 @@
+"""ADO state (Fig. 19): persistent log, cache tree, CID map, owner map.
+
+``Σ_ADO ≜ PersistLog * CacheTree * CIDMap * OwnerMap``.  Unlike Adore
+the committed methods live in a separate append-only :data:`persist`
+log, the cache tree holds only *uncommitted* caches, and two auxiliary
+maps track every client's active cache and the unique owner (leader) of
+every timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from .cid import CID, CIDLike, ROOT, RootCID, is_le, is_lt
+from .events import Method
+
+
+@dataclass(frozen=True)
+class AdoCache:
+    """One uncommitted cache: a position plus the invoked method."""
+
+    cid: CID
+    method: Method
+
+
+#: The owner-map sentinel: the timestamp is burnt, nobody may own it.
+NO_OWN = "NoOwn"
+
+Owner = Union[int, str]
+
+
+@dataclass(frozen=True)
+class AdoState:
+    """An immutable ADO state."""
+
+    persist: Tuple[AdoCache, ...] = ()
+    caches: FrozenSet[AdoCache] = frozenset()
+    cids: "FrozenDict" = None
+    owners: "FrozenDict" = None
+
+    def __post_init__(self):
+        if self.cids is None:
+            object.__setattr__(self, "cids", FrozenDict())
+        if self.owners is None:
+            object.__setattr__(self, "owners", FrozenDict())
+
+    # -- Fig. 23 auxiliary functions ---------------------------------
+
+    def root(self) -> CIDLike:
+        """``root(evs)``: the last committed cid, or Root (Fig. 23)."""
+        if self.persist:
+            return self.persist[-1].cid
+        return ROOT
+
+    def cache_cids(self) -> FrozenSet[CID]:
+        return frozenset(c.cid for c in self.caches)
+
+    def no_owner_at(self, time: int) -> bool:
+        """``noOwnerAt(evs, time)``: the timestamp is unclaimed."""
+        owner = self.owners.get(time)
+        return owner is None or owner == NO_OWN
+
+    def max_owner(self) -> Optional[Owner]:
+        """``maxOwner(evs)``: the owner entry at the largest claimed time."""
+        if not self.owners:
+            return None
+        return self.owners.get(max(self.owners.keys()))
+
+    def active_cid(self, nid: int) -> Optional[CID]:
+        return self.cids.get(nid)
+
+
+class FrozenDict:
+    """A tiny immutable mapping with value-based hashing."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Optional[Dict] = None) -> None:
+        self._data = dict(data) if data else {}
+        self._hash = None
+
+    def get(self, key, default=None):
+        return self._data.get(key, default)
+
+    def set(self, key, value) -> "FrozenDict":
+        updated = dict(self._data)
+        updated[key] = value
+        return FrozenDict(updated)
+
+    def set_many(self, pairs) -> "FrozenDict":
+        updated = dict(self._data)
+        updated.update(pairs)
+        return FrozenDict(updated)
+
+    def keys(self):
+        return self._data.keys()
+
+    def items(self):
+        return self._data.items()
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FrozenDict):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._data.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"FrozenDict({self._data!r})"
+
+
+def vote_no_own(owners: FrozenDict, time: int) -> FrozenDict:
+    """``voteNoOwn(owns, t)``: burn every unclaimed timestamp ≤ ``t``.
+
+    A (possibly failed) election at time ``t`` means a quorum has
+    promised not to accept anything at or below ``t``; the owner map
+    records that by marking all unclaimed slots NoOwn (Fig. 23).
+    """
+    updates = {
+        t: NO_OWN
+        for t in range(1, time + 1)
+        if t not in owners
+    }
+    return owners.set_many(updates.items()) if updates else owners
+
+
+def position_valid(state: AdoState, cid: CIDLike) -> bool:
+    """Whether a client's active cid still names a live position.
+
+    A position is live when its parent chain reaches the committed
+    frontier through caches that still exist: its proper ancestors must
+    each be present in the uncommitted tree or be the committed root.
+    A push that commits a sibling branch prunes the stale branches, so
+    stale clients' positions become invalid -- this is the check that
+    "stops replicas from continuing to use stale states after a
+    different one was committed" (Appendix D.1).
+    """
+    if isinstance(cid, RootCID):
+        return not state.persist
+    parent = cid.parent
+    return parent == state.root() or parent in state.cache_cids()

@@ -1,0 +1,36 @@
+"""Statistics, rendering, and effort accounting for the benchmarks."""
+
+from .effort import (
+    PAPER_COQ_LOC,
+    ModuleLoc,
+    count_file,
+    count_tree,
+    effort_breakdown,
+    package_root,
+)
+from .render import render_series, render_table
+from .stats import (
+    SeriesSummary,
+    aggregate_runs,
+    downsample,
+    percentile,
+    spike_indices,
+    summarize,
+)
+
+__all__ = [
+    "PAPER_COQ_LOC",
+    "ModuleLoc",
+    "SeriesSummary",
+    "aggregate_runs",
+    "count_file",
+    "count_tree",
+    "downsample",
+    "effort_breakdown",
+    "package_root",
+    "percentile",
+    "render_series",
+    "render_table",
+    "spike_indices",
+    "summarize",
+]

@@ -1,0 +1,69 @@
+"""ASCII rendering of tables and latency series for the benchmarks.
+
+The benchmark harness prints the same artifacts the paper's evaluation
+shows: a latency-vs-request-index chart with reconfiguration markers
+(Fig. 16) and tabular summaries.  Everything renders to plain text so
+results live in the pytest output and the experiment logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .stats import downsample
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A simple aligned text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_series(
+    values: Sequence[float],
+    width: int = 100,
+    height: int = 12,
+    markers: Optional[Sequence[int]] = None,
+    title: str = "",
+) -> str:
+    """A text chart of a series (downsampled to ``width`` buckets).
+
+    ``markers`` are x-indices (in the original series) annotated with
+    ``^`` below the axis -- used for reconfiguration points.
+    """
+    if not values:
+        return "(empty series)"
+    data = downsample(list(values), width)
+    lo, hi = min(data), max(data)
+    span = (hi - lo) or 1.0
+    rows: List[List[str]] = [[" "] * len(data) for _ in range(height)]
+    for x, value in enumerate(data):
+        level = int((value - lo) / span * (height - 1))
+        for y in range(level + 1):
+            rows[height - 1 - y][x] = "#" if y == level else "."
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max {hi:.3f}")
+    lines.extend("".join(row) for row in rows)
+    lines.append(f"min {lo:.3f}")
+    if markers:
+        marks = [" "] * len(data)
+        scale = len(data) / len(values)
+        for marker in markers:
+            pos = min(len(data) - 1, int(marker * scale))
+            marks[pos] = "^"
+        lines.append("".join(marks) + "   (^ = reconfiguration)")
+    return "\n".join(lines)

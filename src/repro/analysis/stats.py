@@ -1,0 +1,100 @@
+"""Statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass
+class SeriesSummary:
+    """Summary statistics of one latency series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p99: float
+
+    def row(self) -> Tuple:
+        return (
+            self.count,
+            round(self.mean, 3),
+            round(self.minimum, 3),
+            round(self.p50, 3),
+            round(self.p99, 3),
+            round(self.maximum, 3),
+        )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation."""
+    if not values:
+        raise ValueError("empty series")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    low = int(math.floor(pos))
+    high = int(math.ceil(pos))
+    frac = pos - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Count/mean/min/p50/p99/max of a series."""
+    if not values:
+        raise ValueError("empty series")
+    return SeriesSummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        minimum=min(values),
+        maximum=max(values),
+        p50=percentile(values, 0.50),
+        p99=percentile(values, 0.99),
+    )
+
+
+def aggregate_runs(
+    runs: Sequence[Sequence[float]],
+) -> Tuple[List[float], List[float], List[float]]:
+    """Per-index (max, mean, min) across runs -- the three series of
+    Fig. 16.  Runs must have equal length."""
+    lengths = {len(run) for run in runs}
+    if len(lengths) != 1:
+        raise ValueError(f"runs have differing lengths: {sorted(lengths)}")
+    maxima: List[float] = []
+    means: List[float] = []
+    minima: List[float] = []
+    for idx in range(lengths.pop()):
+        column = [run[idx] for run in runs]
+        maxima.append(max(column))
+        means.append(sum(column) / len(column))
+        minima.append(min(column))
+    return maxima, means, minima
+
+
+def downsample(values: Sequence[float], buckets: int) -> List[float]:
+    """Bucket means, for rendering long series compactly."""
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    if len(values) <= buckets:
+        return list(values)
+    out: List[float] = []
+    step = len(values) / buckets
+    for i in range(buckets):
+        lo = int(i * step)
+        hi = max(lo + 1, int((i + 1) * step))
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def spike_indices(
+    values: Sequence[float], threshold_factor: float = 3.0
+) -> List[int]:
+    """Indices whose value exceeds ``threshold_factor`` x the median."""
+    med = percentile(values, 0.5)
+    return [i for i, v in enumerate(values) if v > threshold_factor * med]

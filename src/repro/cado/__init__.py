@@ -1,0 +1,18 @@
+"""CADO: the configuration-aware ADO model *without* reconfiguration.
+
+Section 3 marks everything reconfiguration-related in blue boxes;
+removing those parts leaves CADO, which the paper uses both as a
+stepping stone (its safety proof took ~1.3k lines of Coq and two weeks,
+versus three more weeks to add reconfiguration) and as a useful model
+for statically-configured protocols.
+
+Here CADO is realized as a restriction of the full semantics: a
+:class:`CadoMachine` shares all of :class:`repro.core.AdoreMachine`
+except that ``reconfig`` is structurally unavailable, and the
+:func:`cado_explorer` factory builds a model-checker instance whose
+transition relation contains no reconfiguration moves.
+"""
+
+from .model import CadoMachine, cado_explorer
+
+__all__ = ["CadoMachine", "cado_explorer"]

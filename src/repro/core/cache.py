@@ -1,0 +1,208 @@
+"""Cache variants of the Adore model (Fig. 6 / Fig. 24 of the paper).
+
+A *cache* is one node of the Adore cache tree.  There are four variants:
+
+* :class:`ECache` -- records a leader election (paper: *ECache*).
+* :class:`MCache` -- records a method invocation (paper: *MCache*).
+* :class:`RCache` -- records a reconfiguration command (paper: *RCache*).
+* :class:`CCache` -- records a successful commit (paper: *CCache*).
+
+Every cache carries the node id of the replica whose operation created it
+(``caller``), a logical timestamp (``time`` -- a Paxos ballot / Raft term),
+a version number (``vrsn`` -- reset to 0 by elections, incremented by each
+method/reconfig call), and the configuration (``conf``) under which it was
+created.  For an :class:`RCache` the ``conf`` field holds the *new*
+configuration, which takes effect immediately (hot reconfiguration).
+
+Configurations are opaque to this module: they are any hashable value
+interpreted by a :class:`repro.core.config.ReconfigScheme`.
+
+The strict order ``>`` on caches (Fig. 9/26) compares ``(time, vrsn)``
+lexicographically, with the tie-break that a :class:`CCache` is greater
+than a non-CCache with the same timestamp and version.  This is exposed
+as :func:`cache_gt` and as the sort key :func:`order_key`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Tuple, Union
+
+NodeId = int
+Time = int
+Vrsn = int
+Cid = int
+Method = Hashable
+Config = Hashable
+
+
+@dataclass(frozen=True)
+class _CacheBase:
+    """Fields shared by every cache variant."""
+
+    caller: NodeId
+    time: Time
+    vrsn: Vrsn
+    conf: Config
+
+    #: Short tag used in renderings and reprs; overridden per variant.
+    kind: str = field(default="?", init=False, repr=False)
+
+    @property
+    def supporters(self) -> FrozenSet[NodeId]:
+        """The replicas that approved this cache.
+
+        For method and reconfiguration caches the only supporter is the
+        caller (Fig. 9); election and commit caches override this with the
+        explicit voter set recorded by the oracle.
+        """
+        return frozenset({self.caller})
+
+    @property
+    def observers(self) -> FrozenSet[NodeId]:
+        """The replicas whose *local log* covers this cache.
+
+        This is the relation ``mostRecent`` maximizes over.  It differs
+        from :attr:`supporters` in exactly one case: voting in an
+        election records a supporter of the ECache (used for timestamp
+        bookkeeping and the quorum-intersection arguments) but does
+        **not** hand the voter the leader's log -- in Raft a granted
+        vote leaves the voter's log untouched.  Hence an ECache is
+        observed only by its caller (the winner adopted the branch),
+        while a commit's acknowledging quorum has adopted the leader's
+        branch up to the committed cache.  This distinction is what
+        makes the Fig. 4 counterexample expressible: a voter of a later
+        election can still legitimately serve an older branch.
+        """
+        return frozenset({self.caller})
+
+    def describe(self) -> str:
+        """A compact human-readable rendering, e.g. ``E(n1,t2,v0)``."""
+        return f"{self.kind}(n{self.caller},t{self.time},v{self.vrsn})"
+
+
+@dataclass(frozen=True)
+class ECache(_CacheBase):
+    """An election cache: ``ECache(nid, time, vrsn, supporters, conf)``.
+
+    Created by a successful ``pull``.  ``vrsn`` is always 0 (version
+    numbers reset at the start of each round).  ``voters`` records the
+    replicas whose votes elected the caller.
+    """
+
+    voters: FrozenSet[NodeId] = frozenset()
+    kind: str = field(default="E", init=False, repr=False)
+
+    @property
+    def supporters(self) -> FrozenSet[NodeId]:
+        return self.voters
+
+    @property
+    def observers(self) -> FrozenSet[NodeId]:
+        # Votes do not transfer log entries (see _CacheBase.observers),
+        # but winning does: the elected leader's state *is* the adopted
+        # branch this ECache extends (explicitly adopted in Paxos-style
+        # elections; the candidate's own log in Raft-style ones).  The
+        # caller is therefore an observer; the voters are not.  Note
+        # {caller} ⊆ voters, so this stays a sub-relation of the
+        # paper's supporter relation.
+        return frozenset({self.caller})
+
+
+@dataclass(frozen=True)
+class MCache(_CacheBase):
+    """A method cache: ``MCache(nid, time, vrsn, method, conf)``.
+
+    Created by ``invoke``.  The method is an arbitrary identifier: actual
+    method semantics have no bearing on protocol safety (Section 3), so
+    the model treats them opaquely.  Applications interpret them (see
+    :mod:`repro.runtime.kvstore`).
+    """
+
+    method: Method = None
+    kind: str = field(default="M", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class RCache(_CacheBase):
+    """A reconfiguration cache: ``RCache(nid, time, vrsn, conf)``.
+
+    Created by ``reconfig``.  Behaves like an :class:`MCache` whose
+    payload is a new configuration; ``conf`` holds the *new*
+    configuration, which descendants inherit immediately.
+    """
+
+    kind: str = field(default="R", init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class CCache(_CacheBase):
+    """A commit cache: ``CCache(nid, time, vrsn, supporters, conf)``.
+
+    Created by a successful ``push``; inserted *between* the committed
+    cache and its children (``insertBtw``), which keeps the tree
+    append-only.  ``voters`` records the quorum that acknowledged the
+    commit.  A CCache copies its parent's ``time`` and ``vrsn`` but is
+    ordered strictly greater than it.
+    """
+
+    voters: FrozenSet[NodeId] = frozenset()
+    kind: str = field(default="C", init=False, repr=False)
+
+    @property
+    def supporters(self) -> FrozenSet[NodeId]:
+        return self.voters
+
+    @property
+    def observers(self) -> FrozenSet[NodeId]:
+        # Acknowledging a commit adopts the leader's branch up to here.
+        return self.voters
+
+
+Cache = Union[ECache, MCache, RCache, CCache]
+
+
+def is_ecache(cache: _CacheBase) -> bool:
+    """True iff ``cache`` is an election cache."""
+    return isinstance(cache, ECache)
+
+
+def is_mcache(cache: _CacheBase) -> bool:
+    """True iff ``cache`` is a method cache."""
+    return isinstance(cache, MCache)
+
+
+def is_rcache(cache: _CacheBase) -> bool:
+    """True iff ``cache`` is a reconfiguration cache."""
+    return isinstance(cache, RCache)
+
+
+def is_ccache(cache: _CacheBase) -> bool:
+    """True iff ``cache`` is a commit cache."""
+    return isinstance(cache, CCache)
+
+
+def is_committable(cache: _CacheBase) -> bool:
+    """True iff ``cache`` may be the target of a ``push`` (M or R cache)."""
+    return isinstance(cache, (MCache, RCache))
+
+
+def order_key(cache: _CacheBase) -> Tuple[Time, Vrsn, int]:
+    """Sort key realizing the strict order ``>`` of Fig. 9/26.
+
+    ``(time, vrsn)`` lexicographic, then CCaches above non-CCaches at the
+    same ``(time, vrsn)``.  Under the model's invariants (unique leader
+    per timestamp, version numbers incremented per call) this key is
+    unique for the caches the semantics ever compares.
+    """
+    return (cache.time, cache.vrsn, 1 if is_ccache(cache) else 0)
+
+
+def cache_gt(left: _CacheBase, right: _CacheBase) -> bool:
+    """The strict order ``left > right`` on caches (Fig. 9/26)."""
+    return order_key(left) > order_key(right)
+
+
+def cache_ge(left: _CacheBase, right: _CacheBase) -> bool:
+    """Non-strict order: ``left > right`` or equal order keys."""
+    return order_key(left) >= order_key(right)

@@ -1,0 +1,98 @@
+"""The configuration/quorum parameters of the Adore model (Fig. 7/25).
+
+Adore is generic over the notion of a configuration.  A
+:class:`ReconfigScheme` bundles the three opaque parameters of the paper:
+
+* ``Config`` -- any hashable value (the scheme interprets it),
+* ``mbrs : Config → Set(N_nid)`` -- :meth:`ReconfigScheme.members`,
+* ``isQuorum : Set(N_nid) → Config → B`` -- :meth:`ReconfigScheme.is_quorum`,
+* ``R1⁺ : Config → Config → B`` -- :meth:`ReconfigScheme.r1_plus`.
+
+The safety proof only relies on two assumptions about these parameters:
+
+* REFLEXIVE: ``R1⁺(cf, cf)`` for every valid configuration ``cf``;
+* OVERLAP: if ``R1⁺(cf, cf')`` then any quorum of ``cf`` intersects any
+  quorum of ``cf'``.
+
+Concrete schemes live in :mod:`repro.schemes`;
+:mod:`repro.schemes.assumptions` checks REFLEXIVE and OVERLAP
+exhaustively over bounded universes, the executable analogue of the
+paper's per-scheme Coq side conditions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable
+
+from .cache import Config, NodeId
+
+
+class ReconfigScheme(ABC):
+    """The parameterized quorum/configuration interface of Fig. 7.
+
+    Subclasses define what a configuration *is* (a member set, a pair of
+    sets for joint consensus, a primary plus backups, ...), what counts
+    as a quorum, and which configuration transitions R1⁺ permits.
+    """
+
+    #: Human-readable scheme name, used in reports and benchmarks.
+    name: str = "abstract"
+
+    @abstractmethod
+    def members(self, conf: Config) -> FrozenSet[NodeId]:
+        """``mbrs(conf)``: the replicas participating in ``conf``."""
+
+    @abstractmethod
+    def is_quorum(self, group: Iterable[NodeId], conf: Config) -> bool:
+        """``isQuorum(group, conf)``: does ``group`` form a quorum of ``conf``?"""
+
+    @abstractmethod
+    def r1_plus(self, old: Config, new: Config) -> bool:
+        """``R1⁺(old, new)``: may a leader under ``old`` propose ``new``?"""
+
+    def is_valid_config(self, conf: Config) -> bool:
+        """Whether ``conf`` is a well-formed configuration for this scheme.
+
+        Used by the assumption checkers to restrict the universe of
+        configurations that REFLEXIVE/OVERLAP must hold over.
+        """
+        return True
+
+    def describe_config(self, conf: Config) -> str:
+        """Human-readable rendering of a configuration."""
+        return repr(conf)
+
+
+class StaticScheme(ReconfigScheme):
+    """A majority-quorum scheme that forbids all reconfiguration.
+
+    This instantiates the CADO model (Adore minus the boxed/blue parts):
+    ``R1⁺`` holds only reflexively, so ``reconfig`` can never change the
+    configuration, and the static majority-overlap argument applies.
+    """
+
+    name = "static-majority"
+
+    def members(self, conf: Config) -> FrozenSet[NodeId]:
+        return frozenset(conf)
+
+    def is_quorum(self, group: Iterable[NodeId], conf: Config) -> bool:
+        conf_set = frozenset(conf)
+        return len(conf_set) < 2 * len(frozenset(group) & conf_set)
+
+    def r1_plus(self, old: Config, new: Config) -> bool:
+        return frozenset(old) == frozenset(new)
+
+    def is_valid_config(self, conf: Config) -> bool:
+        return len(frozenset(conf)) > 0
+
+
+def majority(group: Iterable[NodeId], conf_members: Iterable[NodeId]) -> bool:
+    """``|C| < 2 * |S ∩ C|``: the standard majority-quorum test.
+
+    Shared by several schemes (Raft single-node, joint consensus) and by
+    the network-based Raft specification.
+    """
+    members = frozenset(conf_members)
+    return len(members) < 2 * len(frozenset(group) & members)

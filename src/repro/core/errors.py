@@ -1,0 +1,63 @@
+"""Exception hierarchy for the Adore reproduction.
+
+The library distinguishes three failure categories:
+
+* :class:`AdoreError` -- base class for everything raised by this package.
+* :class:`ModelViolation` -- an internal invariant of the model was broken
+  (e.g. a malformed cache tree).  These indicate a bug in the caller or in
+  the library itself, never a legal protocol outcome.
+* :class:`InvalidOracleOutcome` -- an oracle produced an outcome that does
+  not satisfy the validity rules of Fig. 11/27 of the paper.  Scripted
+  oracles used in tests raise this when a scenario step is illegal.
+* :class:`SafetyViolation` -- a safety checker found a state that violates
+  replicated state safety (Definition 4.1) or one of the Appendix-B
+  invariants.  Raised by checkers operating in ``raise`` mode; the same
+  information is also available as a structured report.
+"""
+
+from __future__ import annotations
+
+
+class AdoreError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ModelViolation(AdoreError):
+    """An internal invariant of the model state was broken."""
+
+
+class MalformedTree(ModelViolation):
+    """The cache tree is structurally invalid (cycle, missing parent, ...)."""
+
+
+class UnknownCache(ModelViolation):
+    """A cache id was looked up that is not present in the tree."""
+
+
+class InvalidOracleOutcome(AdoreError):
+    """An oracle returned an outcome violating the valid-oracle rules."""
+
+
+class InvalidOperation(AdoreError):
+    """An operation was invoked whose preconditions do not hold.
+
+    In the paper such calls are modelled as NoOp transitions; the machine
+    API mirrors that by default, but the strict API raises this error so
+    tests can distinguish "the network failed" from "the rule forbids it".
+    """
+
+
+class ReconfigDenied(InvalidOperation):
+    """``reconfig`` was blocked by R1+/R2/R3 (``canReconf`` is false)."""
+
+
+class NotLeader(InvalidOperation):
+    """The caller is not the leader at its active cache's timestamp."""
+
+
+class SafetyViolation(AdoreError):
+    """A state violating a safety property was detected."""
+
+    def __init__(self, message: str, witness: object = None) -> None:
+        super().__init__(message)
+        self.witness = witness

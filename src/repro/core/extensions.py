@@ -1,0 +1,291 @@
+"""Alternative reconfiguration styles sketched in Section 8.
+
+The paper's Related Work discusses how Adore could model two other
+families of algorithms "with some slight modifications"; this module
+implements both sketches so they can be executed and model-checked:
+
+* **Stop-the-world** (Stoppable Paxos, WormSpace, Viewstamped
+  Replication's view change): once a reconfiguration commits there is a
+  clean break -- the old configuration must never act again.  The paper:
+  "Adore could model this style of stop-the-world reconfiguration by
+  deleting all caches not on the active branch when an RCache is
+  committed, which simulates copying the committed commands to a new
+  cluster of servers."  :func:`apply_push_stop_world` implements exactly
+  that pruning, and :class:`StopTheWorldMachine` plugs it into the
+  machine.
+
+* **Lamport's α-reconfiguration** (Reconfiguring a State Machine): a
+  configuration committed in slot *i* takes effect at slot *i + α*.
+  The paper's two required changes: "wait until a configuration is
+  committed to begin using it" and "block new methods from being
+  invoked on an active branch that has α uncommitted caches".
+  :class:`AlphaReconfigMachine` realizes both: new caches inherit the
+  configuration of the last *committed* RCache on their branch (not the
+  hot one), and invoke/reconfig refuse when α commands are already in
+  flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .aux import active_cache, most_recent, r2_holds, r3_holds
+from .cache import (
+    CCache,
+    Cid,
+    Config,
+    MCache,
+    Method,
+    NodeId,
+    RCache,
+    is_ccache,
+    is_committable,
+    is_rcache,
+)
+from .config import ReconfigScheme
+from .oracle import Fail, PushOutcome
+from .semantics import AdoreMachine, OpResult, apply_push
+from .state import AdoreState
+from .tree import ROOT_CID, CacheTree, TreeEntry
+
+
+# ----------------------------------------------------------------------
+# Stop-the-world
+# ----------------------------------------------------------------------
+
+def prune_to_branch(tree: CacheTree, cid: Cid) -> CacheTree:
+    """Keep only the branch through ``cid`` and its descendants.
+
+    The surviving caches are exactly the committed history plus its
+    viable continuations; sibling branches (the old configuration's
+    speculation) are deleted -- the "copy the log to the new cluster"
+    step of stop-the-world schemes.  Cid freshness is preserved because
+    the maximal cid lies on the kept branch (it was just added).
+    """
+    keep = set(tree.branch(cid)) | set(tree.descendants(cid))
+    entries = {
+        kept: TreeEntry(tree.parent(kept), tree.cache(kept)) for kept in keep
+    }
+    # Guard freshness: deleted cids must never be reused, so keep a
+    # tombstone at the maximal cid if it was pruned (cannot happen when
+    # cid is the newest cache, which push guarantees, but replays of
+    # hand-built states may differ).
+    max_cid = max(tree.cids())
+    if max_cid not in entries:
+        raise ValueError(
+            "prune_to_branch would discard the newest cache; stop-the-world "
+            "pruning must happen at the just-committed CCache"
+        )
+    return CacheTree(entries)
+
+
+def apply_push_stop_world(
+    state: AdoreState,
+    nid: NodeId,
+    outcome: PushOutcome,
+    scheme: ReconfigScheme,
+) -> Tuple[AdoreState, Optional[Cid], str]:
+    """``push`` that performs the clean break on committed RCaches.
+
+    Behaves exactly like the hot-model push; additionally, when the
+    newly committed prefix contains an RCache, every cache not on the
+    new CCache's branch is deleted.  After the break the old
+    configuration cannot be resurrected: its speculative caches are
+    gone, so no later pull can adopt them.
+    """
+    new_state, cid, reason = apply_push(state, nid, outcome, scheme)
+    if cid is None:
+        return new_state, cid, reason
+    tree = new_state.tree
+    committed_reconfig = any(
+        is_rcache(tree.cache(anc)) and not _had_ccache_below(state.tree, anc)
+        for anc in tree.ancestors(cid)
+        if anc in state.tree
+    )
+    if committed_reconfig:
+        tree = prune_to_branch(tree, cid)
+        return new_state.with_tree(tree), cid, "ok-stopped-world"
+    return new_state, cid, reason
+
+
+def _had_ccache_below(tree: CacheTree, cid: Cid) -> bool:
+    return any(is_ccache(tree.cache(d)) for d in tree.descendants(cid))
+
+
+class StopTheWorldMachine(AdoreMachine):
+    """An Adore machine whose commits stop the world on reconfiguration."""
+
+    def push(self, nid: NodeId) -> OpResult:
+        from .oracle import validate_push
+
+        outcome = self.oracle.push_outcome(self.state, nid, self.scheme)
+        validate_push(self.state, nid, outcome, self.scheme)
+        state, cid, reason = apply_push_stop_world(
+            self.state, nid, outcome, self.scheme
+        )
+        return self._record(
+            OpResult("push", nid, cid is not None, reason, state, cid, outcome)
+        )
+
+
+# ----------------------------------------------------------------------
+# Lamport's α-reconfiguration
+# ----------------------------------------------------------------------
+
+def effective_config(tree: CacheTree, cid: Cid) -> Config:
+    """The last *committed* configuration on the branch of ``cid``.
+
+    Under α-style reconfiguration an RCache's configuration is inert
+    until a CCache commits it; the effective configuration is therefore
+    taken from the deepest RCache ancestor-or-self that has a CCache
+    descendant on this branch, falling back to the root configuration.
+    """
+    branch = tree.branch(cid)
+    branch_set = set(branch)
+    effective = tree.cache(ROOT_CID).conf
+    for anc in branch:
+        cache = tree.cache(anc)
+        if not is_rcache(cache):
+            continue
+        committed_here = any(
+            is_ccache(tree.cache(d))
+            for d in tree.descendants(anc)
+            if d in branch_set
+        )
+        if committed_here:
+            effective = cache.conf
+    return effective
+
+
+def uncommitted_depth(tree: CacheTree, cid: Cid) -> int:
+    """How many M/RCaches on the branch of ``cid`` lack a committing
+    CCache below them on this branch (the α window occupancy)."""
+    branch = tree.branch(cid)
+    branch_set = set(branch)
+    count = 0
+    for anc in branch:
+        if not is_committable(tree.cache(anc)):
+            continue
+        committed_here = any(
+            is_ccache(tree.cache(d))
+            for d in tree.descendants(anc)
+            if d in branch_set
+        )
+        if not committed_here:
+            count += 1
+    return count
+
+
+@dataclass
+class AlphaReconfigMachine(AdoreMachine):
+    """Adore with Lamport's α-delayed reconfiguration semantics.
+
+    Differences from the hot model (both from Section 8's sketch):
+
+    * quorums are evaluated against the *effective* (last committed)
+      configuration, so an uncommitted RCache has no influence yet;
+    * at most ``alpha`` commands may be uncommitted on the active
+      branch; invoke/reconfig refuse beyond that, which bounds how far
+      consensus instances may run ahead of a pending configuration.
+    """
+
+    alpha: int = 2
+
+    @classmethod
+    def create(cls, conf0, scheme, oracle, alpha: int = 2, **kwargs):
+        base = AdoreMachine.create(conf0, scheme, oracle, **kwargs)
+        return cls(
+            scheme=base.scheme,
+            oracle=base.oracle,
+            state=base.state,
+            strict=base.strict,
+            alpha=alpha,
+        )
+
+    def pull(self, nid: NodeId) -> OpResult:
+        """An election whose quorum is judged by the *effective* config.
+
+        The hot model evaluates ``isQuorum`` against the adopted cache's
+        (possibly uncommitted) configuration; under α semantics an
+        uncommitted RCache must not influence elections, so the quorum
+        test uses :func:`effective_config` of the adopted branch.
+        """
+        from .oracle import PullOk, validate_pull
+        from .cache import ECache
+
+        outcome = self.oracle.pull_outcome(self.state, nid, self.scheme)
+        validate_pull(self.state, nid, outcome, self.scheme)
+        if isinstance(outcome, Fail):
+            return self._record(
+                OpResult("pull", nid, False, "oracle-fail", self.state)
+            )
+        c_max_cid = most_recent(self.state.tree, outcome.group)
+        conf = effective_config(self.state.tree, c_max_cid)
+        state = self.state.set_times(outcome.group, outcome.time)
+        if not self.scheme.is_quorum(outcome.group, conf):
+            return self._record(
+                OpResult("pull", nid, False, "no-quorum", state, None, outcome)
+            )
+        new_cache = ECache(
+            caller=nid,
+            time=outcome.time,
+            vrsn=0,
+            conf=conf,
+            voters=outcome.group,
+        )
+        tree, cid = state.tree.add_leaf(c_max_cid, new_cache)
+        return self._record(
+            OpResult("pull", nid, True, "ok", state.with_tree(tree), cid, outcome)
+        )
+
+    def _window_open(self, nid: NodeId) -> bool:
+        active = active_cache(self.state.tree, nid)
+        if active is None:
+            return True
+        return uncommitted_depth(self.state.tree, active) < self.alpha
+
+    def invoke(self, nid: NodeId, method: Method) -> OpResult:
+        if not self._window_open(nid):
+            return self._record(
+                OpResult("invoke", nid, False, "alpha-window-full", self.state)
+            )
+        result = super().invoke(nid, method)
+        if result.ok:
+            # Re-issue the cache with the *effective* configuration.
+            result = self._rewrite_conf(result)
+        return result
+
+    def reconfig(self, nid: NodeId, new_conf: Config) -> OpResult:
+        if not self._window_open(nid):
+            return self._record(
+                OpResult("reconfig", nid, False, "alpha-window-full", self.state)
+            )
+        return super().reconfig(nid, new_conf)
+
+    def _rewrite_conf(self, result: OpResult) -> OpResult:
+        """Patch the just-added MCache's configuration to the effective
+        one (the hot semantics stamped the inherited conf)."""
+        tree = self.state.tree
+        cid = result.new_cid
+        cache = tree.cache(cid)
+        effective = effective_config(tree, cid)
+        if cache.conf == effective:
+            return result
+        patched = MCache(
+            caller=cache.caller,
+            time=cache.time,
+            vrsn=cache.vrsn,
+            conf=effective,
+            method=cache.method,
+        )
+        entries = {
+            other: TreeEntry(tree.parent(other), tree.cache(other))
+            for other in tree.cids()
+        }
+        entries[cid] = TreeEntry(tree.parent(cid), patched)
+        self.state = self.state.with_tree(CacheTree(entries))
+        self.history[-1] = OpResult(
+            result.op, result.nid, result.ok, result.reason, self.state, cid
+        )
+        return self.history[-1]

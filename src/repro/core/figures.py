@@ -1,0 +1,124 @@
+"""Canonical replays of the paper's figure scenarios.
+
+These build the exact cache trees the paper draws, via the real
+semantics driven by scripted oracles.  They are shared by the unit
+tests, the examples, and the Fig. 4 counterexample benchmark:
+
+* :func:`fig5_machine` -- the Fig. 5 walkthrough (pull, invoke, partial
+  push, reconfig, competing election adopting the CCache).
+* :func:`fig4_unsafe_machine` -- the Fig. 4 / Fig. 12 safety violation
+  of Raft's original single-node algorithm (R3 disabled): two leaders
+  with disjoint quorums commit on divergent branches.
+* :func:`fig4_blocked_machine` -- the same schedule with R3 enforced;
+  the very first reconfiguration is denied, so the violation is
+  unreachable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .cache import Cid
+from .oracle import PullOk, PushOk, ScriptedOracle
+from .semantics import AdoreMachine, OpResult
+from ..schemes.single_node import RaftSingleNodeScheme
+
+
+def fig5_machine() -> Tuple[AdoreMachine, Dict[str, Cid]]:
+    """The Fig. 5 evolution on a three-replica system {1, 2, 3}.
+
+    Sequence: S1 is elected (a); invokes M1 and M2 (b); a push commits
+    only M1 -- a partial failure leaving M2 uncommitted (c); S1
+    reconfigures, growing its active branch with an RCache (d); S2 is
+    elected with voters {2, 3}, whose most recently *observed* cache is
+    the CCache (they have not observed S1's MCache/RCache), and invokes
+    M3 on the new branch (e).
+
+    Returns the machine plus a name → cid map for the caches the paper
+    labels.
+    """
+    nodes = frozenset({1, 2, 3})
+    scheme = RaftSingleNodeScheme()
+    oracle = ScriptedOracle([
+        PullOk(group=frozenset({1, 2, 3}), time=1),
+        # Commit M1 only (cid 2); M2 stays a partial failure.
+        PushOk(group=frozenset({1, 2, 3}), target=2),
+        PullOk(group=frozenset({2, 3}), time=2),
+    ])
+    machine = AdoreMachine.create(nodes, scheme, oracle, strict=True)
+    labels: Dict[str, Cid] = {}
+
+    labels["E1"] = _ok(machine.pull(1)).new_cid
+    labels["M1"] = _ok(machine.invoke(1, "M1")).new_cid
+    labels["M2"] = _ok(machine.invoke(1, "M2")).new_cid
+    labels["C1"] = _ok(machine.push(1)).new_cid
+    labels["R1"] = _ok(machine.reconfig(1, frozenset({1, 2, 3, 4}))).new_cid
+    labels["E2"] = _ok(machine.pull(2)).new_cid
+    labels["M3"] = _ok(machine.invoke(2, "M3")).new_cid
+    return machine, labels
+
+
+def _fig4_script() -> ScriptedOracle:
+    return ScriptedOracle([
+        # (a) S1 elected with {1,2,3} at time 1.
+        PullOk(group=frozenset({1, 2, 3}), time=1),
+        # (b) S2 elected with {2,3,4} at time 2 -- its voters have not
+        # observed S1's RCache, so the election forks at the root.
+        PullOk(group=frozenset({2, 3, 4}), time=2),
+        # (c) S2 commits its reconfiguration with {2,4}, a majority of
+        # its new configuration {1,2,4}.
+        PushOk(group=frozenset({2, 4}), target=4),
+        # (d) S1 re-elected at time 3 with {1,3} -- a majority of its
+        # own (uncommitted!) configuration {1,2,3}.
+        PullOk(group=frozenset({1, 3}), time=3),
+        # S1 commits a regular command with {1,3}: disjoint from {2,4}.
+        PushOk(group=frozenset({1, 3}), target=7),
+    ])
+
+
+def fig4_unsafe_machine() -> Tuple[AdoreMachine, Dict[str, Cid]]:
+    """The Fig. 4 / Fig. 12 violation with R3 disabled.
+
+    Initial configuration {1, 2, 3, 4}.  S1 proposes removing S4 but
+    fails to replicate it; S2 is elected and removes S3, committing with
+    {2, 4}; S1 is then re-elected under its own stale configuration with
+    {1, 3} and commits independently.  The resulting tree has CCaches on
+    two branches -- replicated state safety is broken.
+    """
+    nodes = frozenset({1, 2, 3, 4})
+    machine = AdoreMachine.create(
+        nodes, RaftSingleNodeScheme(), _fig4_script(), enforce_r3=False, strict=True
+    )
+    labels: Dict[str, Cid] = {}
+    labels["E1"] = _ok(machine.pull(1)).new_cid
+    labels["R1"] = _ok(machine.reconfig(1, frozenset({1, 2, 3}))).new_cid
+    labels["E2"] = _ok(machine.pull(2)).new_cid
+    labels["R2"] = _ok(machine.reconfig(2, frozenset({1, 2, 4}))).new_cid
+    labels["C2"] = _ok(machine.push(2)).new_cid
+    labels["E3"] = _ok(machine.pull(1)).new_cid
+    labels["M1"] = _ok(machine.invoke(1, "M1")).new_cid
+    labels["C3"] = _ok(machine.push(1)).new_cid
+    return machine, labels
+
+
+def fig4_blocked_machine() -> Tuple[AdoreMachine, OpResult]:
+    """The same schedule with R3 enforced: the reconfig is denied.
+
+    Returns the machine and the denied reconfiguration's
+    :class:`OpResult` (``reason == "r3-denied"``).
+    """
+    nodes = frozenset({1, 2, 3, 4})
+    oracle = ScriptedOracle([PullOk(group=frozenset({1, 2, 3}), time=1)])
+    machine = AdoreMachine.create(nodes, RaftSingleNodeScheme(), oracle)
+    _ok(machine.pull(1))
+    denied = machine.reconfig(1, frozenset({1, 2, 3}))
+    return machine, denied
+
+
+def _ok(result: OpResult) -> OpResult:
+    if not result.ok:
+        raise AssertionError(
+            f"figure scenario step {result.op} by {result.nid} failed: "
+            f"{result.reason}"
+        )
+    return result

@@ -1,0 +1,335 @@
+"""Oracles for the nondeterministic ``pull``/``push`` outcomes (Fig. 11/27).
+
+The paper models network nondeterminism with an oracle ``O = (O_pull,
+O_push)`` that arbitrarily decides which replicas receive a request and
+whether enough of them answer.  We split that into three pieces:
+
+* *Outcome values* (:class:`PullOk`, :class:`PushOk`, :data:`FAIL`) --
+  plain data describing one resolution of the nondeterminism.
+* *Validity predicates* (:func:`validate_pull`, :func:`validate_push`) --
+  the VALIDPULLORACLE / VALIDPUSHORACLE rules.  Any outcome fed to the
+  semantics must pass these; scripted oracles are checked eagerly so a
+  scenario that asks for an impossible network behaviour fails loudly.
+* *Oracle objects* -- strategies that produce outcomes:
+  :class:`RandomOracle` (randomized simulation),
+  :class:`ScriptedOracle` (replay a fixed scenario), and the exhaustive
+  enumerators (:func:`enumerate_pull_outcomes`,
+  :func:`enumerate_push_outcomes`) used by the model checker to explore
+  *every* valid network behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from .aux import can_commit, most_recent, valid_supp
+from .cache import Cid, NodeId, Time, is_committable
+from .config import ReconfigScheme
+from .errors import InvalidOracleOutcome
+from .state import AdoreState
+
+
+@dataclass(frozen=True)
+class PullOk:
+    """A successful pull decision: supporter set ``Q`` and new time ``t``.
+
+    The cache the election adopts (``C_max = mostRecent(tr, Q)``) and
+    whether ``Q`` is a quorum are derived from the state, not stored.
+    """
+
+    group: FrozenSet[NodeId]
+    time: Time
+
+
+@dataclass(frozen=True)
+class PushOk:
+    """A successful push decision: supporter set ``Q`` and target cache.
+
+    ``target`` is the cid of the MCache/RCache being committed (``C_M``).
+    """
+
+    group: FrozenSet[NodeId]
+    target: Cid
+
+
+@dataclass(frozen=True)
+class Fail:
+    """The oracle declines: the operation becomes a NoOp."""
+
+
+FAIL = Fail()
+
+PullOutcome = Union[PullOk, Fail]
+PushOutcome = Union[PushOk, Fail]
+
+
+# ----------------------------------------------------------------------
+# Validity (Fig. 11 / Fig. 27)
+# ----------------------------------------------------------------------
+
+def validate_pull(
+    state: AdoreState, nid: NodeId, outcome: PullOutcome, scheme: ReconfigScheme
+) -> None:
+    """Raise :class:`InvalidOracleOutcome` unless VALIDPULLORACLE holds.
+
+    Requirements: ``validSupp(nid, Q, C_max)`` where ``C_max`` is the
+    most recent cache supported by ``Q``, and every supporter's observed
+    time is strictly below the chosen time ``t``.
+    """
+    if isinstance(outcome, Fail):
+        return
+    if not outcome.group:
+        raise InvalidOracleOutcome("pull outcome has an empty supporter set")
+    c_max = state.tree.cache(most_recent(state.tree, outcome.group))
+    if not valid_supp(nid, outcome.group, c_max, scheme):
+        raise InvalidOracleOutcome(
+            f"pull supporters {sorted(outcome.group)} invalid for caller {nid} "
+            f"under config {c_max.conf!r}"
+        )
+    stale = [s for s in outcome.group if state.time_of(s) >= outcome.time]
+    if stale:
+        raise InvalidOracleOutcome(
+            f"pull time {outcome.time} not above supporters' times "
+            f"{[(s, state.time_of(s)) for s in stale]}"
+        )
+
+
+def validate_push(
+    state: AdoreState, nid: NodeId, outcome: PushOutcome, scheme: ReconfigScheme
+) -> None:
+    """Raise :class:`InvalidOracleOutcome` unless VALIDPUSHORACLE holds.
+
+    Requirements: the target satisfies ``canCommit`` for ``nid``,
+    ``validSupp(nid, Q, C_M)``, and no supporter has observed a time
+    beyond the target's.
+    """
+    if isinstance(outcome, Fail):
+        return
+    if not outcome.group:
+        raise InvalidOracleOutcome("push outcome has an empty supporter set")
+    tree = state.tree
+    if outcome.target not in tree:
+        raise InvalidOracleOutcome(f"push target {outcome.target} not in tree")
+    target = tree.cache(outcome.target)
+    if not can_commit(tree, outcome.target, nid, state):
+        raise InvalidOracleOutcome(
+            f"canCommit fails for node {nid} on cache {outcome.target} "
+            f"({target.describe()})"
+        )
+    if not valid_supp(nid, outcome.group, target, scheme):
+        raise InvalidOracleOutcome(
+            f"push supporters {sorted(outcome.group)} invalid for caller {nid} "
+            f"under config {target.conf!r}"
+        )
+    ahead = [s for s in outcome.group if state.time_of(s) > target.time]
+    if ahead:
+        raise InvalidOracleOutcome(
+            f"push supporters observed times beyond target's "
+            f"{[(s, state.time_of(s)) for s in ahead]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Exhaustive enumeration (used by the model checker)
+# ----------------------------------------------------------------------
+
+def known_nodes(state: AdoreState, scheme: ReconfigScheme) -> FrozenSet[NodeId]:
+    """Every node id mentioned by any configuration in the tree."""
+    nodes: Set[NodeId] = set()
+    for _, cache in state.tree.items():
+        nodes |= scheme.members(cache.conf)
+    return frozenset(nodes)
+
+
+def _nonempty_subsets(universe: Sequence[NodeId]) -> Iterator[FrozenSet[NodeId]]:
+    ordered = sorted(universe)
+    for size in range(1, len(ordered) + 1):
+        for combo in itertools.combinations(ordered, size):
+            yield frozenset(combo)
+
+
+def enumerate_pull_outcomes(
+    state: AdoreState,
+    nid: NodeId,
+    scheme: ReconfigScheme,
+    include_non_quorum: bool = True,
+    extra_times: int = 0,
+) -> List[PullOk]:
+    """All valid ``PullOk`` outcomes for ``nid``, with canonical times.
+
+    For each candidate supporter set the *minimal* legal time is used
+    (one above the largest time any supporter observed); ``extra_times``
+    additionally yields the next few larger times.  Minimal times are
+    sufficient for reachability of tree shapes, which is what the safety
+    properties quantify over.
+
+    ``include_non_quorum=False`` restricts to supporter sets that form a
+    quorum of the adopted cache's configuration (failed elections still
+    bump timestamps, so the default keeps them).
+    """
+    outcomes: List[PullOk] = []
+    universe = known_nodes(state, scheme)
+    for group in _nonempty_subsets(sorted(universe)):
+        if nid not in group:
+            continue
+        c_max = state.tree.cache(most_recent(state.tree, group))
+        if not valid_supp(nid, group, c_max, scheme):
+            continue
+        if not include_non_quorum and not scheme.is_quorum(group, c_max.conf):
+            continue
+        base_time = max(state.time_of(s) for s in group) + 1
+        for offset in range(extra_times + 1):
+            outcomes.append(PullOk(group=group, time=base_time + offset))
+    return outcomes
+
+
+def enumerate_push_outcomes(
+    state: AdoreState,
+    nid: NodeId,
+    scheme: ReconfigScheme,
+    include_non_quorum: bool = True,
+) -> List[PushOk]:
+    """All valid ``PushOk`` outcomes for ``nid``.
+
+    Enumerates every committable cache satisfying ``canCommit`` and every
+    legal supporter subset of its configuration's members.
+    """
+    outcomes: List[PushOk] = []
+    tree = state.tree
+    for cid, cache in tree.items():
+        if not is_committable(cache):
+            continue
+        if not can_commit(tree, cid, nid, state):
+            continue
+        members = scheme.members(cache.conf)
+        eligible = [s for s in sorted(members) if state.time_of(s) <= cache.time]
+        if nid not in eligible:
+            continue
+        others = [s for s in eligible if s != nid]
+        for extra in _nonempty_subsets(others):
+            group = frozenset({nid}) | extra
+            if not include_non_quorum and not scheme.is_quorum(group, cache.conf):
+                continue
+            outcomes.append(PushOk(group=group, target=cid))
+        singleton = frozenset({nid})
+        if include_non_quorum or scheme.is_quorum(singleton, cache.conf):
+            outcomes.append(PushOk(group=singleton, target=cid))
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Oracle strategies
+# ----------------------------------------------------------------------
+
+class Oracle(ABC):
+    """A strategy resolving the pull/push nondeterminism."""
+
+    @abstractmethod
+    def pull_outcome(
+        self, state: AdoreState, nid: NodeId, scheme: ReconfigScheme
+    ) -> PullOutcome:
+        """Decide the outcome of a ``pull`` by ``nid`` in ``state``."""
+
+    @abstractmethod
+    def push_outcome(
+        self, state: AdoreState, nid: NodeId, scheme: ReconfigScheme
+    ) -> PushOutcome:
+        """Decide the outcome of a ``push`` by ``nid`` in ``state``."""
+
+
+class RandomOracle(Oracle):
+    """Samples uniformly among valid outcomes; fails with ``fail_prob``.
+
+    A deterministic seed makes randomized explorations reproducible.
+    ``quorums_only`` restricts sampling to supporter sets that form a
+    quorum, which biases runs towards successful elections and commits
+    (useful for examples and workload simulation; the default samples
+    partial failures too).
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        fail_prob: float = 0.1,
+        quorums_only: bool = False,
+    ) -> None:
+        if not 0.0 <= fail_prob < 1.0:
+            raise ValueError(f"fail_prob must be in [0, 1), got {fail_prob}")
+        self._rng = random.Random(seed)
+        self.fail_prob = fail_prob
+        self.quorums_only = quorums_only
+
+    def pull_outcome(
+        self, state: AdoreState, nid: NodeId, scheme: ReconfigScheme
+    ) -> PullOutcome:
+        if self._rng.random() < self.fail_prob:
+            return FAIL
+        options = enumerate_pull_outcomes(
+            state, nid, scheme, include_non_quorum=not self.quorums_only
+        )
+        if not options:
+            return FAIL
+        return self._rng.choice(options)
+
+    def push_outcome(
+        self, state: AdoreState, nid: NodeId, scheme: ReconfigScheme
+    ) -> PushOutcome:
+        if self._rng.random() < self.fail_prob:
+            return FAIL
+        options = enumerate_push_outcomes(
+            state, nid, scheme, include_non_quorum=not self.quorums_only
+        )
+        if not options:
+            return FAIL
+        return self._rng.choice(options)
+
+
+class ScriptedOracle(Oracle):
+    """Replays a fixed sequence of outcomes (for scenario scripts).
+
+    Each requested outcome is validated against the current state, so an
+    impossible scenario step raises :class:`InvalidOracleOutcome` at the
+    exact step that is wrong rather than corrupting the run.
+    """
+
+    def __init__(self, outcomes: Iterable[Union[PullOutcome, PushOutcome]]) -> None:
+        self._outcomes: List[Union[PullOutcome, PushOutcome]] = list(outcomes)
+        self._cursor = 0
+
+    def _next(self) -> Union[PullOutcome, PushOutcome]:
+        if self._cursor >= len(self._outcomes):
+            raise InvalidOracleOutcome("scripted oracle exhausted")
+        outcome = self._outcomes[self._cursor]
+        self._cursor += 1
+        return outcome
+
+    @property
+    def remaining(self) -> int:
+        """Number of scripted outcomes not yet consumed."""
+        return len(self._outcomes) - self._cursor
+
+    def pull_outcome(
+        self, state: AdoreState, nid: NodeId, scheme: ReconfigScheme
+    ) -> PullOutcome:
+        outcome = self._next()
+        if not isinstance(outcome, (PullOk, Fail)):
+            raise InvalidOracleOutcome(
+                f"scripted oracle expected a pull outcome, got {outcome!r}"
+            )
+        validate_pull(state, nid, outcome, scheme)
+        return outcome
+
+    def push_outcome(
+        self, state: AdoreState, nid: NodeId, scheme: ReconfigScheme
+    ) -> PushOutcome:
+        outcome = self._next()
+        if not isinstance(outcome, (PushOk, Fail)):
+            raise InvalidOracleOutcome(
+                f"scripted oracle expected a push outcome, got {outcome!r}"
+            )
+        validate_push(state, nid, outcome, scheme)
+        return outcome

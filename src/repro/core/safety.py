@@ -1,0 +1,348 @@
+"""Safety properties and their checkers (Section 4 and Appendix B).
+
+The centrepiece is *replicated state safety* (Definition 4.1): every
+CCache lies on a single branch of the cache tree, i.e. there is global
+agreement on a consistent commit history.  The paper proves this in Coq
+by induction on ``rdist``; here each named lemma/theorem of Appendix B
+becomes an executable predicate over a cache tree, and the model checker
+(:mod:`repro.mc`) validates them over every reachable state of bounded
+instances.
+
+Checker naming follows the paper: each function's docstring cites the
+corresponding Coq theorem name (``rado_inv_*``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable, List, Optional, Tuple
+
+from .cache import Cid, cache_gt, is_ccache, is_committable, is_ecache, is_rcache, order_key
+from .errors import SafetyViolation
+from .state import AdoreState
+from .tree import ROOT_CID, CacheTree
+
+
+# ----------------------------------------------------------------------
+# rdist (Definition 4.2)
+# ----------------------------------------------------------------------
+
+def rdist(tree: CacheTree, a: Cid, b: Cid) -> int:
+    """The number of RCaches on the path between ``a`` and ``b``.
+
+    The path runs through the nearest common ancestor and excludes both
+    endpoints (Definition 4.2).  This counts exactly the
+    reconfigurations that can make the two caches' configurations
+    diverge.
+    """
+    return sum(1 for cid in tree.path_between(a, b) if is_rcache(tree.cache(cid)))
+
+
+def tree_rdist(tree: CacheTree) -> int:
+    """The maximum ``rdist`` between any two caches in the tree."""
+    cids = list(tree.cids())
+    best = 0
+    for a, b in combinations(cids, 2):
+        best = max(best, rdist(tree, a, b))
+    return best
+
+
+# ----------------------------------------------------------------------
+# Committed log extraction
+# ----------------------------------------------------------------------
+
+def is_committed(tree: CacheTree, cid: Cid) -> bool:
+    """A cache is committed iff a CCache is among its descendants-or-self.
+
+    (Section 2.4: MCaches and RCaches are implicitly committed if a
+    CCache is among their descendants; this keeps the tree append-only.)
+    """
+    return any(
+        is_ccache(tree.cache(d)) for d in tree.descendants(cid, include_self=True)
+    )
+
+
+def max_ccache(tree: CacheTree) -> Cid:
+    """The greatest CCache under the cache order (the deepest commit)."""
+    best = tree.max_cache(tree.ccaches())
+    return ROOT_CID if best is None else best
+
+
+def committed_log(tree: CacheTree) -> List[Cid]:
+    """The globally committed command sequence (the SMR persistent log).
+
+    The MCaches/RCaches on the branch of the greatest CCache that lie
+    above it, in root-to-leaf order.  Well-defined whenever replicated
+    state safety holds (all CCaches are on that branch).
+    """
+    tip = max_ccache(tree)
+    return [
+        cid
+        for cid in tree.branch(tip)
+        if is_committable(tree.cache(cid))
+    ]
+
+
+def committed_methods(tree: CacheTree) -> List[object]:
+    """The committed payloads: method names, or configs for RCaches."""
+    out: List[object] = []
+    for cid in committed_log(tree):
+        cache = tree.cache(cid)
+        out.append(cache.method if hasattr(cache, "method") else cache.conf)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Invariant checkers (Definition 4.1 and Appendix B)
+# ----------------------------------------------------------------------
+
+def check_replicated_state_safety(tree: CacheTree) -> List[str]:
+    """Definition 4.1 / Theorem B.9 [rado_inv_C_linear].
+
+    For any two CCaches, one must be a descendant of the other.  Returns
+    violation descriptions (empty when safe).
+    """
+    problems: List[str] = []
+    ccaches = tree.ccaches()
+    for a, b in combinations(ccaches, 2):
+        if not tree.same_branch(a, b):
+            problems.append(
+                f"CCaches {a} ({tree.cache(a).describe()}) and "
+                f"{b} ({tree.cache(b).describe()}) lie on different branches "
+                f"(rdist={rdist(tree, a, b)})"
+            )
+    return problems
+
+
+def check_descendant_order(tree: CacheTree) -> List[str]:
+    """Lemma B.1 [rado_inv_descendant_lt]: descendants are greater.
+
+    If ``C_Y`` is a descendant of ``C_X`` then ``C_Y > C_X``.
+    """
+    problems: List[str] = []
+    for cid in tree.cids():
+        parent = tree.parent(cid)
+        if parent is None:
+            continue
+        if not cache_gt(tree.cache(cid), tree.cache(parent)):
+            problems.append(
+                f"cache {cid} ({tree.cache(cid).describe()}) is not greater "
+                f"than its parent {parent} ({tree.cache(parent).describe()})"
+            )
+    return problems
+
+
+def check_leader_time_uniqueness(
+    tree: CacheTree, max_rdist: Optional[int] = None
+) -> List[str]:
+    """Lemmas B.2/B.5 [rado_inv_E_unique_time_no_R / _overlap].
+
+    Two distinct ECaches within ``max_rdist`` reconfigurations of each
+    other must have distinct timestamps.  ``max_rdist=None`` checks all
+    pairs (which holds on reachable states of the *correct* model and is
+    what the ablations break).
+    """
+    problems: List[str] = []
+    ecaches = tree.ecaches()
+    for a, b in combinations(ecaches, 2):
+        if max_rdist is not None and rdist(tree, a, b) > max_rdist:
+            continue
+        if tree.cache(a).time == tree.cache(b).time:
+            problems.append(
+                f"ECaches {a} and {b} share timestamp {tree.cache(a).time} "
+                f"(rdist={rdist(tree, a, b)})"
+            )
+    return problems
+
+
+def check_election_commit_order(
+    tree: CacheTree, max_rdist: Optional[int] = None
+) -> List[str]:
+    """Theorems B.3/B.6 [rado_inv_EC_descendant_no_R and kin].
+
+    For a CCache ``C_C`` and an ECache ``C_E`` with ``C_E > C_C`` and
+    rdist within bound, ``C_E`` must be a descendant of ``C_C``: later
+    leaders must have every earlier commit in their history.
+    """
+    problems: List[str] = []
+    for e in tree.ecaches():
+        for c in tree.ccaches():
+            if not cache_gt(tree.cache(e), tree.cache(c)):
+                continue
+            if max_rdist is not None and rdist(tree, e, c) > max_rdist:
+                continue
+            if not tree.is_ancestor(c, e, strict=True):
+                problems.append(
+                    f"ECache {e} ({tree.cache(e).describe()}) > CCache {c} "
+                    f"({tree.cache(c).describe()}) but is not its descendant "
+                    f"(rdist={rdist(tree, e, c)})"
+                )
+    return problems
+
+
+def check_ccache_in_rcache_fork(tree: CacheTree) -> List[str]:
+    """Lemma 4.4 / B.8 [rado_inv_R_branch_case].
+
+    For RCaches ``C_R1``/``C_R2`` with ``rdist = 0`` on diverging
+    branches, some CCache must sit strictly between their nearest common
+    ancestor and one of them.  This is the consequence of R3 that breaks
+    the circularity in the general safety proof.
+    """
+    problems: List[str] = []
+    for a, b in combinations(tree.rcaches(), 2):
+        if tree.same_branch(a, b):
+            continue
+        if rdist(tree, a, b) != 0:
+            continue
+        nca = tree.nearest_common_ancestor(a, b)
+        found = any(
+            is_ccache(tree.cache(mid))
+            for target in (a, b)
+            for mid in tree.ancestors(target)
+            if tree.is_ancestor(nca, mid, strict=True)
+        )
+        if not found:
+            problems.append(
+                f"RCaches {a} and {b} fork at {nca} with no intervening CCache"
+            )
+    return problems
+
+
+def check_version_reset(tree: CacheTree) -> List[str]:
+    """ECaches reset the version number to 0; M/RCaches increment it."""
+    problems: List[str] = []
+    for cid in tree.cids():
+        cache = tree.cache(cid)
+        parent = tree.parent(cid)
+        if is_ecache(cache) and cache.vrsn != 0:
+            problems.append(f"ECache {cid} has version {cache.vrsn}")
+        if parent is not None and is_committable(cache):
+            parent_cache = tree.cache(parent)
+            if cache.time == parent_cache.time and cache.vrsn != parent_cache.vrsn + 1:
+                problems.append(
+                    f"cache {cid} does not increment its parent's version "
+                    f"({cache.vrsn} after {parent_cache.vrsn})"
+                )
+    return problems
+
+
+@dataclass
+class SafetyReport:
+    """The aggregated result of all invariant checks over one state."""
+
+    safety: List[str] = field(default_factory=list)
+    well_formedness: List[str] = field(default_factory=list)
+    descendant_order: List[str] = field(default_factory=list)
+    leader_time_uniqueness: List[str] = field(default_factory=list)
+    election_commit_order: List[str] = field(default_factory=list)
+    ccache_in_rcache_fork: List[str] = field(default_factory=list)
+    version_reset: List[str] = field(default_factory=list)
+
+    #: Checker labels in reporting order; also the keys accepted by
+    #: :meth:`filtered`.
+    LABELS = (
+        "safety",
+        "well-formedness",
+        "descendant-order",
+        "leader-time-uniqueness",
+        "election-commit-order",
+        "ccache-in-rcache-fork",
+        "version-reset",
+    )
+
+    @property
+    def ok(self) -> bool:
+        """True when no checker reported a violation."""
+        return not self.all_violations()
+
+    def _by_label(self) -> List[Tuple[str, List[str]]]:
+        return [
+            ("safety", self.safety),
+            ("well-formedness", self.well_formedness),
+            ("descendant-order", self.descendant_order),
+            ("leader-time-uniqueness", self.leader_time_uniqueness),
+            ("election-commit-order", self.election_commit_order),
+            ("ccache-in-rcache-fork", self.ccache_in_rcache_fork),
+            ("version-reset", self.version_reset),
+        ]
+
+    def all_violations(self) -> List[str]:
+        """All violation descriptions, tagged by checker."""
+        out: List[str] = []
+        for label, items in self._by_label():
+            out.extend(f"[{label}] {item}" for item in items)
+        return out
+
+    def filtered(self, labels: "Iterable[str]") -> "SafetyReport":
+        """A report keeping only the named checkers' findings.
+
+        Used by ablation experiments to target one invariant (e.g. only
+        top-level ``"safety"``) while ignoring the auxiliary lemmas that
+        break earlier.
+        """
+        wanted = set(labels)
+        unknown = wanted - set(self.LABELS)
+        if unknown:
+            raise ValueError(f"unknown invariant labels: {sorted(unknown)}")
+        kept = {
+            label.replace("-", "_"): (items if label in wanted else [])
+            for label, items in self._by_label()
+        }
+        return SafetyReport(**kept)
+
+
+def check_state(
+    state: AdoreState,
+    lemma_rdist_bound: Optional[int] = 1,
+    only: Optional[Iterable[str]] = None,
+) -> SafetyReport:
+    """Run the invariant checkers over ``state``.
+
+    ``lemma_rdist_bound`` bounds the rdist at which the Appendix-B
+    lemmas are checked (the paper proves them for rdist ≤ 1 and derives
+    the general safety theorem from them); the top-level safety check is
+    always unbounded.  ``only`` restricts which checkers *run* (labels
+    from ``SafetyReport.LABELS``) -- unlike :meth:`SafetyReport.filtered`
+    this skips the computation entirely, which matters inside the model
+    checker's inner loop.
+    """
+    tree = state.tree
+    wanted = set(SafetyReport.LABELS) if only is None else set(only)
+    unknown = wanted - set(SafetyReport.LABELS)
+    if unknown:
+        raise ValueError(f"unknown invariant labels: {sorted(unknown)}")
+
+    def run(label, thunk):
+        return thunk() if label in wanted else []
+
+    return SafetyReport(
+        safety=run("safety", lambda: check_replicated_state_safety(tree)),
+        well_formedness=run(
+            "well-formedness", tree.well_formedness_violations
+        ),
+        descendant_order=run(
+            "descendant-order", lambda: check_descendant_order(tree)
+        ),
+        leader_time_uniqueness=run(
+            "leader-time-uniqueness",
+            lambda: check_leader_time_uniqueness(tree, lemma_rdist_bound),
+        ),
+        election_commit_order=run(
+            "election-commit-order",
+            lambda: check_election_commit_order(tree, lemma_rdist_bound),
+        ),
+        ccache_in_rcache_fork=run(
+            "ccache-in-rcache-fork", lambda: check_ccache_in_rcache_fork(tree)
+        ),
+        version_reset=run("version-reset", lambda: check_version_reset(tree)),
+    )
+
+
+def assert_safe(state: AdoreState, lemma_rdist_bound: Optional[int] = 1) -> None:
+    """Raise :class:`SafetyViolation` when any invariant fails."""
+    report = check_state(state, lemma_rdist_bound)
+    if not report.ok:
+        raise SafetyViolation(
+            "; ".join(report.all_violations()), witness=state
+        )

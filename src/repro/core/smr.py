@@ -1,0 +1,137 @@
+"""The three client interfaces of Fig. 2: SMR, network, and ADO styles.
+
+Fig. 2 contrasts how a client updates a distributed key-value store
+under three models.  The network-level loop lives in
+:mod:`repro.raft`; this module supplies the other two on top of an
+:class:`~repro.core.semantics.AdoreMachine`:
+
+* :class:`AdoStyleClient` -- the ADO pseudocode verbatim: ``pull`` if
+  needed, ``invoke``, ``push``, each step may fail and the client
+  decides to retry or abandon;
+* :class:`SmrClient` -- the opaque ``rpc_call`` of the SMR model,
+  implemented as a retry loop around the ADO steps.  From the caller's
+  perspective a command either commits (with its position in the global
+  log) or times out -- exactly the abstraction SMR promises and Adore
+  refines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .cache import Method, NodeId
+from .errors import AdoreError
+from .safety import committed_methods
+from .semantics import AdoreMachine
+
+
+class RpcTimeout(AdoreError):
+    """The SMR call did not commit within its retry budget."""
+
+
+@dataclass
+class CallStats:
+    """Bookkeeping for one rpc_call: how the three phases went."""
+
+    pulls: int = 0
+    invokes: int = 0
+    pushes: int = 0
+    retries: int = 0
+
+
+@dataclass
+class AdoStyleClient:
+    """Fig. 2's ADO client: three explicit, individually fallible steps.
+
+    The client tracks whether it currently believes it holds an active
+    cache (leadership); ``pull`` re-establishes it after a failure.
+    """
+
+    machine: AdoreMachine
+    nid: NodeId
+    has_active_cache: bool = False
+
+    def pull(self) -> bool:
+        result = self.machine.pull(self.nid)
+        self.has_active_cache = result.ok
+        return result.ok
+
+    def invoke(self, method: Method) -> bool:
+        if not self.has_active_cache:
+            return False
+        result = self.machine.invoke(self.nid, method)
+        if not result.ok:
+            # Preempted: the active cache is stale.
+            self.has_active_cache = False
+        return result.ok
+
+    def push(self) -> bool:
+        result = self.machine.push(self.nid)
+        return result.ok
+
+    def update(self, method: Method) -> bool:
+        """The Fig. 2 ADO pseudocode, verbatim::
+
+            if !pull()   { return FAIL; }
+            if !invoke(M){ return FAIL; }
+            if push()    { return OK; } else { return FAIL; }
+        """
+        if not self.has_active_cache and not self.pull():
+            return False
+        if not self.invoke(method):
+            return False
+        return self.push()
+
+
+@dataclass
+class SmrClient:
+    """Fig. 2's SMR client: ``return rpc_call(M)``.
+
+    Internally retries the ADO steps until the method is visibly
+    committed (present in the global committed log) or the retry budget
+    runs out -- the "internally, a replica may initiate an election and
+    repeatedly multicast the command" of Section 2.2.1.
+    """
+
+    machine: AdoreMachine
+    nid: NodeId
+    max_retries: int = 8
+    stats: CallStats = field(default_factory=CallStats)
+    _ado: Optional[AdoStyleClient] = None
+
+    def __post_init__(self) -> None:
+        self._ado = AdoStyleClient(self.machine, self.nid)
+
+    def _committed(self) -> List[Method]:
+        return committed_methods(self.machine.state.tree)
+
+    def rpc_call(self, method: Method) -> int:
+        """Commit ``method``; returns its slot in the global log.
+
+        Raises :class:`RpcTimeout` after ``max_retries`` failed
+        attempts, mirroring the SMR "updates the state, or times out
+        and fails" contract.
+        """
+        for attempt in range(self.max_retries):
+            if attempt:
+                self.stats.retries += 1
+            if not self._ado.has_active_cache:
+                self.stats.pulls += 1
+                if not self._ado.pull():
+                    continue
+            self.stats.invokes += 1
+            if not self._ado.invoke(method):
+                continue
+            self.stats.pushes += 1
+            self._ado.push()
+            # A failed push may still have committed a prefix that
+            # includes our method (partial success), so check the log
+            # rather than trusting the return value.
+            committed = self._committed()
+            if method in committed:
+                return committed.index(method)
+        raise RpcTimeout(
+            f"rpc_call({method!r}) did not commit after "
+            f"{self.max_retries} attempts"
+        )

@@ -1,0 +1,112 @@
+"""The Adore abstract state ``Σ_Adore = CacheTree × TimeMap`` (Fig. 6/24).
+
+``TimeMap ≜ N_nid → N_time`` records the largest logical timestamp each
+replica has observed.  The state is immutable; every operation returns a
+new state.  Hashability is what lets the explicit-state model checker
+de-duplicate visited states.
+
+The initial state (:func:`initial_state`) follows the paper's convention
+that "the root cache is initialized with some conf₀".  We realize the
+root as a CCache at time 0 supported by every member of conf₀.  Making
+the root a commit cache gives the right base behaviour for every
+auxiliary definition: ``mostRecent`` and ``lastCommit`` fall back to the
+root, and R3 correctly blocks reconfiguration until the first commit of
+the current term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from .cache import CCache, Cache, Config, NodeId, Time
+from .config import ReconfigScheme
+from .tree import ROOT_CID, CacheTree
+
+
+@dataclass(frozen=True)
+class AdoreState:
+    """The pair ``(tree, times)`` of Fig. 6, as an immutable value."""
+
+    tree: CacheTree
+    times: "TimeMap"
+
+    def time_of(self, nid: NodeId) -> Time:
+        """``times(st)[nid]``: the largest timestamp ``nid`` has observed."""
+        return self.times.get(nid, 0)
+
+    def set_times(self, group: Iterable[NodeId], time: Time) -> "AdoreState":
+        """``setTimes(st, Q, t)``: record timestamp ``t`` for every node in ``Q``."""
+        return AdoreState(self.tree, self.times.update_many(group, time))
+
+    def with_tree(self, tree: CacheTree) -> "AdoreState":
+        """Replace the cache tree, keeping the time map."""
+        return AdoreState(tree, self.times)
+
+    def is_leader(self, nid: NodeId, time: Time) -> bool:
+        """``isLeader(st, nid, t) ≜ times(st)[nid] = t`` (Fig. 9)."""
+        return self.time_of(nid) == time
+
+    def max_time(self) -> Time:
+        """The largest timestamp observed by any replica (0 if none)."""
+        return self.times.max_time()
+
+
+class TimeMap:
+    """An immutable map from node id to the largest observed timestamp.
+
+    Nodes never seen default to timestamp 0.
+    """
+
+    __slots__ = ("_times", "_hash")
+
+    def __init__(self, times: Mapping[NodeId, Time] = ()) -> None:
+        self._times: Dict[NodeId, Time] = {
+            nid: t for nid, t in dict(times).items() if t != 0
+        }
+        self._hash = None
+
+    def get(self, nid: NodeId, default: Time = 0) -> Time:
+        return self._times.get(nid, default)
+
+    def update_many(self, group: Iterable[NodeId], time: Time) -> "TimeMap":
+        updated = dict(self._times)
+        for nid in group:
+            updated[nid] = time
+        return TimeMap(updated)
+
+    def max_time(self) -> Time:
+        return max(self._times.values(), default=0)
+
+    def items(self) -> Iterable[Tuple[NodeId, Time]]:
+        return sorted(self._times.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimeMap):
+            return NotImplemented
+        return self._times == other._times
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._times.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"n{nid}: {t}" for nid, t in self.items())
+        return f"TimeMap({{{inner}}})"
+
+
+def root_cache(conf0: Config, scheme: ReconfigScheme) -> CCache:
+    """The root CCache at time 0 supported by every member of ``conf0``."""
+    return CCache(caller=0, time=0, vrsn=0, conf=conf0, voters=scheme.members(conf0))
+
+
+def initial_state(conf0: Config, scheme: ReconfigScheme) -> AdoreState:
+    """The initial Adore state: a one-cache tree rooted at ``conf0``."""
+    tree = CacheTree.initial(root_cache(conf0, scheme))
+    return AdoreState(tree, TimeMap())
+
+
+def initial_supporters(state: AdoreState) -> FrozenSet[NodeId]:
+    """The supporters of the root cache (the members of conf₀)."""
+    return state.tree.cache(ROOT_CID).supporters

@@ -1,0 +1,45 @@
+"""Explicit-state bounded model checking of Adore (the proof substitute).
+
+:class:`Explorer` exhaustively enumerates reachable states within a
+bounded schedule class and checks replicated state safety plus every
+Appendix-B invariant at each state; :mod:`repro.mc.ablations` re-runs it
+with each design rule (R2, R3, OVERLAP, ``insertBtw``) disabled and
+exhibits concrete counterexample schedules.
+"""
+
+from .ablations import (
+    FIG4_BUDGET,
+    FIG4_NODES,
+    ablate_insert_btw,
+    ablate_overlap,
+    ablate_r2,
+    ablate_r3,
+    verify_intact,
+)
+from .symmetry import canonical_key, symmetry_group
+from .explorer import (
+    ExplorationResult,
+    Explorer,
+    OpBudget,
+    Violation,
+    jump_reconfig_candidates,
+    set_reconfig_candidates,
+)
+
+__all__ = [
+    "FIG4_BUDGET",
+    "FIG4_NODES",
+    "ExplorationResult",
+    "Explorer",
+    "OpBudget",
+    "Violation",
+    "ablate_insert_btw",
+    "ablate_overlap",
+    "ablate_r2",
+    "ablate_r3",
+    "canonical_key",
+    "symmetry_group",
+    "jump_reconfig_candidates",
+    "set_reconfig_candidates",
+    "verify_intact",
+]

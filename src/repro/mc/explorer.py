@@ -1,0 +1,454 @@
+"""Explicit-state bounded model checking of the Adore semantics.
+
+This is the reproduction's substitute for the paper's Coq proof: instead
+of proving Theorem 4.5 deductively, we *exhaustively enumerate* every
+state reachable through valid oracle outcomes within a bounded schedule
+class, and check replicated state safety plus every Appendix-B invariant
+at each state.  Because method payloads are irrelevant to safety the
+explorer canonicalizes them to a single symbol, and states are
+de-duplicated by value, so commuting interleavings collapse.
+
+Schedules are bounded by an :class:`OpBudget` (how many of each
+operation a run may contain) and optional depth/state caps.  Within a
+budget the exploration is exhaustive: a clean result means *no*
+reachable state of that shape violates safety.  With the R2/R3 switches
+ablated the same explorer automatically finds the minimal
+counterexample schedules (e.g. the Fig. 4 violation).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.aux import active_cache
+from ..core.cache import Config, NodeId
+from ..core.config import ReconfigScheme
+from ..core.oracle import (
+    enumerate_pull_outcomes,
+    enumerate_push_outcomes,
+)
+from ..core.safety import SafetyReport, check_state, tree_rdist
+from ..core.semantics import apply_invoke, apply_pull, apply_push, apply_reconfig
+from ..core.state import AdoreState, initial_state
+
+#: A single schedule step, for counterexample traces:
+#: ``(op, nid, detail)`` such as ``("pull", 1, "Q={1,2}, t=1")``.
+OpDesc = Tuple[str, NodeId, str]
+
+ReconfigCandidates = Callable[[AdoreState, NodeId, Config], Iterable[Config]]
+
+
+@dataclass(frozen=True)
+class OpBudget:
+    """How many operations of each kind one schedule may contain.
+
+    The Fig. 4 counterexample needs ``OpBudget(pulls=3, invokes=1,
+    reconfigs=2, pushes=2)``; the default is slightly larger so clean
+    verification covers a strict superset of that schedule class.
+    """
+
+    pulls: int = 3
+    invokes: int = 2
+    reconfigs: int = 2
+    pushes: int = 2
+
+    def spend(self, op: str) -> Optional["OpBudget"]:
+        """The remaining budget after one ``op``; ``None`` if exhausted."""
+        field_name = op + ("es" if op == "push" else "s")
+        remaining = getattr(self, field_name)
+        if remaining <= 0:
+            return None
+        return OpBudget(**{
+            "pulls": self.pulls,
+            "invokes": self.invokes,
+            "reconfigs": self.reconfigs,
+            "pushes": self.pushes,
+            field_name: remaining - 1,
+        })
+
+    def total(self) -> int:
+        return self.pulls + self.invokes + self.reconfigs + self.pushes
+
+
+@dataclass
+class Violation:
+    """A reachable state breaking an invariant, with its schedule."""
+
+    state: AdoreState
+    trace: Tuple[OpDesc, ...]
+    report: SafetyReport
+
+    def describe(self) -> str:
+        lines = ["schedule:"]
+        lines.extend(
+            f"  {i + 1}. {op}({nid}) {detail}"
+            for i, (op, nid, detail) in enumerate(self.trace)
+        )
+        lines.append("violations:")
+        lines.extend(f"  {v}" for v in self.report.all_violations())
+        lines.append("tree:")
+        lines.append(self.state.tree.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplorationResult:
+    """The outcome of one bounded exploration."""
+
+    states_visited: int
+    transitions: int
+    max_depth: int
+    exhausted: bool
+    violations: List[Violation]
+    elapsed_seconds: float
+    budget: OpBudget
+
+    @property
+    def safe(self) -> bool:
+        """True when no reachable state violated any checked invariant."""
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "SAFE" if self.safe else f"{len(self.violations)} VIOLATION(S)"
+        coverage = "exhaustive" if self.exhausted else "truncated"
+        return (
+            f"{status}: {self.states_visited} states, {self.transitions} "
+            f"transitions, depth <= {self.max_depth}, {coverage}, "
+            f"{self.elapsed_seconds:.2f}s"
+        )
+
+
+def set_reconfig_candidates(universe: Iterable[NodeId]) -> ReconfigCandidates:
+    """Single-node add/remove moves over a fixed node universe.
+
+    Suitable for set-based configurations (Raft single-node and the
+    unsafe multi-node ablation, which additionally needs
+    :func:`jump_reconfig_candidates`).
+    """
+    universe_set = frozenset(universe)
+
+    def candidates(state: AdoreState, nid: NodeId, conf: Config) -> Iterator[Config]:
+        conf_set = frozenset(conf)
+        for node in sorted(universe_set - conf_set):
+            yield conf_set | {node}
+        if len(conf_set) > 1:
+            for node in sorted(conf_set):
+                yield conf_set - {node}
+
+    return candidates
+
+
+def jump_reconfig_candidates(universe: Iterable[NodeId]) -> ReconfigCandidates:
+    """Arbitrary non-empty subsets of the universe (for the OVERLAP
+    ablation, where R1⁺ permits multi-node jumps)."""
+    import itertools
+
+    universe_sorted = tuple(sorted(frozenset(universe)))
+
+    def candidates(state: AdoreState, nid: NodeId, conf: Config) -> Iterator[Config]:
+        for size in range(1, len(universe_sorted) + 1):
+            for combo in itertools.combinations(universe_sorted, size):
+                candidate = frozenset(combo)
+                if candidate != frozenset(conf):
+                    yield candidate
+
+    return candidates
+
+
+class Explorer:
+    """Bounded exhaustive exploration of reachable Adore states."""
+
+    def __init__(
+        self,
+        scheme: ReconfigScheme,
+        conf0: Config,
+        callers: Optional[Sequence[NodeId]] = None,
+        budget: Optional[OpBudget] = None,
+        reconfig_candidates: Optional[ReconfigCandidates] = None,
+        quorum_pulls_only: bool = False,
+        quorum_pushes_only: bool = True,
+        enforce_r2: bool = True,
+        enforce_r3: bool = True,
+        max_states: int = 500_000,
+        lemma_rdist_bound: Optional[int] = 1,
+        stop_at_first_violation: bool = True,
+        invariants: Optional[Sequence[str]] = None,
+        minimal_quorums_only: bool = False,
+        strategy: str = "bfs",
+        push_step: Optional[Callable] = None,
+        symmetry: bool = False,
+    ) -> None:
+        self.scheme = scheme
+        self.conf0 = conf0
+        self.callers: Tuple[NodeId, ...] = tuple(
+            sorted(callers if callers is not None else scheme.members(conf0))
+        )
+        self.budget = budget or OpBudget()
+        self.reconfig_candidates = reconfig_candidates or set_reconfig_candidates(
+            scheme.members(conf0)
+        )
+        self.quorum_pulls_only = quorum_pulls_only
+        self.quorum_pushes_only = quorum_pushes_only
+        self.enforce_r2 = enforce_r2
+        self.enforce_r3 = enforce_r3
+        self.max_states = max_states
+        self.lemma_rdist_bound = lemma_rdist_bound
+        self.stop_at_first_violation = stop_at_first_violation
+        #: Restrict which invariants count as violations (labels from
+        #: ``SafetyReport.LABELS``); ``None`` checks all of them.
+        self.invariants = tuple(invariants) if invariants is not None else None
+        #: Counterexample-search heuristic: only consider supporter sets
+        #: that are *minimal* quorums.  Larger quorums add observers and
+        #: only make divergence harder, so for violation hunting this
+        #: loses nothing while cutting the branching factor sharply.
+        #: For positive (exhaustive) verification leave it off.
+        self.minimal_quorums_only = minimal_quorums_only
+        if strategy not in ("bfs", "guided"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        #: "bfs" explores breadth-first (finds minimal-depth violations,
+        #: exhaustive within budget).  "guided" is best-first, expanding
+        #: states that already violate auxiliary lemmas before clean
+        #: ones -- a Lemma 4.4/B.8 violation is exactly the precursor of
+        #: a replicated-state-safety violation, so this homes in on the
+        #: Fig. 4 counterexample without flooding the state space.
+        self.strategy = strategy
+        #: Override for the push transition (used by the insertBtw
+        #: ablation, which swaps in a leaf-commit variant).
+        self.push_step = push_step or apply_push
+        #: Identify states up to node renaming (see repro.mc.symmetry).
+        #: Sound for set-based configurations; the group respects the
+        #: restricted caller set when one is given.
+        self.symmetry = symmetry
+        if symmetry:
+            from .symmetry import symmetry_group
+
+            fixed = [frozenset(self.callers)] if callers is not None else []
+            self._sym_group = symmetry_group(
+                scheme.members(conf0), fixed_sets=fixed
+            )
+        else:
+            self._sym_group = None
+
+    def _state_key(self, state: AdoreState):
+        if self._sym_group is None:
+            return state
+        from .symmetry import canonical_key
+
+        return canonical_key(state, self._sym_group)
+
+    def _check(self, state: AdoreState) -> SafetyReport:
+        return check_state(state, self.lemma_rdist_bound, only=self.invariants)
+
+    # ------------------------------------------------------------------
+
+    def successors(
+        self, state: AdoreState
+    ) -> Iterator[Tuple[OpDesc, AdoreState]]:
+        """Every distinct state one valid operation away from ``state``."""
+        for nid in self.callers:
+            yield from self._pull_successors(state, nid)
+            yield from self._invoke_successors(state, nid)
+            yield from self._reconfig_successors(state, nid)
+            yield from self._push_successors(state, nid)
+
+    def _is_minimal_quorum(self, group, conf, nid) -> bool:
+        if not self.scheme.is_quorum(group, conf):
+            return True  # non-quorum outcomes are already minimal moves
+        return not any(
+            self.scheme.is_quorum(group - {member}, conf)
+            for member in group
+            if member != nid
+        )
+
+    def _pull_successors(self, state, nid):
+        outcomes = enumerate_pull_outcomes(
+            state,
+            nid,
+            self.scheme,
+            include_non_quorum=not self.quorum_pulls_only,
+        )
+        if self.minimal_quorums_only:
+            from ..core.aux import most_recent
+
+            outcomes = [
+                o
+                for o in outcomes
+                if self._is_minimal_quorum(
+                    o.group,
+                    state.tree.cache(most_recent(state.tree, o.group)).conf,
+                    nid,
+                )
+            ]
+        for outcome in outcomes:
+            new_state, _, reason = apply_pull(state, nid, outcome, self.scheme)
+            if new_state != state:
+                detail = f"Q={sorted(outcome.group)}, t={outcome.time} [{reason}]"
+                yield ("pull", nid, detail), new_state
+
+    def _invoke_successors(self, state, nid):
+        # A single canonical method symbol: payloads are irrelevant to
+        # safety, and distinct names would only blow up the state space.
+        new_state, cid, reason = apply_invoke(state, nid, "m")
+        if cid is not None:
+            yield ("invoke", nid, "m"), new_state
+
+    def _reconfig_successors(self, state, nid):
+        active = active_cache(state.tree, nid)
+        if active is None:
+            return
+        conf = state.tree.cache(active).conf
+        seen = set()
+        for candidate in self.reconfig_candidates(state, nid, conf):
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            new_state, cid, reason = apply_reconfig(
+                state,
+                nid,
+                candidate,
+                self.scheme,
+                enforce_r2=self.enforce_r2,
+                enforce_r3=self.enforce_r3,
+            )
+            if cid is not None:
+                detail = self.scheme.describe_config(candidate)
+                yield ("reconfig", nid, detail), new_state
+
+    def _push_successors(self, state, nid):
+        outcomes = enumerate_push_outcomes(
+            state,
+            nid,
+            self.scheme,
+            include_non_quorum=not self.quorum_pushes_only,
+        )
+        if self.minimal_quorums_only:
+            outcomes = [
+                o
+                for o in outcomes
+                if self._is_minimal_quorum(
+                    o.group, state.tree.cache(o.target).conf, nid
+                )
+            ]
+        for outcome in outcomes:
+            new_state, _, reason = self.push_step(state, nid, outcome, self.scheme)
+            if new_state != state:
+                detail = f"Q={sorted(outcome.group)}, target={outcome.target} [{reason}]"
+                yield ("push", nid, detail), new_state
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExplorationResult:
+        """Explore up to the budget and state cap.
+
+        With ``strategy="bfs"`` this is exhaustive breadth-first search
+        (complete within the budget; finds minimal-depth violations).
+        ``strategy="guided"`` is best-first: states with more auxiliary
+        invariant violations are expanded first, then deeper states --
+        effective for hunting deep counterexamples in ablated models.
+        """
+        import heapq
+
+        start = _time.monotonic()
+        init = initial_state(self.conf0, self.scheme)
+        visited = {self._state_key(init)}
+        violations: List[Violation] = []
+        transitions = 0
+        max_depth = 0
+        exhausted = True
+        guided = self.strategy == "guided"
+
+        # Guided search scores states by how strongly they smell of a
+        # nearby safety violation: violations of the precursor lemmas
+        # (Lemma 4.4/B.8 RCache forks, election-commit order) weigh
+        # most, and *uncommitted* RCaches -- the speculative
+        # configuration changes every counterexample is built from --
+        # add to the scent.
+        scent_labels = ("ccache-in-rcache-fork", "election-commit-order")
+
+        def aux_score(state: AdoreState) -> int:
+            full = check_state(state, self.lemma_rdist_bound, only=scent_labels)
+            uncommitted_r = sum(
+                1
+                for cid in state.tree.rcaches()
+                if not any(
+                    state.tree.cache(d).kind == "C"
+                    for d in state.tree.descendants(cid)
+                )
+            )
+            return 3 * len(full.all_violations()) + uncommitted_r
+
+        counter = 0
+        if guided:
+            frontier: List = []
+            heapq.heappush(frontier, (0, 0, 0, counter, init, self.budget, ()))
+        else:
+            frontier = deque([(init, self.budget, ())])
+
+        report = self._check(init)
+        if not report.ok:
+            violations.append(Violation(init, (), report))
+
+        while frontier:
+            if guided:
+                *_, state, budget, trace = heapq.heappop(frontier)
+            else:
+                state, budget, trace = frontier.popleft()
+            max_depth = max(max_depth, len(trace))
+            for op_desc, next_state in self.successors(state):
+                op = op_desc[0]
+                next_budget = budget.spend(op)
+                if next_budget is None:
+                    continue
+                transitions += 1
+                key = self._state_key(next_state)
+                if key in visited:
+                    continue
+                if len(visited) >= self.max_states:
+                    exhausted = False
+                    continue
+                visited.add(key)
+                next_trace = trace + (op_desc,)
+                report = self._check(next_state)
+                if not report.ok:
+                    violations.append(Violation(next_state, next_trace, report))
+                    if self.stop_at_first_violation:
+                        return ExplorationResult(
+                            states_visited=len(visited),
+                            transitions=transitions,
+                            max_depth=len(next_trace),
+                            exhausted=False,
+                            violations=violations,
+                            elapsed_seconds=_time.monotonic() - start,
+                            budget=self.budget,
+                        )
+                    continue
+                if guided:
+                    counter += 1
+                    # Additive combination: scent and depth trade off,
+                    # so a deep clean state (the tail of a
+                    # counterexample whose reconfigurations already
+                    # committed) still outranks shallow smelly ones.
+                    priority = (
+                        -(2 * aux_score(next_state) + len(next_trace)),
+                        0,
+                        0,
+                    )
+                    heapq.heappush(
+                        frontier,
+                        (*priority, counter, next_state, next_budget, next_trace),
+                    )
+                else:
+                    frontier.append((next_state, next_budget, next_trace))
+
+        return ExplorationResult(
+            states_visited=len(visited),
+            transitions=transitions,
+            max_depth=max_depth,
+            exhausted=exhausted and self.strategy == "bfs",
+            violations=violations,
+            elapsed_seconds=_time.monotonic() - start,
+            budget=self.budget,
+        )

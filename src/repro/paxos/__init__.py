@@ -1,0 +1,25 @@
+"""A multi-Paxos-style protocol variant (Appendix A's other half).
+
+Same state shape and commit phase as the Raft-like spec, but elections
+follow Paxos: acceptors promise unconditionally and report their logs;
+the candidate adopts the most up-to-date one.  This makes the variant
+the protocol for which Adore's ``pull`` (adopt ``mostRecent`` among the
+supporters) is the *identity* mapping -- see
+:class:`repro.refinement.simulation.PaxosSimulationChecker`.
+"""
+
+from .messages import Accepted, AcceptReq, PaxosMsg, PrepareReq, Promise, ballot_for
+from .server import BALLOT_MODULUS, PaxosServer
+from .spec import PaxosSystem
+
+__all__ = [
+    "Accepted",
+    "AcceptReq",
+    "BALLOT_MODULUS",
+    "PaxosMsg",
+    "PaxosServer",
+    "PaxosSystem",
+    "PrepareReq",
+    "Promise",
+    "ballot_for",
+]

@@ -1,0 +1,80 @@
+"""Message types of the multi-Paxos-style specification.
+
+Appendix A contrasts the two election styles: "In Paxos, replicas
+respond to the candidate with their own logs, and the candidate chooses
+the one whose last entry has the latest timestamp.  A candidate in Raft
+sends its log to the replicas, which compare against their own logs to
+decide how to vote."  The Paxos variant therefore has four message
+kinds whose *election* half differs from Raft's: the prepare request
+carries no log, and the promise carries the voter's.
+
+Log entries are shared with the Raft spec (:class:`LogEntry`), as is
+the commit phase's shape (accept ≈ commit request, accepted ≈ ack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.cache import NodeId, Time
+from ..raft.messages import Log, LogEntry, log_order_key  # re-exported
+
+
+@dataclass(frozen=True)
+class PrepareReq:
+    """Phase-1a: a candidate asks for promises at ballot ``time``."""
+
+    frm: NodeId
+    to: NodeId
+    time: Time
+
+
+@dataclass(frozen=True)
+class Promise:
+    """Phase-1b: the acceptor promises and reports its own log."""
+
+    frm: NodeId
+    to: NodeId
+    time: Time
+    log: Log
+
+
+@dataclass(frozen=True)
+class AcceptReq:
+    """Phase-2a: the leader replicates its (adopted+extended) log."""
+
+    frm: NodeId
+    to: NodeId
+    time: Time
+    log: Log
+    commit_len: int
+
+
+@dataclass(frozen=True)
+class Accepted:
+    """Phase-2b: the acceptor's acknowledgement up to ``acked_len``."""
+
+    frm: NodeId
+    to: NodeId
+    time: Time
+    acked_len: int
+
+
+PaxosMsg = Union[PrepareReq, Promise, AcceptReq, Accepted]
+
+
+def ballot_for(nid: NodeId, above: Time, modulus: int) -> Time:
+    """The smallest ballot owned by ``nid`` strictly above ``above``.
+
+    Classic disjoint ballot spaces: node ``nid`` owns the ballots
+    congruent to ``nid`` modulo ``modulus``, so two candidates can never
+    collide on a ballot -- the Paxos counterpart of Raft's randomized
+    timeouts plus per-term single vote.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    base = (above // modulus) * modulus + (nid % modulus)
+    while base <= above:
+        base += modulus
+    return base

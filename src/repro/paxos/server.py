@@ -1,0 +1,219 @@
+"""Per-replica handlers of the multi-Paxos-style specification.
+
+Shares the Raft server's shape (so :class:`repro.raft.spec.RaftSystem`
+can drive it unchanged) but implements Paxos-style elections:
+
+* promises are unconditional for fresh ballots (no log comparison at
+  the voter -- the candidate does the comparison);
+* the winning candidate *adopts* the most up-to-date log among its
+  promises (plus its own), which is exactly Adore's
+  ``mostRecent``-based pull -- the Paxos variant is the protocol for
+  which the model's pull semantics is the identity mapping;
+* the quorum is judged against the configuration carried by the
+  adopted log (hot reconfiguration), as in the Raft variant.
+
+The commit phase, invoke/reconfig (with R1⁺/R2/R3 guards), and the
+commit-advance rule are structurally identical to Raft's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.cache import Config, Method, NodeId, Time
+from ..core.config import ReconfigScheme
+from ..raft.messages import Log, LogEntry, log_order_key
+from ..raft.server import CANDIDATE, FOLLOWER, LEADER, config_of
+from .messages import Accepted, AcceptReq, ballot_for, PaxosMsg, PrepareReq, Promise
+
+#: Ballot space modulus: supports node ids below this bound.
+BALLOT_MODULUS = 64
+
+
+@dataclass
+class PaxosServer:
+    """One replica of the Paxos-style specification."""
+
+    nid: NodeId
+    conf0: Config
+    time: Time = 0
+    log: Log = ()
+    commit_len: int = 0
+    role: str = FOLLOWER
+    #: Collected promises of the current candidacy: nid → promised log.
+    promises: Dict[NodeId, Log] = field(default_factory=dict)
+    acked: Dict[NodeId, int] = field(default_factory=dict)
+
+    # -- shared derived state (same contract as the Raft server) ------
+
+    def config(self) -> Config:
+        return config_of(self.log, self.conf0)
+
+    def committed_log(self) -> Log:
+        return self.log[: self.commit_len]
+
+    def next_vrsn(self) -> int:
+        if self.log and self.log[-1].time == self.time:
+            return self.log[-1].vrsn + 1
+        return 1
+
+    def has_committed_config_change_pending(self) -> bool:
+        return any(entry.is_config for entry in self.log[self.commit_len :])
+
+    def has_commit_at_current_time(self) -> bool:
+        return any(
+            entry.time == self.time for entry in self.log[: self.commit_len]
+        )
+
+    # -- operations -----------------------------------------------------
+
+    def start_election(self, scheme: ReconfigScheme) -> List[PaxosMsg]:
+        """Phase 1: pick a fresh owned ballot and solicit promises."""
+        self.time = ballot_for(self.nid, self.time, BALLOT_MODULUS)
+        self.role = CANDIDATE
+        self.promises = {self.nid: self.log}
+        self.acked = {}
+        self._maybe_win(scheme)
+        return [
+            PrepareReq(frm=self.nid, to=peer, time=self.time)
+            for peer in sorted(scheme.members(self.config()))
+            if peer != self.nid
+        ]
+
+    def invoke(self, method: Method) -> bool:
+        if self.role != LEADER:
+            return False
+        entry = LogEntry(time=self.time, vrsn=self.next_vrsn(), payload=method)
+        self.log = self.log + (entry,)
+        self.acked[self.nid] = len(self.log)
+        return True
+
+    def reconfig(
+        self,
+        new_conf: Config,
+        scheme: ReconfigScheme,
+        enforce_r2: bool = True,
+        enforce_r3: bool = True,
+    ) -> Tuple[bool, str]:
+        if self.role != LEADER:
+            return False, "not-leader"
+        if not scheme.r1_plus(self.config(), new_conf):
+            return False, "r1-denied"
+        if enforce_r2 and self.has_committed_config_change_pending():
+            return False, "r2-denied"
+        if enforce_r3 and not self.has_commit_at_current_time():
+            return False, "r3-denied"
+        entry = LogEntry(
+            time=self.time,
+            vrsn=self.next_vrsn(),
+            payload=new_conf,
+            is_config=True,
+        )
+        self.log = self.log + (entry,)
+        self.acked[self.nid] = len(self.log)
+        return True, "ok"
+
+    def broadcast_commit(self, scheme: ReconfigScheme) -> List[PaxosMsg]:
+        if self.role != LEADER:
+            return []
+        # Self-quorum schemes (primary-backup) commit on the leader's own
+        # ack; re-evaluate before broadcasting.
+        self._advance_commit(scheme)
+        return [
+            AcceptReq(
+                frm=self.nid,
+                to=peer,
+                time=self.time,
+                log=self.log,
+                commit_len=self.commit_len,
+            )
+            for peer in sorted(scheme.members(self.config()))
+            if peer != self.nid
+        ]
+
+    # -- handlers ---------------------------------------------------------
+
+    def would_accept(self, msg: PaxosMsg) -> bool:
+        if isinstance(msg, PrepareReq):
+            return msg.time > self.time
+        if isinstance(msg, Promise):
+            return self.role == CANDIDATE and msg.time == self.time
+        if isinstance(msg, AcceptReq):
+            return msg.time >= self.time and log_order_key(msg.log) >= (
+                log_order_key(self.log)
+            )
+        if isinstance(msg, Accepted):
+            return self.role == LEADER and msg.time == self.time
+        raise TypeError(f"unknown message {msg!r}")
+
+    def handle(self, msg: PaxosMsg, scheme: ReconfigScheme) -> List[PaxosMsg]:
+        if not self.would_accept(msg):
+            return []
+        if isinstance(msg, PrepareReq):
+            # Promise unconditionally: report our log, advance our
+            # promised ballot, step down.
+            self.time = msg.time
+            self.role = FOLLOWER
+            return [
+                Promise(frm=self.nid, to=msg.frm, time=msg.time, log=self.log)
+            ]
+        if isinstance(msg, Promise):
+            self.promises[msg.frm] = msg.log
+            self._maybe_win(scheme)
+            return []
+        if isinstance(msg, AcceptReq):
+            self.time = msg.time
+            if self.nid != msg.frm:
+                self.role = FOLLOWER
+            self.log = msg.log
+            self.commit_len = max(
+                self.commit_len, min(msg.commit_len, len(self.log))
+            )
+            return [
+                Accepted(
+                    frm=self.nid,
+                    to=msg.frm,
+                    time=msg.time,
+                    acked_len=len(self.log),
+                )
+            ]
+        previous = self.acked.get(msg.frm, 0)
+        self.acked[msg.frm] = max(previous, msg.acked_len)
+        self._advance_commit(scheme)
+        return []
+
+    def _maybe_win(self, scheme: Optional[ReconfigScheme]) -> None:
+        if scheme is None or self.role != CANDIDATE:
+            return
+        best = max(self.promises.values(), key=log_order_key)
+        # The quorum is judged against the configuration of the log the
+        # candidate would adopt -- Adore's Q_ok = isQuorum(Q, conf(C_max)).
+        adopted_conf = config_of(best, self.conf0)
+        if scheme.is_quorum(frozenset(self.promises), adopted_conf):
+            self.role = LEADER
+            self.log = best
+            self.acked = {self.nid: len(self.log)}
+
+    def _advance_commit(self, scheme: ReconfigScheme) -> None:
+        for length in range(len(self.log), self.commit_len, -1):
+            if self.log[length - 1].time != self.time:
+                continue
+            ackers = frozenset(
+                nid for nid, acked in self.acked.items() if acked >= length
+            )
+            if scheme.is_quorum(ackers, self.config()):
+                self.commit_len = length
+                return
+
+    # -- observation ------------------------------------------------------
+
+    def snapshot(self) -> Tuple:
+        return (self.log, self.time)
+
+    def describe(self) -> str:
+        entries = ", ".join(e.describe() for e in self.log)
+        return (
+            f"P{self.nid}[{self.role} b{self.time} commit={self.commit_len}] "
+            f"log=[{entries}]"
+        )

@@ -1,0 +1,20 @@
+"""SPaxos: the Paxos variant under SRaft's scheduling assumptions.
+
+:class:`repro.raft.sraft.SRaftSystem`'s atomic election/commit rounds
+are written against the generic handler interface, so the synchronized
+scheduler carries over unchanged; only the per-replica handlers differ.
+In an atomic Paxos election round, ``granted`` collects the promisers
+-- every validly delivered prepare yields a promise, so unlike Raft
+there are no denial-style receivers.
+"""
+
+from __future__ import annotations
+
+from ..raft.sraft import SRaftSystem
+from .server import PaxosServer
+
+
+class SPaxosSystem(SRaftSystem):
+    """Atomic-round scheduling over Paxos-style handlers."""
+
+    SERVER_CLS = PaxosServer

@@ -1,0 +1,20 @@
+"""The multi-Paxos-style network specification.
+
+Everything above the per-replica handlers is inherited from
+:class:`repro.raft.spec.RaftSystem` -- the two-bag network, the five
+operations, event traces, replay, and the committed-prefix safety
+check -- demonstrating the paper's point that Adore's four operations
+map onto "the election, commit, and local log update phases found in
+most consensus protocols".
+"""
+
+from __future__ import annotations
+
+from ..raft.spec import RaftSystem
+from .server import PaxosServer
+
+
+class PaxosSystem(RaftSystem):
+    """The Raft system shell over Paxos-style handlers."""
+
+    SERVER_CLS = PaxosServer

@@ -1,0 +1,135 @@
+"""The historical Raft single-node membership bug, at the network level.
+
+This module drives the network-based specification through the exact
+interleaving of Fig. 4 with the R3 guard disabled (the algorithm as
+published in Ongaro's thesis [24], before the 2015 fix [25]) and shows
+the committed logs diverging; running the same schedule with R3 on
+shows the very first reconfiguration being denied.
+
+The step-by-step narrative (four servers, conf₀ = {1, 2, 3, 4}):
+
+1. S1 is elected at term 1 (votes from S2, S3).
+2. S1 proposes removing S4 ({1,2,3}) -- entering its log immediately --
+   but none of its replication messages arrive.
+3. S2 is elected at term 2 (votes from S3, S4; S2's log lacks S1's
+   config entry, and elections do not transfer logs).
+4. S2 proposes removing S3 ({1,2,4}); the entry reaches S4, and
+   {S2, S4} is a majority of {1,2,4}: committed.
+5. S1 campaigns again.  Its first attempt (term 2) is rejected -- S3
+   already voted at term 2 -- which only bumps terms; the retry at term
+   3 wins votes from S1 and S3, a "majority" of S1's own stale
+   configuration {1,2,3}.
+6. Both leaders now commit independently with disjoint quorums
+   ({2,4} vs {1,3}); the committed prefixes disagree at slot 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.cache import NodeId
+from ..schemes.single_node import RaftSingleNodeScheme
+from .messages import CommitAck, CommitReq, ElectAck, ElectReq
+from .spec import RaftSystem
+
+CONF0 = frozenset({1, 2, 3, 4})
+
+
+@dataclass
+class BugOutcome:
+    """The result of one run of the Fig. 4 schedule."""
+
+    system: RaftSystem
+    reconfig_results: List[str]
+    safety_violations: List[str]
+
+    @property
+    def violated(self) -> bool:
+        return bool(self.safety_violations)
+
+
+def _deliver_between(system: RaftSystem, frm: NodeId, to: NodeId, kinds) -> int:
+    """Deliver all in-flight messages of the given kinds from/to pairs."""
+    count = 0
+    progress = True
+    while progress:
+        progress = False
+        for msg in list(system.network.in_flight()):
+            if isinstance(msg, kinds) and msg.frm == frm and msg.to == to:
+                system.deliver(msg)
+                count += 1
+                progress = True
+    return count
+
+
+def run_fig4_schedule(enforce_r3: bool) -> BugOutcome:
+    """Drive the network spec through the Fig. 4 interleaving."""
+    system = RaftSystem(CONF0, RaftSingleNodeScheme(), enforce_r3=enforce_r3)
+    reconfig_results: List[str] = []
+
+    # (1) S1 elected at term 1 with votes from S2 and S3.
+    system.elect(1)
+    for voter in (2, 3):
+        _deliver_between(system, 1, voter, ElectReq)
+        _deliver_between(system, voter, 1, ElectAck)
+    assert system.servers[1].role == "leader", system.describe()
+
+    # (2) S1 proposes {1,2,3}; replication messages are lost (never
+    # delivered), so the entry stays only in S1's log.
+    ok, reason = system.reconfig(1, frozenset({1, 2, 3}))
+    reconfig_results.append(f"S1 removes S4: {reason}")
+    if not ok:
+        return BugOutcome(system, reconfig_results, system.check_log_safety())
+    system.commit(1)  # requests enter the network but are never delivered
+
+    # (3) S2 elected at term 2 with votes from S3 and S4.
+    system.elect(2)
+    for voter in (3, 4):
+        _deliver_between(system, 2, voter, ElectReq)
+        _deliver_between(system, voter, 2, ElectAck)
+    assert system.servers[2].role == "leader", system.describe()
+
+    # (4) S2 proposes {1,2,4}; only S4 receives it; {2,4} commits.
+    ok, reason = system.reconfig(2, frozenset({1, 2, 4}))
+    reconfig_results.append(f"S2 removes S3: {reason}")
+    assert ok, reason
+    system.commit(2)
+    _deliver_between(system, 2, 4, CommitReq)
+    _deliver_between(system, 4, 2, CommitAck)
+    assert system.servers[2].commit_len == 1, system.describe()
+    # A second round propagates the advanced commit index to S4.
+    system.commit(2)
+    _deliver_between(system, 2, 4, CommitReq)
+    _deliver_between(system, 4, 2, CommitAck)
+
+    # (5) S1 campaigns again: term 2 is rejected by S3 (already voted),
+    # the retry at term 3 wins with S1's own stale config {1,2,3}.
+    system.elect(1)  # term 2: S3 rejects
+    _deliver_between(system, 1, 3, ElectReq)
+    _deliver_between(system, 3, 1, ElectAck)
+    system.elect(1)  # term 3
+    _deliver_between(system, 1, 3, ElectReq)
+    _deliver_between(system, 3, 1, ElectAck)
+    assert system.servers[1].role == "leader", system.describe()
+
+    # (6) S1 commits a regular command with {1,3}.
+    system.invoke(1, "put(a,1)")
+    system.commit(1)
+    _deliver_between(system, 1, 3, CommitReq)
+    _deliver_between(system, 3, 1, CommitAck)
+    system.commit(1)
+    _deliver_between(system, 1, 3, CommitReq)
+    _deliver_between(system, 3, 1, CommitAck)
+
+    return BugOutcome(system, reconfig_results, system.check_log_safety())
+
+
+def run_buggy() -> BugOutcome:
+    """The pre-fix algorithm (no R3): safety is violated."""
+    return run_fig4_schedule(enforce_r3=False)
+
+
+def run_fixed() -> BugOutcome:
+    """The fixed algorithm (R3 on): the schedule is blocked at step 2."""
+    return run_fig4_schedule(enforce_r3=True)

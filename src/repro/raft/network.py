@@ -1,0 +1,67 @@
+"""The abstract network of the Raft specification (Fig. 13).
+
+``Network ≜ Set(Msg) × Set(Msg)``: a bag of sent-but-undelivered
+messages and a bag of delivered ones.  Any sent message may be
+delivered at any later point (asynchrony); messages that are never
+delivered model loss.  Delivery moves one occurrence from the first bag
+to the second -- the specification does not duplicate messages (the
+paper's simplifying assumptions ultimately discard duplicates anyway,
+see Lemma C.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator, List
+
+from .messages import Msg
+
+
+class Network:
+    """A mutable two-bag network."""
+
+    def __init__(self) -> None:
+        self._sent: Counter = Counter()
+        self._delivered: List[Msg] = []
+
+    def send(self, msg: Msg) -> None:
+        """Place ``msg`` in the sent bag."""
+        self._sent[msg] += 1
+
+    def send_all(self, msgs) -> None:
+        for msg in msgs:
+            self.send(msg)
+
+    def can_deliver(self, msg: Msg) -> bool:
+        """Whether at least one occurrence of ``msg`` is in flight."""
+        return self._sent[msg] > 0
+
+    def mark_delivered(self, msg: Msg) -> None:
+        """Move one occurrence from sent to delivered."""
+        if self._sent[msg] <= 0:
+            raise ValueError(f"message not in flight: {msg!r}")
+        self._sent[msg] -= 1
+        if self._sent[msg] == 0:
+            del self._sent[msg]
+        self._delivered.append(msg)
+
+    def in_flight(self) -> Iterator[Msg]:
+        """All undelivered messages (with multiplicity)."""
+        for msg, count in sorted(
+            self._sent.items(), key=lambda kv: (kv[0].time, repr(kv[0]))
+        ):
+            for _ in range(count):
+                yield msg
+
+    def delivered(self) -> List[Msg]:
+        """Delivery history, in delivery order."""
+        return list(self._delivered)
+
+    def pending_count(self) -> int:
+        return sum(self._sent.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Network({self.pending_count()} in flight, "
+            f"{len(self._delivered)} delivered)"
+        )

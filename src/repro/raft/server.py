@@ -1,0 +1,290 @@
+"""Per-replica state and message handlers of the Raft-like spec.
+
+``Server ≜ N_time × N_vrsn × List(N_time × Method × Config) × ...``
+(Fig. 13): a current timestamp, a local log, and bookkeeping (role,
+votes received, replication progress).  Handlers are written spec-style:
+each consumes one event and returns the messages it emits.
+
+Reconfiguration entries take effect the moment they enter the log (hot
+reconfiguration): a server's *current configuration* is the newest
+config entry anywhere in its log, committed or not.  The R2/R3 guards
+on proposing a new configuration are enforced here, with ablation
+switches used by :mod:`repro.raft.buggy` to reproduce the historical
+algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.cache import Config, Method, NodeId, Time
+from ..core.config import ReconfigScheme
+from .messages import (
+    CommitAck,
+    CommitReq,
+    ElectAck,
+    ElectReq,
+    Log,
+    LogEntry,
+    Msg,
+    log_order_key,
+)
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+def config_of(log: Log, conf0: Config) -> Config:
+    """The latest configuration in ``log`` (hot semantics), or conf₀."""
+    for entry in reversed(log):
+        if entry.is_config:
+            return entry.payload
+    return conf0
+
+
+@dataclass
+class Server:
+    """One replica of the network-based specification."""
+
+    nid: NodeId
+    conf0: Config
+    time: Time = 0
+    log: Log = ()
+    commit_len: int = 0
+    role: str = FOLLOWER
+    #: Votes granted to this server's current candidacy (includes self).
+    votes: FrozenSet[NodeId] = frozenset()
+    #: The largest timestamp at which this server granted a vote.
+    voted_at: Time = 0
+    #: Leader bookkeeping: follower → highest log length acknowledged
+    #: at the current term.
+    acked: Dict[NodeId, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+
+    def config(self) -> Config:
+        """The server's current (hot) configuration."""
+        return config_of(self.log, self.conf0)
+
+    def committed_log(self) -> Log:
+        """The committed prefix of the local log."""
+        return self.log[: self.commit_len]
+
+    def next_vrsn(self) -> int:
+        """The version number for the next entry appended at this term."""
+        if self.log and self.log[-1].time == self.time:
+            return self.log[-1].vrsn + 1
+        return 1
+
+    def has_committed_config_change_pending(self) -> bool:
+        """R2 at the log level: any config entry beyond the commit point?"""
+        return any(entry.is_config for entry in self.log[self.commit_len :])
+
+    def has_commit_at_current_time(self) -> bool:
+        """R3 at the log level: a committed entry of the current term."""
+        return any(
+            entry.time == self.time for entry in self.log[: self.commit_len]
+        )
+
+    # ------------------------------------------------------------------
+    # Operations (Fig. 13's elect / invoke / reconfig / commit)
+    # ------------------------------------------------------------------
+
+    def start_election(self, scheme: ReconfigScheme) -> List[Msg]:
+        """Become a candidate at ``time + 1`` and request votes.
+
+        The electorate is the server's current hot configuration;
+        requests go to every other member.  (A single-member
+        configuration wins immediately.)
+        """
+        self.time += 1
+        self.role = CANDIDATE
+        self.votes = frozenset({self.nid})
+        self.voted_at = self.time
+        self.acked = {}
+        self._maybe_win(scheme)
+        return [
+            ElectReq(frm=self.nid, to=peer, time=self.time, log=self.log)
+            for peer in sorted(scheme.members(self.config()))
+            if peer != self.nid
+        ]
+
+    def invoke(self, method: Method) -> bool:
+        """Append a regular command (leaders only); local operation."""
+        if self.role != LEADER:
+            return False
+        entry = LogEntry(time=self.time, vrsn=self.next_vrsn(), payload=method)
+        self.log = self.log + (entry,)
+        self.acked[self.nid] = len(self.log)
+        return True
+
+    def reconfig(
+        self,
+        new_conf: Config,
+        scheme: ReconfigScheme,
+        enforce_r2: bool = True,
+        enforce_r3: bool = True,
+    ) -> Tuple[bool, str]:
+        """Append a configuration entry, subject to R1⁺/R2/R3.
+
+        Returns ``(ok, reason)``; the ablation switches reproduce the
+        pre-fix algorithm (R3 off) and worse (R2 off).
+        """
+        if self.role != LEADER:
+            return False, "not-leader"
+        if not scheme.r1_plus(self.config(), new_conf):
+            return False, "r1-denied"
+        if enforce_r2 and self.has_committed_config_change_pending():
+            return False, "r2-denied"
+        if enforce_r3 and not self.has_commit_at_current_time():
+            return False, "r3-denied"
+        entry = LogEntry(
+            time=self.time,
+            vrsn=self.next_vrsn(),
+            payload=new_conf,
+            is_config=True,
+        )
+        self.log = self.log + (entry,)
+        self.acked[self.nid] = len(self.log)
+        return True, "ok"
+
+    def broadcast_commit(self, scheme: ReconfigScheme) -> List[Msg]:
+        """Replicate the log to the current configuration (leaders only).
+
+        Also re-evaluates the commit rule first: under schemes where the
+        leader alone is a quorum (primary-backup), its own ack suffices.
+        """
+        if self.role != LEADER:
+            return []
+        self._advance_commit(scheme)
+        members = scheme.members(self.config())
+        return [
+            CommitReq(
+                frm=self.nid,
+                to=peer,
+                time=self.time,
+                log=self.log,
+                commit_len=self.commit_len,
+            )
+            for peer in sorted(members)
+            if peer != self.nid
+        ]
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+
+    def would_accept(self, msg: Msg) -> bool:
+        """Definition C.2: would this message be acted upon (valid)?
+
+        Invalid messages -- stale timestamps, acks for ended rounds --
+        are ignored by the handlers; SRaft's scheduler never delivers
+        them in the first place (Lemma C.3).
+        """
+        if isinstance(msg, ElectReq):
+            return msg.time > self.time
+        if isinstance(msg, ElectAck):
+            return (
+                self.role == CANDIDATE and msg.time == self.time and msg.granted
+            )
+        if isinstance(msg, CommitReq):
+            return msg.time >= self.time and log_order_key(msg.log) >= (
+                log_order_key(self.log)
+            )
+        if isinstance(msg, CommitAck):
+            return self.role == LEADER and msg.time == self.time
+        raise TypeError(f"unknown message {msg!r}")
+
+    def handle(self, msg: Msg, scheme: ReconfigScheme) -> List[Msg]:
+        """Deliver ``msg``; returns the responses this server emits."""
+        if not self.would_accept(msg):
+            return []
+        if isinstance(msg, ElectReq):
+            return self._on_elect_req(msg)
+        if isinstance(msg, ElectAck):
+            return self._on_elect_ack(msg, scheme)
+        if isinstance(msg, CommitReq):
+            return self._on_commit_req(msg)
+        if isinstance(msg, CommitAck):
+            return self._on_commit_ack(msg, scheme)
+        raise TypeError(f"unknown message {msg!r}")
+
+    def _on_elect_req(self, msg: ElectReq) -> List[Msg]:
+        # A higher-term request always advances our clock (and dethrones
+        # us); the vote itself additionally requires the candidate's log
+        # to be at least as up-to-date as ours.
+        self.time = msg.time
+        self.role = FOLLOWER
+        granted = log_order_key(msg.log) >= log_order_key(self.log)
+        if granted:
+            self.voted_at = msg.time
+        return [
+            ElectAck(frm=self.nid, to=msg.frm, time=msg.time, granted=granted)
+        ]
+
+    def _on_elect_ack(self, msg: ElectAck, scheme: ReconfigScheme) -> List[Msg]:
+        self.votes = self.votes | {msg.frm}
+        self._maybe_win(scheme)
+        return []
+
+    def _maybe_win(self, scheme: Optional[ReconfigScheme]) -> None:
+        if scheme is None or self.role != CANDIDATE:
+            return
+        # Votes are counted against the candidate's own (hot) config --
+        # the exact place the Fig. 4 bug exploits.
+        if scheme.is_quorum(self.votes, self.config()):
+            self.role = LEADER
+            self.acked = {self.nid: len(self.log)}
+
+    def _on_commit_req(self, msg: CommitReq) -> List[Msg]:
+        self.time = msg.time
+        if self.nid != msg.frm:
+            self.role = FOLLOWER
+        self.log = msg.log
+        self.commit_len = max(self.commit_len, min(msg.commit_len, len(self.log)))
+        return [
+            CommitAck(
+                frm=self.nid,
+                to=msg.frm,
+                time=msg.time,
+                acked_len=len(self.log),
+            )
+        ]
+
+    def _on_commit_ack(self, msg: CommitAck, scheme: ReconfigScheme) -> List[Msg]:
+        previous = self.acked.get(msg.frm, 0)
+        self.acked[msg.frm] = max(previous, msg.acked_len)
+        self._advance_commit(scheme)
+        return []
+
+    def _advance_commit(self, scheme: ReconfigScheme) -> None:
+        """Raft's commit rule: the longest prefix acked by a quorum whose
+        last entry is of the current term."""
+        for length in range(len(self.log), self.commit_len, -1):
+            if self.log[length - 1].time != self.time:
+                # Only entries of the leader's own term commit by
+                # counting (earlier entries commit transitively).
+                continue
+            ackers = frozenset(
+                nid for nid, acked in self.acked.items() if acked >= length
+            )
+            if scheme.is_quorum(ackers, self.config()):
+                self.commit_len = length
+                return
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Tuple:
+        """The (log, time) pair compared by ℝ_net (Fig. 18)."""
+        return (self.log, self.time)
+
+    def describe(self) -> str:
+        entries = ", ".join(e.describe() for e in self.log)
+        return (
+            f"S{self.nid}[{self.role} t{self.time} commit={self.commit_len}] "
+            f"log=[{entries}]"
+        )

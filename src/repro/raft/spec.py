@@ -1,0 +1,248 @@
+"""The asynchronous network-based Raft specification (Fig. 13).
+
+``Σ_net ≜ (N_nid → Server) × Network`` with five operations: ``elect``,
+``commit``, ``invoke``, ``reconfig``, ``deliver``.  The first four are
+initiated by a replica; ``deliver`` hands any in-flight message to its
+recipient.  Runs are recorded as event traces so the refinement
+machinery (Appendix C) can filter, commute, and merge them.
+
+The specification is parameterized by the same ``isQuorum``/``R1⁺``
+scheme as Adore, so the refinement holds for the whole family of
+reconfigurable protocols at once (Section 7, "Refinement").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.cache import Config, Method, NodeId
+from ..core.config import ReconfigScheme
+from ..core.errors import InvalidOperation
+from .messages import CommitReq, ElectReq, Log, Msg
+from .network import Network
+from .server import LEADER, Server
+
+
+@dataclass(frozen=True)
+class Elect:
+    """Event: ``nid`` starts an election."""
+
+    nid: NodeId
+
+
+@dataclass(frozen=True)
+class Invoke:
+    """Event: leader ``nid`` appends a command locally."""
+
+    nid: NodeId
+    method: Method
+
+
+@dataclass(frozen=True)
+class Reconfig:
+    """Event: leader ``nid`` appends a configuration entry locally."""
+
+    nid: NodeId
+    new_conf: Config
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Event: leader ``nid`` broadcasts replication requests."""
+
+    nid: NodeId
+
+
+@dataclass(frozen=True)
+class Deliver:
+    """Event: one in-flight message is delivered to its recipient."""
+
+    msg: Msg
+
+
+RaftEvent = Union[Elect, Invoke, Reconfig, Commit, Deliver]
+
+
+class RaftSystem:
+    """A running instance of the network-based specification.
+
+    Subclasses may swap the per-replica handler implementation via
+    :attr:`SERVER_CLS` (the multi-Paxos variant in :mod:`repro.paxos`
+    does); everything above the handlers -- the network, the five
+    operations, traces, replay, and the safety check -- is shared.
+    """
+
+    #: The per-replica handler class; must expose the Server interface.
+    SERVER_CLS = Server
+
+    def __init__(
+        self,
+        conf0: Config,
+        scheme: ReconfigScheme,
+        enforce_r2: bool = True,
+        enforce_r3: bool = True,
+        extra_nodes: Iterable[NodeId] = (),
+    ) -> None:
+        self.conf0 = conf0
+        self.scheme = scheme
+        self.enforce_r2 = enforce_r2
+        self.enforce_r3 = enforce_r3
+        nodes = set(scheme.members(conf0)) | set(extra_nodes)
+        self.servers: Dict[NodeId, Server] = {
+            nid: self.SERVER_CLS(nid=nid, conf0=conf0) for nid in sorted(nodes)
+        }
+        self.network = Network()
+        self.trace: List[RaftEvent] = []
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def elect(self, nid: NodeId) -> None:
+        """``elect`` (Fig. 13): ``nid`` becomes a candidate."""
+        msgs = self.servers[nid].start_election(self.scheme)
+        self.network.send_all(msgs)
+        self.trace.append(Elect(nid))
+
+    def invoke(self, nid: NodeId, method: Method) -> bool:
+        """``invoke``: local log append at leader ``nid``."""
+        ok = self.servers[nid].invoke(method)
+        if ok:
+            self.trace.append(Invoke(nid, method))
+        return ok
+
+    def reconfig(self, nid: NodeId, new_conf: Config) -> Tuple[bool, str]:
+        """``reconfig``: local config append at leader ``nid``."""
+        ok, reason = self.servers[nid].reconfig(
+            new_conf,
+            self.scheme,
+            enforce_r2=self.enforce_r2,
+            enforce_r3=self.enforce_r3,
+        )
+        if ok:
+            self.trace.append(Reconfig(nid, new_conf))
+        return ok, reason
+
+    def commit(self, nid: NodeId) -> None:
+        """``commit``: leader ``nid`` broadcasts its log."""
+        msgs = self.servers[nid].broadcast_commit(self.scheme)
+        self.network.send_all(msgs)
+        if msgs:
+            self.trace.append(Commit(nid))
+
+    def deliver(self, msg: Msg) -> None:
+        """``deliver``: hand one in-flight message to its recipient."""
+        self.network.mark_delivered(msg)
+        responses = self.servers[msg.to].handle(msg, self.scheme)
+        self.network.send_all(responses)
+        self.trace.append(Deliver(msg))
+
+    def deliver_all(self, predicate=None, max_rounds: int = 100) -> int:
+        """Deliver every in-flight message (matching ``predicate``),
+        including responses triggered along the way.  Returns the number
+        of deliveries."""
+        count = 0
+        for _ in range(max_rounds):
+            pending = [
+                m
+                for m in self.network.in_flight()
+                if predicate is None or predicate(m)
+            ]
+            if not pending:
+                break
+            for msg in pending:
+                self.deliver(msg)
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+
+    def leader_at(self, time: int) -> Optional[NodeId]:
+        """The leader whose current term is ``time``, if any."""
+        for nid, server in self.servers.items():
+            if server.role == LEADER and server.time == time:
+                return nid
+        return None
+
+    def leaders(self) -> List[NodeId]:
+        """All servers currently in the leader role."""
+        return [n for n, s in self.servers.items() if s.role == LEADER]
+
+    def committed_prefixes(self) -> Dict[NodeId, Log]:
+        """Each server's committed log prefix."""
+        return {nid: s.committed_log() for nid, s in self.servers.items()}
+
+    def check_log_safety(self) -> List[str]:
+        """Replicated state safety at the network level.
+
+        Any two servers' committed prefixes must agree slot-by-slot up
+        to the shorter one (the network analogue of Definition 4.1).
+        """
+        problems: List[str] = []
+        items = sorted(self.committed_prefixes().items())
+        for i, (nid_a, log_a) in enumerate(items):
+            for nid_b, log_b in items[i + 1 :]:
+                upto = min(len(log_a), len(log_b))
+                if log_a[:upto] != log_b[:upto]:
+                    problems.append(
+                        f"S{nid_a} and S{nid_b} disagree on committed "
+                        f"prefixes: {[e.describe() for e in log_a[:upto]]} "
+                        f"vs {[e.describe() for e in log_b[:upto]]}"
+                    )
+        return problems
+
+    def describe(self) -> str:
+        lines = [s.describe() for _, s in sorted(self.servers.items())]
+        lines.append(repr(self.network))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Replay (used by the refinement trace transformations)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def replay(
+        cls,
+        conf0: Config,
+        scheme: ReconfigScheme,
+        events: Iterable[RaftEvent],
+        enforce_r2: bool = True,
+        enforce_r3: bool = True,
+        strict: bool = False,
+        extra_nodes: Iterable[NodeId] = (),
+    ) -> "RaftSystem":
+        """Re-run an event trace from the initial state.
+
+        With ``strict`` a ``Deliver`` of a message that is not in flight
+        raises; otherwise it is skipped (reorderings may drop messages
+        whose trigger was filtered out).
+        """
+        system = cls(
+            conf0,
+            scheme,
+            enforce_r2=enforce_r2,
+            enforce_r3=enforce_r3,
+            extra_nodes=extra_nodes,
+        )
+        for event in events:
+            if isinstance(event, Elect):
+                system.elect(event.nid)
+            elif isinstance(event, Invoke):
+                system.invoke(event.nid, event.method)
+            elif isinstance(event, Reconfig):
+                system.reconfig(event.nid, event.new_conf)
+            elif isinstance(event, Commit):
+                system.commit(event.nid)
+            elif isinstance(event, Deliver):
+                if system.network.can_deliver(event.msg):
+                    system.deliver(event.msg)
+                elif strict:
+                    raise InvalidOperation(
+                        f"replay: message not in flight: {event.msg!r}"
+                    )
+            else:
+                raise TypeError(f"unknown event {event!r}")
+        return system

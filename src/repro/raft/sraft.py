@@ -1,0 +1,155 @@
+"""SRaft: the simplified, synchronized Raft specification (Section 5).
+
+SRaft shares Raft's state but restricts the scheduler with three
+assumptions, each discharged by a trace-transformation lemma in
+Appendix C:
+
+* only *valid* messages are delivered (Lemma C.3 -- invalid ones are
+  ignored anyway, so dropping them preserves every local state);
+* deliveries happen in logical-time order (Lemma C.7 -- deliveries to
+  different recipients commute);
+* a request and its acknowledgements are delivered *atomically*
+  (Lemma C.9 -- intervening messages come from other leaders and other
+  recipients, so they commute out).
+
+Under these assumptions each election/commit round becomes one
+composite, atomic operation -- exactly the granularity of Adore's
+``pull``/``push`` -- which is what makes the final refinement step
+(Lemma C.1) a direct transcription.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..core.cache import Config, Method, NodeId, Time
+from ..core.config import ReconfigScheme
+from ..core.errors import InvalidOperation
+from .messages import CommitAck, CommitReq, ElectAck, ElectReq, Msg
+from .server import LEADER
+from .spec import RaftSystem
+
+
+@dataclass(frozen=True)
+class ElectRound:
+    """The observable outcome of one atomic SRaft election."""
+
+    nid: NodeId
+    time: Time
+    receivers: FrozenSet[NodeId]
+    granted: FrozenSet[NodeId]
+    won: bool
+
+
+@dataclass(frozen=True)
+class CommitRound:
+    """The observable outcome of one atomic SRaft commit."""
+
+    nid: NodeId
+    time: Time
+    receivers: FrozenSet[NodeId]
+    acked: FrozenSet[NodeId]
+    commit_len: int
+
+
+class SRaftSystem(RaftSystem):
+    """Raft under SRaft's scheduling assumptions.
+
+    Elections and commits are composite operations that send, deliver,
+    and acknowledge atomically.  The class asserts the global-ordering
+    discipline: the logical time of successive rounds never decreases.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.rounds: List[object] = []
+        self._last_round_time: Time = 0
+
+    def _enter_round(self, time: Time) -> None:
+        if time < self._last_round_time:
+            raise InvalidOperation(
+                f"SRaft rounds must be globally ordered: {time} after "
+                f"{self._last_round_time}"
+            )
+        self._last_round_time = time
+
+    # ------------------------------------------------------------------
+
+    def elect_atomic(
+        self, nid: NodeId, receivers: Iterable[NodeId]
+    ) -> ElectRound:
+        """One atomic election round.
+
+        The candidate broadcasts; the named ``receivers`` receive the
+        request simultaneously (invalid deliveries -- stale receivers --
+        are skipped, per Lemma C.3) and their acknowledgements return
+        immediately.  Messages to non-receivers stay lost in flight.
+        """
+        candidate = self.servers[nid]
+        # Validate the ordering discipline *before* mutating any state:
+        # the candidacy will run at time + 1.
+        self._enter_round(candidate.time + 1)
+        requests = candidate.start_election(self.scheme)
+        self.network.send_all(requests)
+
+        wanted = frozenset(receivers) - {nid}
+        delivered = set()
+        granted = set()
+        for msg in requests:
+            if msg.to not in wanted:
+                continue
+            if not self.servers[msg.to].would_accept(msg):
+                continue
+            self.network.mark_delivered(msg)
+            (ack,) = self.servers[msg.to].handle(msg, self.scheme)
+            delivered.add(msg.to)
+            self.network.send(ack)
+            if candidate.would_accept(ack):
+                self.network.mark_delivered(ack)
+                candidate.handle(ack, self.scheme)
+                granted.add(msg.to)
+        round_ = ElectRound(
+            nid=nid,
+            time=candidate.time,
+            receivers=frozenset(delivered),
+            granted=frozenset(granted) | {nid},
+            won=candidate.role == LEADER,
+        )
+        self.rounds.append(round_)
+        return round_
+
+    def commit_atomic(
+        self, nid: NodeId, receivers: Iterable[NodeId]
+    ) -> CommitRound:
+        """One atomic commit round (broadcast + deliveries + acks)."""
+        leader = self.servers[nid]
+        self._enter_round(leader.time)
+        requests = leader.broadcast_commit(self.scheme)
+        self.network.send_all(requests)
+
+        wanted = frozenset(receivers) - {nid}
+        delivered = set()
+        acked = set()
+        for msg in requests:
+            if msg.to not in wanted:
+                continue
+            if not self.servers[msg.to].would_accept(msg):
+                continue
+            self.network.mark_delivered(msg)
+            (ack,) = self.servers[msg.to].handle(msg, self.scheme)
+            delivered.add(msg.to)
+            self.network.send(ack)
+            if leader.would_accept(ack):
+                self.network.mark_delivered(ack)
+                leader.handle(ack, self.scheme)
+                acked.add(msg.to)
+        round_ = CommitRound(
+            nid=nid,
+            time=leader.time,
+            receivers=frozenset(delivered),
+            acked=frozenset(acked) | {nid},
+            commit_len=leader.commit_len,
+        )
+        self.rounds.append(round_)
+        return round_

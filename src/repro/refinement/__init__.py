@@ -1,0 +1,53 @@
+"""Refinement between the network-based Raft spec and Adore (Section 5).
+
+* :mod:`repro.refinement.relation` -- the refinement relation ℝ
+  (``toLog``/``logMatch``, Fig. 17), the timestamp and commit-prefix
+  correspondences, and ℝ_net (Fig. 18).
+* :mod:`repro.refinement.reorder` -- executable versions of the trace
+  transformation lemmas C.3 (validity filtering), C.7 (global
+  ordering by commuting independent deliveries), and C.9 (atomic
+  grouping).
+* :mod:`repro.refinement.simulation` -- the SRaft → Adore lockstep
+  simulation checker (Lemma C.1 / Theorem C.11 as a dynamic check).
+"""
+
+from .treeify import TreeifiedState, treeify
+from .relation import (
+    ObservationMap,
+    commit_match,
+    log_match,
+    r_net,
+    times_match,
+    to_log,
+)
+from .reorder import (
+    atomic_groups,
+    check_equivalent,
+    delivery_key,
+    filter_invalid,
+    globally_order,
+    normalize,
+    replay,
+)
+from .simulation import PaxosSimulationChecker, SimulationChecker, StepRecord
+
+__all__ = [
+    "ObservationMap",
+    "PaxosSimulationChecker",
+    "SimulationChecker",
+    "StepRecord",
+    "atomic_groups",
+    "check_equivalent",
+    "commit_match",
+    "delivery_key",
+    "filter_invalid",
+    "globally_order",
+    "log_match",
+    "normalize",
+    "r_net",
+    "replay",
+    "times_match",
+    "to_log",
+    "treeify",
+    "TreeifiedState",
+]

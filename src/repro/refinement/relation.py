@@ -1,0 +1,147 @@
+"""The refinement relation ℝ between Raft and Adore state (Fig. 17/18).
+
+The load-bearing component is ``logMatch``: every replica's local log
+must equal the MCaches/RCaches along that replica's *active branch* of
+the cache tree.  The branch a replica is positioned on is refinement
+bookkeeping (the paper's ℝ carries such auxiliary correspondences): we
+track it as an explicit :class:`ObservationMap` from node id to the cid
+of the deepest cache whose branch the node's log covers.  The map is
+advanced by the same events that change logs -- a leader's local
+appends, and the delivery of commit requests (even ones that never
+reach a quorum: the follower still adopted the leader's log, which is
+already present in the tree as the leader's branch).
+
+``R_net`` (Fig. 18) is the coarser relation between two *network*
+states used by the trace-transformation lemmas: per-server log and
+timestamp equality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.cache import Cid, NodeId, is_committable, is_rcache
+from ..core.state import AdoreState
+from ..core.tree import ROOT_CID, CacheTree
+from ..raft.messages import LogEntry
+from ..raft.spec import RaftSystem
+
+
+def to_log(tree: CacheTree, cid: Cid) -> Tuple[LogEntry, ...]:
+    """``toLog`` (Fig. 17): the M/RCaches along the branch of ``cid``,
+    rendered as network-level log entries."""
+    entries: List[LogEntry] = []
+    for anc in tree.branch(cid):
+        cache = tree.cache(anc)
+        if not is_committable(cache):
+            continue
+        if is_rcache(cache):
+            entries.append(
+                LogEntry(
+                    time=cache.time,
+                    vrsn=cache.vrsn,
+                    payload=cache.conf,
+                    is_config=True,
+                )
+            )
+        else:
+            entries.append(
+                LogEntry(time=cache.time, vrsn=cache.vrsn, payload=cache.method)
+            )
+    return tuple(entries)
+
+
+class ObservationMap:
+    """Where each replica's log sits in the cache tree.
+
+    Maps every node id to the cid of the last cache on its branch whose
+    ``toLog`` equals the node's local log.  Initially every node points
+    at the root (empty log).
+    """
+
+    def __init__(self, nodes) -> None:
+        self.position: Dict[NodeId, Cid] = {nid: ROOT_CID for nid in nodes}
+
+    def advance(self, nid: NodeId, cid: Cid) -> None:
+        self.position[nid] = cid
+
+    def get(self, nid: NodeId) -> Cid:
+        return self.position.get(nid, ROOT_CID)
+
+
+def log_match(
+    raft: RaftSystem, adore: AdoreState, obs: ObservationMap
+) -> List[str]:
+    """``logMatch`` (Fig. 17): per-replica log/branch agreement.
+
+    Returns discrepancy descriptions (empty when ℝ holds).
+    """
+    problems: List[str] = []
+    for nid, server in sorted(raft.servers.items()):
+        branch_log = to_log(adore.tree, obs.get(nid))
+        if branch_log != server.log:
+            problems.append(
+                f"S{nid}: log {[e.describe() for e in server.log]} != branch "
+                f"{[e.describe() for e in branch_log]} (position {obs.get(nid)})"
+            )
+    return problems
+
+
+def times_match(raft: RaftSystem, adore: AdoreState) -> List[str]:
+    """The timestamp component of ℝ: observed times agree per replica."""
+    problems: List[str] = []
+    for nid, server in sorted(raft.servers.items()):
+        if server.time != adore.time_of(nid):
+            problems.append(
+                f"S{nid}: network time {server.time} != Adore time "
+                f"{adore.time_of(nid)}"
+            )
+    return problems
+
+
+def commit_match(raft: RaftSystem, adore: AdoreState) -> List[str]:
+    """The commit component of ℝ: every server's committed prefix is a
+    prefix of the globally committed log extracted from the cache tree.
+
+    This is what makes Adore's replicated state safety *transfer*: if
+    all CCaches are on one branch, the tree's committed log is unique,
+    and this check pins every network-level committed prefix to it.
+    """
+    from ..core.safety import committed_log
+
+    global_log = [
+        entry
+        for cid in committed_log(adore.tree)
+        for entry in to_log(adore.tree, cid)[-1:]
+    ]
+    problems: List[str] = []
+    for nid, server in sorted(raft.servers.items()):
+        prefix = list(server.committed_log())
+        if prefix != global_log[: len(prefix)]:
+            problems.append(
+                f"S{nid}: committed prefix "
+                f"{[e.describe() for e in prefix]} is not a prefix of the "
+                f"tree's committed log {[e.describe() for e in global_log]}"
+            )
+    return problems
+
+
+def r_net(left: RaftSystem, right: RaftSystem) -> List[str]:
+    """ℝ_net (Fig. 18): per-server (log, time) equality between two
+    network states.  Returns discrepancies (empty when equivalent)."""
+    problems: List[str] = []
+    nids = sorted(set(left.servers) | set(right.servers))
+    for nid in nids:
+        a = left.servers.get(nid)
+        b = right.servers.get(nid)
+        if a is None or b is None:
+            problems.append(f"S{nid} exists on only one side")
+            continue
+        if a.log != b.log:
+            problems.append(
+                f"S{nid} logs differ: {[e.describe() for e in a.log]} vs "
+                f"{[e.describe() for e in b.log]}"
+            )
+        if a.time != b.time:
+            problems.append(f"S{nid} times differ: {a.time} vs {b.time}")
+    return problems

@@ -1,0 +1,215 @@
+"""Executable trace-transformation lemmas (Appendix C).
+
+The Raft → SRaft refinement rests on three transformations of an
+asynchronous event trace, each preserving ℝ_net (per-server logs and
+timestamps):
+
+* :func:`filter_invalid` (Lemma C.3) -- drop ``Deliver`` events whose
+  messages the recipient would ignore anyway.
+* :func:`globally_order` (Lemma C.7) -- sort deliveries into logical
+  time order by commuting *adjacent, independent* deliveries.  Two
+  deliveries commute when they have different recipients; causality is
+  respected by never moving a delivery before the event that put its
+  message in flight (checked by replay validity).
+* :func:`atomic_groups` (Lemma C.9) -- after ordering, deliveries of
+  the same broadcast (same sender, timestamp, and kind) are adjacent
+  and can be read as one atomic round; this function extracts those
+  rounds, which is exactly the input an :class:`SRaftSystem` consumes.
+
+Each function returns the transformed trace; :func:`check_equivalent`
+replays original and transformed traces and asserts ℝ_net.  The paper
+proves these transformations always succeed; here they are checked per
+trace, with randomized traces exercising them in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.cache import Config
+from ..core.config import ReconfigScheme
+from ..raft.messages import CommitAck, CommitReq, ElectAck, ElectReq, Msg
+from ..raft.spec import Deliver, RaftEvent, RaftSystem
+from .relation import r_net
+
+
+def _kind_rank(msg: Msg) -> int:
+    """Within one logical time: requests before their acknowledgements,
+    election rounds before commit rounds."""
+    if isinstance(msg, ElectReq):
+        return 0
+    if isinstance(msg, ElectAck):
+        return 1
+    if isinstance(msg, CommitReq):
+        return 2
+    return 3
+
+
+def delivery_key(msg: Msg) -> Tuple[int, int, int]:
+    """The global-ordering key of Definition C.4/C.6, refined with the
+    request/ack rank so causally later messages sort later."""
+    from ..raft.messages import msg_vrsn
+
+    return (msg.time, _kind_rank(msg), msg_vrsn(msg))
+
+
+def replay(
+    conf0: Config,
+    scheme: ReconfigScheme,
+    events: Sequence[RaftEvent],
+    **kwargs,
+) -> RaftSystem:
+    """Replay a trace from the initial state (lenient about dropped
+    messages, like the lemma statements)."""
+    return RaftSystem.replay(conf0, scheme, events, **kwargs)
+
+
+def filter_invalid(
+    conf0: Config, scheme: ReconfigScheme, events: Sequence[RaftEvent], **kwargs
+) -> List[RaftEvent]:
+    """Lemma C.3: drop deliveries of messages their recipients ignore.
+
+    The trace is replayed; at each ``Deliver`` the recipient's
+    ``would_accept`` (Definition C.2) decides whether the event is kept.
+    Ignored messages have no effect on any local state, so the filtered
+    trace is ℝ_net-equivalent by construction.
+    """
+    system = RaftSystem(conf0, scheme, **kwargs)
+    kept: List[RaftEvent] = []
+    for event in events:
+        if isinstance(event, Deliver):
+            if not system.network.can_deliver(event.msg):
+                continue  # its trigger was filtered out
+            if not system.servers[event.msg.to].would_accept(event.msg):
+                # Deliver it in the replay (to consume it) but drop it
+                # from the kept trace -- it has no effect either way.
+                system.deliver(event.msg)
+                continue
+        _apply(system, event)
+        kept.append(event)
+    return kept
+
+
+def globally_order(
+    conf0: Config, scheme: ReconfigScheme, events: Sequence[RaftEvent], **kwargs
+) -> List[RaftEvent]:
+    """Lemma C.7: sort deliveries into logical-time order.
+
+    Implemented as a bubble pass that swaps *adjacent* events when the
+    later one is a delivery with a strictly smaller key, the earlier one
+    is a delivery to a *different recipient* (independent local
+    operations commute), and the swap keeps the trace replayable (the
+    moved message is already in flight at the earlier position).  This
+    is literally the paper's commuting argument, applied until a fixed
+    point.
+    """
+    ordered = list(events)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(ordered) - 1):
+            first, second = ordered[i], ordered[i + 1]
+            if not (isinstance(first, Deliver) and isinstance(second, Deliver)):
+                continue
+            if first.msg.to == second.msg.to:
+                continue  # local order must be preserved
+            if delivery_key(second.msg) >= delivery_key(first.msg):
+                continue
+            candidate = ordered[:i] + [second, first] + ordered[i + 2 :]
+            if _replayable(conf0, scheme, candidate, **kwargs):
+                ordered = candidate
+                changed = True
+    return ordered
+
+
+def atomic_groups(events: Sequence[RaftEvent]) -> List[List[RaftEvent]]:
+    """Lemma C.9: group adjacent deliveries into atomic rounds.
+
+    A round is a maximal run of deliveries belonging to one broadcast:
+    the requests of one (sender, time, kind) plus the acknowledgements
+    they generate.  Non-delivery events form singleton groups.
+    """
+    groups: List[List[RaftEvent]] = []
+    current: List[RaftEvent] = []
+    current_round: Optional[Tuple] = None
+
+    def round_of(msg: Msg) -> Tuple:
+        if isinstance(msg, (ElectReq, ElectAck)):
+            leader = msg.frm if isinstance(msg, ElectReq) else msg.to
+            return ("elect", leader, msg.time)
+        leader = msg.frm if isinstance(msg, CommitReq) else msg.to
+        return ("commit", leader, msg.time)
+
+    for event in events:
+        if isinstance(event, Deliver):
+            rnd = round_of(event.msg)
+            if current and current_round == rnd:
+                current.append(event)
+            else:
+                if current:
+                    groups.append(current)
+                current = [event]
+                current_round = rnd
+        else:
+            if current:
+                groups.append(current)
+                current = []
+                current_round = None
+            groups.append([event])
+    if current:
+        groups.append(current)
+    return groups
+
+
+def check_equivalent(
+    conf0: Config,
+    scheme: ReconfigScheme,
+    original: Sequence[RaftEvent],
+    transformed: Sequence[RaftEvent],
+    **kwargs,
+) -> List[str]:
+    """Replay both traces and compare final states under ℝ_net."""
+    left = replay(conf0, scheme, original, **kwargs)
+    right = replay(conf0, scheme, transformed, **kwargs)
+    return r_net(left, right)
+
+
+def normalize(
+    conf0: Config, scheme: ReconfigScheme, events: Sequence[RaftEvent], **kwargs
+) -> List[RaftEvent]:
+    """The full Lemma C.10 pipeline: filter, order (C.3 then C.7)."""
+    filtered = filter_invalid(conf0, scheme, events, **kwargs)
+    return globally_order(conf0, scheme, filtered, **kwargs)
+
+
+# ----------------------------------------------------------------------
+
+def _apply(system: RaftSystem, event: RaftEvent) -> None:
+    from ..raft.spec import Commit, Elect, Invoke, Reconfig
+
+    if isinstance(event, Elect):
+        system.elect(event.nid)
+    elif isinstance(event, Invoke):
+        system.invoke(event.nid, event.method)
+    elif isinstance(event, Reconfig):
+        system.reconfig(event.nid, event.new_conf)
+    elif isinstance(event, Commit):
+        system.commit(event.nid)
+    elif isinstance(event, Deliver):
+        system.deliver(event.msg)
+    else:
+        raise TypeError(f"unknown event {event!r}")
+
+
+def _replayable(
+    conf0: Config, scheme: ReconfigScheme, events: Sequence[RaftEvent], **kwargs
+) -> bool:
+    """Whether every Deliver in ``events`` finds its message in flight."""
+    system = RaftSystem(conf0, scheme, **kwargs)
+    for event in events:
+        if isinstance(event, Deliver) and not system.network.can_deliver(
+            event.msg
+        ):
+            return False
+        _apply(system, event)
+    return True

@@ -1,0 +1,126 @@
+"""Reconstruct an Adore cache tree from network-level state.
+
+Section 4.1 remarks that expressing ``rdist`` in a network-based
+specification requires one "to essentially construct a tree from two
+logs by merging their common prefix into a branch that forks where
+their tails diverge" -- and that this is exactly the structure Adore's
+cache tree maintains natively.  This module implements that
+construction: given the replicas' local logs (and commit indices), it
+merges them into a cache tree, which makes every tree-based notion --
+``rdist``, replicated state safety, the Appendix-B invariants --
+directly applicable to a network state.
+
+Used as a cross-validation tool: a violation reported by the network
+spec's prefix check must also be caught by the model's tree-based
+checkers on the treeified state, and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.cache import CCache, Cid, MCache, NodeId, RCache
+from ..core.safety import check_replicated_state_safety, rdist
+from ..core.tree import ROOT_CID, CacheTree
+from ..raft.messages import LogEntry
+from ..raft.spec import RaftSystem
+
+
+@dataclass
+class TreeifiedState:
+    """The merged tree plus each replica's position in it."""
+
+    tree: CacheTree
+    #: nid → cid of the cache corresponding to the replica's last log
+    #: entry (ROOT_CID for an empty log).
+    positions: Dict[NodeId, Cid]
+
+    def rdist_between(self, a: NodeId, b: NodeId) -> int:
+        """``rdist`` between two replicas' log tips."""
+        return rdist(self.tree, self.positions[a], self.positions[b])
+
+    def safety_violations(self):
+        """The tree-based replicated-state-safety check."""
+        return check_replicated_state_safety(self.tree)
+
+
+def _cache_for(entry: LogEntry, caller: NodeId):
+    if entry.is_config:
+        return RCache(
+            caller=caller, time=entry.time, vrsn=entry.vrsn, conf=entry.payload
+        )
+    return MCache(
+        caller=caller,
+        time=entry.time,
+        vrsn=entry.vrsn,
+        conf=None,
+        method=entry.payload,
+    )
+
+
+def treeify(system: RaftSystem) -> TreeifiedState:
+    """Merge every replica's local log into one cache tree.
+
+    Logs sharing a prefix share the corresponding caches; they fork
+    where their entries first differ.  A CCache is inserted below the
+    deepest entry of each maximal committed prefix, with the replicas
+    whose commit index covers it as voters (so ``mostRecent`` and the
+    safety checkers see the same commit structure the network state
+    implies).  Entry caches carry caller 0 -- the construction abstracts
+    *who* appended them, exactly like the paper's merge argument.
+    """
+    from ..core.state import root_cache
+
+    root = CCache(
+        caller=0,
+        time=0,
+        vrsn=0,
+        conf=system.conf0,
+        voters=frozenset(system.servers),
+    )
+    tree = CacheTree.initial(root)
+    # Map from a path of entries (as a tuple) to the cid representing it.
+    path_to_cid: Dict[Tuple[LogEntry, ...], Cid] = {(): ROOT_CID}
+    positions: Dict[NodeId, Cid] = {}
+
+    for nid, server in sorted(system.servers.items()):
+        parent = ROOT_CID
+        for depth in range(1, len(server.log) + 1):
+            path = tuple(server.log[:depth])
+            if path not in path_to_cid:
+                tree, cid = tree.add_leaf(parent, _cache_for(path[-1], 0))
+                path_to_cid[path] = cid
+            parent = path_to_cid[path]
+        positions[nid] = parent
+
+    # Commit markers: for each maximal committed prefix, a CCache under
+    # its last entry, supported by every replica committed that far.
+    committed_paths: Dict[Tuple[LogEntry, ...], set] = {}
+    for nid, server in system.servers.items():
+        path = tuple(server.committed_log())
+        if not path:
+            continue
+        committed_paths.setdefault(path, set()).add(nid)
+    # A replica committed past a prefix has committed the prefix too:
+    # every path inherits the voters of its extensions.
+    for path, voters in committed_paths.items():
+        for other, other_voters in committed_paths.items():
+            if len(other) > len(path) and other[: len(path)] == path:
+                voters |= other_voters
+    for path, voters in committed_paths.items():
+        if path not in path_to_cid:
+            continue  # a committed prefix no live log retains fully
+        target = path_to_cid[path]
+        last = path[-1]
+        tree, _ = tree.insert_btw(
+            target,
+            CCache(
+                caller=0,
+                time=last.time,
+                vrsn=last.vrsn,
+                conf=None,
+                voters=frozenset(voters),
+            ),
+        )
+    return TreeifiedState(tree=tree, positions=positions)

@@ -1,0 +1,40 @@
+"""Executable deployment on a simulated network (the Fig. 16 substrate).
+
+The paper extracts its Coq Raft specification to OCaml and measures it
+on EC2; here the Python specification is scheduled over a seeded
+discrete-event simulator (:mod:`repro.runtime.simnet`), driven by a
+client workload (:mod:`repro.runtime.workload`), with a replicated
+key-value store as the demo application
+(:mod:`repro.runtime.kvstore`).
+"""
+
+from .autonomous import AutonomousCluster, LeaderChange, TimingConfig
+from .cluster import Cluster, RequestRecord
+from .failover import FailoverDriver, FailoverEvent
+from .kvstore import ReplicatedKV, apply_command, materialize
+from .simnet import LatencyModel, Simulator
+from .workload import (
+    Fig16Config,
+    Fig16Run,
+    run_fig16_experiment,
+    run_fig16_workload,
+)
+
+__all__ = [
+    "AutonomousCluster",
+    "Cluster",
+    "FailoverDriver",
+    "LeaderChange",
+    "FailoverEvent",
+    "Fig16Config",
+    "Fig16Run",
+    "LatencyModel",
+    "ReplicatedKV",
+    "RequestRecord",
+    "Simulator",
+    "TimingConfig",
+    "apply_command",
+    "materialize",
+    "run_fig16_experiment",
+    "run_fig16_workload",
+]

@@ -1,0 +1,250 @@
+"""An autonomous cluster: timeouts, heartbeats, self-driven elections.
+
+The paper's conclusion points at liveness as the natural next step:
+"This requires introducing a notion of time and an assumption of a
+partially synchronous network."  The discrete-event simulator provides
+exactly that, so this module builds the missing operational layer the
+externally-driven :class:`~repro.runtime.cluster.Cluster` leaves out:
+
+* every node runs a randomized **election timeout**; if no heartbeat
+  arrives in time it campaigns on its own (and campaigns again, with a
+  fresh randomized timeout, if the election splits);
+* the leader broadcasts **heartbeats** (empty ``CommitReq`` rounds) on a
+  fixed interval, which also carries the commit index to followers;
+* crashes silence a node; restarts resume it with durable state.
+
+With this in place liveness becomes *measurable*: time to first
+leader, unavailability window after a leader crash, and liveness under
+hot reconfiguration -- the quantities
+``benchmarks/test_liveness_recovery.py`` reports.  Safety remains
+checked throughout (the model makes no liveness claims, and neither do
+we beyond measurement: a partially synchronous network with randomized
+timeouts recovers with high probability, not certainty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.cache import Config, Method, NodeId
+from ..core.config import ReconfigScheme
+from ..raft.messages import CommitReq, ElectReq, Msg
+from ..raft.server import LEADER, Server
+from .simnet import LatencyModel, Simulator
+
+
+@dataclass
+class TimingConfig:
+    """The partial-synchrony knobs."""
+
+    #: Leader heartbeat period.
+    heartbeat_ms: float = 5.0
+    #: Election timeout window [min, max); each arming draws uniformly.
+    election_timeout_min_ms: float = 15.0
+    election_timeout_max_ms: float = 30.0
+
+
+@dataclass
+class LeaderChange:
+    """One observed leadership transition."""
+
+    at_ms: float
+    leader: NodeId
+    term: int
+
+
+class AutonomousCluster:
+    """Specification servers driven entirely by timers and messages."""
+
+    def __init__(
+        self,
+        conf0: Config,
+        scheme: ReconfigScheme,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        timing: Optional[TimingConfig] = None,
+        processing_ms: float = 0.05,
+        extra_nodes=(),
+    ) -> None:
+        self.scheme = scheme
+        self.sim = Simulator(seed=seed)
+        self.latency = latency or LatencyModel()
+        self.timing = timing or TimingConfig()
+        self.processing_ms = processing_ms
+        nodes = set(scheme.members(conf0)) | set(extra_nodes)
+        self.servers: Dict[NodeId, Server] = {
+            nid: Server(nid=nid, conf0=conf0) for nid in sorted(nodes)
+        }
+        self._crashed: set = set()
+        #: Monotone per-node timer epochs: rearming bumps the epoch so a
+        #: stale timer event becomes a no-op.
+        self._timer_epoch: Dict[NodeId, int] = {nid: 0 for nid in self.servers}
+        self._last_heartbeat: Dict[NodeId, float] = {
+            nid: 0.0 for nid in self.servers
+        }
+        self.leader_changes: List[LeaderChange] = []
+        for nid in self.servers:
+            self._arm_election_timer(nid)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _draw_timeout(self) -> float:
+        lo = self.timing.election_timeout_min_ms
+        hi = self.timing.election_timeout_max_ms
+        return lo + self.sim.rng.random() * (hi - lo)
+
+    def _arm_election_timer(self, nid: NodeId) -> None:
+        self._timer_epoch[nid] += 1
+        epoch = self._timer_epoch[nid]
+        self.sim.schedule(
+            self._draw_timeout(), lambda: self._election_timer_fired(nid, epoch)
+        )
+
+    def _election_timer_fired(self, nid: NodeId, epoch: int) -> None:
+        if epoch != self._timer_epoch[nid] or nid in self._crashed:
+            return
+        server = self.servers[nid]
+        members = self.scheme.members(server.config())
+        if nid in members and server.role != LEADER:
+            self._send_all(server.start_election(self.scheme))
+            if server.role == LEADER:
+                self._became_leader(nid)
+        self._arm_election_timer(nid)
+
+    def _became_leader(self, nid: NodeId) -> None:
+        server = self.servers[nid]
+        self.leader_changes.append(
+            LeaderChange(at_ms=self.sim.now, leader=nid, term=server.time)
+        )
+        self._heartbeat(nid, server.time)
+
+    def _heartbeat(self, nid: NodeId, term: int) -> None:
+        server = self.servers[nid]
+        if (
+            nid in self._crashed
+            or server.role != LEADER
+            or server.time != term
+        ):
+            return  # dethroned or dead: stop this heartbeat chain
+        self._send_all(server.broadcast_commit(self.scheme))
+        self.sim.schedule(
+            self.timing.heartbeat_ms, lambda: self._heartbeat(nid, term)
+        )
+
+    # ------------------------------------------------------------------
+    # Network
+    # ------------------------------------------------------------------
+
+    def _send_all(self, msgs) -> None:
+        msgs = list(msgs)
+        tx = self.latency.tx_per_entry_ms * sum(
+            self._payload(m) for m in msgs
+        )
+        for msg in msgs:
+            if msg.to not in self.servers:
+                continue
+            delay = tx + self.latency.sample(self.sim.rng, self._payload(msg))
+            self.sim.schedule(delay, lambda m=msg: self._receive(m))
+
+    def _payload(self, msg: Msg) -> int:
+        if isinstance(msg, (ElectReq, CommitReq)):
+            receiver = self.servers.get(msg.to)
+            have = len(receiver.log) if receiver is not None else 0
+            return max(0, len(msg.log) - have)
+        return 0
+
+    def _receive(self, msg: Msg) -> None:
+        if msg.to in self._crashed:
+            return
+        server = self.servers[msg.to]
+        was_leader = server.role == LEADER
+        responses = server.handle(msg, self.scheme)
+        if isinstance(msg, (CommitReq, ElectReq)) and responses:
+            # Any accepted traffic from a live leader/candidate counts
+            # as a heartbeat: push the election timer out.
+            self._last_heartbeat[msg.to] = self.sim.now
+            self._arm_election_timer(msg.to)
+        if not was_leader and server.role == LEADER:
+            self._became_leader(msg.to)
+        self.sim.schedule(
+            self.processing_ms, lambda: self._send_all(responses)
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def crash(self, nid: NodeId) -> None:
+        """Fail-stop ``nid`` (durable log survives)."""
+        self._crashed.add(nid)
+
+    def restart(self, nid: NodeId) -> None:
+        self._crashed.discard(nid)
+        self.servers[nid].role = "follower"
+        self._arm_election_timer(nid)
+
+    def leader(self) -> Optional[NodeId]:
+        """The live leader with the highest term, if any."""
+        best = None
+        for nid, server in self.servers.items():
+            if nid in self._crashed or server.role != LEADER:
+                continue
+            if best is None or server.time > self.servers[best].time:
+                best = nid
+        return best
+
+    def wait_for_leader(self, max_wait_ms: float = 2_000.0) -> Optional[NodeId]:
+        """Advance simulated time until some live node leads."""
+        deadline = self.sim.now + max_wait_ms
+        self.sim.run_until(
+            lambda: self.leader() is not None or self.sim.now >= deadline
+        )
+        return self.leader()
+
+    def submit(
+        self, payload: Method, max_wait_ms: float = 2_000.0
+    ) -> Optional[float]:
+        """Submit one command to whoever currently leads; returns the
+        commit latency or ``None`` on timeout (liveness, not safety)."""
+        start = self.sim.now
+        deadline = start + max_wait_ms
+        while self.sim.now < deadline:
+            leader = self.wait_for_leader(deadline - self.sim.now)
+            if leader is None:
+                return None
+            server = self.servers[leader]
+            if not server.invoke(payload):
+                continue
+            target = len(server.log)
+            self._send_all(server.broadcast_commit(self.scheme))
+            self.sim.run_until(
+                lambda: server.commit_len >= target
+                or server.role != LEADER
+                or leader in self._crashed
+                or self.sim.now >= deadline
+            )
+            if server.commit_len >= target:
+                return self.sim.now - start
+        return None
+
+    def run_for(self, duration_ms: float) -> None:
+        """Let the cluster run autonomously for a while."""
+        deadline = self.sim.now + duration_ms
+        self.sim.run_until(lambda: self.sim.now >= deadline)
+
+    def check_safety(self) -> List[str]:
+        problems: List[str] = []
+        items = sorted(
+            (nid, s.committed_log()) for nid, s in self.servers.items()
+        )
+        for i, (nid_a, log_a) in enumerate(items):
+            for nid_b, log_b in items[i + 1 :]:
+                upto = min(len(log_a), len(log_b))
+                if log_a[:upto] != log_b[:upto]:
+                    problems.append(
+                        f"S{nid_a}/S{nid_b} committed prefixes disagree"
+                    )
+        return problems

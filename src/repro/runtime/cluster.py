@@ -1,0 +1,246 @@
+"""An executable cluster: the Raft spec handlers on a simulated network.
+
+The paper extracts its Coq specification to OCaml and runs it on EC2;
+here the Python specification (:mod:`repro.raft.server`) *is* the
+executable, and :class:`Cluster` schedules its messages over the
+discrete-event simulator.  Client requests are processed sequentially
+by the leader: append, broadcast, gather acknowledgements, complete
+when the entry's index is committed.  Reconfiguration requests go
+through the same path (hot reconfiguration: processing never stops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.cache import Config, Method, NodeId
+from ..core.config import ReconfigScheme
+from ..raft.messages import CommitReq, ElectReq, Msg
+from ..raft.server import LEADER, Server
+from .simnet import LatencyModel, Simulator
+
+
+@dataclass
+class RequestRecord:
+    """Timing of one client request."""
+
+    index: int
+    payload: object
+    is_reconfig: bool
+    submitted_ms: float
+    completed_ms: Optional[float] = None
+
+    @property
+    def latency_ms(self) -> Optional[float]:
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.submitted_ms
+
+
+class Cluster:
+    """A running cluster of specification servers on a simulated network."""
+
+    def __init__(
+        self,
+        conf0: Config,
+        scheme: ReconfigScheme,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        processing_ms: float = 0.05,
+        extra_nodes=(),
+    ) -> None:
+        self.scheme = scheme
+        self.sim = Simulator(seed=seed)
+        self.latency = latency or LatencyModel()
+        self.processing_ms = processing_ms
+        nodes = set(scheme.members(conf0)) | set(extra_nodes)
+        self.servers: Dict[NodeId, Server] = {
+            nid: Server(nid=nid, conf0=conf0) for nid in sorted(nodes)
+        }
+        self.records: List[RequestRecord] = []
+        self.messages_sent = 0
+        self._crashed: set = set()
+
+    # ------------------------------------------------------------------
+    # Failure injection (fail-stop with durable logs)
+    # ------------------------------------------------------------------
+
+    def crash(self, nid: NodeId) -> None:
+        """Fail-stop ``nid``: it drops every message until restarted.
+
+        Its local state (log, commit index) persists, as benign
+        consensus assumes durable storage.
+        """
+        if nid not in self.servers:
+            raise KeyError(f"unknown node {nid}")
+        self._crashed.add(nid)
+
+    def restart(self, nid: NodeId) -> None:
+        """Bring a crashed node back with its durable state intact."""
+        self._crashed.discard(nid)
+
+    def is_crashed(self, nid: NodeId) -> bool:
+        return nid in self._crashed
+
+    # ------------------------------------------------------------------
+    # Network plumbing
+    # ------------------------------------------------------------------
+
+    def _payload_size(self, msg: Msg) -> int:
+        """Entries the receiver does not have yet.
+
+        The specification ships full logs, but a real transport sends
+        deltas; charging only the receiver's missing suffix keeps
+        steady-state request latency flat while making the catch-up of
+        a freshly (re-)added node -- an empty log receiving everything
+        -- visibly expensive, which is exactly the asymmetry Fig. 16
+        shows between shrinking and growing the cluster.
+        """
+        if isinstance(msg, (ElectReq, CommitReq)):
+            receiver = self.servers.get(msg.to)
+            have = len(receiver.log) if receiver is not None else 0
+            return max(0, len(msg.log) - have)
+        return 0
+
+    def _send(self, msg: Msg, extra_delay: float = 0.0) -> None:
+        if msg.to not in self.servers:
+            return
+        self.messages_sent += 1
+        delay = extra_delay + self.latency.sample(
+            self.sim.rng, self._payload_size(msg)
+        )
+        self.sim.schedule(delay, lambda m=msg: self._receive(m))
+
+    def _send_all(self, msgs) -> None:
+        msgs = list(msgs)
+        # Sender-side serialization: the whole batch waits for its total
+        # encoding cost, so one full-log catch-up message (to a freshly
+        # added node) delays that round for everyone -- the Fig. 16
+        # growth spike.
+        tx_cost = self.latency.tx_per_entry_ms * sum(
+            self._payload_size(m) for m in msgs
+        )
+        for msg in msgs:
+            self._send(msg, extra_delay=tx_cost)
+
+    def _receive(self, msg: Msg) -> None:
+        if msg.to in self._crashed:
+            return  # dropped on the floor: the recipient is down
+        server = self.servers[msg.to]
+        responses = server.handle(msg, self.scheme)
+        self.sim.schedule(self.processing_ms, lambda: self._send_all(responses))
+
+    # ------------------------------------------------------------------
+    # Cluster operations
+    # ------------------------------------------------------------------
+
+    def elect(self, nid: NodeId, max_wait_ms: float = 1_000.0) -> bool:
+        """Run an election by ``nid`` and wait for it to resolve."""
+        if nid in self._crashed:
+            return False
+        server = self.servers[nid]
+        self._send_all(server.start_election(self.scheme))
+        deadline = self.sim.now + max_wait_ms
+        self.sim.run_until(
+            lambda: server.role == LEADER or self.sim.now >= deadline
+            or self.sim.pending() == 0
+        )
+        return server.role == LEADER
+
+    def leader(self) -> Optional[NodeId]:
+        """The highest-term current leader, if any."""
+        best: Optional[NodeId] = None
+        for nid, server in self.servers.items():
+            if server.role == LEADER:
+                if best is None or server.time > self.servers[best].time:
+                    best = nid
+        return best
+
+    def submit(
+        self,
+        payload: Method,
+        leader: NodeId,
+        max_wait_ms: float = 10_000.0,
+    ) -> RequestRecord:
+        """Submit one regular command and wait until it is committed."""
+        return self._submit(payload, leader, False, max_wait_ms)
+
+    def submit_reconfig(
+        self,
+        new_conf: Config,
+        leader: NodeId,
+        max_wait_ms: float = 10_000.0,
+    ) -> RequestRecord:
+        """Submit a reconfiguration command and wait for commit."""
+        return self._submit(new_conf, leader, True, max_wait_ms)
+
+    def _submit(
+        self, payload, leader_id: NodeId, is_reconfig: bool, max_wait_ms: float
+    ) -> RequestRecord:
+        if leader_id in self._crashed:
+            raise RuntimeError(f"leader S{leader_id} is down")
+        server = self.servers[leader_id]
+        record = RequestRecord(
+            index=len(self.records),
+            payload=payload,
+            is_reconfig=is_reconfig,
+            submitted_ms=self.sim.now,
+        )
+        self.records.append(record)
+        if is_reconfig:
+            ok, reason = server.reconfig(payload, self.scheme)
+            if not ok:
+                raise RuntimeError(f"reconfig denied: {reason}")
+        else:
+            if not server.invoke(payload):
+                raise RuntimeError("invoke refused: not leader")
+        target_len = len(server.log)
+        self._send_all(server.broadcast_commit(self.scheme))
+        deadline = self.sim.now + max_wait_ms
+        done = self.sim.run_until(
+            lambda: server.commit_len >= target_len
+            or self.sim.now >= deadline
+            or self.sim.pending() == 0
+        )
+        if server.commit_len < target_len:
+            raise RuntimeError(
+                f"request {record.index} did not commit within "
+                f"{max_wait_ms}ms (commit_len={server.commit_len}, "
+                f"target={target_len}, pending={self.sim.pending()})"
+            )
+        record.completed_ms = self.sim.now
+        return record
+
+    def sync_followers(self, leader_id: NodeId, max_wait_ms: float = 1_000.0):
+        """One extra broadcast so followers learn the commit index."""
+        server = self.servers[leader_id]
+        self._send_all(server.broadcast_commit(self.scheme))
+        deadline = self.sim.now + max_wait_ms
+        self.sim.run_until(
+            lambda: self.sim.now >= deadline or self.sim.pending() == 0
+        )
+
+    # ------------------------------------------------------------------
+
+    def committed_entries(self, nid: NodeId):
+        return self.servers[nid].committed_log()
+
+    def check_safety(self) -> List[str]:
+        """The network-level safety check over the live cluster."""
+        problems: List[str] = []
+        items = sorted(
+            (nid, s.committed_log()) for nid, s in self.servers.items()
+        )
+        for i, (nid_a, log_a) in enumerate(items):
+            for nid_b, log_b in items[i + 1 :]:
+                upto = min(len(log_a), len(log_b))
+                if log_a[:upto] != log_b[:upto]:
+                    problems.append(
+                        f"S{nid_a}/S{nid_b} committed prefixes disagree"
+                    )
+        return problems
+
+    def latencies(self) -> List[float]:
+        """Latencies of completed requests, in submission order."""
+        return [r.latency_ms for r in self.records if r.latency_ms is not None]

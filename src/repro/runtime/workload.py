@@ -1,0 +1,115 @@
+"""Workload generators, including the Fig. 16 reconfiguration workload.
+
+The paper's experiment: "reconfigures after every 1000 client requests,
+starting with five nodes, dropping to three, then increasing back to
+five", with per-request latency reported as max/mean/min over eight
+runs.  The single-node scheme changes one member at a time, so the
+5 → 3 → 5 trajectory is 5 → 4 → 3 → 4 → 5 with one change at each
+1000-request boundary, exactly as the figure's (n) annotations show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.cache import NodeId
+from ..schemes.single_node import RaftSingleNodeScheme
+from .cluster import Cluster, RequestRecord
+from .simnet import LatencyModel
+
+
+@dataclass
+class Fig16Config:
+    """Parameters of the Fig. 16 reproduction."""
+
+    #: Requests between reconfigurations (paper: 1000).
+    requests_per_phase: int = 1000
+    #: The membership trajectory; each step differs by one node.
+    phases: Tuple[frozenset, ...] = (
+        frozenset({1, 2, 3, 4, 5}),
+        frozenset({1, 2, 3, 4}),
+        frozenset({1, 2, 3}),
+        frozenset({1, 2, 3, 4}),
+        frozenset({1, 2, 3, 4, 5}),
+    )
+    leader: NodeId = 1
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self) -> None:
+        if self.requests_per_phase <= 0:
+            raise ValueError("requests_per_phase must be positive")
+        if not self.phases:
+            raise ValueError("at least one phase is required")
+        for before, after in zip(self.phases, self.phases[1:]):
+            if len(frozenset(before) ^ frozenset(after)) != 1:
+                raise ValueError(
+                    f"consecutive phases must differ by exactly one node "
+                    f"(single-node scheme): {sorted(before)} -> "
+                    f"{sorted(after)}"
+                )
+        if any(self.leader not in phase for phase in self.phases):
+            raise ValueError(
+                f"the driving leader {self.leader} must belong to every "
+                "phase of this workload"
+            )
+
+
+@dataclass
+class Fig16Run:
+    """One run's per-request latencies plus reconfiguration markers."""
+
+    latencies_ms: List[float]
+    reconfig_indices: List[int]
+    reconfig_latencies_ms: List[float]
+    phase_sizes: List[int]
+
+
+def run_fig16_workload(seed: int, config: Optional[Fig16Config] = None) -> Fig16Run:
+    """One run of the reconfiguration workload on the simulated cluster."""
+    cfg = config or Fig16Config()
+    scheme = RaftSingleNodeScheme()
+    all_nodes = frozenset().union(*cfg.phases)
+    cluster = Cluster(
+        cfg.phases[0],
+        scheme,
+        seed=seed,
+        latency=cfg.latency,
+        extra_nodes=all_nodes,
+    )
+    if not cluster.elect(cfg.leader):
+        raise RuntimeError("initial election failed")
+
+    latencies: List[float] = []
+    reconfig_indices: List[int] = []
+    reconfig_latencies: List[float] = []
+    counter = 0
+    for phase_idx, members in enumerate(cfg.phases):
+        if phase_idx > 0:
+            record = cluster.submit_reconfig(members, cfg.leader)
+            reconfig_indices.append(len(latencies))
+            reconfig_latencies.append(record.latency_ms)
+            # The reconfiguration is itself a request in the latency
+            # series (the figure shows its spike inline).
+            latencies.append(record.latency_ms)
+        for _ in range(cfg.requests_per_phase):
+            counter += 1
+            record = cluster.submit(f"req-{counter}", cfg.leader)
+            latencies.append(record.latency_ms)
+
+    violations = cluster.check_safety()
+    if violations:
+        raise AssertionError("; ".join(violations))
+    return Fig16Run(
+        latencies_ms=latencies,
+        reconfig_indices=reconfig_indices,
+        reconfig_latencies_ms=reconfig_latencies,
+        phase_sizes=[len(m) for m in cfg.phases],
+    )
+
+
+def run_fig16_experiment(
+    runs: int = 8, config: Optional[Fig16Config] = None, seed0: int = 1
+) -> List[Fig16Run]:
+    """The eight-run experiment of Fig. 16 (seeded per run)."""
+    return [run_fig16_workload(seed0 + i, config) for i in range(runs)]

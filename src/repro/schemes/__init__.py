@@ -1,0 +1,67 @@
+"""Reconfiguration schemes (Section 6) and their assumption checkers.
+
+Each scheme instantiates the paper's opaque parameters (``Config``,
+``mbrs``, ``isQuorum``, ``R1⁺``).  The safety proof holds for any scheme
+satisfying REFLEXIVE and OVERLAP; :mod:`repro.schemes.assumptions`
+checks those exhaustively over bounded node universes.
+
+Bundled schemes (the four from Section 6 plus two more, matching the
+artifact's six examples):
+
+* :class:`RaftSingleNodeScheme` -- majority quorums, one node at a time.
+* :class:`JointConsensusScheme` -- Raft joint consensus with explicit
+  joint configurations.
+* :class:`PrimaryBackupScheme` -- chain-replication style; quorum = any
+  set containing the primary.
+* :class:`DynamicQuorumScheme` -- Vertical-Paxos style explicit quorum
+  sizes.
+* :class:`UnanimousScheme` -- full quorums, arbitrary one-step changes.
+* :class:`WeightedMajorityScheme` -- weighted majorities with a
+  pigeonhole R1⁺.
+
+Plus :class:`RotatingPrimaryScheme` (the paper's suggested primary-
+rotation remedy) and the deliberately broken
+:class:`UnsafeMultiNodeScheme` used by the ablation experiments.
+"""
+
+from ..core.config import ReconfigScheme, StaticScheme, majority
+from .assumptions import (
+    AssumptionReport,
+    check_all_schemes,
+    check_assumptions,
+    configs_for,
+    register_config_generator,
+)
+from .dynamic_quorum import DynamicQuorumScheme, SizedConfig
+from .joint import JointConfig, JointConsensusScheme
+from .primary_backup import (
+    PrimaryBackupConfig,
+    PrimaryBackupScheme,
+    RotatingPrimaryScheme,
+)
+from .single_node import RaftSingleNodeScheme, UnsafeMultiNodeScheme
+from .unanimous import UnanimousScheme
+from .weighted import WeightedConfig, WeightedMajorityScheme
+
+__all__ = [
+    "AssumptionReport",
+    "DynamicQuorumScheme",
+    "JointConfig",
+    "JointConsensusScheme",
+    "PrimaryBackupConfig",
+    "PrimaryBackupScheme",
+    "RaftSingleNodeScheme",
+    "ReconfigScheme",
+    "RotatingPrimaryScheme",
+    "SizedConfig",
+    "StaticScheme",
+    "UnanimousScheme",
+    "UnsafeMultiNodeScheme",
+    "WeightedConfig",
+    "WeightedMajorityScheme",
+    "check_all_schemes",
+    "check_assumptions",
+    "configs_for",
+    "majority",
+    "register_config_generator",
+]

@@ -1,0 +1,215 @@
+"""Exhaustive checking of the REFLEXIVE and OVERLAP assumptions (Fig. 7).
+
+The paper's safety proof is parameterized: it holds for *any* scheme
+whose ``R1⁺``/``isQuorum`` satisfy
+
+* REFLEXIVE -- ``R1⁺(cf, cf)`` for every valid configuration, and
+* OVERLAP -- ``R1⁺(cf, cf') ∧ isQuorum(Q, cf) ∧ isQuorum(Q', cf')
+  ⟹ Q ∩ Q' ≠ ∅``.
+
+In Coq these are per-scheme side-condition proofs (~200 lines for six
+schemes).  Here :func:`check_assumptions` verifies them *exhaustively*
+over every configuration constructible from a bounded node universe and
+every pair of quorums, reporting the number of cases covered -- the
+small-scope analogue of the proof obligations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple, Type
+
+from ..core.cache import Config, NodeId
+from ..core.config import ReconfigScheme, StaticScheme
+from .dynamic_quorum import DynamicQuorumScheme, SizedConfig
+from .joint import JointConfig, JointConsensusScheme
+from .primary_backup import PrimaryBackupConfig, PrimaryBackupScheme, RotatingPrimaryScheme
+from .single_node import RaftSingleNodeScheme, UnsafeMultiNodeScheme
+from .unanimous import UnanimousScheme
+from .weighted import WeightedConfig, WeightedMajorityScheme
+
+
+@dataclass
+class AssumptionReport:
+    """The result of exhaustively checking REFLEXIVE and OVERLAP."""
+
+    scheme: str
+    universe: Tuple[NodeId, ...]
+    configs_checked: int = 0
+    transition_pairs: int = 0
+    quorum_pairs_checked: int = 0
+    reflexive_violations: List[str] = field(default_factory=list)
+    overlap_violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when both assumptions held over the entire universe."""
+        return not self.reflexive_violations and not self.overlap_violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "VIOLATED"
+        return (
+            f"{self.scheme}: {status} -- {self.configs_checked} configs, "
+            f"{self.transition_pairs} R1+ transitions, "
+            f"{self.quorum_pairs_checked} quorum pairs "
+            f"(universe {list(self.universe)})"
+        )
+
+
+def _nonempty_subsets(nodes: Sequence[NodeId]) -> Iterator[frozenset]:
+    for size in range(1, len(nodes) + 1):
+        for combo in itertools.combinations(sorted(nodes), size):
+            yield frozenset(combo)
+
+
+def _quorums(scheme: ReconfigScheme, conf: Config) -> List[frozenset]:
+    members = sorted(scheme.members(conf))
+    return [
+        group for group in _nonempty_subsets(members) if scheme.is_quorum(group, conf)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Config universe generators, one per scheme family
+# ----------------------------------------------------------------------
+
+ConfigGenerator = Callable[[Sequence[NodeId]], Iterator[Config]]
+
+_GENERATORS: Dict[Type[ReconfigScheme], ConfigGenerator] = {}
+
+
+def register_config_generator(
+    scheme_type: Type[ReconfigScheme],
+) -> Callable[[ConfigGenerator], ConfigGenerator]:
+    """Decorator registering the bounded config universe for a scheme type."""
+
+    def wrap(generator: ConfigGenerator) -> ConfigGenerator:
+        _GENERATORS[scheme_type] = generator
+        return generator
+
+    return wrap
+
+
+def configs_for(scheme: ReconfigScheme, nodes: Sequence[NodeId]) -> List[Config]:
+    """All valid configurations of ``scheme`` over the node universe."""
+    for scheme_type in type(scheme).__mro__:
+        if scheme_type in _GENERATORS:
+            raw = _GENERATORS[scheme_type](nodes)
+            return [conf for conf in raw if scheme.is_valid_config(conf)]
+    raise KeyError(f"no config generator registered for {type(scheme).__name__}")
+
+
+@register_config_generator(RaftSingleNodeScheme)
+@register_config_generator(UnsafeMultiNodeScheme)
+@register_config_generator(UnanimousScheme)
+@register_config_generator(StaticScheme)
+def _set_configs(nodes: Sequence[NodeId]) -> Iterator[Config]:
+    yield from _nonempty_subsets(nodes)
+
+
+@register_config_generator(JointConsensusScheme)
+def _joint_configs(nodes: Sequence[NodeId]) -> Iterator[Config]:
+    subsets = list(_nonempty_subsets(nodes))
+    for old in subsets:
+        yield JointConfig(old=old, new=None)
+        for new in subsets:
+            yield JointConfig(old=old, new=new)
+
+
+@register_config_generator(PrimaryBackupScheme)
+@register_config_generator(RotatingPrimaryScheme)
+def _pb_configs(nodes: Sequence[NodeId]) -> Iterator[Config]:
+    for primary in sorted(nodes):
+        rest = [n for n in sorted(nodes) if n != primary]
+        for size in range(len(rest) + 1):
+            for backups in itertools.combinations(rest, size):
+                yield PrimaryBackupConfig.of(primary, backups)
+
+
+@register_config_generator(DynamicQuorumScheme)
+def _sized_configs(nodes: Sequence[NodeId]) -> Iterator[Config]:
+    for members in _nonempty_subsets(nodes):
+        for quorum_size in range(1, len(members) + 1):
+            yield SizedConfig(quorum_size=quorum_size, members=members)
+
+
+@register_config_generator(WeightedMajorityScheme)
+def _weighted_configs(nodes: Sequence[NodeId]) -> Iterator[Config]:
+    # Weights in {1, 2} keep the universe tractable while exercising the
+    # non-uniform pigeonhole argument.
+    for members in _nonempty_subsets(nodes):
+        ordered = sorted(members)
+        for weights in itertools.product((1, 2), repeat=len(ordered)):
+            yield WeightedConfig.of(dict(zip(ordered, weights)))
+
+
+# ----------------------------------------------------------------------
+# The checker
+# ----------------------------------------------------------------------
+
+def check_assumptions(
+    scheme: ReconfigScheme,
+    nodes: Sequence[NodeId],
+    configs: Iterable[Config] = None,
+    stop_at_first: bool = False,
+) -> AssumptionReport:
+    """Exhaustively verify REFLEXIVE and OVERLAP over a bounded universe.
+
+    ``configs`` defaults to every valid configuration constructible from
+    ``nodes`` for the scheme's family.  ``stop_at_first`` aborts on the
+    first violation (useful when demonstrating that an ablated scheme is
+    broken without enumerating every witness).
+    """
+    config_list = list(configs) if configs is not None else configs_for(scheme, nodes)
+    report = AssumptionReport(scheme=scheme.name, universe=tuple(sorted(nodes)))
+    report.configs_checked = len(config_list)
+
+    for conf in config_list:
+        if not scheme.r1_plus(conf, conf):
+            report.reflexive_violations.append(
+                f"R1+ not reflexive at {scheme.describe_config(conf)}"
+            )
+            if stop_at_first:
+                return report
+
+    quorum_cache: Dict[Config, List[frozenset]] = {}
+
+    def quorums_of(conf: Config) -> List[frozenset]:
+        if conf not in quorum_cache:
+            quorum_cache[conf] = _quorums(scheme, conf)
+        return quorum_cache[conf]
+
+    for old, new in itertools.product(config_list, repeat=2):
+        if not scheme.r1_plus(old, new):
+            continue
+        report.transition_pairs += 1
+        for q_old in quorums_of(old):
+            for q_new in quorums_of(new):
+                report.quorum_pairs_checked += 1
+                if not q_old & q_new:
+                    report.overlap_violations.append(
+                        f"disjoint quorums {sorted(q_old)} / {sorted(q_new)} for "
+                        f"{scheme.describe_config(old)} → {scheme.describe_config(new)}"
+                    )
+                    if stop_at_first:
+                        return report
+    return report
+
+
+def check_all_schemes(
+    nodes: Sequence[NodeId], schemes: Iterable[ReconfigScheme] = None
+) -> List[AssumptionReport]:
+    """Check every bundled scheme over the node universe."""
+    if schemes is None:
+        schemes = [
+            RaftSingleNodeScheme(),
+            JointConsensusScheme(),
+            PrimaryBackupScheme(),
+            RotatingPrimaryScheme(),
+            DynamicQuorumScheme(),
+            UnanimousScheme(),
+            WeightedMajorityScheme(),
+            StaticScheme(),
+        ]
+    return [check_assumptions(scheme, nodes) for scheme in schemes]

@@ -1,0 +1,43 @@
+"""Unanimous (full) quorums -- the fast-reconfiguration extreme.
+
+Section 6 observes that with quorum size ``n`` (every member must vote),
+``n - 1`` replicas can safely be changed at once.  This scheme realizes
+that extreme::
+
+    Config ≜ Set(N_nid)
+    isQuorum(S, C) ≜ C ⊆ S
+    R1⁺(C, C') ≜ C ∩ C' ≠ ∅
+
+Any two full quorums of overlapping member sets share the common member,
+so OVERLAP holds whenever at least one node carries over -- arbitrary
+wholesale membership changes in a single step, at the cost of requiring
+every member to acknowledge every election and commit (crash of any one
+member blocks progress; safety, which is all Adore claims, is intact).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from ..core.cache import Config, NodeId
+from ..core.config import ReconfigScheme
+
+
+class UnanimousScheme(ReconfigScheme):
+    """Every member must support every quorum; one shared node suffices."""
+
+    name = "unanimous"
+
+    def members(self, conf: Config) -> FrozenSet[NodeId]:
+        return frozenset(conf)
+
+    def is_quorum(self, group: Iterable[NodeId], conf: Config) -> bool:
+        conf_set = frozenset(conf)
+        return bool(conf_set) and conf_set <= frozenset(group)
+
+    def r1_plus(self, old: Config, new: Config) -> bool:
+        old_set, new_set = frozenset(old), frozenset(new)
+        return bool(old_set & new_set)
+
+    def is_valid_config(self, conf: Config) -> bool:
+        return len(frozenset(conf)) > 0

@@ -1,0 +1,229 @@
+"""Unit tests for the ADO model (Appendix D.1)."""
+
+import pytest
+
+from repro.ado import (
+    ADO_FAIL,
+    AdoCache,
+    AdoMachine,
+    CID,
+    InvokeMinus,
+    InvokePlus,
+    NO_OWN,
+    PullMinus,
+    PullOkAdo,
+    PullPlus,
+    PullPreempt,
+    PullStar,
+    PushMinus,
+    PushOkAdo,
+    PushPlus,
+    ROOT,
+    RandomAdoOracle,
+    ScriptedAdoOracle,
+    ancestors,
+    depth,
+    initial_state,
+    interp,
+    interp_all,
+    is_le,
+    is_lt,
+    next_cid,
+    partition,
+    position_valid,
+    vote_no_own,
+)
+from repro.core.errors import InvalidOracleOutcome
+
+
+class TestCid:
+    def test_next_cid_extends_chain(self):
+        first = CID(1, 1, ROOT)
+        second = next_cid(first)
+        assert second == CID(1, 1, first)
+        assert second.parent == first
+
+    def test_ancestors_walk_to_root(self):
+        a = CID(1, 1, ROOT)
+        b = next_cid(a)
+        assert list(ancestors(b)) == [a, ROOT]
+
+    def test_order_is_proper_ancestry(self):
+        a = CID(1, 1, ROOT)
+        b = next_cid(a)
+        assert is_lt(a, b)
+        assert is_lt(ROOT, b)
+        assert not is_lt(b, a)
+        assert not is_lt(a, a)
+        assert is_le(a, a)
+
+    def test_depth(self):
+        a = CID(1, 1, ROOT)
+        assert depth(ROOT) == 0
+        assert depth(a) == 1
+        assert depth(next_cid(a)) == 2
+
+
+class TestOwnerMap:
+    def test_vote_no_own_burns_unclaimed_slots(self):
+        state = initial_state()
+        owners = vote_no_own(state.owners.set(3, 7), 2)
+        assert owners.get(1) == NO_OWN
+        assert owners.get(2) == NO_OWN
+        assert owners.get(3) == 7
+
+    def test_no_owner_at(self):
+        state = initial_state()
+        assert state.no_owner_at(5)
+        state = interp(PullPlus(1, 5, ROOT), state)
+        assert not state.no_owner_at(5)
+
+
+class TestPartition:
+    def test_partition_splits_at_ccid(self):
+        a = CID(1, 1, ROOT)
+        b = next_cid(a)
+        c = next_cid(b)
+        caches = {AdoCache(a, "m1"), AdoCache(b, "m2"), AdoCache(c, "m3")}
+        committed, survivors = partition(caches, b)
+        assert [cache.method for cache in committed] == ["m1", "m2"]
+        assert {cache.method for cache in survivors} == {"m3"}
+
+    def test_partition_discards_siblings(self):
+        a = CID(1, 1, ROOT)
+        sibling = CID(2, 2, ROOT)
+        caches = {AdoCache(a, "m1"), AdoCache(sibling, "other")}
+        committed, survivors = partition(caches, a)
+        assert [c.method for c in committed] == ["m1"]
+        assert survivors == frozenset()
+
+
+class TestInterp:
+    def test_pull_plus_sets_cid_and_owner(self):
+        state = interp(PullPlus(1, 3, ROOT), initial_state())
+        assert state.active_cid(1) == CID(1, 3, ROOT)
+        assert state.owners.get(3) == 1
+        # Earlier timestamps are burnt.
+        assert state.owners.get(2) == NO_OWN
+
+    def test_pull_star_burns_through_time(self):
+        state = interp(PullStar(1, 2), initial_state())
+        assert state.owners.get(2) == NO_OWN
+        assert state.owners.get(1) == NO_OWN
+
+    def test_failures_are_noops(self):
+        state = initial_state()
+        for event in (PullMinus(1), InvokeMinus(1), PushMinus(1)):
+            assert interp(event, state) == state
+
+    def test_invoke_adds_cache_and_advances_cid(self):
+        state = interp(PullPlus(1, 1, ROOT), initial_state())
+        state = interp(InvokePlus(1, "m"), state)
+        cache_cid = CID(1, 1, ROOT)
+        assert AdoCache(cache_cid, "m") in state.caches
+        assert state.active_cid(1) == next_cid(cache_cid)
+
+    def test_push_moves_prefix_to_persist(self):
+        state = interp(PullPlus(1, 1, ROOT), initial_state())
+        state = interp(InvokePlus(1, "m1"), state)
+        state = interp(InvokePlus(1, "m2"), state)
+        first = CID(1, 1, ROOT)
+        state = interp(PushPlus(1, first), state)
+        assert [c.method for c in state.persist] == ["m1"]
+        assert {c.method for c in state.caches} == {"m2"}
+        assert state.root() == first
+
+    def test_interp_all_folds(self):
+        events = [
+            PullPlus(1, 1, ROOT),
+            InvokePlus(1, "m1"),
+            PushPlus(1, CID(1, 1, ROOT)),
+        ]
+        state = interp_all(events)
+        assert [c.method for c in state.persist] == ["m1"]
+
+
+class TestPositionValidity:
+    def test_position_invalid_after_sibling_commit(self):
+        # Client 2 forks from Root; client 1 commits; 2's position dies.
+        state = interp(PullPlus(1, 1, ROOT), initial_state())
+        state = interp(InvokePlus(1, "m1"), state)
+        state = interp(PullStar(2, 2), state)  # burnt, then 2 pulls at 3
+        state = interp(PullPlus(2, 3, ROOT), state)
+        state = interp(PushPlus(1, CID(1, 1, ROOT)), state)
+        assert not position_valid(state, state.active_cid(2))
+
+    def test_position_valid_on_committed_frontier(self):
+        state = interp(PullPlus(1, 1, ROOT), initial_state())
+        state = interp(InvokePlus(1, "m1"), state)
+        first = CID(1, 1, ROOT)
+        state = interp(PushPlus(1, first), state)
+        state = interp(PullPlus(1, 2, first), state)
+        assert position_valid(state, state.active_cid(1))
+
+
+class TestOracles:
+    def test_scripted_validates_pull_time(self):
+        oracle = ScriptedAdoOracle([PullOkAdo(time=1, cid=CID(1, 5, ROOT))])
+        machine = AdoMachine(oracle)
+        with pytest.raises(InvalidOracleOutcome):
+            machine.pull(1)
+
+    def test_scripted_rejects_owned_time(self):
+        oracle = ScriptedAdoOracle([
+            PullOkAdo(time=1, cid=ROOT),
+            PullOkAdo(time=1, cid=ROOT),
+        ])
+        machine = AdoMachine(oracle)
+        machine.pull(1)
+        with pytest.raises(InvalidOracleOutcome):
+            machine.pull(2)
+
+    def test_scripted_rejects_push_after_preemption(self):
+        oracle = ScriptedAdoOracle([
+            PullOkAdo(time=1, cid=ROOT),
+            PullPreempt(time=2),
+            PushOkAdo(cid=CID(1, 1, ROOT)),
+        ])
+        machine = AdoMachine(oracle)
+        machine.pull(1)
+        machine.invoke(1, "m")
+        machine.pull(2)
+        # maxOwner is now NoOwn at time 2, so node 1 cannot push.
+        with pytest.raises(InvalidOracleOutcome):
+            machine.push(1)
+
+    def test_random_oracle_produces_valid_runs(self):
+        machine = AdoMachine(RandomAdoOracle(seed=3, fail_prob=0.2))
+        for step in range(40):
+            nid = (step % 3) + 1
+            machine.pull(nid)
+            machine.invoke(nid, f"m{step}")
+            machine.push(nid)
+        # Replay from the event log reproduces the state (determinism).
+        assert machine.replay() == machine.state
+
+
+class TestMachine:
+    def test_basic_commit_flow(self):
+        oracle = ScriptedAdoOracle([
+            PullOkAdo(time=1, cid=ROOT),
+            PushOkAdo(cid=CID(1, 1, ROOT)),
+        ])
+        machine = AdoMachine(oracle)
+        machine.pull(1)
+        machine.invoke(1, "M1")
+        machine.invoke(1, "M2")
+        machine.push(1)
+        assert machine.persistent_methods() == ["M1"]
+        assert len(machine.state.caches) == 1
+
+    def test_invoke_without_pull_fails(self):
+        machine = AdoMachine(ScriptedAdoOracle([]))
+        event = machine.invoke(1, "m")
+        assert isinstance(event, InvokeMinus)
+
+    def test_fail_outcomes_are_noop_events(self):
+        machine = AdoMachine(ScriptedAdoOracle([ADO_FAIL, ADO_FAIL]))
+        assert isinstance(machine.pull(1), PullMinus)
+        assert isinstance(machine.push(1), PushMinus)

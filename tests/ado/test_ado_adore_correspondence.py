@@ -1,0 +1,163 @@
+"""Cross-model scenarios: the ADO model (Appendix D) and Adore agree on
+committed method sequences when driven by corresponding schedules.
+
+Adore is the ADO "opened up": it drops the separate persistent log and
+keeps commit metadata in the tree.  For any schedule expressible in
+both models, the ADO's persistent log must equal Adore's committed
+method sequence.
+"""
+
+from repro.ado import (
+    ADO_FAIL,
+    AdoMachine,
+    CID,
+    PullOkAdo,
+    PushOkAdo,
+    ROOT,
+    ScriptedAdoOracle,
+    next_cid,
+)
+from repro.core import (
+    AdoreMachine,
+    PullOk,
+    PushOk,
+    ScriptedOracle,
+    committed_methods,
+)
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+F = frozenset
+
+
+def adore_machine(outcomes):
+    return AdoreMachine.create(NODES, SCHEME, ScriptedOracle(outcomes))
+
+
+class TestCommittedLogCorrespondence:
+    def test_single_leader_full_commit(self):
+        ado = AdoMachine(ScriptedAdoOracle([
+            PullOkAdo(time=1, cid=ROOT),
+            PushOkAdo(cid=next_cid(CID(1, 1, ROOT))),  # commit both
+        ]))
+        ado.pull(1)
+        ado.invoke(1, "m1")
+        ado.invoke(1, "m2")
+        ado.push(1)
+
+        adore = adore_machine([
+            PullOk(group=F({1, 2}), time=1),
+            PushOk(group=F({1, 2}), target=3),  # M2's cid
+        ])
+        adore.pull(1)
+        adore.invoke(1, "m1")
+        adore.invoke(1, "m2")
+        adore.push(1)
+
+        assert ado.persistent_methods() == ["m1", "m2"]
+        assert committed_methods(adore.state.tree) == ["m1", "m2"]
+
+    def test_partial_commit_prefix(self):
+        # Both models commit only the first of two methods; the second
+        # remains a viable uncommitted continuation.
+        first = CID(1, 1, ROOT)
+        ado = AdoMachine(ScriptedAdoOracle([
+            PullOkAdo(time=1, cid=ROOT),
+            PushOkAdo(cid=first),
+        ]))
+        ado.pull(1)
+        ado.invoke(1, "m1")
+        ado.invoke(1, "m2")
+        ado.push(1)
+
+        adore = adore_machine([
+            PullOk(group=F({1, 2}), time=1),
+            PushOk(group=F({1, 2}), target=2),  # M1's cid
+        ])
+        adore.pull(1)
+        adore.invoke(1, "m1")
+        adore.invoke(1, "m2")
+        adore.push(1)
+
+        assert ado.persistent_methods() == ["m1"]
+        assert committed_methods(adore.state.tree) == ["m1"]
+        # The uncommitted m2 is still present in both.
+        assert {c.method for c in ado.state.caches} == {"m2"}
+        live = [
+            adore.state.tree.cache(c).method
+            for c in adore.state.tree.cids()
+            if adore.state.tree.cache(c).kind == "M"
+            and not any(
+                adore.state.tree.cache(d).kind == "C"
+                for d in adore.state.tree.descendants(c)
+            )
+        ]
+        assert live == ["m2"]
+
+    def test_leader_change_drops_or_strands_junk(self):
+        # Leader 1 leaves an uncommitted method; leader 2 commits its
+        # own.  ADO deletes the stale branch at commit time; Adore
+        # strands it (append-only) -- committed sequences still agree.
+        junk_cid = CID(1, 1, ROOT)
+        ado = AdoMachine(ScriptedAdoOracle([
+            PullOkAdo(time=1, cid=ROOT),
+            PullOkAdo(time=2, cid=ROOT),
+            PushOkAdo(cid=CID(2, 2, ROOT)),
+        ]))
+        ado.pull(1)
+        ado.invoke(1, "junk")
+        ado.pull(2)
+        ado.invoke(2, "good")
+        ado.push(2)
+
+        adore = adore_machine([
+            PullOk(group=F({1, 2}), time=1),
+            PullOk(group=F({2, 3}), time=2),
+            PushOk(group=F({2, 3}), target=4),
+        ])
+        adore.pull(1)
+        adore.invoke(1, "junk")   # cid 2 under E1
+        adore.pull(2)             # E2 forks at root (2, 3 observed nothing)
+        adore.invoke(2, "good")   # cid 4
+        adore.push(2)
+
+        assert ado.persistent_methods() == ["good"]
+        assert committed_methods(adore.state.tree) == ["good"]
+        # ADO physically deleted the junk; Adore stranded it.
+        assert all(c.method != "junk" for c in ado.state.caches)
+        stranded = [
+            adore.state.tree.cache(c).method
+            for c in adore.state.tree.cids()
+            if adore.state.tree.cache(c).kind == "M"
+        ]
+        assert "junk" in stranded
+
+    def test_preempted_leader_cannot_commit_in_either_model(self):
+        from repro.core.errors import InvalidOracleOutcome
+
+        import pytest
+
+        # ADO: maxOwner has moved on.
+        ado = AdoMachine(ScriptedAdoOracle([
+            PullOkAdo(time=1, cid=ROOT),
+            PullOkAdo(time=2, cid=ROOT),
+            PushOkAdo(cid=CID(1, 1, ROOT)),
+        ]))
+        ado.pull(1)
+        ado.invoke(1, "m")
+        ado.pull(2)
+        with pytest.raises(InvalidOracleOutcome):
+            ado.push(1)
+
+        # Adore: the supporters' times exceed the target's.
+        adore = adore_machine([
+            PullOk(group=F({1, 2}), time=1),
+            PullOk(group=F({1, 2, 3}), time=2),
+            PushOk(group=F({1, 2}), target=2),
+        ])
+        adore.pull(1)
+        adore.invoke(1, "m")
+        adore.pull(2)
+        with pytest.raises(InvalidOracleOutcome):
+            adore.push(1)

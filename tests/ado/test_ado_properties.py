@@ -1,0 +1,105 @@
+"""Property-based tests for the ADO model's event-sourced semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ado import (
+    AdoMachine,
+    NO_OWN,
+    RandomAdoOracle,
+    interp_all,
+    is_le,
+)
+
+NODES = [1, 2, 3]
+
+
+def random_machine(data, steps=20):
+    seed = data.draw(st.integers(0, 10_000), label="seed")
+    fail_prob = data.draw(
+        st.sampled_from([0.0, 0.2, 0.5]), label="fail_prob"
+    )
+    machine = AdoMachine(RandomAdoOracle(seed=seed, fail_prob=fail_prob))
+    for step in range(steps):
+        nid = data.draw(st.sampled_from(NODES), label=f"nid{step}")
+        op = data.draw(
+            st.sampled_from(["pull", "invoke", "push"]), label=f"op{step}"
+        )
+        if op == "pull":
+            machine.pull(nid)
+        elif op == "invoke":
+            machine.invoke(nid, f"m{step}")
+        else:
+            machine.push(nid)
+    return machine
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_persistent_log_is_append_only(data):
+    seed = data.draw(st.integers(0, 10_000), label="seed")
+    machine = AdoMachine(RandomAdoOracle(seed=seed, fail_prob=0.2))
+    previous = ()
+    for step in range(25):
+        nid = data.draw(st.sampled_from(NODES), label=f"nid{step}")
+        op = data.draw(
+            st.sampled_from(["pull", "invoke", "push"]), label=f"op{step}"
+        )
+        if op == "invoke":
+            machine.invoke(nid, f"m{step}")
+        else:
+            getattr(machine, op)(nid)
+        current = machine.state.persist
+        assert current[: len(previous)] == previous
+        previous = current
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_event_log_replay_is_deterministic(data):
+    machine = random_machine(data)
+    assert interp_all(machine.events) == machine.state
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_persistent_log_forms_a_chain(data):
+    machine = random_machine(data)
+    persist = machine.state.persist
+    for earlier, later in zip(persist, persist[1:]):
+        assert is_le(earlier.cid, later.cid)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_owner_map_never_unburns_timestamps(data):
+    seed = data.draw(st.integers(0, 10_000), label="seed")
+    machine = AdoMachine(RandomAdoOracle(seed=seed, fail_prob=0.1))
+    claimed = {}
+    for step in range(25):
+        nid = data.draw(st.sampled_from(NODES), label=f"nid{step}")
+        op = data.draw(
+            st.sampled_from(["pull", "invoke", "push"]), label=f"op{step}"
+        )
+        if op == "invoke":
+            machine.invoke(nid, f"m{step}")
+        else:
+            getattr(machine, op)(nid)
+        for time, owner in machine.state.owners.items():
+            if time in claimed:
+                # An owned or burnt timestamp never changes hands.
+                assert claimed[time] == owner, (time, claimed[time], owner)
+            claimed[time] = owner
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_live_caches_descend_from_committed_root(data):
+    machine = random_machine(data)
+    state = machine.state
+    root = state.root()
+    if not state.persist:
+        return  # nothing committed yet: any shape is fine
+    # Every live cache strictly extends the committed frontier --
+    # partition() pruned the stale siblings at commit time.
+    for cache in state.caches:
+        assert is_le(root, cache.cid), (root, cache.cid)

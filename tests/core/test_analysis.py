@@ -1,0 +1,122 @@
+"""Tests for the analysis helpers (stats, rendering, effort counting)."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_COQ_LOC,
+    aggregate_runs,
+    count_file,
+    count_tree,
+    downsample,
+    effort_breakdown,
+    package_root,
+    percentile,
+    render_series,
+    render_table,
+    spike_indices,
+    summarize,
+)
+
+
+class TestStats:
+    def test_percentile_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 2.5
+
+    def test_percentile_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert len(summary.row()) == 6
+
+    def test_aggregate_runs(self):
+        maxima, means, minima = aggregate_runs([[1, 4], [3, 2]])
+        assert maxima == [3, 4]
+        assert means == [2, 3]
+        assert minima == [1, 2]
+
+    def test_aggregate_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([[1], [1, 2]])
+
+    def test_downsample_preserves_short_series(self):
+        assert downsample([1, 2], 10) == [1, 2]
+
+    def test_downsample_bucket_means(self):
+        out = downsample([1, 1, 3, 3], 2)
+        assert out == [1.0, 3.0]
+
+    def test_spike_indices(self):
+        values = [1.0] * 10 + [10.0]
+        assert spike_indices(values) == [10]
+
+
+class TestRender:
+    def test_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+
+    def test_series_has_extremes_and_markers(self):
+        text = render_series([1, 2, 3, 2, 1], width=5, markers=[2])
+        assert "max" in text and "min" in text
+        assert "^" in text
+
+    def test_series_empty(self):
+        assert render_series([]) == "(empty series)"
+
+
+class TestEffort:
+    def test_count_file_distinguishes_kinds(self, tmp_path):
+        path = tmp_path / "sample.py"
+        path.write_text(
+            '"""Docstring\nline two\n"""\n\n# comment\nx = 1\n'
+        )
+        code, docs, blank = count_file(str(path))
+        assert code == 1
+        assert docs == 4
+        assert blank == 1
+
+    def test_count_tree_aggregates(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("y = 2\nz = 3\n")
+        loc = count_tree(str(tmp_path), name="sample")
+        assert loc.files == 2
+        assert loc.code == 3
+        assert loc.total == 3
+
+    def test_effort_breakdown_covers_subsystems(self):
+        names = {m.name for m in effort_breakdown()}
+        expected = {
+            "repro.core",
+            "repro.cado",
+            "repro.ado",
+            "repro.schemes",
+            "repro.raft",
+            "repro.refinement",
+            "repro.mc",
+            "repro.runtime",
+            "repro.analysis",
+        }
+        assert expected <= names
+
+    def test_paper_numbers_present(self):
+        assert PAPER_COQ_LOC["adore total"] == 10_800
+        assert PAPER_COQ_LOC["refinement"] == 13_800
+
+    def test_package_root_is_a_directory(self):
+        import os
+
+        assert os.path.isdir(package_root())

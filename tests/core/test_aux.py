@@ -1,0 +1,171 @@
+"""Unit tests for the auxiliary definitions (Fig. 9/26): mostRecent,
+activeCache, lastCommit, canCommit, R2, R3, canReconf."""
+
+from repro.core import (
+    can_commit,
+    can_reconf,
+    active_cache,
+    last_commit,
+    most_recent,
+    r2_holds,
+    r3_holds,
+    valid_supp,
+)
+from repro.core.tree import ROOT_CID
+from repro.schemes import RaftSingleNodeScheme
+
+from ..helpers import NODES3, build_tree, cc, ec, mc, rc, state_of
+
+SCHEME = RaftSingleNodeScheme()
+
+
+def linear_tree():
+    """root -> E1(t1) -> M1 -> C1 -> M2 (C1 acked by {1,2})."""
+    return build_tree({
+        1: (0, ec(1, 1, voters={1, 2, 3})),
+        2: (1, mc(1, 1, 1)),
+        3: (2, cc(1, 1, 1, voters={1, 2})),
+        4: (3, mc(1, 1, 2)),
+    })
+
+
+def test_most_recent_falls_back_to_root():
+    tree = build_tree({})
+    assert most_recent(tree, {1, 2}) == ROOT_CID
+
+
+def test_most_recent_ignores_election_votes():
+    # Node 3 voted for E1 but observed nothing else: its most recent
+    # *observed* cache is still the root.
+    tree = build_tree({1: (0, ec(1, 1, voters={1, 2, 3}))})
+    assert most_recent(tree, {3}) == ROOT_CID
+
+
+def test_most_recent_sees_commit_acks():
+    tree = linear_tree()
+    # Node 2 acked C1, so its most recent observation is the CCache.
+    assert most_recent(tree, {2}) == 3
+
+
+def test_most_recent_sees_own_method_caches():
+    tree = linear_tree()
+    # Node 1 called M2 (t1, v2), which is greater than C1 (t1, v1).
+    assert most_recent(tree, {1}) == 4
+
+
+def test_most_recent_takes_max_across_group():
+    tree = linear_tree()
+    assert most_recent(tree, {1, 2, 3}) == 4
+    assert most_recent(tree, {2, 3}) == 3
+
+
+def test_active_cache_none_without_calls():
+    tree = build_tree({})
+    assert active_cache(tree, 1) is None
+
+
+def test_active_cache_is_latest_called():
+    tree = linear_tree()
+    # Node 1 called E1, M1, C1, M2; M2 (t1, v2) is greatest.
+    assert active_cache(tree, 1) == 4
+    assert active_cache(tree, 2) is None
+
+
+def test_active_cache_ignores_root():
+    # Root has caller 0; node 0 still has no active cache.
+    tree = build_tree({})
+    assert active_cache(tree, 0) is None
+
+
+def test_last_commit_defaults_to_root():
+    tree = linear_tree()
+    # Node 3 acked no commit beyond the root.
+    assert last_commit(tree, 3) == ROOT_CID
+
+
+def test_last_commit_tracks_acks():
+    tree = linear_tree()
+    assert last_commit(tree, 1) == 3
+    assert last_commit(tree, 2) == 3
+
+
+def test_valid_supp():
+    cache = mc(1, 1, 1, conf=NODES3)
+    assert valid_supp(1, {1, 2}, cache, SCHEME)
+    assert not valid_supp(3, {1, 2}, cache, SCHEME)       # caller not in Q
+    assert not valid_supp(1, {1, 4}, cache, SCHEME)       # 4 outside config
+
+
+def test_can_commit_requires_committable_cache():
+    tree = linear_tree()
+    state = state_of(tree, {1: 1})
+    assert not can_commit(tree, 1, 1, state)   # ECache
+    assert not can_commit(tree, 3, 1, state)   # CCache
+
+
+def test_can_commit_requires_caller_and_leadership():
+    tree = linear_tree()
+    assert can_commit(tree, 4, 1, state_of(tree, {1: 1}))
+    assert not can_commit(tree, 4, 2, state_of(tree, {2: 1}))  # not caller
+    assert not can_commit(tree, 4, 1, state_of(tree, {1: 2}))  # preempted
+
+
+def test_can_commit_requires_newer_than_last_commit():
+    tree = linear_tree()
+    state = state_of(tree, {1: 1})
+    # M1 (t1, v1) is not greater than C1 (t1, v1, CCache tie-break).
+    assert not can_commit(tree, 2, 1, state)
+    assert can_commit(tree, 4, 1, state)
+
+
+def test_r2_holds_on_clean_branch():
+    tree = linear_tree()
+    assert r2_holds(tree, 4)
+
+
+def test_r2_blocks_uncommitted_rcache_ancestor():
+    tree = build_tree({
+        1: (0, ec(1, 1)),
+        2: (1, rc(1, 1, 1, conf=frozenset({1, 2}))),
+        3: (2, mc(1, 1, 2, conf=frozenset({1, 2}))),
+    })
+    assert not r2_holds(tree, 3)
+    # The RCache itself is also blocked from further reconfiguration.
+    assert not r2_holds(tree, 2)
+
+
+def test_r2_allows_committed_rcache_ancestor():
+    tree = build_tree({
+        1: (0, ec(1, 1)),
+        2: (1, rc(1, 1, 1, conf=frozenset({1, 2}))),
+        3: (2, cc(1, 1, 1, conf=frozenset({1, 2}), voters={1, 2})),
+        4: (3, mc(1, 1, 2, conf=frozenset({1, 2}))),
+    })
+    assert r2_holds(tree, 4)
+
+
+def test_r3_requires_current_term_commit():
+    tree = build_tree({
+        1: (0, ec(1, 1)),
+        2: (1, mc(1, 1, 1)),
+    })
+    # Only the root CCache (time 0) is on the branch; M has time 1.
+    assert not r3_holds(tree, 2)
+
+
+def test_r3_satisfied_by_commit_at_current_time():
+    tree = linear_tree()
+    assert r3_holds(tree, 4)   # C1 at t1 is an ancestor of M2 (t1)
+
+
+def test_r3_counts_the_cache_itself():
+    tree = linear_tree()
+    # The CCache itself (cid 3) trivially satisfies R3.
+    assert r3_holds(tree, 3)
+
+
+def test_can_reconf_combines_r1_r2_r3():
+    tree = linear_tree()
+    assert can_reconf(tree, 4, frozenset({1, 2}), SCHEME)          # drop 3
+    assert not can_reconf(tree, 4, frozenset({1}), SCHEME)         # R1+: two at once
+    assert not can_reconf(tree, 4, frozenset(), SCHEME)            # empty config

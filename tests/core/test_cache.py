@@ -1,0 +1,114 @@
+"""Unit tests for cache variants and the cache order (Fig. 6/9)."""
+
+import pytest
+
+from repro.core import (
+    CCache,
+    ECache,
+    MCache,
+    RCache,
+    cache_ge,
+    cache_gt,
+    is_ccache,
+    is_committable,
+    is_ecache,
+    is_mcache,
+    is_rcache,
+    order_key,
+)
+
+CONF = frozenset({1, 2, 3})
+
+
+def test_ecache_supporters_are_voters():
+    cache = ECache(caller=1, time=2, vrsn=0, conf=CONF, voters=frozenset({1, 2}))
+    assert cache.supporters == frozenset({1, 2})
+
+
+def test_ecache_observers_are_caller_only():
+    # Voting does not transfer the leader's log (see Fig. 4 discussion),
+    # but winning adopts the branch: only the caller observes.
+    cache = ECache(caller=1, time=2, vrsn=0, conf=CONF, voters=frozenset({1, 2}))
+    assert cache.observers == frozenset({1})
+
+
+def test_mcache_supporter_and_observer_is_caller():
+    cache = MCache(caller=2, time=1, vrsn=1, conf=CONF, method="m")
+    assert cache.supporters == frozenset({2})
+    assert cache.observers == frozenset({2})
+
+
+def test_rcache_supporter_is_caller():
+    cache = RCache(caller=3, time=1, vrsn=2, conf=CONF)
+    assert cache.supporters == frozenset({3})
+    assert cache.observers == frozenset({3})
+
+
+def test_ccache_supporters_and_observers_are_voters():
+    cache = CCache(caller=1, time=1, vrsn=1, conf=CONF, voters=frozenset({1, 3}))
+    assert cache.supporters == frozenset({1, 3})
+    assert cache.observers == frozenset({1, 3})
+
+
+def test_kind_tags():
+    assert ECache(1, 1, 0, CONF).kind == "E"
+    assert MCache(1, 1, 1, CONF, method="m").kind == "M"
+    assert RCache(1, 1, 1, CONF).kind == "R"
+    assert CCache(1, 1, 1, CONF).kind == "C"
+
+
+def test_kind_predicates():
+    e = ECache(1, 1, 0, CONF)
+    m = MCache(1, 1, 1, CONF, method="m")
+    r = RCache(1, 1, 2, CONF)
+    c = CCache(1, 1, 2, CONF)
+    assert is_ecache(e) and not is_ecache(m)
+    assert is_mcache(m) and not is_mcache(r)
+    assert is_rcache(r) and not is_rcache(c)
+    assert is_ccache(c) and not is_ccache(e)
+    assert is_committable(m) and is_committable(r)
+    assert not is_committable(e) and not is_committable(c)
+
+
+def test_order_time_dominates():
+    early = MCache(1, 1, 9, CONF, method="m")
+    late = ECache(2, 2, 0, CONF)
+    assert cache_gt(late, early)
+    assert not cache_gt(early, late)
+
+
+def test_order_version_breaks_time_ties():
+    v1 = MCache(1, 1, 1, CONF, method="a")
+    v2 = MCache(1, 1, 2, CONF, method="b")
+    assert cache_gt(v2, v1)
+
+
+def test_ccache_beats_equal_time_version():
+    # The CCache tie-break that makes > total (Fig. 9).
+    m = MCache(1, 3, 2, CONF, method="m")
+    c = CCache(1, 3, 2, CONF, voters=frozenset({1, 2}))
+    assert cache_gt(c, m)
+    assert not cache_gt(m, c)
+
+
+def test_order_is_irreflexive():
+    m = MCache(1, 1, 1, CONF, method="m")
+    assert not cache_gt(m, m)
+    assert cache_ge(m, m)
+
+
+def test_order_key_is_lexicographic():
+    assert order_key(MCache(1, 2, 5, CONF, method="m")) == (2, 5, 0)
+    assert order_key(CCache(1, 2, 5, CONF)) == (2, 5, 1)
+
+
+def test_caches_are_hashable_and_frozen():
+    cache = MCache(1, 1, 1, CONF, method="m")
+    assert hash(cache) == hash(MCache(1, 1, 1, CONF, method="m"))
+    with pytest.raises(AttributeError):
+        cache.time = 5
+
+
+def test_describe_is_compact():
+    assert ECache(1, 2, 0, CONF).describe() == "E(n1,t2,v0)"
+    assert CCache(3, 4, 5, CONF).describe() == "C(n3,t4,v5)"

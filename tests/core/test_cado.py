@@ -1,0 +1,49 @@
+"""Tests for the CADO restriction (Adore minus reconfiguration)."""
+
+import pytest
+
+from repro.cado import CadoMachine
+from repro.core import (
+    FAIL,
+    InvalidOperation,
+    PullOk,
+    PushOk,
+    ScriptedOracle,
+    StaticScheme,
+    check_state,
+)
+
+NODES = frozenset({1, 2, 3})
+
+
+def machine(outcomes):
+    return CadoMachine.create(NODES, oracle=ScriptedOracle(outcomes))
+
+
+def test_reconfig_is_structurally_absent():
+    m = machine([])
+    with pytest.raises(InvalidOperation):
+        m.reconfig(1, frozenset({1, 2}))
+
+
+def test_normal_operation_works():
+    m = machine([
+        PullOk(group=frozenset({1, 2}), time=1),
+        PushOk(group=frozenset({1, 3}), target=2),
+    ])
+    assert m.pull(1).ok
+    assert m.invoke(1, "a").ok
+    assert m.push(1).ok
+    assert check_state(m.state).ok
+
+
+def test_static_scheme_by_default():
+    m = machine([])
+    assert isinstance(m.scheme, StaticScheme)
+
+
+def test_oracle_failures_are_noops():
+    m = machine([FAIL])
+    result = m.pull(1)
+    assert not result.ok
+    assert len(m.state.tree) == 1

@@ -1,0 +1,234 @@
+"""Tests for the Section 8 extensions: stop-the-world and α-delayed
+reconfiguration."""
+
+import pytest
+
+from repro.core import (
+    FAIL,
+    PullOk,
+    PushOk,
+    ScriptedOracle,
+    check_state,
+    committed_methods,
+)
+from repro.core.extensions import (
+    AlphaReconfigMachine,
+    StopTheWorldMachine,
+    apply_push_stop_world,
+    effective_config,
+    prune_to_branch,
+    uncommitted_depth,
+)
+from repro.schemes import RaftSingleNodeScheme
+
+from ..helpers import NODES3, build_tree, cc, ec, mc, rc
+
+SCHEME = RaftSingleNodeScheme()
+F = frozenset
+
+
+class TestPrune:
+    def test_prune_keeps_branch_and_descendants(self):
+        tree = build_tree({
+            1: (0, ec(1, 1)),
+            2: (1, mc(1, 1, 1)),
+            3: (1, mc(2, 1, 1)),     # sibling branch
+            4: (2, mc(1, 1, 2)),
+        })
+        pruned = prune_to_branch(tree, 4)
+        assert set(pruned.cids()) == {0, 1, 2, 4}
+        assert pruned.is_well_formed()
+
+    def test_prune_refuses_dropping_newest(self):
+        tree = build_tree({
+            1: (0, ec(1, 1)),
+            2: (0, ec(2, 2)),
+        })
+        with pytest.raises(ValueError):
+            prune_to_branch(tree, 1)
+
+
+class TestStopTheWorld:
+    def run_machine(self):
+        oracle = ScriptedOracle([
+            PullOk(group=F({1, 2, 3}), time=1),
+            PushOk(group=F({1, 2, 3}), target=2),   # commit M1
+            PushOk(group=F({1, 2}), target=5),      # commit the RCache
+        ])
+        machine = StopTheWorldMachine.create(NODES3, SCHEME, oracle)
+        machine.pull(1)                      # E1 = 1
+        machine.invoke(1, "m1")              # M1 = 2
+        machine.invoke(1, "m2")              # M2 = 3 (will be stranded)
+        machine.push(1)                      # C1 = 4 between M1 and M2
+        machine.reconfig(1, F({1, 2}))       # R = 5 ... wait for cids
+        return machine
+
+    def test_regular_commit_does_not_stop_world(self):
+        oracle = ScriptedOracle([
+            PullOk(group=F({1, 2, 3}), time=1),
+            PushOk(group=F({1, 2, 3}), target=2),
+        ])
+        machine = StopTheWorldMachine.create(NODES3, SCHEME, oracle)
+        machine.pull(1)
+        machine.invoke(1, "m1")
+        result = machine.push(1)
+        assert result.reason == "ok"
+
+    def test_reconfig_commit_prunes_siblings(self):
+        oracle = ScriptedOracle([
+            PullOk(group=F({1, 2, 3}), time=1),
+            PushOk(group=F({1, 2, 3}), target=2),   # commit M1 -> C1 at 4
+            PullOk(group=F({2, 3}), time=2),        # E2 under C1 (cid 5)
+            PushOk(group=F({2, 3}), target=6),      # commit M3 -> C2 at 7
+            PullOk(group=F({1, 2}), time=3),        # E3 under C2 (cid 8)
+            PushOk(group=F({1, 2}), target=9),      # commit M4 (R3 warmup)
+            PushOk(group=F({1, 2}), target=11),     # commit the RCache
+        ])
+        machine = StopTheWorldMachine.create(NODES3, SCHEME, oracle)
+        machine.pull(1)                         # E1 = 1
+        machine.invoke(1, "m1")                 # M1 = 2
+        machine.invoke(1, "m2")                 # M2 = 3 (stale branch later)
+        machine.push(1)                         # C1 = 4 (M2 now below C1)
+        machine.pull(2)                         # E2 = 5 under C1
+        machine.invoke(2, "m3")                 # M3 = 6
+        machine.push(2)                         # C2 = 7
+        machine.pull(1)                         # E3 = 8 under C2
+        machine.invoke(1, "m4")                 # M4 = 9
+        machine.push(1)                         # C3 = 10 (satisfies R3 at t3)
+        result = machine.reconfig(1, F({1, 2}))  # R = 11
+        assert result.ok, result.reason
+        size_before = len(machine.state.tree)
+        result = machine.push(1)                # commits R -> stop the world
+        assert result.reason == "ok-stopped-world"
+        tree = machine.state.tree
+        # The stale M2 branch and the stranded E caches are gone.
+        assert len(tree) < size_before + 1
+        for cid in tree.cids():
+            assert tree.same_branch(cid, result.new_cid) or tree.is_ancestor(
+                result.new_cid, cid
+            )
+        assert tree.is_well_formed()
+        assert check_state(machine.state).ok
+
+    def test_committed_history_survives_pruning(self):
+        oracle = ScriptedOracle([
+            PullOk(group=F({1, 2, 3}), time=1),
+            PushOk(group=F({1, 2, 3}), target=2),
+            PushOk(group=F({1, 2}), target=4),
+        ])
+        machine = StopTheWorldMachine.create(NODES3, SCHEME, oracle)
+        machine.pull(1)
+        machine.invoke(1, "m1")       # cid 2
+        machine.push(1)               # C1 cid 3
+        machine.reconfig(1, F({1, 2}))  # R cid 4
+        result = machine.push(1)
+        assert result.reason == "ok-stopped-world"
+        assert committed_methods(machine.state.tree) == ["m1", F({1, 2})]
+
+
+class TestAlphaMachine:
+    def machine(self, outcomes, alpha=2):
+        return AlphaReconfigMachine.create(
+            NODES3, SCHEME, ScriptedOracle(outcomes), alpha=alpha
+        )
+
+    def test_window_blocks_deep_speculation(self):
+        m = self.machine([PullOk(group=F({1, 2, 3}), time=1)], alpha=2)
+        m.pull(1)
+        assert m.invoke(1, "m1").ok
+        assert m.invoke(1, "m2").ok
+        result = m.invoke(1, "m3")
+        assert not result.ok
+        assert result.reason == "alpha-window-full"
+
+    def test_window_reopens_after_commit(self):
+        m = self.machine([
+            PullOk(group=F({1, 2, 3}), time=1),
+            PushOk(group=F({1, 2, 3}), target=3),
+        ], alpha=2)
+        m.pull(1)
+        m.invoke(1, "m1")
+        m.invoke(1, "m2")
+        m.push(1)   # commits both
+        assert m.invoke(1, "m3").ok
+
+    def test_uncommitted_config_is_inert(self):
+        m = self.machine([
+            PullOk(group=F({1, 2, 3}), time=1),
+            PushOk(group=F({1, 2, 3}), target=2),
+        ], alpha=3)
+        m.pull(1)
+        m.invoke(1, "m1")            # cid 2
+        m.push(1)                    # C1 cid 3
+        r = m.reconfig(1, F({1, 2, 3, 4}))
+        assert r.ok
+        # A method invoked after the (uncommitted) RCache still carries
+        # the old effective configuration.
+        result = m.invoke(1, "m2")
+        assert result.ok
+        cache = m.state.tree.cache(result.new_cid)
+        assert cache.conf == NODES3
+
+    def test_committed_config_takes_effect(self):
+        m = self.machine([
+            PullOk(group=F({1, 2, 3}), time=1),
+            PushOk(group=F({1, 2, 3}), target=2),
+            PushOk(group=F({1, 2, 3}), target=4),
+        ], alpha=3)
+        m.pull(1)
+        m.invoke(1, "m1")                  # cid 2
+        m.push(1)                          # C1 cid 3
+        m.reconfig(1, F({1, 2, 3, 4}))     # R cid 4
+        m.push(1)                          # commits R -> cid 5
+        result = m.invoke(1, "m2")
+        assert m.state.tree.cache(result.new_cid).conf == F({1, 2, 3, 4})
+
+    def test_alpha_pull_uses_effective_config(self):
+        # An uncommitted RCache must not change election quorums.
+        m = self.machine([
+            PullOk(group=F({1, 2, 3}), time=1),
+            PushOk(group=F({1, 2, 3}), target=2),
+            PullOk(group=F({2, 3}), time=2),
+        ], alpha=3)
+        m.pull(1)
+        m.invoke(1, "m1")
+        m.push(1)
+        m.reconfig(1, F({1, 2}))    # shrink, uncommitted
+        result = m.pull(2)
+        assert result.ok
+        # The new ECache's configuration is the committed one.
+        assert m.state.tree.cache(result.new_cid).conf == NODES3
+        assert check_state(m.state).ok
+
+
+class TestEffectiveConfig:
+    def test_root_config_by_default(self):
+        tree = build_tree({1: (0, ec(1, 1))})
+        assert effective_config(tree, 1) == NODES3
+
+    def test_committed_rcache_wins(self):
+        new_conf = F({1, 2})
+        tree = build_tree({
+            1: (0, ec(1, 1)),
+            2: (1, rc(1, 1, 1, conf=new_conf)),
+            3: (2, cc(1, 1, 1, conf=new_conf, voters={1, 2})),
+        })
+        assert effective_config(tree, 3) == new_conf
+
+    def test_uncommitted_rcache_ignored(self):
+        tree = build_tree({
+            1: (0, ec(1, 1)),
+            2: (1, rc(1, 1, 1, conf=F({1, 2}))),
+        })
+        assert effective_config(tree, 2) == NODES3
+
+    def test_uncommitted_depth(self):
+        tree = build_tree({
+            1: (0, ec(1, 1)),
+            2: (1, mc(1, 1, 1)),
+            3: (2, cc(1, 1, 1, voters={1, 2})),
+            4: (3, mc(1, 1, 2)),
+            5: (4, mc(1, 1, 3)),
+        })
+        assert uncommitted_depth(tree, 5) == 2
+        assert uncommitted_depth(tree, 3) == 0

@@ -1,0 +1,96 @@
+"""Walkthroughs of the paper's figures through the real semantics."""
+
+from repro.core import (
+    check_replicated_state_safety,
+    check_state,
+    is_ccache,
+    is_ecache,
+    is_mcache,
+    is_rcache,
+    rdist,
+)
+from repro.core.figures import (
+    fig4_blocked_machine,
+    fig4_unsafe_machine,
+    fig5_machine,
+)
+
+
+class TestFig5:
+    """Fig. 5: sample Adore behaviors on three replicas."""
+
+    def test_shapes(self):
+        machine, labels = fig5_machine()
+        tree = machine.state.tree
+        assert is_ecache(tree.cache(labels["E1"]))
+        assert is_mcache(tree.cache(labels["M1"]))
+        assert is_ccache(tree.cache(labels["C1"]))
+        assert is_rcache(tree.cache(labels["R1"]))
+
+    def test_push_inserts_between(self):
+        # Fig. 5c: the CCache lands after M1, *before* M2.
+        machine, labels = fig5_machine()
+        tree = machine.state.tree
+        assert tree.parent(labels["C1"]) == labels["M1"]
+        assert tree.parent(labels["M2"]) == labels["C1"]
+
+    def test_reconfig_grows_active_branch(self):
+        # Fig. 5d: the RCache extends S1's branch below M2.
+        machine, labels = fig5_machine()
+        assert machine.state.tree.parent(labels["R1"]) == labels["M2"]
+
+    def test_election_adopts_most_recent_observed(self):
+        # Fig. 5e: S2's election lands after the CCache because its
+        # voters {2, 3} have not observed S1's MCache or RCache.
+        machine, labels = fig5_machine()
+        tree = machine.state.tree
+        assert tree.parent(labels["E2"]) == labels["C1"]
+        assert tree.parent(labels["M3"]) == labels["E2"]
+
+    def test_state_is_safe(self):
+        machine, _ = fig5_machine()
+        assert check_state(machine.state).ok
+
+
+class TestFig4:
+    """Fig. 4 / Fig. 12: the single-node membership change bug."""
+
+    def test_unsafe_run_violates_safety(self):
+        machine, labels = fig4_unsafe_machine()
+        violations = check_replicated_state_safety(machine.state.tree)
+        assert len(violations) == 1
+
+    def test_divergent_commits_have_rdist_two(self):
+        machine, labels = fig4_unsafe_machine()
+        assert rdist(machine.state.tree, labels["C2"], labels["C3"]) == 2
+
+    def test_disjoint_quorums(self):
+        machine, labels = fig4_unsafe_machine()
+        tree = machine.state.tree
+        q1 = tree.cache(labels["C2"]).voters
+        q2 = tree.cache(labels["C3"]).voters
+        assert q1 == frozenset({2, 4})
+        assert q2 == frozenset({1, 3})
+        assert not (q1 & q2)
+
+    def test_elections_fork_from_root(self):
+        # S2's voters have not observed S1's RCache, so E2 forks at root.
+        machine, labels = fig4_unsafe_machine()
+        tree = machine.state.tree
+        assert tree.parent(labels["E2"]) == 0
+        # S1's second election adopts its own stale RCache.
+        assert tree.parent(labels["E3"]) == labels["R1"]
+
+    def test_r3_blocks_the_first_reconfig(self):
+        machine, denied = fig4_blocked_machine()
+        assert not denied.ok
+        assert denied.reason == "r3-denied"
+        assert check_state(machine.state).ok
+
+    def test_unsafe_run_breaks_lemma_b8(self):
+        # Lemma 4.4 (CCache in RCache fork) is exactly the invariant the
+        # buggy run violates.
+        from repro.core import check_ccache_in_rcache_fork
+
+        machine, _ = fig4_unsafe_machine()
+        assert check_ccache_in_rcache_fork(machine.state.tree) != []

@@ -1,0 +1,211 @@
+"""Unit tests for oracle outcomes, validation (Fig. 11/27), enumeration,
+and the oracle strategies."""
+
+import pytest
+
+from repro.core import (
+    FAIL,
+    AdoreMachine,
+    InvalidOracleOutcome,
+    PullOk,
+    PushOk,
+    RandomOracle,
+    ScriptedOracle,
+    enumerate_pull_outcomes,
+    enumerate_push_outcomes,
+    initial_state,
+    known_nodes,
+    validate_pull,
+    validate_push,
+)
+from repro.schemes import RaftSingleNodeScheme
+
+from ..helpers import NODES3, build_tree, ec, mc, state_of
+
+SCHEME = RaftSingleNodeScheme()
+
+
+@pytest.fixture
+def init_state():
+    return initial_state(NODES3, SCHEME)
+
+
+def test_validate_pull_accepts_fail(init_state):
+    validate_pull(init_state, 1, FAIL, SCHEME)
+
+
+def test_validate_pull_rejects_empty_group(init_state):
+    with pytest.raises(InvalidOracleOutcome):
+        validate_pull(init_state, 1, PullOk(group=frozenset(), time=1), SCHEME)
+
+
+def test_validate_pull_rejects_caller_outside_group(init_state):
+    with pytest.raises(InvalidOracleOutcome):
+        validate_pull(init_state, 1, PullOk(group=frozenset({2, 3}), time=1), SCHEME)
+
+
+def test_validate_pull_rejects_outsider(init_state):
+    with pytest.raises(InvalidOracleOutcome):
+        validate_pull(init_state, 1, PullOk(group=frozenset({1, 9}), time=1), SCHEME)
+
+
+def test_validate_pull_rejects_stale_time():
+    state = state_of(build_tree({}), {2: 5})
+    with pytest.raises(InvalidOracleOutcome):
+        validate_pull(state, 1, PullOk(group=frozenset({1, 2}), time=5), SCHEME)
+    validate_pull(state, 1, PullOk(group=frozenset({1, 2}), time=6), SCHEME)
+
+
+def test_validate_push_accepts_fail(init_state):
+    validate_push(init_state, 1, FAIL, SCHEME)
+
+
+def test_validate_push_rejects_unknown_target(init_state):
+    with pytest.raises(InvalidOracleOutcome):
+        validate_push(
+            init_state, 1, PushOk(group=frozenset({1, 2}), target=42), SCHEME
+        )
+
+
+def test_validate_push_requires_can_commit():
+    tree = build_tree({
+        1: (0, ec(1, 1, voters={1, 2, 3})),
+        2: (1, mc(1, 1, 1)),
+    })
+    state = state_of(tree, {1: 1, 2: 1, 3: 1})
+    # Node 2 is not the caller of cache 2.
+    with pytest.raises(InvalidOracleOutcome):
+        validate_push(state, 2, PushOk(group=frozenset({1, 2}), target=2), SCHEME)
+    validate_push(state, 1, PushOk(group=frozenset({1, 2}), target=2), SCHEME)
+
+
+def test_validate_push_rejects_supporters_ahead_of_target():
+    tree = build_tree({
+        1: (0, ec(1, 1, voters={1, 2, 3})),
+        2: (1, mc(1, 1, 1)),
+    })
+    state = state_of(tree, {1: 1, 2: 9})
+    with pytest.raises(InvalidOracleOutcome):
+        validate_push(state, 1, PushOk(group=frozenset({1, 2}), target=2), SCHEME)
+
+
+def test_known_nodes_covers_all_configs(init_state):
+    assert known_nodes(init_state, SCHEME) == NODES3
+
+
+def test_enumerate_pull_covers_all_supporter_sets(init_state):
+    outcomes = enumerate_pull_outcomes(init_state, 1, SCHEME)
+    groups = {o.group for o in outcomes}
+    # All subsets of {1,2,3} containing 1.
+    assert groups == {
+        frozenset({1}),
+        frozenset({1, 2}),
+        frozenset({1, 3}),
+        frozenset({1, 2, 3}),
+    }
+    # Minimal legal time in the initial state is 1.
+    assert all(o.time == 1 for o in outcomes)
+
+
+def test_enumerate_pull_quorums_only(init_state):
+    outcomes = enumerate_pull_outcomes(init_state, 1, SCHEME, include_non_quorum=False)
+    assert all(len(o.group) >= 2 for o in outcomes)
+
+
+def test_enumerate_pull_extra_times(init_state):
+    outcomes = enumerate_pull_outcomes(init_state, 1, SCHEME, extra_times=2)
+    times = {o.time for o in outcomes if o.group == frozenset({1, 2, 3})}
+    assert times == {1, 2, 3}
+
+
+def test_enumerate_pull_all_outcomes_valid(init_state):
+    for outcome in enumerate_pull_outcomes(init_state, 1, SCHEME, extra_times=1):
+        validate_pull(init_state, 1, outcome, SCHEME)
+
+
+def test_enumerate_push_empty_without_commitable(init_state):
+    assert enumerate_push_outcomes(init_state, 1, SCHEME) == []
+
+
+def test_enumerate_push_covers_groups():
+    tree = build_tree({
+        1: (0, ec(1, 1, voters={1, 2, 3})),
+        2: (1, mc(1, 1, 1)),
+    })
+    state = state_of(tree, {1: 1, 2: 1, 3: 1})
+    outcomes = enumerate_push_outcomes(state, 1, SCHEME)
+    assert {o.target for o in outcomes} == {2}
+    groups = {o.group for o in outcomes}
+    assert groups == {
+        frozenset({1}),
+        frozenset({1, 2}),
+        frozenset({1, 3}),
+        frozenset({1, 2, 3}),
+    }
+    for outcome in outcomes:
+        validate_push(state, 1, outcome, SCHEME)
+
+
+def test_enumerate_push_excludes_ahead_supporters():
+    tree = build_tree({
+        1: (0, ec(1, 1, voters={1, 2, 3})),
+        2: (1, mc(1, 1, 1)),
+    })
+    state = state_of(tree, {1: 1, 2: 1, 3: 7})
+    outcomes = enumerate_push_outcomes(state, 1, SCHEME)
+    assert all(3 not in o.group for o in outcomes)
+
+
+def test_random_oracle_is_reproducible(init_state):
+    a = RandomOracle(seed=42).pull_outcome(init_state, 1, SCHEME)
+    b = RandomOracle(seed=42).pull_outcome(init_state, 1, SCHEME)
+    assert a == b
+
+
+def test_random_oracle_fail_prob_one_sided():
+    with pytest.raises(ValueError):
+        RandomOracle(fail_prob=1.0)
+
+
+def test_random_oracle_always_fails_when_no_options(init_state):
+    # No commitable caches -> push must fail.
+    outcome = RandomOracle(seed=0, fail_prob=0.0).push_outcome(init_state, 1, SCHEME)
+    assert outcome == FAIL
+
+
+def test_random_oracle_quorums_only(init_state):
+    oracle = RandomOracle(seed=0, fail_prob=0.0, quorums_only=True)
+    for _ in range(20):
+        outcome = oracle.pull_outcome(init_state, 1, SCHEME)
+        assert len(outcome.group) >= 2
+
+
+def test_scripted_oracle_replays_in_order(init_state):
+    oracle = ScriptedOracle([
+        PullOk(group=frozenset({1, 2}), time=1),
+        FAIL,
+    ])
+    assert oracle.remaining == 2
+    first = oracle.pull_outcome(init_state, 1, SCHEME)
+    assert isinstance(first, PullOk)
+    assert oracle.pull_outcome(init_state, 1, SCHEME) == FAIL
+    assert oracle.remaining == 0
+
+
+def test_scripted_oracle_exhaustion_raises(init_state):
+    oracle = ScriptedOracle([])
+    with pytest.raises(InvalidOracleOutcome):
+        oracle.pull_outcome(init_state, 1, SCHEME)
+
+
+def test_scripted_oracle_type_mismatch_raises(init_state):
+    oracle = ScriptedOracle([PushOk(group=frozenset({1}), target=0)])
+    with pytest.raises(InvalidOracleOutcome):
+        oracle.pull_outcome(init_state, 1, SCHEME)
+
+
+def test_scripted_oracle_validates_eagerly(init_state):
+    oracle = ScriptedOracle([PullOk(group=frozenset({2}), time=1)])
+    machine = AdoreMachine.create(NODES3, SCHEME, oracle)
+    with pytest.raises(InvalidOracleOutcome):
+        machine.pull(1)  # caller 1 not in the scripted supporter set

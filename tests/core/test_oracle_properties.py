@@ -1,0 +1,112 @@
+"""Property-based tests of the oracle layer: the exhaustive enumerators
+are *sound* (everything they yield passes the valid-oracle rules) and
+*complete* (every supporter set a brute-force sweep validates is
+enumerated) on randomized reachable states."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    PullOk,
+    PushOk,
+    apply_invoke,
+    apply_pull,
+    apply_push,
+    enumerate_pull_outcomes,
+    enumerate_push_outcomes,
+    initial_state,
+    is_committable,
+    known_nodes,
+    validate_pull,
+    validate_push,
+)
+from repro.core.errors import InvalidOracleOutcome
+from repro.schemes import RaftSingleNodeScheme
+
+UNIVERSE = [1, 2, 3]
+SCHEME = RaftSingleNodeScheme()
+
+
+def random_reachable_state(data, steps=6):
+    state = initial_state(frozenset(UNIVERSE), SCHEME)
+    for step in range(steps):
+        nid = data.draw(st.sampled_from(UNIVERSE), label=f"nid{step}")
+        op = data.draw(
+            st.sampled_from(["pull", "invoke", "push"]), label=f"op{step}"
+        )
+        if op == "pull":
+            options = enumerate_pull_outcomes(state, nid, SCHEME)
+            if options:
+                outcome = data.draw(st.sampled_from(options), label=f"o{step}")
+                state, _, _ = apply_pull(state, nid, outcome, SCHEME)
+        elif op == "invoke":
+            state, _, _ = apply_invoke(state, nid, f"m{step}")
+        else:
+            options = enumerate_push_outcomes(state, nid, SCHEME)
+            if options:
+                outcome = data.draw(st.sampled_from(options), label=f"o{step}")
+                state, _, _ = apply_push(state, nid, outcome, SCHEME)
+    return state
+
+
+def all_nonempty_subsets(nodes):
+    import itertools
+
+    for size in range(1, len(nodes) + 1):
+        for combo in itertools.combinations(sorted(nodes), size):
+            yield frozenset(combo)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_enumerated_pulls_are_sound(data):
+    state = random_reachable_state(data)
+    nid = data.draw(st.sampled_from(UNIVERSE), label="caller")
+    for outcome in enumerate_pull_outcomes(state, nid, SCHEME, extra_times=1):
+        validate_pull(state, nid, outcome, SCHEME)  # must not raise
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_enumerated_pulls_are_complete_at_minimal_times(data):
+    state = random_reachable_state(data)
+    nid = data.draw(st.sampled_from(UNIVERSE), label="caller")
+    enumerated = {o.group for o in enumerate_pull_outcomes(state, nid, SCHEME)}
+    # Brute force: every supporter set that validates at its minimal
+    # legal time must have been enumerated.
+    for group in all_nonempty_subsets(known_nodes(state, SCHEME)):
+        time = max(state.time_of(s) for s in group) + 1
+        try:
+            validate_pull(state, nid, PullOk(group=group, time=time), SCHEME)
+        except InvalidOracleOutcome:
+            continue
+        assert group in enumerated, (sorted(group), time)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_enumerated_pushes_are_sound(data):
+    state = random_reachable_state(data)
+    nid = data.draw(st.sampled_from(UNIVERSE), label="caller")
+    for outcome in enumerate_push_outcomes(state, nid, SCHEME):
+        validate_push(state, nid, outcome, SCHEME)  # must not raise
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_enumerated_pushes_are_complete(data):
+    state = random_reachable_state(data)
+    nid = data.draw(st.sampled_from(UNIVERSE), label="caller")
+    enumerated = {
+        (o.group, o.target) for o in enumerate_push_outcomes(state, nid, SCHEME)
+    }
+    for cid, cache in state.tree.items():
+        if not is_committable(cache):
+            continue
+        for group in all_nonempty_subsets(UNIVERSE):
+            try:
+                validate_push(
+                    state, nid, PushOk(group=group, target=cid), SCHEME
+                )
+            except InvalidOracleOutcome:
+                continue
+            assert (group, cid) in enumerated, (sorted(group), cid)

@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis): randomized valid executions of the
+Adore semantics preserve every safety invariant, and some structural
+meta-properties (append-only trees, monotone time maps).
+
+These are the randomized large-neighbourhood complement to the bounded
+exhaustive model checker in ``repro.mc``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FAIL,
+    apply_invoke,
+    apply_pull,
+    apply_push,
+    apply_reconfig,
+    check_state,
+    enumerate_pull_outcomes,
+    enumerate_push_outcomes,
+    initial_state,
+    known_nodes,
+)
+from repro.core.aux import active_cache
+from repro.schemes import RaftSingleNodeScheme
+
+UNIVERSE = [1, 2, 3, 4]
+SCHEME = RaftSingleNodeScheme()
+
+
+def random_step(state, data, method_counter):
+    """Draw one valid operation and apply it; returns the new state."""
+    nid = data.draw(st.sampled_from(UNIVERSE), label="nid")
+    op = data.draw(
+        st.sampled_from(["pull", "invoke", "reconfig", "push"]), label="op"
+    )
+    if op == "pull":
+        options = enumerate_pull_outcomes(state, nid, SCHEME)
+        if not options:
+            return state
+        outcome = data.draw(st.sampled_from(options), label="pull-outcome")
+        state, _, _ = apply_pull(state, nid, outcome, SCHEME)
+        return state
+    if op == "invoke":
+        method_counter[0] += 1
+        state, _, _ = apply_invoke(state, nid, f"m{method_counter[0]}")
+        return state
+    if op == "reconfig":
+        active = active_cache(state.tree, nid)
+        if active is None:
+            return state
+        conf = frozenset(state.tree.cache(active).conf)
+        # Single-node neighbours of the current configuration.
+        candidates = [conf]
+        candidates.extend(conf | {n} for n in UNIVERSE if n not in conf)
+        candidates.extend(conf - {n} for n in conf if len(conf) > 1)
+        new_conf = data.draw(st.sampled_from(candidates), label="new-conf")
+        state, _, _ = apply_reconfig(state, nid, new_conf, SCHEME)
+        return state
+    options = enumerate_push_outcomes(state, nid, SCHEME)
+    if not options:
+        return state
+    outcome = data.draw(st.sampled_from(options), label="push-outcome")
+    state, _, _ = apply_push(state, nid, outcome, SCHEME)
+    return state
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_random_valid_runs_preserve_all_invariants(data):
+    state = initial_state(frozenset(UNIVERSE), SCHEME)
+    counter = [0]
+    steps = data.draw(st.integers(min_value=1, max_value=10), label="steps")
+    for _ in range(steps):
+        state = random_step(state, data, counter)
+        report = check_state(state, lemma_rdist_bound=1)
+        assert report.ok, "\n".join(
+            report.all_violations() + ["", state.tree.render()]
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_tree_is_append_only(data):
+    """Caches are never removed and their payloads never change; only
+    ``insert_btw`` may re-parent an existing cache."""
+    state = initial_state(frozenset(UNIVERSE), SCHEME)
+    counter = [0]
+    steps = data.draw(st.integers(min_value=1, max_value=8), label="steps")
+    for _ in range(steps):
+        before = dict(state.tree.items())
+        state = random_step(state, data, counter)
+        after = dict(state.tree.items())
+        for cid, cache in before.items():
+            assert cid in after
+            assert after[cid] == cache
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_observed_times_are_monotone(data):
+    state = initial_state(frozenset(UNIVERSE), SCHEME)
+    counter = [0]
+    steps = data.draw(st.integers(min_value=1, max_value=8), label="steps")
+    for _ in range(steps):
+        before = {n: state.time_of(n) for n in UNIVERSE}
+        state = random_step(state, data, counter)
+        for n in UNIVERSE:
+            assert state.time_of(n) >= before[n]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_committed_log_grows_by_extension(data):
+    """The committed command sequence is only ever extended -- the
+    client-visible formulation of replicated state safety."""
+    from repro.core import committed_log
+
+    state = initial_state(frozenset(UNIVERSE), SCHEME)
+    counter = [0]
+    previous = committed_log(state.tree)
+    steps = data.draw(st.integers(min_value=1, max_value=10), label="steps")
+    for _ in range(steps):
+        state = random_step(state, data, counter)
+        current = committed_log(state.tree)
+        assert current[: len(previous)] == previous
+        previous = current

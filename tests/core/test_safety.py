@@ -1,0 +1,237 @@
+"""Unit tests for rdist and the safety/invariant checkers (Section 4,
+Appendix B)."""
+
+from repro.core import (
+    check_ccache_in_rcache_fork,
+    check_descendant_order,
+    check_election_commit_order,
+    check_leader_time_uniqueness,
+    check_replicated_state_safety,
+    check_state,
+    committed_log,
+    committed_methods,
+    is_committed,
+    max_ccache,
+    rdist,
+    tree_rdist,
+)
+from repro.core.figures import fig4_unsafe_machine, fig5_machine
+from repro.core.tree import ROOT_CID
+
+from ..helpers import build_tree, cc, ec, mc, rc, state_of
+
+
+def forked_tree():
+    """root -> E1 -> {R1(t1,v1), E2 -> R2 -> C2}; the Fig. 12 skeleton."""
+    n = frozenset({1, 2, 3, 4})
+    return build_tree({
+        0: (None, cc(0, 0, 0, conf=n, voters=n)),
+        1: (0, ec(1, 1, conf=n, voters={1, 2, 3})),
+        2: (1, rc(1, 1, 1, conf=frozenset({1, 2, 3}))),
+        3: (0, ec(2, 2, conf=n, voters={2, 3, 4})),
+        4: (3, rc(2, 2, 1, conf=frozenset({1, 2, 4}))),
+        5: (4, cc(2, 2, 1, conf=frozenset({1, 2, 4}), voters={2, 4})),
+    })
+
+
+# ----------------------------------------------------------------------
+# rdist
+# ----------------------------------------------------------------------
+
+def test_rdist_zero_on_rcache_free_path():
+    tree = build_tree({
+        1: (0, ec(1, 1)),
+        2: (1, mc(1, 1, 1)),
+        3: (1, mc(1, 1, 2)),
+    })
+    assert rdist(tree, 2, 3) == 0
+    assert tree_rdist(tree) == 0
+
+
+def test_rdist_counts_rcaches_between():
+    tree = forked_tree()
+    # Path between R1's child-side and C2 passes through R1? No: between
+    # cid 2 (R1) and cid 5 (C2): path is 1, 0, 3, 4 -> contains R2 (cid 4).
+    assert rdist(tree, 2, 5) == 1
+    # Between the two RCaches: path 1, 0, 3 has no RCaches.
+    assert rdist(tree, 2, 4) == 0
+
+
+def test_rdist_excludes_endpoints():
+    tree = forked_tree()
+    assert rdist(tree, 4, 4) == 0
+    assert rdist(tree, 3, 4) == 0  # R2 is an endpoint
+
+
+def test_rdist_through_nca_counts_both_legs():
+    n = frozenset({1, 2, 3, 4})
+    tree = build_tree({
+        0: (None, cc(0, 0, 0, conf=n, voters=n)),
+        1: (0, ec(1, 1, conf=n)),
+        2: (1, rc(1, 1, 1, conf=frozenset({1, 2, 3}))),
+        3: (2, mc(1, 1, 2, conf=frozenset({1, 2, 3}))),
+        4: (1, rc(2, 2, 1, conf=frozenset({1, 2, 4}))),
+        5: (4, mc(2, 2, 2, conf=frozenset({1, 2, 4}))),
+    })
+    # Leaf-to-leaf path crosses both RCaches.
+    assert rdist(tree, 3, 5) == 2
+    assert tree_rdist(tree) == 2
+
+
+def test_fig4_tree_rdist_is_two():
+    machine, _ = fig4_unsafe_machine()
+    assert tree_rdist(machine.state.tree) == 2
+
+
+# ----------------------------------------------------------------------
+# Commit extraction
+# ----------------------------------------------------------------------
+
+def test_is_committed_via_descendant_ccache():
+    machine, labels = fig5_machine()
+    tree = machine.state.tree
+    assert is_committed(tree, labels["M1"])
+    assert not is_committed(tree, labels["M2"])
+    assert not is_committed(tree, labels["M3"])
+
+
+def test_max_ccache_and_committed_log():
+    machine, labels = fig5_machine()
+    tree = machine.state.tree
+    assert max_ccache(tree) == labels["C1"]
+    assert committed_log(tree) == [labels["M1"]]
+    assert committed_methods(tree) == ["M1"]
+
+
+def test_committed_log_empty_initially():
+    tree = build_tree({})
+    assert max_ccache(tree) == ROOT_CID
+    assert committed_log(tree) == []
+    assert committed_methods(tree) == []
+
+
+def test_committed_log_includes_rcaches():
+    tree = build_tree({
+        1: (0, ec(1, 1)),
+        2: (1, mc(1, 1, 1)),
+        3: (2, cc(1, 1, 1, voters={1, 2})),
+        4: (3, rc(1, 1, 2, conf=frozenset({1, 2}))),
+        5: (4, cc(1, 1, 2, conf=frozenset({1, 2}), voters={1, 2})),
+    })
+    assert committed_log(tree) == [2, 4]
+    assert committed_methods(tree) == ["m", frozenset({1, 2})]
+
+
+# ----------------------------------------------------------------------
+# Safety checkers
+# ----------------------------------------------------------------------
+
+def test_safety_holds_on_linear_commits():
+    machine, _ = fig5_machine()
+    assert check_replicated_state_safety(machine.state.tree) == []
+
+
+def test_safety_detects_divergent_ccaches():
+    tree = forked_tree()
+    # Add a commit on R1's branch to create the violation.
+    tree, _ = tree.add_leaf(2, cc(1, 1, 1, conf=frozenset({1, 2, 3}), voters={1, 3}))
+    violations = check_replicated_state_safety(tree)
+    assert len(violations) >= 1
+    assert "different branches" in violations[0]
+
+
+def test_descendant_order_holds_on_figure_trees():
+    machine, _ = fig5_machine()
+    assert check_descendant_order(machine.state.tree) == []
+
+
+def test_descendant_order_detects_inversion():
+    tree = build_tree({
+        1: (0, ec(1, 5)),
+        2: (1, mc(1, 3, 1)),  # time goes backwards
+    })
+    problems = check_descendant_order(tree)
+    assert problems
+
+
+def test_leader_time_uniqueness_detects_duplicates():
+    tree = build_tree({
+        1: (0, ec(1, 1, voters={1, 2})),
+        2: (0, ec(2, 1, voters={2, 3})),
+    })
+    assert check_leader_time_uniqueness(tree) != []
+    # Restricting to rdist <= some bound still sees them (rdist 0 here).
+    assert check_leader_time_uniqueness(tree, max_rdist=0) != []
+
+
+def test_leader_time_uniqueness_respects_rdist_bound():
+    n = frozenset({1, 2, 3, 4})
+    conf_a = frozenset({1, 2, 3})
+    conf_b = frozenset({1, 2, 4})
+    tree = build_tree({
+        0: (None, cc(0, 0, 0, conf=n, voters=n)),
+        1: (0, rc(0, 0, 1, conf=conf_a)),
+        2: (1, ec(1, 3, conf=conf_a, voters={1, 2})),
+        3: (0, rc(0, 0, 2, conf=conf_b)),
+        4: (3, ec(4, 3, conf=conf_b, voters={2, 4})),
+    })
+    # rdist between the two ECaches is 2 (both RCaches on the path).
+    assert check_leader_time_uniqueness(tree, max_rdist=1) == []
+    assert check_leader_time_uniqueness(tree, max_rdist=None) != []
+
+
+def test_election_commit_order_detects_missing_history():
+    machine, _ = fig4_unsafe_machine()
+    tree = machine.state.tree
+    # In the Fig. 4 violation, S1's final election (t3) is greater than
+    # S2's CCache (t2) but on a different branch.
+    assert check_election_commit_order(tree, max_rdist=None) != []
+
+
+def test_election_commit_order_holds_on_safe_tree():
+    machine, _ = fig5_machine()
+    assert check_election_commit_order(machine.state.tree, max_rdist=None) == []
+
+
+def test_ccache_in_rcache_fork_violated_without_r3():
+    machine, _ = fig4_unsafe_machine()
+    # R1 and R2 fork at the root with no CCache strictly between the
+    # fork point and either RCache -- exactly what Lemma 4.4 forbids.
+    assert check_ccache_in_rcache_fork(machine.state.tree) != []
+
+
+def test_ccache_in_rcache_fork_ok_when_commit_intervenes():
+    n = frozenset({1, 2, 3, 4})
+    tree = build_tree({
+        0: (None, cc(0, 0, 0, conf=n, voters=n)),
+        1: (0, ec(1, 1, conf=n)),
+        2: (1, mc(1, 1, 1, conf=n)),
+        3: (2, cc(1, 1, 1, conf=n, voters={1, 2, 3})),
+        4: (3, rc(1, 1, 2, conf=frozenset({1, 2, 3}))),
+        5: (0, ec(2, 2, conf=n)),
+        6: (5, rc(2, 2, 1, conf=frozenset({1, 2, 4}))),
+    })
+    # The CCache (cid 3) sits between the fork (root) and RCache 4.
+    assert check_ccache_in_rcache_fork(tree) == []
+
+
+def test_check_state_aggregates():
+    machine, _ = fig5_machine()
+    report = check_state(machine.state)
+    assert report.ok
+    assert report.all_violations() == []
+
+    bad_machine, _ = fig4_unsafe_machine()
+    report = check_state(bad_machine.state)
+    assert not report.ok
+    assert any("safety" in v for v in report.all_violations())
+
+
+def test_assert_safe_raises():
+    import pytest
+
+    from repro.core import SafetyViolation, assert_safe
+
+    machine, _ = fig4_unsafe_machine()
+    with pytest.raises(SafetyViolation):
+        assert_safe(machine.state)

@@ -1,0 +1,371 @@
+"""Unit tests for the operational semantics (Fig. 10/28)."""
+
+import pytest
+
+from repro.core import (
+    FAIL,
+    AdoreMachine,
+    NotLeader,
+    PullOk,
+    PushOk,
+    ReconfigDenied,
+    ScriptedOracle,
+    apply_invoke,
+    apply_pull,
+    apply_push,
+    apply_reconfig,
+    initial_state,
+    is_ccache,
+    is_ecache,
+    is_mcache,
+    is_rcache,
+)
+from repro.core.tree import ROOT_CID
+from repro.schemes import RaftSingleNodeScheme
+
+from ..helpers import NODES3
+
+SCHEME = RaftSingleNodeScheme()
+
+
+def elected(nid=1, group=frozenset({1, 2, 3}), time=1):
+    """An initial state where ``nid`` has been elected."""
+    state = initial_state(NODES3, SCHEME)
+    state, cid, reason = apply_pull(state, nid, PullOk(group=group, time=time), SCHEME)
+    assert reason == "ok"
+    return state, cid
+
+
+# ----------------------------------------------------------------------
+# pull
+# ----------------------------------------------------------------------
+
+def test_pull_fail_is_noop():
+    state = initial_state(NODES3, SCHEME)
+    new_state, cid, reason = apply_pull(state, 1, FAIL, SCHEME)
+    assert new_state == state
+    assert cid is None
+    assert reason == "oracle-fail"
+
+
+def test_pull_quorum_adds_ecache_under_most_recent():
+    state, cid = elected()
+    cache = state.tree.cache(cid)
+    assert is_ecache(cache)
+    assert cache.time == 1
+    assert cache.vrsn == 0
+    assert cache.voters == frozenset({1, 2, 3})
+    assert state.tree.parent(cid) == ROOT_CID
+
+
+def test_pull_updates_supporter_times():
+    state, _ = elected(group=frozenset({1, 2}), time=3)
+    assert state.time_of(1) == 3
+    assert state.time_of(2) == 3
+    assert state.time_of(3) == 0
+
+
+def test_pull_without_quorum_only_bumps_times():
+    state = initial_state(NODES3, SCHEME)
+    new_state, cid, reason = apply_pull(
+        state, 1, PullOk(group=frozenset({1}), time=2), SCHEME
+    )
+    assert cid is None
+    assert reason == "no-quorum"
+    assert len(new_state.tree) == 1
+    assert new_state.time_of(1) == 2
+
+
+def test_failed_pull_blocks_older_leader():
+    # A failed election's timestamp bump preempts a current leader.
+    state, e1 = elected(nid=1, time=1)
+    state, _, _ = apply_pull(state, 2, PullOk(group=frozenset({1, 2}), time=2), SCHEME)
+    new_state, cid, reason = apply_invoke(state, 1, "m")
+    assert cid is None
+    assert reason == "not-leader"
+
+
+def test_pull_inherits_adopted_config():
+    state, cid = elected()
+    assert state.tree.cache(cid).conf == state.tree.cache(ROOT_CID).conf
+
+
+# ----------------------------------------------------------------------
+# invoke
+# ----------------------------------------------------------------------
+
+def test_invoke_without_active_cache_is_noop():
+    state = initial_state(NODES3, SCHEME)
+    new_state, cid, reason = apply_invoke(state, 1, "m")
+    assert cid is None
+    assert reason == "no-active-cache"
+    assert new_state == state
+
+
+def test_invoke_appends_mcache_with_incremented_version():
+    state, e1 = elected()
+    state, m1, reason = apply_invoke(state, 1, "m1")
+    assert reason == "ok"
+    cache = state.tree.cache(m1)
+    assert is_mcache(cache)
+    assert cache.time == 1
+    assert cache.vrsn == 1
+    assert cache.method == "m1"
+    assert state.tree.parent(m1) == e1
+
+    state, m2, _ = apply_invoke(state, 1, "m2")
+    assert state.tree.cache(m2).vrsn == 2
+    assert state.tree.parent(m2) == m1
+
+
+def test_invoke_fails_after_preemption():
+    state, _ = elected(nid=1, time=1)
+    # Node 1 votes in a later election; it is no longer leader at time 1.
+    state, _, _ = apply_pull(state, 2, PullOk(group=frozenset({1, 2}), time=2), SCHEME)
+    _, cid, reason = apply_invoke(state, 1, "m")
+    assert cid is None
+    assert reason == "not-leader"
+
+
+# ----------------------------------------------------------------------
+# reconfig
+# ----------------------------------------------------------------------
+
+def commit_once(state, nid=1):
+    """Invoke and commit a method so R3 is satisfiable."""
+    state, m, _ = apply_invoke(state, nid, "warmup")
+    state, c, reason = apply_push(
+        state, nid, PushOk(group=frozenset({1, 2, 3}), target=m), SCHEME
+    )
+    assert reason == "ok"
+    return state
+
+
+def test_reconfig_denied_without_current_term_commit():
+    state, _ = elected()
+    _, cid, reason = apply_reconfig(state, 1, frozenset({1, 2}), SCHEME)
+    assert cid is None
+    assert reason == "r3-denied"
+
+
+def test_reconfig_after_commit_succeeds():
+    state, _ = elected()
+    state = commit_once(state)
+    state, cid, reason = apply_reconfig(state, 1, frozenset({1, 2}), SCHEME)
+    assert reason == "ok"
+    cache = state.tree.cache(cid)
+    assert is_rcache(cache)
+    assert cache.conf == frozenset({1, 2})
+
+
+def test_reconfig_r1_denied_for_two_server_jump():
+    state, _ = elected()
+    state = commit_once(state)
+    _, cid, reason = apply_reconfig(state, 1, frozenset({1}), SCHEME)
+    assert reason == "r1-denied"
+
+
+def test_reconfig_r2_denied_while_rcache_pending():
+    state, _ = elected()
+    state = commit_once(state)
+    state, r1, reason = apply_reconfig(state, 1, frozenset({1, 2}), SCHEME)
+    assert reason == "ok"
+    _, cid, reason = apply_reconfig(state, 1, frozenset({1, 2, 3}), SCHEME)
+    assert reason in ("r2-denied", "r3-denied")
+    assert cid is None
+
+
+def test_second_reconfig_after_committing_first():
+    state, _ = elected()
+    state = commit_once(state)
+    state, r1, _ = apply_reconfig(state, 1, frozenset({1, 2}), SCHEME)
+    state, c, reason = apply_push(
+        state, 1, PushOk(group=frozenset({1, 2}), target=r1), SCHEME
+    )
+    assert reason == "ok"
+    state, r2, reason = apply_reconfig(state, 1, frozenset({1, 2, 3}), SCHEME)
+    assert reason == "ok"
+
+
+def test_reconfig_ablation_switches():
+    state, _ = elected()
+    _, cid, reason = apply_reconfig(
+        state, 1, frozenset({1, 2}), SCHEME, enforce_r3=False
+    )
+    assert reason == "ok"
+
+
+def test_reconfig_without_active_cache():
+    state = initial_state(NODES3, SCHEME)
+    _, cid, reason = apply_reconfig(state, 1, frozenset({1, 2}), SCHEME)
+    assert reason == "no-active-cache"
+
+
+# ----------------------------------------------------------------------
+# push
+# ----------------------------------------------------------------------
+
+def test_push_fail_is_noop():
+    state = initial_state(NODES3, SCHEME)
+    new_state, cid, reason = apply_push(state, 1, FAIL, SCHEME)
+    assert new_state == state
+    assert reason == "oracle-fail"
+
+
+def test_push_inserts_ccache_between_target_and_children():
+    state, _ = elected()
+    state, m1, _ = apply_invoke(state, 1, "m1")
+    state, m2, _ = apply_invoke(state, 1, "m2")
+    # Commit only m1: the partial-failure child m2 must be re-parented
+    # below the new CCache.
+    state, c, reason = apply_push(
+        state, 1, PushOk(group=frozenset({1, 2}), target=m1), SCHEME
+    )
+    assert reason == "ok"
+    cache = state.tree.cache(c)
+    assert is_ccache(cache)
+    assert (cache.time, cache.vrsn) == (1, 1)
+    assert state.tree.parent(c) == m1
+    assert state.tree.parent(m2) == c
+
+
+def test_push_without_quorum_only_bumps_times():
+    state, _ = elected()
+    state, m1, _ = apply_invoke(state, 1, "m1")
+    new_state, cid, reason = apply_push(
+        state, 1, PushOk(group=frozenset({1}), target=m1), SCHEME
+    )
+    assert cid is None
+    assert reason == "no-quorum"
+    assert len(new_state.tree) == len(state.tree)
+
+
+def test_push_sets_supporter_times_to_target_time():
+    state, _ = elected(time=4, group=frozenset({1, 2}))
+    state, m1, _ = apply_invoke(state, 1, "m1")
+    state, c, _ = apply_push(
+        state, 1, PushOk(group=frozenset({1, 3}), target=m1), SCHEME
+    )
+    assert state.time_of(3) == 4
+
+
+def test_partial_failure_child_remains_commitable():
+    state, _ = elected()
+    state, m1, _ = apply_invoke(state, 1, "m1")
+    state, m2, _ = apply_invoke(state, 1, "m2")
+    state, _, _ = apply_push(
+        state, 1, PushOk(group=frozenset({1, 2}), target=m1), SCHEME
+    )
+    # m2 can still be committed afterwards.
+    state, c2, reason = apply_push(
+        state, 1, PushOk(group=frozenset({1, 3}), target=m2), SCHEME
+    )
+    assert reason == "ok"
+    assert state.tree.parent(c2) == m2
+
+
+# ----------------------------------------------------------------------
+# machine wrapper
+# ----------------------------------------------------------------------
+
+def test_machine_records_history():
+    oracle = ScriptedOracle([
+        PullOk(group=frozenset({1, 2, 3}), time=1),
+        FAIL,
+    ])
+    machine = AdoreMachine.create(NODES3, SCHEME, oracle)
+    machine.pull(1)
+    machine.invoke(1, "m")
+    machine.push(1)
+    assert [r.op for r in machine.history] == ["pull", "invoke", "push"]
+    assert [r.ok for r in machine.history] == [True, True, False]
+
+
+def test_machine_strict_raises_on_rule_denial():
+    oracle = ScriptedOracle([PullOk(group=frozenset({1, 2, 3}), time=1)])
+    machine = AdoreMachine.create(NODES3, SCHEME, oracle, strict=True)
+    machine.pull(1)
+    with pytest.raises(ReconfigDenied):
+        machine.reconfig(1, frozenset({1, 2}))
+
+
+def test_machine_strict_tolerates_oracle_failures():
+    machine = AdoreMachine.create(NODES3, SCHEME, ScriptedOracle([FAIL]), strict=True)
+    result = machine.pull(1)  # must not raise
+    assert not result.ok
+
+
+def test_machine_strict_raises_on_invoke_without_election():
+    from repro.core import InvalidOperation
+
+    machine = AdoreMachine.create(NODES3, SCHEME, ScriptedOracle([]), strict=True)
+    with pytest.raises(InvalidOperation):
+        machine.invoke(1, "m")
+
+
+def test_machine_strict_raises_not_leader():
+    oracle = ScriptedOracle([
+        PullOk(group=frozenset({1, 2, 3}), time=1),
+        PullOk(group=frozenset({1, 2}), time=2),
+    ])
+    machine = AdoreMachine.create(NODES3, SCHEME, oracle, strict=True)
+    machine.pull(1)
+    machine.pull(2)  # preempts node 1
+    with pytest.raises(NotLeader):
+        machine.invoke(1, "m")
+
+
+def test_machine_render_smoke():
+    machine = AdoreMachine.create(NODES3, SCHEME, ScriptedOracle([]))
+    assert "C(n0,t0,v0)" in machine.render()
+
+
+class TestHistoryReplay:
+    def test_export_and_replay_reconstructs_state(self):
+        from repro.core import RandomOracle
+        from repro.core.semantics import replay_history
+
+        machine = AdoreMachine.create(
+            NODES3, SCHEME, RandomOracle(seed=17, fail_prob=0.25)
+        )
+        for i in range(20):
+            nid = (i % 3) + 1
+            machine.pull(nid)
+            machine.invoke(nid, f"m{i}")
+            machine.push(nid)
+        clone = replay_history(NODES3, SCHEME, machine.export_history())
+        assert clone.state == machine.state
+        assert len(clone.history) == len(machine.history)
+
+    def test_replay_preserves_reconfigs(self):
+        from repro.core.semantics import replay_history
+
+        oracle = ScriptedOracle([
+            PullOk(group=frozenset({1, 2, 3}), time=1),
+            PushOk(group=frozenset({1, 2}), target=2),
+            PushOk(group=frozenset({1, 2}), target=4),
+        ])
+        machine = AdoreMachine.create(NODES3, SCHEME, oracle)
+        machine.pull(1)
+        machine.invoke(1, "m")
+        machine.push(1)
+        machine.reconfig(1, frozenset({1, 2}))
+        machine.push(1)
+        clone = replay_history(NODES3, SCHEME, machine.export_history())
+        assert clone.state == machine.state
+
+    def test_history_records_arguments(self):
+        oracle = ScriptedOracle([PullOk(group=frozenset({1, 2, 3}), time=1)])
+        machine = AdoreMachine.create(NODES3, SCHEME, oracle)
+        machine.pull(1)
+        machine.invoke(1, "payload")
+        history = machine.export_history()
+        assert history[1] == ("invoke", 1, "payload", None)
+
+    def test_replay_rejects_unknown_ops(self):
+        import pytest
+
+        from repro.core.semantics import replay_history
+
+        with pytest.raises(ValueError):
+            replay_history(NODES3, SCHEME, [("explode", 1, None, None)])

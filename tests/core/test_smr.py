@@ -1,0 +1,118 @@
+"""Tests for the Fig. 2 client interfaces (SMR / ADO styles)."""
+
+import pytest
+
+from repro.core import (
+    FAIL,
+    AdoreMachine,
+    PullOk,
+    PushOk,
+    RandomOracle,
+    ScriptedOracle,
+    committed_methods,
+)
+from repro.core.smr import AdoStyleClient, CallStats, RpcTimeout, SmrClient
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+F = frozenset
+
+
+def machine_with(outcomes):
+    return AdoreMachine.create(NODES, SCHEME, ScriptedOracle(outcomes))
+
+
+class TestAdoStyleClient:
+    def test_happy_path_matches_fig2(self):
+        machine = machine_with([
+            PullOk(group=F({1, 2}), time=1),
+            PushOk(group=F({1, 3}), target=2),
+        ])
+        client = AdoStyleClient(machine, nid=1)
+        assert client.update("put(a,1)")
+        assert committed_methods(machine.state.tree) == ["put(a,1)"]
+
+    def test_pull_failure_returns_fail(self):
+        machine = machine_with([FAIL])
+        client = AdoStyleClient(machine, nid=1)
+        assert not client.update("m")
+        assert not client.has_active_cache
+
+    def test_push_failure_returns_fail_but_keeps_cache(self):
+        machine = machine_with([
+            PullOk(group=F({1, 2}), time=1),
+            FAIL,
+        ])
+        client = AdoStyleClient(machine, nid=1)
+        assert not client.update("m")
+        assert client.has_active_cache  # may retry the push later
+
+    def test_invoke_after_preemption_fails(self):
+        machine = machine_with([
+            PullOk(group=F({1, 2}), time=1),
+            PullOk(group=F({1, 2, 3}), time=2),  # another leader preempts
+        ])
+        client = AdoStyleClient(machine, nid=1)
+        assert client.pull()
+        machine.pull(2)
+        assert not client.invoke("m")
+        assert not client.has_active_cache
+
+    def test_reuses_active_cache_across_updates(self):
+        machine = machine_with([
+            PullOk(group=F({1, 2}), time=1),
+            PushOk(group=F({1, 2}), target=2),
+            PushOk(group=F({1, 2}), target=4),
+        ])
+        client = AdoStyleClient(machine, nid=1)
+        assert client.update("m1")
+        assert client.update("m2")  # no second pull needed
+        assert committed_methods(machine.state.tree) == ["m1", "m2"]
+
+
+class TestSmrClient:
+    def test_rpc_call_returns_slot(self):
+        machine = AdoreMachine.create(
+            NODES, SCHEME, RandomOracle(seed=1, fail_prob=0.0, quorums_only=True)
+        )
+        client = SmrClient(machine, nid=1)
+        assert client.rpc_call("a") == 0
+        assert client.rpc_call("b") == 1
+
+    def test_rpc_call_retries_through_failures(self):
+        machine = AdoreMachine.create(
+            NODES, SCHEME, RandomOracle(seed=3, fail_prob=0.5, quorums_only=True)
+        )
+        client = SmrClient(machine, nid=1, max_retries=30)
+        slot = client.rpc_call("persistent")
+        assert committed_methods(machine.state.tree)[slot] == "persistent"
+        assert client.stats.retries >= 0
+
+    def test_rpc_call_times_out(self):
+        machine = machine_with([FAIL, FAIL, FAIL])
+        client = SmrClient(machine, nid=1, max_retries=3)
+        with pytest.raises(RpcTimeout):
+            client.rpc_call("m")
+
+    def test_partial_push_still_counts_when_committed(self):
+        # The push commits only a prefix, but if our method is in it the
+        # call succeeded.
+        machine = machine_with([
+            PullOk(group=F({1, 2}), time=1),
+            PushOk(group=F({1, 2}), target=2),  # commits m1 only
+        ])
+        client = SmrClient(machine, nid=1, max_retries=1)
+        slot = client.rpc_call("m1")
+        assert slot == 0
+
+    def test_stats_accumulate(self):
+        machine = AdoreMachine.create(
+            NODES, SCHEME, RandomOracle(seed=5, fail_prob=0.0, quorums_only=True)
+        )
+        client = SmrClient(machine, nid=1)
+        client.rpc_call("a")
+        client.rpc_call("b")
+        assert client.stats.pulls >= 1
+        assert client.stats.invokes >= 2
+        assert client.stats.pushes >= 2

@@ -1,0 +1,81 @@
+"""Unit tests for the Adore state pair (tree, times) and the TimeMap."""
+
+from repro.core import (
+    AdoreState,
+    CacheTree,
+    TimeMap,
+    initial_state,
+    root_cache,
+)
+from repro.core.state import initial_supporters
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+class TestTimeMap:
+    def test_defaults_to_zero(self):
+        times = TimeMap()
+        assert times.get(7) == 0
+        assert times.max_time() == 0
+
+    def test_zero_entries_are_normalized_away(self):
+        assert TimeMap({1: 0, 2: 3}) == TimeMap({2: 3})
+        assert hash(TimeMap({1: 0, 2: 3})) == hash(TimeMap({2: 3}))
+
+    def test_update_many_is_functional(self):
+        base = TimeMap({1: 1})
+        updated = base.update_many([2, 3], 5)
+        assert base.get(2) == 0
+        assert updated.get(2) == 5
+        assert updated.get(1) == 1
+        assert updated.max_time() == 5
+
+    def test_items_sorted(self):
+        times = TimeMap({3: 1, 1: 2})
+        assert list(times.items()) == [(1, 2), (3, 1)]
+
+    def test_repr(self):
+        assert "n1: 2" in repr(TimeMap({1: 2}))
+
+
+class TestAdoreState:
+    def test_initial_state_shape(self):
+        state = initial_state(NODES, SCHEME)
+        assert len(state.tree) == 1
+        assert state.max_time() == 0
+        root = state.tree.cache(0)
+        assert root.kind == "C"
+        assert root.conf == NODES
+
+    def test_initial_supporters_are_conf0(self):
+        state = initial_state(NODES, SCHEME)
+        assert initial_supporters(state) == NODES
+
+    def test_set_times(self):
+        state = initial_state(NODES, SCHEME)
+        bumped = state.set_times([1, 2], 4)
+        assert state.time_of(1) == 0  # original untouched
+        assert bumped.time_of(1) == 4
+        assert bumped.tree is state.tree
+
+    def test_is_leader(self):
+        state = initial_state(NODES, SCHEME).set_times([1], 3)
+        assert state.is_leader(1, 3)
+        assert not state.is_leader(1, 2)
+        assert state.is_leader(2, 0)
+
+    def test_with_tree(self):
+        state = initial_state(NODES, SCHEME)
+        tree, _ = state.tree.add_leaf(0, root_cache(NODES, SCHEME))
+        swapped = state.with_tree(tree)
+        assert len(swapped.tree) == 2
+        assert swapped.times == state.times
+
+    def test_states_are_hashable_values(self):
+        a = initial_state(NODES, SCHEME)
+        b = initial_state(NODES, SCHEME)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.set_times([1], 1) != a

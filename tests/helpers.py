@@ -1,0 +1,78 @@
+"""Shared helpers for the test suite.
+
+``build_tree`` constructs arbitrary cache trees directly (bypassing the
+semantics) so the invariant checkers can be tested on both legal and
+deliberately illegal shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core import (
+    AdoreState,
+    Cache,
+    CacheTree,
+    CCache,
+    Cid,
+    ECache,
+    MCache,
+    RCache,
+    TimeMap,
+    TreeEntry,
+)
+from repro.core.tree import ROOT_CID
+
+NODES3 = frozenset({1, 2, 3})
+NODES4 = frozenset({1, 2, 3, 4})
+NODES5 = frozenset({1, 2, 3, 4, 5})
+
+
+def root(conf=NODES3) -> CCache:
+    """A root CCache at time 0 supported by all of ``conf``."""
+    return CCache(caller=0, time=0, vrsn=0, conf=conf, voters=frozenset(conf))
+
+
+def ec(caller, time, conf=NODES3, voters=None) -> ECache:
+    return ECache(
+        caller=caller,
+        time=time,
+        vrsn=0,
+        conf=conf,
+        voters=frozenset(voters) if voters is not None else frozenset(conf),
+    )
+
+
+def mc(caller, time, vrsn, conf=NODES3, method="m") -> MCache:
+    return MCache(caller=caller, time=time, vrsn=vrsn, conf=conf, method=method)
+
+
+def rc(caller, time, vrsn, conf=NODES3) -> RCache:
+    return RCache(caller=caller, time=time, vrsn=vrsn, conf=conf)
+
+
+def cc(caller, time, vrsn, conf=NODES3, voters=None) -> CCache:
+    return CCache(
+        caller=caller,
+        time=time,
+        vrsn=vrsn,
+        conf=conf,
+        voters=frozenset(voters) if voters is not None else frozenset(conf),
+    )
+
+
+def build_tree(spec: Dict[Cid, Tuple[Optional[Cid], Cache]]) -> CacheTree:
+    """Build a tree from ``{cid: (parent_cid, cache)}`` directly.
+
+    ``spec`` need not include the root; if absent, a default 3-node root
+    is added at cid 0.
+    """
+    entries = {cid: TreeEntry(parent, cache) for cid, (parent, cache) in spec.items()}
+    if ROOT_CID not in entries:
+        entries[ROOT_CID] = TreeEntry(None, root())
+    return CacheTree(entries)
+
+
+def state_of(tree: CacheTree, times: Optional[Dict[int, int]] = None) -> AdoreState:
+    """Wrap a tree into an :class:`AdoreState` with the given time map."""
+    return AdoreState(tree, TimeMap(times or {}))

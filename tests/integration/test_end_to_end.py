@@ -1,0 +1,209 @@
+"""Integration tests spanning multiple subsystems."""
+
+import pytest
+
+from repro.core import (
+    AdoreMachine,
+    RandomOracle,
+    check_state,
+    committed_methods,
+)
+from repro.mc import Explorer, OpBudget
+from repro.refinement import SimulationChecker, normalize, atomic_groups, check_equivalent
+from repro.raft import Deliver, RaftSystem
+from repro.runtime import ReplicatedKV
+from repro.schemes import (
+    DynamicQuorumScheme,
+    JointConfig,
+    JointConsensusScheme,
+    PrimaryBackupConfig,
+    PrimaryBackupScheme,
+    RaftSingleNodeScheme,
+    SizedConfig,
+    UnanimousScheme,
+    WeightedConfig,
+    WeightedMajorityScheme,
+)
+
+
+class TestAdoreAcrossSchemes:
+    """The same Adore machine runs unchanged under every scheme
+    (Section 6: the model is generic in Config/isQuorum/R1⁺)."""
+
+    def run_machine(self, conf0, scheme, reconfig_to, seed=0):
+        machine = AdoreMachine.create(
+            conf0, scheme, RandomOracle(seed=seed, fail_prob=0.0, quorums_only=True)
+        )
+        leader = sorted(scheme.members(conf0))[0]
+        assert machine.pull(leader).ok
+        assert machine.invoke(leader, "m1").ok
+        assert machine.push(leader).ok
+        result = machine.reconfig(leader, reconfig_to)
+        assert result.ok, result.reason
+        assert machine.push(leader).ok
+        report = check_state(machine.state)
+        assert report.ok, report.all_violations()
+        return machine
+
+    def test_single_node(self):
+        machine = self.run_machine(
+            frozenset({1, 2, 3}), RaftSingleNodeScheme(), frozenset({1, 2})
+        )
+        assert committed_methods(machine.state.tree) == ["m1", frozenset({1, 2})]
+
+    def test_joint_consensus(self):
+        scheme = JointConsensusScheme()
+        self.run_machine(
+            JointConfig.stable({1, 2, 3}),
+            scheme,
+            JointConfig.transition({1, 2, 3}, {2, 3, 4}),
+        )
+
+    def test_primary_backup(self):
+        self.run_machine(
+            PrimaryBackupConfig.of(1, {2, 3}),
+            PrimaryBackupScheme(),
+            PrimaryBackupConfig.of(1, {4, 5, 6, 7}),
+        )
+
+    def test_dynamic_quorum(self):
+        self.run_machine(
+            SizedConfig.of(2, {1, 2, 3}),
+            DynamicQuorumScheme(),
+            SizedConfig.of(4, {1, 2, 3, 4, 5}),
+        )
+
+    def test_unanimous(self):
+        # Wholesale change in one step: only one member carries over.
+        # (The carried-over member must include the leader, since the
+        # leader must belong to the quorum that commits the RCache.)
+        self.run_machine(
+            frozenset({1, 2, 3}),
+            UnanimousScheme(),
+            frozenset({1, 4, 5}),
+        )
+
+    def test_weighted(self):
+        self.run_machine(
+            WeightedConfig.of({1: 2, 2: 1, 3: 1}),
+            WeightedMajorityScheme(),
+            WeightedConfig.of({1: 2, 2: 1, 3: 1, 4: 1}),
+        )
+
+
+class TestModelCheckerAcrossSchemes:
+    """Bounded exhaustive safety for non-default schemes."""
+
+    @pytest.mark.parametrize(
+        "scheme, conf0, moves",
+        [
+            (
+                PrimaryBackupScheme(),
+                PrimaryBackupConfig.of(1, {2, 3}),
+                lambda s, n, c: [
+                    PrimaryBackupConfig.of(1, {2}),
+                    PrimaryBackupConfig.of(1, {2, 3, 4}),
+                ],
+            ),
+            (
+                UnanimousScheme(),
+                frozenset({1, 2}),
+                lambda s, n, c: [frozenset({2, 3}), frozenset({1, 2, 3})],
+            ),
+        ],
+        ids=["primary-backup", "unanimous"],
+    )
+    def test_bounded_safety(self, scheme, conf0, moves):
+        explorer = Explorer(
+            scheme,
+            conf0,
+            budget=OpBudget(pulls=1, invokes=1, reconfigs=1, pushes=2),
+            reconfig_candidates=moves,
+            max_states=100_000,
+        )
+        result = explorer.run()
+        assert result.safe, result.violations[0].describe()
+        assert result.states_visited > 1
+
+
+class TestTraceToSimulationPipeline:
+    """Async Raft trace -> normalized SRaft rounds -> Adore simulation:
+    the full Theorem C.11 pipeline on a concrete run."""
+
+    def test_pipeline(self):
+        conf = frozenset({1, 2, 3})
+        scheme = RaftSingleNodeScheme()
+        system = RaftSystem(conf, scheme)
+        system.elect(1)
+        system.deliver_all()
+        system.invoke(1, "a")
+        system.commit(1)
+        system.deliver_all()
+        system.elect(2)
+        system.deliver_all()
+        system.invoke(2, "b")
+        system.commit(2)
+        system.deliver_all()
+
+        trace = system.trace
+        normalized = normalize(conf, scheme, trace)
+        assert check_equivalent(conf, scheme, trace, normalized) == []
+
+        groups = atomic_groups(normalized)
+        sim = SimulationChecker(conf, scheme)
+        from repro.raft import Commit, Elect, ElectReq, CommitReq, Invoke
+
+        for group in groups:
+            head = group[0]
+            if isinstance(head, Elect):
+                continue  # the request send; handled with its round
+            if isinstance(head, Invoke):
+                sim.invoke(head.nid, head.method)
+            elif isinstance(head, Commit):
+                continue
+            elif isinstance(head, Deliver):
+                receivers = sorted(
+                    {
+                        e.msg.to
+                        for e in group
+                        if isinstance(e.msg, (ElectReq, CommitReq))
+                    }
+                )
+                if isinstance(head.msg, (ElectReq,)) or (
+                    hasattr(head.msg, "granted")
+                ):
+                    sim.elect(
+                        head.msg.frm
+                        if isinstance(head.msg, ElectReq)
+                        else head.msg.to,
+                        receivers,
+                    )
+                else:
+                    leader = (
+                        head.msg.frm
+                        if isinstance(head.msg, CommitReq)
+                        else head.msg.to
+                    )
+                    sim.commit(leader, receivers)
+        assert sim.ok, sim.report()
+        # The simulated Adore state commits the same methods.
+        assert committed_methods(sim.adore.tree) == ["a", "b"]
+
+
+class TestKVStoreAgainstModel:
+    """The executable KV store's committed history satisfies the model's
+    safety property at every step."""
+
+    def test_kv_history_linearizes(self):
+        kv = ReplicatedKV(frozenset({1, 2, 3}), RaftSingleNodeScheme(), seed=9)
+        kv.put("a", 1)
+        kv.put("b", 2)
+        kv.reconfigure(frozenset({1, 2}))
+        kv.put("c", 3)
+        kv.sync()
+        assert kv.cluster.check_safety() == []
+        assert kv.snapshot() == {"a": 1, "b": 2, "c": 3}
+        # Every follower's view is a prefix of the leader's history.
+        for nid in (1, 2):
+            view = kv.snapshot_at(nid)
+            assert all(kv.snapshot().get(k) == v for k, v in view.items())

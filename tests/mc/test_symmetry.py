@@ -1,0 +1,102 @@
+"""Tests for symmetry reduction in the model checker."""
+
+import pytest
+
+from repro.core import (
+    PullOk,
+    ScriptedOracle,
+    AdoreMachine,
+)
+from repro.mc import Explorer, OpBudget
+from repro.mc.symmetry import canonical_key, serialize_state, symmetry_group
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+class TestGroup:
+    def test_full_group_size(self):
+        assert len(symmetry_group([1, 2, 3])) == 6
+        assert len(symmetry_group([1, 2, 3, 4])) == 24
+
+    def test_identity_always_included(self):
+        group = symmetry_group([1, 2, 3])
+        assert {1: 1, 2: 2, 3: 3} in group
+
+    def test_fixed_set_constrains(self):
+        group = symmetry_group([1, 2, 3, 4], fixed_sets=[frozenset({1, 2})])
+        # Permutations fixing {1,2} setwise: 2! x 2! = 4.
+        assert len(group) == 4
+        for mapping in group:
+            assert {mapping[1], mapping[2]} == {1, 2}
+
+
+def run_once(leader, voters):
+    oracle = ScriptedOracle([PullOk(group=frozenset(voters), time=1)])
+    machine = AdoreMachine.create(NODES, SCHEME, oracle)
+    machine.pull(leader)
+    machine.invoke(leader, "m")
+    return machine.state
+
+
+class TestCanonicalKey:
+    def test_renamed_runs_share_canonical_key(self):
+        group = symmetry_group(NODES)
+        state_a = run_once(1, {1, 2})
+        state_b = run_once(2, {2, 3})  # the same run under 1->2, 2->3
+        assert canonical_key(state_a, group) == canonical_key(state_b, group)
+
+    def test_distinct_shapes_differ(self):
+        group = symmetry_group(NODES)
+        state_a = run_once(1, {1, 2})
+        state_b = run_once(1, {1, 2, 3})  # different voter-set size
+        assert canonical_key(state_a, group) != canonical_key(state_b, group)
+
+    def test_identity_serialization_stable(self):
+        state = run_once(1, {1, 2})
+        identity = {n: n for n in NODES}
+        assert serialize_state(state, identity) == serialize_state(
+            state, identity
+        )
+
+    def test_non_set_configs_rejected(self):
+        from repro.mc.symmetry import _map_conf
+
+        with pytest.raises(TypeError):
+            _map_conf(42, {1: 1})
+
+
+class TestExplorerWithSymmetry:
+    BUDGET = OpBudget(pulls=1, invokes=1, reconfigs=1, pushes=2)
+
+    def test_same_verdict_fewer_states(self):
+        plain = Explorer(SCHEME, NODES, budget=self.BUDGET).run()
+        reduced = Explorer(
+            SCHEME, NODES, budget=self.BUDGET, symmetry=True
+        ).run()
+        assert plain.safe and reduced.safe
+        assert plain.exhausted and reduced.exhausted
+        assert reduced.states_visited < plain.states_visited
+        # The reduction factor is bounded by the group order.
+        assert plain.states_visited <= 6 * reduced.states_visited
+
+    def test_symmetry_still_finds_violations(self):
+        from repro.mc.ablations import FIG4_BUDGET, FIG4_NODES
+
+        hunt = Explorer(
+            SCHEME,
+            FIG4_NODES,
+            callers=[1, 2],
+            budget=FIG4_BUDGET,
+            quorum_pulls_only=True,
+            minimal_quorums_only=True,
+            enforce_r3=False,
+            invariants=["safety"],
+            strategy="guided",
+            symmetry=True,
+            max_states=60_000,
+        )
+        result = hunt.run()
+        assert not result.safe
+        assert len(result.violations[0].trace) == 8

@@ -1,0 +1,272 @@
+"""Tests for the multi-Paxos-style protocol variant."""
+
+import pytest
+
+from repro.paxos import (
+    Accepted,
+    AcceptReq,
+    BALLOT_MODULUS,
+    PaxosServer,
+    PaxosSystem,
+    PrepareReq,
+    Promise,
+    ballot_for,
+)
+from repro.raft import CANDIDATE, FOLLOWER, LEADER, LogEntry
+from repro.schemes import RaftSingleNodeScheme
+
+CONF = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+def entry(time, vrsn, payload="m", is_config=False):
+    return LogEntry(time=time, vrsn=vrsn, payload=payload, is_config=is_config)
+
+
+class TestBallots:
+    def test_ballots_are_owned_and_increasing(self):
+        b1 = ballot_for(1, 0, BALLOT_MODULUS)
+        b2 = ballot_for(1, b1, BALLOT_MODULUS)
+        assert b2 > b1
+        assert b1 % BALLOT_MODULUS == b2 % BALLOT_MODULUS == 1
+
+    def test_distinct_nodes_never_collide(self):
+        seen = set()
+        for nid in (1, 2, 3, 4):
+            for above in (0, 5, 100):
+                ballot = ballot_for(nid, above, BALLOT_MODULUS)
+                assert ballot % BALLOT_MODULUS == nid % BALLOT_MODULUS
+                seen.add(ballot)
+        assert len(seen) == len(set(seen))
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            ballot_for(1, 0, 0)
+
+
+class TestPaxosElection:
+    def test_promise_is_unconditional_for_fresh_ballot(self):
+        acceptor = PaxosServer(nid=2, conf0=CONF)
+        acceptor.log = (entry(1, 1), entry(1, 2))  # better log than candidate
+        (promise,) = acceptor.handle(
+            PrepareReq(frm=1, to=2, time=65), SCHEME
+        )
+        assert isinstance(promise, Promise)
+        assert promise.log == acceptor.log  # reports its log, no denial
+
+    def test_candidate_adopts_best_promised_log(self):
+        candidate = PaxosServer(nid=1, conf0=CONF)
+        candidate.start_election(SCHEME)
+        better = (entry(1, 1, "x"),)
+        candidate.handle(
+            Promise(frm=2, to=1, time=candidate.time, log=better), SCHEME
+        )
+        assert candidate.role == LEADER
+        assert candidate.log == better
+
+    def test_candidate_keeps_own_log_when_best(self):
+        candidate = PaxosServer(nid=1, conf0=CONF)
+        candidate.log = (entry(1, 1, "mine"),)
+        candidate.time = 1
+        candidate.start_election(SCHEME)
+        candidate.handle(
+            Promise(frm=3, to=1, time=candidate.time, log=()), SCHEME
+        )
+        assert candidate.role == LEADER
+        assert candidate.log[0].payload == "mine"
+
+    def test_stale_prepare_ignored(self):
+        acceptor = PaxosServer(nid=2, conf0=CONF, time=100)
+        assert acceptor.handle(PrepareReq(frm=1, to=2, time=50), SCHEME) == []
+
+    def test_quorum_judged_against_adopted_config(self):
+        # The promised log carries a 2-node config: {1, 2} is a quorum
+        # of it even though conf0 has three members.
+        candidate = PaxosServer(nid=1, conf0=CONF)
+        candidate.start_election(SCHEME)
+        promised = (entry(1, 1, frozenset({1, 2}), is_config=True),)
+        candidate.handle(
+            Promise(frm=2, to=1, time=candidate.time, log=promised), SCHEME
+        )
+        assert candidate.role == LEADER
+        assert candidate.config() == frozenset({1, 2})
+
+
+class TestPaxosSystem:
+    def test_election_commit_cycle(self):
+        system = PaxosSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all()
+        assert system.servers[1].role == LEADER
+        system.invoke(1, "a")
+        system.commit(1)
+        system.deliver_all()
+        assert system.servers[1].commit_len == 1
+        assert system.check_log_safety() == []
+
+    def test_uncommitted_entries_survive_leader_change(self):
+        # The defining Paxos behaviour: a new leader *rescues* the old
+        # leader's uncommitted entries via promises.
+        system = PaxosSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all()
+        system.invoke(1, "committed")
+        system.commit(1)
+        system.deliver_all()
+        system.invoke(1, "orphan")  # never replicated
+        system.elect(2)
+        # Promise from S1 carries the orphan entry.
+        system.deliver_all()
+        assert system.servers[2].role == LEADER
+        payloads = [e.payload for e in system.servers[2].log]
+        assert payloads == ["committed", "orphan"]
+
+    def test_reconfiguration_guards_apply(self):
+        system = PaxosSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all()
+        ok, reason = system.reconfig(1, frozenset({1, 2}))
+        assert not ok and reason == "r3-denied"
+        system.invoke(1, "warmup")
+        system.commit(1)
+        system.deliver_all()
+        ok, reason = system.reconfig(1, frozenset({1, 2}))
+        assert ok
+
+    def test_fig4_analog_without_r3(self):
+        """The single-node bug reproduces in the Paxos variant too:
+        promises transfer logs, but the divergent quorums never talk."""
+        nodes = frozenset({1, 2, 3, 4})
+        system = PaxosSystem(nodes, SCHEME, enforce_r3=False)
+        # S1 elected (votes 2, 3), reconfigures {1,2,3}, fails to replicate.
+        system.elect(1)
+        system.deliver_all(lambda m: {m.frm, m.to} <= {1, 2, 3})
+        assert system.servers[1].role == LEADER
+        assert system.reconfig(1, frozenset({1, 2, 3}))[0]
+        # S2 elected with promises from 3, 4 (their logs are empty, so
+        # S1's reconfig stays invisible), removes S3, commits with S4.
+        system.elect(2)
+        system.deliver_all(lambda m: {m.frm, m.to} <= {2, 3, 4})
+        assert system.servers[2].role == LEADER
+        assert system.reconfig(2, frozenset({1, 2, 4}))[0]
+        system.commit(2)
+        system.deliver_all(lambda m: {m.frm, m.to} <= {2, 4})
+        assert system.servers[2].commit_len == 1
+        # S1 campaigns again; S3 promises (its log is empty -- it never
+        # saw S2's entries); quorum vs S1's own config {1,2,3}.
+        system.elect(1)
+        system.deliver_all(lambda m: {m.frm, m.to} <= {1, 3})
+        assert system.servers[1].role == LEADER
+        system.invoke(1, "divergent")
+        system.commit(1)
+        system.deliver_all(lambda m: {m.frm, m.to} <= {1, 3})
+        violations = system.check_log_safety()
+        assert violations, system.describe()
+
+    def test_fig4_analog_blocked_with_r3(self):
+        nodes = frozenset({1, 2, 3, 4})
+        system = PaxosSystem(nodes, SCHEME, enforce_r3=True)
+        system.elect(1)
+        system.deliver_all()
+        ok, reason = system.reconfig(1, frozenset({1, 2, 3}))
+        assert not ok and reason == "r3-denied"
+
+    def test_replay_works_for_paxos(self):
+        system = PaxosSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all()
+        system.invoke(1, "a")
+        system.commit(1)
+        system.deliver_all()
+        clone = PaxosSystem.replay(CONF, SCHEME, system.trace)
+        for nid in CONF:
+            assert clone.servers[nid].snapshot() == system.servers[nid].snapshot()
+
+
+class TestPaxosSimulation:
+    def test_lockstep_relation_holds(self):
+        from repro.refinement import PaxosSimulationChecker
+
+        sim = PaxosSimulationChecker(CONF, SCHEME, extra_nodes=[4])
+        sim.elect(1, [2, 3])
+        sim.invoke(1, "a")
+        sim.commit(1, [2, 3])
+        sim.invoke(1, "orphan")
+        # Leader change: 2 adopts 1's log (including the orphan) -- the
+        # Adore side must agree via mostRecent.
+        sim.elect(2, [1, 3])
+        sim.commit(2, [1, 3])
+        sim.reconfig(2, frozenset({1, 2, 3, 4}))
+        sim.commit(2, [1, 3, 4])
+        assert sim.ok, sim.report()
+
+    def test_randomized_paxos_simulation(self):
+        import random
+
+        from repro.core.errors import InvalidOperation
+        from repro.refinement import PaxosSimulationChecker
+
+        rng = random.Random(13)
+        sim = PaxosSimulationChecker(CONF, SCHEME, extra_nodes=[4])
+        nodes = [1, 2, 3, 4]
+        counter = 0
+        for _ in range(80):
+            op = rng.choice(["elect", "invoke", "commit", "commit", "reconfig"])
+            nid = rng.choice(nodes)
+            others = [n for n in nodes if n != nid]
+            group = rng.sample(others, rng.randint(0, len(others)))
+            try:
+                if op == "elect":
+                    sim.elect(nid, group)
+                elif op == "invoke":
+                    counter += 1
+                    sim.invoke(nid, f"m{counter}")
+                elif op == "commit":
+                    sim.commit(nid, group)
+                else:
+                    conf = frozenset(sim.sraft.servers[nid].config())
+                    options = [conf | {n} for n in nodes if n not in conf]
+                    options += [conf - {n} for n in conf if len(conf) > 1]
+                    sim.reconfig(nid, rng.choice(options))
+            except InvalidOperation:
+                continue
+        assert sim.ok, sim.report()
+
+
+class TestModelBoundary:
+    """The documented scope boundary of the Paxos mirror: partial commit
+    deliveries create log coverage Adore's observer metadata cannot see,
+    and a later promise-based adoption from such a receiver cannot be
+    mirrored as a branch adoption.  The checker must *detect* this, not
+    silently pass."""
+
+    def test_partial_replication_salvage_is_detected(self):
+        from repro.refinement import PaxosSimulationChecker
+        from repro.refinement.simulation import SimulationChecker
+
+        nodes = frozenset({1, 2, 3, 4})
+        sim = PaxosSimulationChecker(nodes, SCHEME, raise_on_mismatch=False)
+        sim.elect(1, [2, 3, 4])
+        sim.invoke(1, "committed")
+        sim.commit(1, [2, 3, 4])
+        sim.invoke(1, "orphan")
+        # Bypass the full-round enforcement to create the blind spot:
+        # only node 2 receives the orphan; {1, 2} is NOT a quorum of
+        # four, so no CCache records node 2's coverage.
+        SimulationChecker.commit(sim, 1, [2])
+        # Node 3 is elected with node 2 in its promise quorum and
+        # salvages the orphan -- a log Adore's mostRecent cannot serve.
+        record = sim.elect(3, [2, 4])
+        assert not record.ok
+        assert any("orphan" in d for d in record.discrepancies)
+
+    def test_full_rounds_are_enforced_by_default(self):
+        from repro.refinement import PaxosSimulationChecker
+
+        sim = PaxosSimulationChecker(CONF, SCHEME)
+        sim.elect(1, [2, 3])
+        sim.invoke(1, "a")
+        # Ask for a partial round; the Paxos mirror widens it.
+        record = sim.commit(1, [2])
+        assert record.ok
+        assert "recv=[2, 3]" in record.description

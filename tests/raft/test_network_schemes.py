@@ -1,0 +1,133 @@
+"""The network-based specification under non-default schemes.
+
+Section 7: "The protocol is parameterized by the same isQuorum and R1⁺
+predicates as Adore, which means the refinement proof actually holds
+for a large family of protocols with different reconfiguration
+schemes."  These tests run complete membership changes at the network
+level under joint consensus and primary-backup, and drive the joint
+case through the lockstep refinement checker.
+"""
+
+from repro.raft import LEADER, RaftSystem
+from repro.refinement import SimulationChecker
+from repro.schemes import (
+    JointConfig,
+    JointConsensusScheme,
+    PrimaryBackupConfig,
+    PrimaryBackupScheme,
+)
+
+
+class TestJointConsensusAtNetworkLevel:
+    def test_full_two_hop_membership_change(self):
+        scheme = JointConsensusScheme()
+        old = JointConfig.stable({1, 2, 3})
+        joint = JointConfig.transition({1, 2, 3}, {1, 4, 5})
+        landed = JointConfig.stable({1, 4, 5})
+        system = RaftSystem(old, scheme, extra_nodes={4, 5})
+
+        system.elect(1)
+        system.deliver_all()
+        assert system.servers[1].role == LEADER
+        system.invoke(1, "warmup")
+        system.commit(1)
+        system.deliver_all()
+
+        # Hop 1: enter the joint configuration.
+        ok, reason = system.reconfig(1, joint)
+        assert ok, reason
+        system.commit(1)
+        system.deliver_all()
+        # Committing under the joint config needs majorities of BOTH
+        # halves; with everything delivered that holds.
+        assert system.servers[1].commit_len == 2
+
+        # Hop 2: leave to the new configuration.  R3 needs a committed
+        # entry of the current term first -- the joint commit is one.
+        ok, reason = system.reconfig(1, landed)
+        assert ok, reason
+        system.commit(1)
+        system.deliver_all()
+        assert system.servers[1].config() == landed
+        system.invoke(1, "after")
+        system.commit(1)
+        system.deliver_all()
+        system.commit(1)  # one more round propagates the commit index
+        system.deliver_all()
+        assert system.check_log_safety() == []
+        # The new members carry the full history.
+        assert len(system.servers[4].committed_log()) == 4
+
+    def test_joint_commit_requires_both_majorities(self):
+        scheme = JointConsensusScheme()
+        old = JointConfig.stable({1, 2, 3})
+        joint = JointConfig.transition({1, 2, 3}, {4, 5, 6})
+        system = RaftSystem(old, scheme, extra_nodes={4, 5, 6})
+        system.elect(1)
+        system.deliver_all()
+        system.invoke(1, "warmup")
+        system.commit(1)
+        system.deliver_all()
+        assert system.reconfig(1, joint)[0]
+        system.commit(1)
+        # Deliver only to the old half: no commit progress for the
+        # joint entry (needs a majority of {4,5,6} too).
+        system.deliver_all(lambda m: m.to in {2, 3} or m.frm in {2, 3})
+        assert system.servers[1].commit_len == 1
+        # Now let the new half in: commits.
+        system.commit(1)
+        system.deliver_all()
+        assert system.servers[1].commit_len == 2
+
+    def test_joint_change_through_refinement_checker(self):
+        scheme = JointConsensusScheme()
+        old = JointConfig.stable({1, 2, 3})
+        joint = JointConfig.transition({1, 2, 3}, {1, 2, 4})
+        landed = JointConfig.stable({1, 2, 4})
+        sim = SimulationChecker(old, scheme, extra_nodes=[4])
+        sim.elect(1, [2, 3])
+        sim.invoke(1, "warmup")
+        sim.commit(1, [2, 3])
+        sim.reconfig(1, joint)
+        sim.commit(1, [2, 3, 4])
+        sim.reconfig(1, landed)
+        sim.commit(1, [2, 3, 4])
+        sim.invoke(1, "after")
+        sim.commit(1, [2, 4])
+        assert sim.ok, sim.report()
+
+
+class TestPrimaryBackupAtNetworkLevel:
+    def test_backup_set_changes_freely(self):
+        scheme = PrimaryBackupScheme()
+        conf0 = PrimaryBackupConfig.of(1, {2, 3})
+        system = RaftSystem(conf0, scheme, extra_nodes={4, 5})
+        system.elect(1)
+        system.deliver_all()
+        assert system.servers[1].role == LEADER
+        system.invoke(1, "a")
+        system.commit(1)
+        # A quorum is any set containing the primary: the leader's own
+        # ack suffices, even before any follower answers.
+        assert system.servers[1].commit_len == 1, system.describe()
+        system.deliver_all()
+        ok, reason = system.reconfig(1, PrimaryBackupConfig.of(1, {4, 5}))
+        assert ok, reason
+        system.commit(1)
+        system.deliver_all()
+        assert system.servers[4].log == system.servers[1].log
+        assert system.check_log_safety() == []
+
+    def test_backups_cannot_lead(self):
+        scheme = PrimaryBackupScheme()
+        conf0 = PrimaryBackupConfig.of(1, {2, 3})
+        system = RaftSystem(conf0, scheme)
+        system.elect(2)
+        system.deliver_all()
+        # Node 2's votes never include the primary's... they may -- but
+        # a quorum must CONTAIN the primary; node 1 voting for node 2
+        # does make {1, 2} a quorum.  Without node 1's vote it fails.
+        system2 = RaftSystem(conf0, scheme)
+        system2.elect(2)
+        system2.deliver_all(lambda m: 1 not in (m.frm, m.to))
+        assert system2.servers[2].role != LEADER

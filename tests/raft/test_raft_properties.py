@@ -1,0 +1,140 @@
+"""Property-based tests of the network-based specification.
+
+Randomized asynchronous schedules -- interleaved elections, commands,
+reconfiguration attempts, commit broadcasts, and message deliveries in
+arbitrary order with arbitrary loss -- must never produce divergent
+committed prefixes, and replays must be deterministic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.raft import Deliver, RaftSystem
+from repro.schemes import RaftSingleNodeScheme
+
+UNIVERSE = [1, 2, 3, 4]
+SCHEME = RaftSingleNodeScheme()
+CONF0 = frozenset({1, 2, 3})
+
+
+def random_schedule(data, steps, enforce_r3=True):
+    system = RaftSystem(CONF0, SCHEME, enforce_r3=enforce_r3,
+                        extra_nodes=UNIVERSE)
+    counter = 0
+    for step in range(steps):
+        op = data.draw(
+            st.sampled_from(
+                ["elect", "invoke", "reconfig", "commit", "deliver",
+                 "deliver", "deliver"]
+            ),
+            label=f"op{step}",
+        )
+        nid = data.draw(st.sampled_from(UNIVERSE), label=f"nid{step}")
+        if op == "elect":
+            system.elect(nid)
+        elif op == "invoke":
+            counter += 1
+            system.invoke(nid, f"m{counter}")
+        elif op == "reconfig":
+            conf = frozenset(system.servers[nid].config())
+            options = [conf | {n} for n in UNIVERSE if n not in conf]
+            options += [conf - {n} for n in conf if len(conf) > 1]
+            system.reconfig(nid, data.draw(st.sampled_from(options),
+                                           label=f"conf{step}"))
+        elif op == "commit":
+            system.commit(nid)
+        else:
+            pending = list(system.network.in_flight())
+            if pending:
+                msg = data.draw(st.sampled_from(pending), label=f"msg{step}")
+                system.deliver(msg)
+    return system
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_async_schedules_preserve_log_safety(data):
+    steps = data.draw(st.integers(min_value=5, max_value=30), label="steps")
+    system = random_schedule(data, steps)
+    assert system.check_log_safety() == [], system.describe()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_commit_lengths_are_monotone(data):
+    system = RaftSystem(CONF0, SCHEME, extra_nodes=UNIVERSE)
+    counter = 0
+    previous = {nid: 0 for nid in system.servers}
+    steps = data.draw(st.integers(min_value=5, max_value=25), label="steps")
+    for step in range(steps):
+        op = data.draw(
+            st.sampled_from(["elect", "invoke", "commit", "deliver",
+                             "deliver"]),
+            label=f"op{step}",
+        )
+        nid = data.draw(st.sampled_from(UNIVERSE), label=f"nid{step}")
+        if op == "elect":
+            system.elect(nid)
+        elif op == "invoke":
+            counter += 1
+            system.invoke(nid, f"m{counter}")
+        elif op == "commit":
+            system.commit(nid)
+        else:
+            pending = list(system.network.in_flight())
+            if pending:
+                system.deliver(
+                    data.draw(st.sampled_from(pending), label=f"msg{step}")
+                )
+        for snid, server in system.servers.items():
+            assert server.commit_len >= previous[snid]
+            previous[snid] = server.commit_len
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_replay_is_deterministic(data):
+    steps = data.draw(st.integers(min_value=5, max_value=20), label="steps")
+    system = random_schedule(data, steps)
+    clone = RaftSystem.replay(
+        CONF0, SCHEME, system.trace, extra_nodes=UNIVERSE
+    )
+    for nid in system.servers:
+        assert clone.servers[nid].snapshot() == system.servers[nid].snapshot()
+        assert clone.servers[nid].commit_len == system.servers[nid].commit_len
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_committed_prefix_only_extends(data):
+    """A server's committed prefix is never rewritten, only extended."""
+    system = RaftSystem(CONF0, SCHEME, extra_nodes=UNIVERSE)
+    counter = 0
+    previous = {nid: () for nid in system.servers}
+    steps = data.draw(st.integers(min_value=5, max_value=25), label="steps")
+    for step in range(steps):
+        op = data.draw(
+            st.sampled_from(["elect", "invoke", "commit", "deliver",
+                             "deliver", "deliver"]),
+            label=f"op{step}",
+        )
+        nid = data.draw(st.sampled_from(UNIVERSE), label=f"nid{step}")
+        if op == "elect":
+            system.elect(nid)
+        elif op == "invoke":
+            counter += 1
+            system.invoke(nid, f"m{counter}")
+        elif op == "commit":
+            system.commit(nid)
+        else:
+            pending = list(system.network.in_flight())
+            if pending:
+                system.deliver(
+                    data.draw(st.sampled_from(pending), label=f"msg{step}")
+                )
+        for snid, server in system.servers.items():
+            committed = server.committed_log()
+            old = previous[snid]
+            assert committed[: len(old)] == old, (
+                f"S{snid} committed prefix rewritten"
+            )
+            previous[snid] = committed

@@ -1,0 +1,235 @@
+"""Unit tests for the Raft server handlers."""
+
+import pytest
+
+from repro.raft import (
+    CANDIDATE,
+    CommitAck,
+    CommitReq,
+    ElectAck,
+    ElectReq,
+    FOLLOWER,
+    LEADER,
+    LogEntry,
+    Server,
+    config_of,
+    log_order_key,
+)
+from repro.schemes import RaftSingleNodeScheme
+
+CONF = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+def make_server(nid=1, **kwargs):
+    return Server(nid=nid, conf0=CONF, **kwargs)
+
+
+def entry(time, vrsn, payload="m", is_config=False):
+    return LogEntry(time=time, vrsn=vrsn, payload=payload, is_config=is_config)
+
+
+class TestConfigOf:
+    def test_defaults_to_conf0(self):
+        assert config_of((), CONF) == CONF
+
+    def test_latest_config_entry_wins(self):
+        log = (
+            entry(1, 1),
+            entry(1, 2, frozenset({1, 2}), is_config=True),
+            entry(2, 1),
+        )
+        assert config_of(log, CONF) == frozenset({1, 2})
+
+    def test_uncommitted_config_takes_effect(self):
+        # Hot reconfiguration: position in the log is irrelevant.
+        server = make_server()
+        server.log = (entry(1, 1, frozenset({1, 2}), is_config=True),)
+        assert server.config() == frozenset({1, 2})
+
+
+class TestLogOrder:
+    def test_term_dominates_length(self):
+        newer = (entry(2, 1),)
+        longer = (entry(1, 1), entry(1, 2), entry(1, 3))
+        assert log_order_key(newer) > log_order_key(longer)
+
+    def test_length_breaks_term_ties(self):
+        assert log_order_key((entry(1, 1), entry(1, 2))) > log_order_key(
+            (entry(1, 1),)
+        )
+
+    def test_empty_log_is_least(self):
+        assert log_order_key(()) == (0, 0)
+
+
+class TestElection:
+    def test_start_election_bumps_time_and_broadcasts(self):
+        server = make_server(1)
+        msgs = server.start_election(SCHEME)
+        assert server.time == 1
+        assert server.role == CANDIDATE
+        assert {m.to for m in msgs} == {2, 3}
+        assert all(isinstance(m, ElectReq) for m in msgs)
+
+    def test_singleton_config_wins_immediately(self):
+        server = make_server(1)
+        server.log = (entry(0, 1, frozenset({1}), is_config=True),)
+        server.start_election(SCHEME)
+        assert server.role == LEADER
+
+    def test_voter_grants_for_up_to_date_log(self):
+        voter = make_server(2)
+        req = ElectReq(frm=1, to=2, time=1, log=())
+        (ack,) = voter.handle(req, SCHEME)
+        assert isinstance(ack, ElectAck)
+        assert ack.granted
+        assert voter.time == 1
+
+    def test_voter_denies_stale_log_but_bumps_time(self):
+        voter = make_server(2)
+        voter.log = (entry(1, 1),)
+        req = ElectReq(frm=1, to=2, time=5, log=())
+        (ack,) = voter.handle(req, SCHEME)
+        assert not ack.granted
+        assert voter.time == 5
+
+    def test_voter_ignores_stale_term(self):
+        voter = make_server(2)
+        voter.time = 7
+        req = ElectReq(frm=1, to=2, time=7, log=())
+        assert not voter.would_accept(req)
+        assert voter.handle(req, SCHEME) == []
+
+    def test_candidate_wins_with_quorum(self):
+        candidate = make_server(1)
+        candidate.start_election(SCHEME)
+        ack = ElectAck(frm=2, to=1, time=1, granted=True)
+        candidate.handle(ack, SCHEME)
+        assert candidate.role == LEADER
+
+    def test_candidate_ignores_acks_for_other_terms(self):
+        candidate = make_server(1)
+        candidate.start_election(SCHEME)
+        stale = ElectAck(frm=2, to=1, time=0, granted=True)
+        assert not candidate.would_accept(stale)
+
+    def test_votes_counted_against_own_hot_config(self):
+        # The crux of the Fig. 4 bug: the candidate's own (possibly
+        # uncommitted) configuration decides what a quorum is.
+        candidate = make_server(1)
+        candidate.log = (entry(1, 1, frozenset({1, 2}), is_config=True),)
+        candidate.time = 1
+        candidate.start_election(SCHEME)
+        ack = ElectAck(frm=2, to=1, time=2, granted=True)
+        candidate.handle(ack, SCHEME)
+        assert candidate.role == LEADER  # {1,2} is a majority of {1,2}
+
+
+class TestInvokeAndReconfig:
+    def leader(self):
+        server = make_server(1)
+        server.start_election(SCHEME)
+        server.handle(ElectAck(frm=2, to=1, time=1, granted=True), SCHEME)
+        assert server.role == LEADER
+        return server
+
+    def test_invoke_appends_with_version(self):
+        server = self.leader()
+        assert server.invoke("a")
+        assert server.invoke("b")
+        assert [(e.time, e.vrsn) for e in server.log] == [(1, 1), (1, 2)]
+
+    def test_invoke_refused_for_followers(self):
+        server = make_server(1)
+        assert not server.invoke("a")
+
+    def test_reconfig_requires_r3(self):
+        server = self.leader()
+        ok, reason = server.reconfig(frozenset({1, 2}), SCHEME)
+        assert not ok and reason == "r3-denied"
+
+    def test_reconfig_after_commit(self):
+        server = self.leader()
+        server.invoke("a")
+        server.commit_len = 1  # as if a quorum acked
+        ok, reason = server.reconfig(frozenset({1, 2}), SCHEME)
+        assert ok
+        assert server.config() == frozenset({1, 2})
+
+    def test_reconfig_r2_blocks_stacking(self):
+        server = self.leader()
+        server.invoke("a")
+        server.commit_len = 1
+        assert server.reconfig(frozenset({1, 2}), SCHEME)[0]
+        ok, reason = server.reconfig(frozenset({1, 2, 3}), SCHEME)
+        assert not ok and reason == "r2-denied"
+
+    def test_reconfig_r1_denied(self):
+        server = self.leader()
+        server.invoke("a")
+        server.commit_len = 1
+        ok, reason = server.reconfig(frozenset({5, 6}), SCHEME)
+        assert not ok and reason == "r1-denied"
+
+    def test_ablation_switches(self):
+        server = self.leader()
+        ok, reason = server.reconfig(
+            frozenset({1, 2}), SCHEME, enforce_r3=False
+        )
+        assert ok
+
+
+class TestCommit:
+    def cluster_pair(self):
+        leader = make_server(1)
+        leader.start_election(SCHEME)
+        leader.handle(ElectAck(frm=2, to=1, time=1, granted=True), SCHEME)
+        follower = make_server(2)
+        follower.time = 1
+        return leader, follower
+
+    def test_broadcast_goes_to_current_config(self):
+        leader, _ = self.cluster_pair()
+        leader.invoke("a")
+        msgs = leader.broadcast_commit(SCHEME)
+        assert {m.to for m in msgs} == {2, 3}
+
+    def test_follower_adopts_leader_log(self):
+        leader, follower = self.cluster_pair()
+        leader.invoke("a")
+        (req,) = [m for m in leader.broadcast_commit(SCHEME) if m.to == 2]
+        (ack,) = follower.handle(req, SCHEME)
+        assert follower.log == leader.log
+        assert isinstance(ack, CommitAck)
+        assert ack.acked_len == 1
+
+    def test_quorum_acks_advance_commit(self):
+        leader, follower = self.cluster_pair()
+        leader.invoke("a")
+        (req,) = [m for m in leader.broadcast_commit(SCHEME) if m.to == 2]
+        (ack,) = follower.handle(req, SCHEME)
+        leader.handle(ack, SCHEME)
+        assert leader.commit_len == 1
+
+    def test_commit_only_counts_current_term_entries(self):
+        leader, _ = self.cluster_pair()
+        # An entry from an older term cannot commit by counting alone.
+        leader.log = (entry(0, 1),)
+        leader.acked = {1: 1, 2: 1, 3: 1}
+        leader._advance_commit(SCHEME)
+        assert leader.commit_len == 0
+
+    def test_follower_rejects_regressing_log(self):
+        _, follower = self.cluster_pair()
+        follower.log = (entry(1, 1), entry(1, 2))
+        req = CommitReq(frm=1, to=2, time=1, log=(entry(1, 1),), commit_len=0)
+        assert not follower.would_accept(req)
+
+    def test_commit_len_propagates(self):
+        leader, follower = self.cluster_pair()
+        leader.invoke("a")
+        leader.commit_len = 1
+        (req,) = [m for m in leader.broadcast_commit(SCHEME) if m.to == 2]
+        follower.handle(req, SCHEME)
+        assert follower.commit_len == 1

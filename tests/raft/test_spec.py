@@ -1,0 +1,171 @@
+"""Tests for the asynchronous system, the network, SRaft rounds, and the
+network-level Fig. 4 reproduction."""
+
+import pytest
+
+from repro.core.errors import InvalidOperation
+from repro.raft import (
+    CommitReq,
+    Deliver,
+    ElectReq,
+    LEADER,
+    Network,
+    RaftSystem,
+    SRaftSystem,
+    run_buggy,
+    run_fixed,
+)
+from repro.schemes import RaftSingleNodeScheme
+
+CONF = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+class TestNetwork:
+    def test_send_and_deliver(self):
+        net = Network()
+        msg = ElectReq(frm=1, to=2, time=1, log=())
+        net.send(msg)
+        assert net.can_deliver(msg)
+        net.mark_delivered(msg)
+        assert not net.can_deliver(msg)
+        assert net.delivered() == [msg]
+
+    def test_multiplicity(self):
+        net = Network()
+        msg = ElectReq(frm=1, to=2, time=1, log=())
+        net.send(msg)
+        net.send(msg)
+        net.mark_delivered(msg)
+        assert net.can_deliver(msg)
+        assert net.pending_count() == 1
+
+    def test_delivering_unknown_raises(self):
+        net = Network()
+        with pytest.raises(ValueError):
+            net.mark_delivered(ElectReq(frm=1, to=2, time=1, log=()))
+
+
+class TestRaftSystem:
+    def test_full_election_and_commit(self):
+        system = RaftSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all()
+        assert system.servers[1].role == LEADER
+        system.invoke(1, "a")
+        system.commit(1)
+        system.deliver_all()
+        assert system.servers[1].commit_len == 1
+        assert system.check_log_safety() == []
+
+    def test_lost_messages_are_fine(self):
+        system = RaftSystem(CONF, SCHEME)
+        system.elect(1)
+        # Deliver only node 2's messages; node 3 never hears anything.
+        system.deliver_all(lambda m: 3 not in (m.to, m.frm))
+        assert system.servers[1].role == LEADER
+        assert system.servers[3].time == 0
+
+    def test_trace_records_events(self):
+        system = RaftSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all()
+        kinds = [type(e).__name__ for e in system.trace]
+        assert kinds[0] == "Elect"
+        assert "Deliver" in kinds
+
+    def test_replay_reproduces_state(self):
+        system = RaftSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all()
+        system.invoke(1, "a")
+        system.commit(1)
+        system.deliver_all()
+        clone = RaftSystem.replay(CONF, SCHEME, system.trace)
+        for nid in CONF:
+            assert clone.servers[nid].snapshot() == system.servers[nid].snapshot()
+
+    def test_competing_leaders_cannot_both_commit(self):
+        system = RaftSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all(lambda m: m.to != 3 or m.frm != 1)
+        assert system.servers[1].role == LEADER
+        system.elect(2)  # term 2, dethrones node 1's supporters
+        system.deliver_all(lambda m: isinstance(m, (ElectReq,)) or True)
+        system.invoke(2, "b")
+        system.commit(2)
+        system.deliver_all()
+        assert system.check_log_safety() == []
+
+
+class TestSRaft:
+    def test_atomic_election(self):
+        sraft = SRaftSystem(CONF, SCHEME)
+        round_ = sraft.elect_atomic(1, [2, 3])
+        assert round_.won
+        # The candidate stops counting once it has won, so the recorded
+        # grant set is a quorum, not necessarily every receiver.
+        assert round_.granted >= frozenset({1, 2})
+        assert round_.receivers == frozenset({2, 3})
+        assert sraft.servers[1].role == LEADER
+
+    def test_atomic_election_partial(self):
+        sraft = SRaftSystem(CONF, SCHEME)
+        round_ = sraft.elect_atomic(1, [2])
+        assert round_.won  # {1, 2} is a majority of 3
+        round2 = sraft.elect_atomic(3, [])
+        assert not round2.won
+
+    def test_atomic_commit(self):
+        sraft = SRaftSystem(CONF, SCHEME)
+        sraft.elect_atomic(1, [2, 3])
+        sraft.invoke(1, "a")
+        round_ = sraft.commit_atomic(1, [2])
+        assert round_.commit_len == 1
+        assert sraft.servers[2].log == sraft.servers[1].log
+
+    def test_rounds_must_be_time_ordered(self):
+        sraft = SRaftSystem(CONF, SCHEME)
+        sraft.elect_atomic(1, [2, 3])   # time 1
+        sraft.elect_atomic(2, [3])      # time 2
+        # Node 1 (still at time 1 on its own clock? no: it never saw
+        # t2) -- its next election picks time 2, which is not below the
+        # last round's time, so this is fine; force a stale round by
+        # rewinding instead.
+        sraft._last_round_time = 99
+        with pytest.raises(InvalidOperation):
+            sraft.elect_atomic(3, [1])
+
+    def test_stale_receivers_are_skipped(self):
+        sraft = SRaftSystem(CONF, SCHEME)
+        sraft.elect_atomic(2, [3])      # 2 and 3 move to time 1
+        sraft.servers[1].time = 0
+        # Node 1 campaigns at time 1; nodes 2/3 are already at 1 -> both
+        # deliveries are invalid and skipped.
+        round_ = sraft.elect_atomic(1, [2, 3])
+        assert round_.receivers == frozenset()
+        assert not round_.won
+
+
+class TestFig4NetworkLevel:
+    def test_buggy_run_violates_safety(self):
+        outcome = run_buggy()
+        assert outcome.violated
+        assert len(outcome.system.leaders()) == 2
+        # The two leaders' commit quorums are disjoint: committed logs
+        # diverge at slot 0.
+        s1 = outcome.system.servers[1].committed_log()
+        s2 = outcome.system.servers[2].committed_log()
+        assert s1 and s2 and s1[0] != s2[0]
+
+    def test_both_reconfigs_accepted_without_r3(self):
+        outcome = run_buggy()
+        assert outcome.reconfig_results == [
+            "S1 removes S4: ok",
+            "S2 removes S3: ok",
+        ]
+
+    def test_fixed_run_blocks_first_reconfig(self):
+        outcome = run_fixed()
+        assert not outcome.violated
+        assert outcome.reconfig_results == ["S1 removes S4: r3-denied"]

@@ -1,0 +1,92 @@
+"""Cross-level validation: random asynchronous network executions,
+merged into cache trees, satisfy the model's tree-based invariants.
+
+This closes the loop between the abstraction levels: §4.1 argues the
+cache tree natively carries the structure (rdist, commit linearity)
+that network states only hold implicitly; here we *rebuild* the tree
+from arbitrary network runs (R2/R3 enforced) and check Definition 4.1
+plus the applicable Appendix-B invariants on it -- and confirm the
+ablated protocol fails the same checkers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    check_ccache_in_rcache_fork,
+    check_descendant_order,
+    check_replicated_state_safety,
+    tree_rdist,
+)
+from repro.raft import RaftSystem, run_buggy
+from repro.refinement.treeify import treeify
+from repro.schemes import RaftSingleNodeScheme
+
+UNIVERSE = [1, 2, 3, 4]
+CONF0 = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+def random_network_run(data, steps, enforce_r3=True):
+    system = RaftSystem(CONF0, SCHEME, enforce_r3=enforce_r3,
+                        extra_nodes=UNIVERSE)
+    counter = 0
+    for step in range(steps):
+        op = data.draw(
+            st.sampled_from(
+                ["elect", "invoke", "reconfig", "commit", "deliver",
+                 "deliver", "deliver"]
+            ),
+            label=f"op{step}",
+        )
+        nid = data.draw(st.sampled_from(UNIVERSE), label=f"nid{step}")
+        if op == "elect":
+            system.elect(nid)
+        elif op == "invoke":
+            counter += 1
+            system.invoke(nid, f"m{counter}")
+        elif op == "reconfig":
+            conf = frozenset(system.servers[nid].config())
+            options = [conf | {n} for n in UNIVERSE if n not in conf]
+            options += [conf - {n} for n in conf if len(conf) > 1]
+            system.reconfig(
+                nid, data.draw(st.sampled_from(options), label=f"cf{step}")
+            )
+        else:
+            if op == "commit":
+                system.commit(nid)
+                continue
+            pending = list(system.network.in_flight())
+            if pending:
+                system.deliver(
+                    data.draw(st.sampled_from(pending), label=f"m{step}")
+                )
+    return system
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_treeified_network_states_satisfy_tree_invariants(data):
+    steps = data.draw(st.integers(min_value=5, max_value=30), label="steps")
+    system = random_network_run(data, steps)
+    result = treeify(system)
+    tree = result.tree
+    assert check_replicated_state_safety(tree) == [], tree.render()
+    assert check_ccache_in_rcache_fork(tree) == [], tree.render()
+    assert check_descendant_order(tree) == [], tree.render()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_network_and_tree_safety_checks_agree(data):
+    steps = data.draw(st.integers(min_value=5, max_value=25), label="steps")
+    system = random_network_run(data, steps)
+    network_verdict = bool(system.check_log_safety())
+    tree_verdict = bool(treeify(system).safety_violations())
+    assert network_verdict == tree_verdict
+
+
+def test_buggy_run_fails_the_tree_checkers_too():
+    outcome = run_buggy()
+    result = treeify(outcome.system)
+    assert result.safety_violations()
+    assert tree_rdist(result.tree) == 2

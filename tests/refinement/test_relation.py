@@ -1,0 +1,84 @@
+"""Tests for toLog/logMatch/ℝ_net (Fig. 17-18)."""
+
+from repro.core.figures import fig5_machine
+from repro.raft import LogEntry, RaftSystem
+from repro.refinement import ObservationMap, r_net, to_log
+from repro.schemes import RaftSingleNodeScheme
+
+CONF = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+class TestToLog:
+    def test_root_is_empty_log(self):
+        machine, _ = fig5_machine()
+        assert to_log(machine.state.tree, 0) == ()
+
+    def test_m_and_r_caches_become_entries(self):
+        machine, labels = fig5_machine()
+        tree = machine.state.tree
+        log = to_log(tree, labels["R1"])
+        assert [e.payload for e in log] == ["M1", "M2", frozenset({1, 2, 3, 4})]
+        assert [e.is_config for e in log] == [False, False, True]
+
+    def test_ecache_and_ccache_invisible(self):
+        machine, labels = fig5_machine()
+        tree = machine.state.tree
+        # Branch through E2 contains E1, C1, E2 -- none are log entries.
+        log = to_log(tree, labels["E2"])
+        assert [e.payload for e in log] == ["M1"]
+
+    def test_entries_carry_time_and_version(self):
+        machine, labels = fig5_machine()
+        log = to_log(machine.state.tree, labels["M2"])
+        assert [(e.time, e.vrsn) for e in log] == [(1, 1), (1, 2)]
+
+
+class TestRNet:
+    def build(self, script):
+        system = RaftSystem(CONF, SCHEME)
+        script(system)
+        return system
+
+    def test_identical_systems_match(self):
+        def script(system):
+            system.elect(1)
+            system.deliver_all()
+
+        assert r_net(self.build(script), self.build(script)) == []
+
+    def test_log_difference_detected(self):
+        def one(system):
+            system.elect(1)
+            system.deliver_all()
+            system.invoke(1, "a")
+
+        def two(system):
+            system.elect(1)
+            system.deliver_all()
+
+        problems = r_net(self.build(one), self.build(two))
+        assert any("logs differ" in p for p in problems)
+
+    def test_time_difference_detected(self):
+        def one(system):
+            system.elect(1)
+
+        def two(system):
+            system.elect(1)
+            system.elect(1)
+
+        problems = r_net(self.build(one), self.build(two))
+        assert any("times differ" in p for p in problems)
+
+
+class TestObservationMap:
+    def test_defaults_to_root(self):
+        obs = ObservationMap([1, 2, 3])
+        assert obs.get(1) == 0
+        assert obs.get(99) == 0
+
+    def test_advance(self):
+        obs = ObservationMap([1])
+        obs.advance(1, 5)
+        assert obs.get(1) == 5

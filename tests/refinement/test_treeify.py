@@ -1,0 +1,92 @@
+"""Tests for the log-merge tree reconstruction (Section 4.1's remark)."""
+
+from repro.raft import RaftSystem, run_buggy
+from repro.refinement.treeify import treeify
+from repro.schemes import RaftSingleNodeScheme
+
+CONF = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+def healthy_system():
+    system = RaftSystem(CONF, SCHEME)
+    system.elect(1)
+    system.deliver_all()
+    system.invoke(1, "a")
+    system.invoke(1, "b")
+    system.commit(1)
+    system.deliver_all()
+    return system
+
+
+class TestTreeify:
+    def test_shared_logs_share_caches(self):
+        system = healthy_system()
+        result = treeify(system)
+        # All three replicas have identical logs: one branch, and all
+        # positions coincide.
+        assert len(set(result.positions.values())) == 1
+        assert result.tree.is_well_formed()
+
+    def test_empty_logs_sit_at_root(self):
+        system = RaftSystem(CONF, SCHEME)
+        result = treeify(system)
+        assert set(result.positions.values()) == {0}
+
+    def test_commit_markers_inserted(self):
+        system = healthy_system()
+        result = treeify(system)
+        ccaches = result.tree.ccaches()
+        # Root plus the committed prefix marker.
+        assert len(ccaches) == 2
+
+    def test_divergent_logs_fork(self):
+        system = RaftSystem(CONF, SCHEME)
+        system.elect(1)
+        system.deliver_all(lambda m: m.to != 3 and m.frm != 3)
+        system.invoke(1, "a")       # only in S1's log
+        system.elect(3)             # S3 campaigns, log empty
+        result = treeify(system)
+        assert result.positions[1] != result.positions[3]
+        assert result.rdist_between(1, 3) == 0  # no reconfigs involved
+
+    def test_rdist_zero_for_agreeing_replicas(self):
+        result = treeify(healthy_system())
+        assert result.rdist_between(1, 2) == 0
+
+    def test_fig4_network_run_treeifies_to_the_paper_tree(self):
+        # The buggy network run's logs, merged, show exactly the Fig. 12
+        # structure: divergent RCaches with commits on both branches,
+        # rdist 2 between the two leaders.
+        outcome = run_buggy()
+        result = treeify(outcome.system)
+        # Log *tips* are one reconfiguration apart (each tip is itself
+        # an RCache-side endpoint, excluded by Definition 4.2)...
+        assert result.rdist_between(1, 2) == 1
+        # ...but the committed markers sit below both RCaches: the
+        # tree's maximal rdist is 2, exactly the Fig. 12 shape.
+        from repro.core import tree_rdist
+
+        assert tree_rdist(result.tree) == 2
+        violations = result.safety_violations()
+        assert violations, result.tree.render()
+        assert "different branches" in violations[0]
+
+    def test_fixed_run_treeifies_safely(self):
+        from repro.raft import run_fixed
+
+        outcome = run_fixed()
+        result = treeify(outcome.system)
+        assert result.safety_violations() == []
+
+    def test_cross_validation_agreement(self):
+        """The network-level prefix check and the tree-based check agree
+        on both the buggy and the healthy run."""
+        buggy = run_buggy()
+        assert bool(buggy.system.check_log_safety()) == bool(
+            treeify(buggy.system).safety_violations()
+        )
+        healthy = healthy_system()
+        assert bool(healthy.check_log_safety()) == bool(
+            treeify(healthy).safety_violations()
+        )

@@ -1,0 +1,107 @@
+"""Tests for the autonomous (timer-driven) cluster."""
+
+import pytest
+
+from repro.runtime import AutonomousCluster, TimingConfig
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+def cluster(seed=0, **kwargs):
+    return AutonomousCluster(NODES, SCHEME, seed=seed, **kwargs)
+
+
+class TestSelfElection:
+    def test_a_leader_emerges_without_external_driving(self):
+        c = cluster(seed=1)
+        leader = c.wait_for_leader()
+        assert leader in NODES
+        # Within one election timeout window plus a round trip.
+        assert c.sim.now < c.timing.election_timeout_max_ms + 10
+
+    def test_heartbeats_suppress_new_elections(self):
+        c = cluster(seed=2)
+        c.wait_for_leader()
+        first_term = c.servers[c.leader()].time
+        c.run_for(300.0)
+        # A healthy leader keeps its term; no churn.
+        assert c.servers[c.leader()].time == first_term
+        assert len(c.leader_changes) == 1
+
+    def test_leaders_emerge_across_seeds(self):
+        for seed in range(8):
+            c = cluster(seed=seed)
+            assert c.wait_for_leader() is not None, f"seed {seed}"
+
+
+class TestRequests:
+    def test_submit_commits(self):
+        c = cluster(seed=3)
+        latency = c.submit("a")
+        assert latency is not None and latency > 0
+        leader = c.leader()
+        assert c.servers[leader].commit_len == 1
+
+    def test_many_requests_stay_safe(self):
+        c = cluster(seed=4)
+        for i in range(20):
+            assert c.submit(f"m{i}") is not None
+        c.run_for(50.0)
+        assert c.check_safety() == []
+
+
+class TestCrashRecovery:
+    def test_leader_crash_recovers(self):
+        c = cluster(seed=5)
+        first = c.wait_for_leader()
+        c.submit("before")
+        c.crash(first)
+        latency = c.submit("after", max_wait_ms=5_000.0)
+        assert latency is not None
+        second = c.leader()
+        assert second != first
+        # The committed entry survived the failover.
+        assert any(
+            e.payload == "before" for e in c.servers[second].committed_log()
+        )
+
+    def test_restart_rejoins(self):
+        c = cluster(seed=6)
+        first = c.wait_for_leader()
+        c.submit("x")
+        c.crash(first)
+        assert c.submit("y", max_wait_ms=5_000.0) is not None
+        c.restart(first)
+        c.run_for(100.0)
+        # The restarted node caught up via heartbeats.
+        assert len(c.servers[first].log) == 2
+        assert c.check_safety() == []
+
+    def test_no_quorum_no_progress_but_no_corruption(self):
+        c = cluster(seed=7)
+        c.wait_for_leader()
+        c.submit("committed")
+        c.crash(2)
+        c.crash(3)
+        assert c.submit("doomed", max_wait_ms=150.0) is None
+        assert c.check_safety() == []
+
+
+class TestTiming:
+    def test_custom_timing_config(self):
+        timing = TimingConfig(
+            heartbeat_ms=2.0,
+            election_timeout_min_ms=8.0,
+            election_timeout_max_ms=12.0,
+        )
+        c = cluster(seed=8, timing=timing)
+        c.wait_for_leader()
+        assert c.sim.now < 20.0
+
+    def test_determinism_per_seed(self):
+        a = cluster(seed=9)
+        b = cluster(seed=9)
+        assert a.wait_for_leader() == b.wait_for_leader()
+        assert a.sim.now == b.sim.now

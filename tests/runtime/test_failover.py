@@ -1,0 +1,117 @@
+"""Tests for failure injection and client-side failover."""
+
+import pytest
+
+from repro.runtime import Cluster, FailoverDriver
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+def fresh_cluster(seed=1, extra=frozenset({4})):
+    cluster = Cluster(NODES, SCHEME, seed=seed, extra_nodes=extra)
+    assert cluster.elect(1)
+    return cluster
+
+
+class TestCrash:
+    def test_crashed_node_drops_messages(self):
+        cluster = fresh_cluster()
+        cluster.crash(3)
+        cluster.submit("a", leader=1)  # {1,2} still a quorum
+        assert cluster.servers[3].log == ()
+        assert cluster.servers[2].log != ()
+
+    def test_crash_unknown_node(self):
+        cluster = fresh_cluster()
+        with pytest.raises(KeyError):
+            cluster.crash(99)
+
+    def test_submit_to_crashed_leader_fails_fast(self):
+        cluster = fresh_cluster()
+        cluster.crash(1)
+        with pytest.raises(RuntimeError):
+            cluster.submit("a", leader=1)
+
+    def test_crashed_candidate_cannot_win(self):
+        cluster = fresh_cluster()
+        cluster.crash(2)
+        assert not cluster.elect(2)
+
+    def test_quorum_loss_blocks_commits(self):
+        cluster = fresh_cluster()
+        cluster.crash(2)
+        cluster.crash(3)
+        with pytest.raises(RuntimeError):
+            cluster.submit("a", leader=1, max_wait_ms=20.0)
+
+    def test_restart_preserves_log(self):
+        cluster = fresh_cluster()
+        cluster.submit("a", leader=1)
+        log_before = cluster.servers[2].log
+        cluster.crash(2)
+        cluster.restart(2)
+        assert cluster.servers[2].log == log_before
+        # And the node participates again.
+        cluster.crash(3)
+        cluster.submit("b", leader=1)
+        assert len(cluster.servers[2].log) == 2
+
+
+class TestFailoverDriver:
+    def test_transparent_leader_change(self):
+        cluster = fresh_cluster(seed=2)
+        driver = FailoverDriver(cluster, leader=1)
+        driver.submit(("put", "a", 1))
+        cluster.crash(1)
+        record = driver.submit(("put", "b", 2))
+        assert record.latency_ms is not None
+        assert driver.leader != 1
+        assert len(driver.events) == 1
+        assert driver.events[0].old_leader == 1
+
+    def test_failover_prefers_up_to_date_logs(self):
+        cluster = fresh_cluster(seed=3)
+        driver = FailoverDriver(cluster, leader=1)
+        driver.submit(("put", "a", 1))
+        cluster.crash(1)
+        driver.submit(("put", "b", 2))
+        # The new leader must hold the committed entry.
+        leader_log = cluster.servers[driver.leader].committed_log()
+        assert any(e.payload == ("put", "a", 1) for e in leader_log)
+
+    def test_dead_node_replacement_story(self):
+        cluster = fresh_cluster(seed=4)
+        driver = FailoverDriver(cluster, leader=1)
+        for i in range(5):
+            driver.submit(("put", f"k{i}", i))
+        cluster.crash(1)
+        driver.submit(("put", "mid", 0))
+        driver.reconfigure(frozenset({2, 3}))
+        driver.reconfigure(frozenset({2, 3, 4}))
+        driver.submit(("put", "end", 1))
+        cluster.sync_followers(driver.leader)
+        assert cluster.check_safety() == []
+        assert sorted(cluster.servers[driver.leader].config()) == [2, 3, 4]
+        assert len(cluster.servers[4].log) == len(
+            cluster.servers[driver.leader].log
+        )
+
+    def test_no_live_quorum_raises(self):
+        cluster = fresh_cluster(seed=5, extra=frozenset())
+        driver = FailoverDriver(cluster, leader=1)
+        cluster.crash(1)
+        cluster.crash(2)
+        with pytest.raises(RuntimeError):
+            driver.submit(("put", "a", 1))
+
+    def test_reconfigure_satisfies_r3_automatically(self):
+        cluster = fresh_cluster(seed=6)
+        driver = FailoverDriver(cluster, leader=1)
+        # Fresh leader at term 1 with no commit of its own term yet:
+        # the driver must interpose a no-op.
+        driver.reconfigure(frozenset({1, 2, 3, 4}))
+        assert sorted(cluster.servers[1].config()) == [1, 2, 3, 4]
+        payloads = [e.payload for e in cluster.servers[1].log]
+        assert ("noop",) in payloads

@@ -1,0 +1,211 @@
+"""Tests for the discrete-event simulator, cluster, and KV store."""
+
+import pytest
+
+from repro.runtime import (
+    Cluster,
+    Fig16Config,
+    LatencyModel,
+    ReplicatedKV,
+    Simulator,
+    materialize,
+    run_fig16_workload,
+)
+from repro.raft import LogEntry
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator(seed=0)
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.schedule(1.0, lambda: seen.append("early"))
+        sim.drain()
+        assert seen == ["early", "late"]
+        assert sim.now == 5.0
+
+    def test_fifo_for_simultaneous_events(self):
+        sim = Simulator(seed=0)
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(1.0, lambda: seen.append("b"))
+        sim.drain()
+        assert seen == ["a", "b"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator(seed=0)
+        counter = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: counter.append(i))
+        sim.run_until(lambda: len(counter) >= 3)
+        assert len(counter) >= 3
+        assert sim.pending() > 0
+
+
+class TestLatencyModel:
+    def test_reproducible_with_seed(self):
+        import random
+
+        model = LatencyModel()
+        a = model.sample(random.Random(1), 5)
+        b = model.sample(random.Random(1), 5)
+        assert a == b
+
+    def test_payload_increases_latency(self):
+        import random
+
+        model = LatencyModel(jitter=0.0, spike_prob=0.0)
+        small = model.sample(random.Random(1), 0)
+        large = model.sample(random.Random(1), 1000)
+        assert large > small
+
+
+class TestCluster:
+    def test_election_and_requests(self):
+        cluster = Cluster(NODES, SCHEME, seed=1)
+        assert cluster.elect(1)
+        assert cluster.leader() == 1
+        record = cluster.submit("a", leader=1)
+        assert record.latency_ms > 0
+        assert cluster.servers[1].commit_len == 1
+
+    def test_latencies_recorded_in_order(self):
+        cluster = Cluster(NODES, SCHEME, seed=2)
+        cluster.elect(1)
+        for i in range(5):
+            cluster.submit(f"m{i}", leader=1)
+        assert len(cluster.latencies()) == 5
+        assert all(lat > 0 for lat in cluster.latencies())
+
+    def test_safety_holds_throughout(self):
+        cluster = Cluster(NODES, SCHEME, seed=3)
+        cluster.elect(1)
+        for i in range(10):
+            cluster.submit(f"m{i}", leader=1)
+        cluster.sync_followers(1)
+        assert cluster.check_safety() == []
+
+    def test_reconfiguration_requires_commit_first(self):
+        cluster = Cluster(NODES, SCHEME, seed=4, extra_nodes={4})
+        cluster.elect(1)
+        with pytest.raises(RuntimeError):
+            cluster.submit_reconfig(frozenset({1, 2, 3, 4}), leader=1)
+
+    def test_live_reconfiguration(self):
+        cluster = Cluster(NODES, SCHEME, seed=5, extra_nodes={4})
+        cluster.elect(1)
+        cluster.submit("warmup", leader=1)
+        record = cluster.submit_reconfig(frozenset({1, 2, 3, 4}), leader=1)
+        assert record.is_reconfig
+        cluster.submit("after", leader=1)
+        cluster.sync_followers(1)
+        # The new node caught up.
+        assert len(cluster.servers[4].log) == 3
+        assert cluster.check_safety() == []
+
+
+class TestKVStore:
+    def test_put_get_delete(self):
+        kv = ReplicatedKV(NODES, SCHEME, seed=1)
+        kv.put("x", 42)
+        assert kv.get("x") == 42
+        kv.delete("x")
+        assert kv.get("x") is None
+        assert kv.get("x", "fallback") == "fallback"
+
+    def test_followers_see_prefix(self):
+        kv = ReplicatedKV(NODES, SCHEME, seed=2)
+        kv.put("a", 1)
+        kv.put("b", 2)
+        kv.sync()
+        for nid in NODES:
+            snapshot = kv.snapshot_at(nid)
+            assert snapshot == {"a": 1, "b": 2}
+
+    def test_reconfigure_without_downtime(self):
+        kv = ReplicatedKV(NODES, SCHEME, seed=3, extra_nodes={4})
+        kv.put("before", 1)
+        kv.reconfigure(frozenset({1, 2, 3, 4}))
+        kv.put("after", 2)
+        kv.sync()
+        assert kv.snapshot_at(4) == {"before": 1, "after": 2}
+
+    def test_materialize_skips_config_entries(self):
+        entries = (
+            LogEntry(1, 1, ("put", "k", 1)),
+            LogEntry(1, 2, frozenset({1, 2}), is_config=True),
+            LogEntry(1, 3, ("put", "k", 2)),
+        )
+        assert materialize(entries) == {"k": 2}
+
+    def test_unknown_command_rejected(self):
+        from repro.runtime import apply_command
+
+        with pytest.raises(ValueError):
+            apply_command({}, ("explode",))
+
+
+class TestFig16Workload:
+    def test_small_run_shape(self):
+        cfg = Fig16Config(requests_per_phase=20)
+        run = run_fig16_workload(seed=1, config=cfg)
+        # 5 phases x 20 requests + 4 reconfigurations.
+        assert len(run.latencies_ms) == 104
+        assert run.reconfig_indices == [20, 41, 62, 83]
+        assert run.phase_sizes == [5, 4, 3, 4, 5]
+        assert all(lat > 0 for lat in run.latencies_ms)
+
+    def test_growth_reconfig_slower_than_shrink(self):
+        # The Fig. 16 asymmetry: adding a node ships the whole log.
+        cfg = Fig16Config(requests_per_phase=150)
+        run = run_fig16_workload(seed=2, config=cfg)
+        shrink = run.reconfig_latencies_ms[:2]
+        grow = run.reconfig_latencies_ms[2:]
+        assert max(grow) > max(shrink)
+
+    def test_steady_state_latency_is_flat(self):
+        import statistics
+
+        cfg = Fig16Config(requests_per_phase=100)
+        run = run_fig16_workload(seed=3, config=cfg)
+        first = statistics.median(run.latencies_ms[:50])
+        last = statistics.median(run.latencies_ms[-50:])
+        assert abs(first - last) < 0.5 * first
+
+
+class TestFig16ConfigValidation:
+    def test_default_config_is_valid(self):
+        Fig16Config()
+
+    def test_rejects_multi_node_phase_jump(self):
+        with pytest.raises(ValueError):
+            Fig16Config(phases=(frozenset({1, 2, 3}), frozenset({1, 4, 5})))
+
+    def test_rejects_nonpositive_requests(self):
+        with pytest.raises(ValueError):
+            Fig16Config(requests_per_phase=0)
+
+    def test_rejects_leader_outside_a_phase(self):
+        with pytest.raises(ValueError):
+            Fig16Config(
+                phases=(frozenset({1, 2, 3}), frozenset({2, 3})),
+                leader=1,
+            )
+
+    def test_custom_trajectory(self):
+        cfg = Fig16Config(
+            requests_per_phase=10,
+            phases=(frozenset({1, 2, 3}), frozenset({1, 2, 3, 4})),
+        )
+        run = run_fig16_workload(seed=5, config=cfg)
+        assert len(run.latencies_ms) == 21
+        assert run.phase_sizes == [3, 4]

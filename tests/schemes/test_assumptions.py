@@ -1,0 +1,97 @@
+"""Exhaustive REFLEXIVE/OVERLAP checks over bounded universes -- the
+executable analogue of the paper's per-scheme Coq side conditions."""
+
+import pytest
+
+from repro.schemes import (
+    DynamicQuorumScheme,
+    JointConsensusScheme,
+    PrimaryBackupScheme,
+    RaftSingleNodeScheme,
+    RotatingPrimaryScheme,
+    StaticScheme,
+    UnanimousScheme,
+    UnsafeMultiNodeScheme,
+    WeightedMajorityScheme,
+    check_all_schemes,
+    check_assumptions,
+    configs_for,
+)
+
+SAFE_SCHEMES = [
+    RaftSingleNodeScheme(),
+    JointConsensusScheme(),
+    PrimaryBackupScheme(),
+    RotatingPrimaryScheme(),
+    DynamicQuorumScheme(),
+    UnanimousScheme(),
+    WeightedMajorityScheme(),
+    StaticScheme(),
+]
+
+
+@pytest.mark.parametrize("scheme", SAFE_SCHEMES, ids=lambda s: s.name)
+def test_assumptions_hold_over_three_nodes(scheme):
+    report = check_assumptions(scheme, [1, 2, 3])
+    assert report.ok, report.summary() + "\n" + "\n".join(
+        report.reflexive_violations + report.overlap_violations
+    )
+    assert report.configs_checked > 0
+    assert report.quorum_pairs_checked > 0
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [RaftSingleNodeScheme(), PrimaryBackupScheme(), UnanimousScheme(),
+     DynamicQuorumScheme()],
+    ids=lambda s: s.name,
+)
+def test_assumptions_hold_over_four_nodes(scheme):
+    report = check_assumptions(scheme, [1, 2, 3, 4])
+    assert report.ok, report.summary()
+
+
+def test_unsafe_scheme_violates_overlap():
+    report = check_assumptions(UnsafeMultiNodeScheme(), [1, 2, 3, 4],
+                               stop_at_first=True)
+    assert not report.ok
+    assert report.overlap_violations
+
+
+def test_config_universe_sizes():
+    assert len(configs_for(RaftSingleNodeScheme(), [1, 2, 3])) == 7
+    # Joint: 7 stable + 49 joint.
+    assert len(configs_for(JointConsensusScheme(), [1, 2, 3])) == 56
+    # Primary-backup: 3 primaries x 4 backup subsets.
+    assert len(configs_for(PrimaryBackupScheme(), [1, 2, 3])) == 12
+
+
+def test_configs_for_unknown_scheme_raises():
+    from repro.core import ReconfigScheme
+
+    class Exotic(ReconfigScheme):
+        name = "exotic"
+
+        def members(self, conf):
+            return frozenset(conf)
+
+        def is_quorum(self, group, conf):
+            return True
+
+        def r1_plus(self, old, new):
+            return True
+
+    with pytest.raises(KeyError):
+        configs_for(Exotic(), [1, 2])
+
+
+def test_report_summary_format():
+    report = check_assumptions(RaftSingleNodeScheme(), [1, 2, 3])
+    assert "raft-single-node" in report.summary()
+    assert "OK" in report.summary()
+
+
+def test_check_all_schemes_returns_one_report_each():
+    reports = check_all_schemes([1, 2, 3])
+    assert len(reports) == 8
+    assert all(r.ok for r in reports)

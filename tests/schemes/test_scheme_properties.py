@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for the scheme invariants.
+
+Beyond the exhaustive bounded checks in ``test_assumptions``, these
+sample larger universes and verify OVERLAP on randomly drawn quorum
+pairs, plus structural properties of each scheme's quorum predicate.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.schemes import (
+    DynamicQuorumScheme,
+    JointConfig,
+    JointConsensusScheme,
+    PrimaryBackupConfig,
+    PrimaryBackupScheme,
+    RaftSingleNodeScheme,
+    SizedConfig,
+    UnanimousScheme,
+    WeightedConfig,
+    WeightedMajorityScheme,
+)
+
+nodes = st.integers(min_value=1, max_value=12)
+node_sets = st.frozensets(nodes, min_size=1, max_size=8)
+
+
+@st.composite
+def single_node_transition(draw):
+    conf = draw(node_sets)
+    direction = draw(st.booleans())
+    if direction or len(conf) == 1:
+        extra = draw(nodes.filter(lambda n: n not in conf))
+        return conf, conf | {extra}
+    victim = draw(st.sampled_from(sorted(conf)))
+    return conf, conf - {victim}
+
+
+@settings(max_examples=200, deadline=None)
+@given(single_node_transition(), st.data())
+def test_single_node_overlap_property(transition, data):
+    scheme = RaftSingleNodeScheme()
+    old, new = transition
+    assert scheme.r1_plus(old, new)
+    q_old = draw_quorum(data, scheme, old)
+    q_new = draw_quorum(data, scheme, new)
+    assert q_old & q_new, (sorted(old), sorted(new), sorted(q_old), sorted(q_new))
+
+
+def draw_quorum(data, scheme, conf):
+    members = sorted(scheme.members(conf))
+    while True:
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(members)), label="qsize"
+        )
+        group = frozenset(
+            data.draw(
+                st.lists(
+                    st.sampled_from(members),
+                    min_size=size,
+                    max_size=len(members),
+                    unique=True,
+                ),
+                label="quorum",
+            )
+        )
+        if scheme.is_quorum(group, conf):
+            return group
+        # Grow towards the full set, which is always a quorum for the
+        # schemes under test.
+        group = frozenset(members)
+        assert scheme.is_quorum(group, conf)
+        return group
+
+
+@settings(max_examples=150, deadline=None)
+@given(node_sets, node_sets, st.data())
+def test_joint_consensus_overlap_property(old, new, data):
+    scheme = JointConsensusScheme()
+    stable = JointConfig.stable(old)
+    joint = JointConfig.transition(old, new)
+    landed = JointConfig.stable(new)
+    assert scheme.r1_plus(stable, joint)
+    assert scheme.r1_plus(joint, landed)
+    # stable -> joint overlap.
+    q1 = draw_quorum(data, scheme, stable)
+    q2 = draw_quorum(data, scheme, joint)
+    assert q1 & q2
+    # joint -> landed overlap.
+    q3 = draw_quorum(data, scheme, landed)
+    assert q2 & q3
+
+
+@settings(max_examples=150, deadline=None)
+@given(nodes, node_sets, node_sets, st.data())
+def test_primary_backup_overlap_property(primary, backups_a, backups_b, data):
+    scheme = PrimaryBackupScheme()
+    a = PrimaryBackupConfig.of(primary, backups_a)
+    b = PrimaryBackupConfig.of(primary, backups_b)
+    assert scheme.r1_plus(a, b)
+    q_a = draw_quorum(data, scheme, a)
+    q_b = draw_quorum(data, scheme, b)
+    assert primary in q_a and primary in q_b
+
+
+@settings(max_examples=150, deadline=None)
+@given(node_sets, st.data())
+def test_dynamic_quorum_growth_overlap(members, data):
+    scheme = DynamicQuorumScheme()
+    small = SizedConfig.majority(members)
+    extras = frozenset(range(100, 100 + len(members)))
+    grown_members = members | extras
+    # Choose the smallest quorum size that both satisfies validity and
+    # the R1+ bound.
+    for q in range(1, len(grown_members) + 1):
+        grown = SizedConfig.of(q, grown_members)
+        if scheme.is_valid_config(grown) and scheme.r1_plus(small, grown):
+            break
+    else:
+        return  # no legal one-step growth this large; nothing to test
+    q_small = draw_quorum(data, scheme, small)
+    q_grown = draw_quorum(data, scheme, grown)
+    assert q_small & q_grown
+
+
+@settings(max_examples=150, deadline=None)
+@given(node_sets, node_sets, st.data())
+def test_unanimous_overlap_property(a, b, data):
+    scheme = UnanimousScheme()
+    if not a & b:
+        assert not scheme.r1_plus(a, b)
+        return
+    assert scheme.r1_plus(a, b)
+    q_a = draw_quorum(data, scheme, a)
+    q_b = draw_quorum(data, scheme, b)
+    assert q_a & q_b
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.dictionaries(nodes, st.integers(min_value=1, max_value=4),
+                    min_size=1, max_size=6),
+    nodes,
+    st.integers(min_value=1, max_value=4),
+    st.data(),
+)
+def test_weighted_overlap_property(weights, candidate, weight, data):
+    scheme = WeightedMajorityScheme()
+    old = WeightedConfig.of(weights)
+    new_weights = dict(weights)
+    if candidate in new_weights:
+        if len(new_weights) == 1:
+            return
+        del new_weights[candidate]
+    else:
+        new_weights[candidate] = weight
+    new = WeightedConfig.of(new_weights)
+    if not scheme.r1_plus(old, new):
+        return  # transition rejected; nothing to check
+    q_old = draw_quorum(data, scheme, old)
+    q_new = draw_quorum(data, scheme, new)
+    assert q_old & q_new, (weights, new_weights, sorted(q_old), sorted(q_new))
+
+
+@settings(max_examples=100, deadline=None)
+@given(node_sets)
+def test_quorum_monotonicity(conf):
+    """Supersets of quorums are quorums (all bundled schemes)."""
+    for scheme in (RaftSingleNodeScheme(), UnanimousScheme()):
+        members = sorted(scheme.members(conf))
+        full = frozenset(members)
+        assert scheme.is_quorum(full, conf)
+        assert scheme.is_quorum(full | {999}, conf)
