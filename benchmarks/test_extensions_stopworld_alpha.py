@@ -13,11 +13,7 @@ speculation), and exercises the α machine's two behavioural changes.
 
 from repro.analysis import render_table
 from repro.core import PullOk, PushOk, ScriptedOracle
-from repro.core.extensions import (
-    AlphaReconfigMachine,
-    StopTheWorldMachine,
-    apply_push_stop_world,
-)
+from repro.core.extensions import AlphaReconfigMachine, apply_push_stop_world
 from repro.mc import Explorer, OpBudget
 from repro.schemes import RaftSingleNodeScheme
 

@@ -17,6 +17,8 @@ verifications, the insertBtw ablation, and a capped R3 hunt (which
 still finds the Fig. 4-class violation).
 """
 
+import os
+
 from repro.analysis import render_table
 from repro.cado import cado_explorer
 from repro.mc import (
@@ -27,6 +29,7 @@ from repro.mc import (
     ablate_r2,
     ablate_r3,
     verify_intact,
+    verify_intact_explorer,
 )
 from repro.schemes import RaftSingleNodeScheme
 
@@ -156,6 +159,110 @@ def test_ablation_counterexamples(benchmark, report):
     assert len(by_name["no R3 (pre-fix Raft)"].violations[0].trace) == 8
     if full_scale():
         assert len(by_name["no R2"].violations[0].trace) == 10
+
+
+#: The schedule class the engine-comparison benchmark certifies.
+PARALLEL_BENCH_BUDGET = OpBudget(pulls=2, invokes=2, reconfigs=1, pushes=2)
+
+
+def test_parallel_engine_equivalence_and_speedup(benchmark, report):
+    """The parallel work-queue engine vs the sequential explorer.
+
+    Both engines run the same ``expand`` step semantics, so on the same
+    instance they must visit the identical state set and reach the
+    identical verdict; on a multicore machine the level-partitioned
+    engine should visit states at least 2x faster with 4 workers.  The
+    speedup assertion is gated on the hardware actually having the
+    cores -- on fewer than 4 CPUs the numbers are recorded but only
+    equivalence is enforced.
+    """
+    workers = 4
+
+    def measure():
+        seq = verify_intact(budget=PARALLEL_BENCH_BUDGET)
+        par = verify_intact(budget=PARALLEL_BENCH_BUDGET, workers=workers)
+        return seq, par
+
+    seq, par = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = (
+        seq.elapsed_seconds / par.elapsed_seconds
+        if par.elapsed_seconds > 0
+        else float("inf")
+    )
+    cpus = os.cpu_count() or 1
+    report(
+        "",
+        "E5 / parallel model-checking engine (level-synchronized BFS):",
+        render_table(
+            ["engine", "states", "states/s", "time", "result"],
+            [
+                ("sequential", seq.states_visited,
+                 f"{seq.states_per_second:,.0f}",
+                 f"{seq.elapsed_seconds:.2f}s",
+                 "SAFE" if seq.safe else "VIOLATED"),
+                (f"parallel x{workers}", par.states_visited,
+                 f"{par.states_per_second:,.0f}",
+                 f"{par.elapsed_seconds:.2f}s",
+                 "SAFE" if par.safe else "VIOLATED"),
+            ],
+        ),
+        f"speedup: {speedup:.2f}x on {cpus} CPU(s); "
+        f"engine: {par.stats.describe()}",
+    )
+    assert seq.safe and par.safe
+    assert seq.states_visited == par.states_visited
+    assert seq.transitions == par.transitions
+    assert seq.max_depth == par.max_depth
+    assert seq.exhausted and par.exhausted
+    if cpus >= workers:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup with {workers} workers on {cpus} "
+            f"CPUs, measured {speedup:.2f}x"
+        )
+
+
+def test_parallel_engine_resumes_from_checkpoint(benchmark, report, tmp_path):
+    """A time-sliced run plus its resume certify the same space as one
+    uninterrupted run (the CI-time-slice scenario)."""
+    path = str(tmp_path / "bench-checkpoint.pkl")
+    budget = OpBudget(pulls=1, invokes=2, reconfigs=1, pushes=2)
+
+    def measure():
+        from repro.mc import ParallelExplorer
+
+        slice1 = ParallelExplorer(
+            verify_intact_explorer(budget),
+            workers=2, checkpoint=path, max_levels=3,
+        ).run()
+        resumed = ParallelExplorer(
+            verify_intact_explorer(budget),
+            workers=2, checkpoint=path,
+        ).run()
+        whole = verify_intact_explorer(budget).run()
+        return slice1, resumed, whole
+
+    slice1, resumed, whole = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "",
+        "E5 / checkpoint-resume (interrupted after 3 BFS levels):",
+        render_table(
+            ["run", "states", "depth", "coverage"],
+            [
+                ("slice 1 (interrupted)", slice1.states_visited,
+                 slice1.max_depth, "resumable"),
+                ("slice 2 (resumed)", resumed.states_visited,
+                 resumed.max_depth,
+                 "exhaustive" if resumed.exhausted else "truncated"),
+                ("uninterrupted", whole.states_visited, whole.max_depth,
+                 "exhaustive" if whole.exhausted else "truncated"),
+            ],
+        ),
+    )
+    assert slice1.interrupted and not slice1.exhausted
+    assert resumed.states_visited == whole.states_visited
+    assert resumed.transitions == whole.transitions
+    assert resumed.safe == whole.safe
+    assert resumed.exhausted == whole.exhausted
 
 
 def test_adore_vs_cado_checking_cost(benchmark, report):

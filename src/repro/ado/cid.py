@@ -10,7 +10,7 @@ relation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Union
+from typing import Iterator, Union
 
 
 @dataclass(frozen=True)

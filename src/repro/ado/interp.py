@@ -6,7 +6,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, Tuple
 
 from .cid import CID, is_le, is_lt, next_cid, depth
 from .events import (

@@ -10,10 +10,10 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional
 
 from ..core.errors import InvalidOracleOutcome
-from .cid import CID, CIDLike, ROOT, is_le, nid_of, time_of
+from .cid import CID, CIDLike, nid_of, time_of
 from .events import (
     Event,
     InvokeMinus,
@@ -26,7 +26,7 @@ from .events import (
     PushPlus,
 )
 from .interp import interp, interp_all
-from .state import NO_OWN, AdoState, position_valid
+from .state import AdoState, position_valid
 
 
 # ----------------------------------------------------------------------

@@ -9,10 +9,10 @@ every timestamp.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
-from .cid import CID, CIDLike, ROOT, RootCID, is_le, is_lt
+from .cid import CID, CIDLike, ROOT, RootCID
 from .events import Method
 
 

@@ -30,19 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from .aux import active_cache, most_recent, r2_holds, r3_holds
-from .cache import (
-    CCache,
-    Cid,
-    Config,
-    MCache,
-    Method,
-    NodeId,
-    RCache,
-    is_ccache,
-    is_committable,
-    is_rcache,
-)
+from .aux import active_cache, most_recent
+from .cache import Cid, Config, MCache, Method, NodeId, is_ccache, is_committable, is_rcache
 from .config import ReconfigScheme
 from .oracle import Fail, PushOutcome
 from .semantics import AdoreMachine, OpResult, apply_push
@@ -211,7 +200,7 @@ class AlphaReconfigMachine(AdoreMachine):
         uncommitted RCache must not influence elections, so the quorum
         test uses :func:`effective_config` of the adopted branch.
         """
-        from .oracle import PullOk, validate_pull
+        from .oracle import validate_pull
         from .cache import ECache
 
         outcome = self.oracle.pull_outcome(self.state, nid, self.scheme)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterable, List, Optional, Tuple
 
-from .cache import Cid, cache_gt, is_ccache, is_committable, is_ecache, is_rcache, order_key
+from .cache import Cid, cache_gt, is_ccache, is_committable, is_ecache, is_rcache
 from .errors import SafetyViolation
 from .state import AdoreState
 from .tree import ROOT_CID, CacheTree
@@ -290,6 +290,22 @@ class SafetyReport:
             for label, items in self._by_label()
         }
         return SafetyReport(**kept)
+
+
+def validate_invariant_labels(labels: Iterable[str]) -> Tuple[str, ...]:
+    """Check ``labels`` against :attr:`SafetyReport.LABELS` and return
+    them as a tuple.
+
+    Raises ``ValueError`` on unknown labels.  Callers that defer the
+    actual checking (the model checker validates at construction, then
+    checks states in worker processes) use this to fail fast in the
+    submitting process rather than with a cross-process traceback.
+    """
+    labels = tuple(labels)
+    unknown = set(labels) - set(SafetyReport.LABELS)
+    if unknown:
+        raise ValueError(f"unknown invariant labels: {sorted(unknown)}")
+    return labels
 
 
 def check_state(

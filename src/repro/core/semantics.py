@@ -18,21 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
-from .aux import active_cache, can_reconf, most_recent, r2_holds, r3_holds
+from .aux import active_cache, most_recent, r2_holds, r3_holds
 from .cache import CCache, Cid, Config, ECache, MCache, Method, NodeId, RCache
 from .config import ReconfigScheme
 from .errors import InvalidOperation, NotLeader, ReconfigDenied
-from .oracle import (
-    FAIL,
-    Fail,
-    Oracle,
-    PullOk,
-    PullOutcome,
-    PushOk,
-    PushOutcome,
-    validate_pull,
-    validate_push,
-)
+from .oracle import Fail, Oracle, PullOutcome, PushOutcome, validate_pull, validate_push
 from .state import AdoreState, initial_state
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
-from .cache import CCache, Cache, Config, NodeId, Time
+from .cache import CCache, Config, NodeId, Time
 from .config import ReconfigScheme
 from .tree import ROOT_CID, CacheTree
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
-from .cache import Cache, Cid, NodeId, _CacheBase, is_ccache, is_committable, is_ecache, order_key
+from .cache import Cache, Cid, is_ccache, is_committable, is_ecache, order_key
 from .errors import MalformedTree, UnknownCache
 
 ROOT_CID: Cid = 0

@@ -5,6 +5,11 @@ bounded schedule class and checks replicated state safety plus every
 Appendix-B invariant at each state; :mod:`repro.mc.ablations` re-runs it
 with each design rule (R2, R3, OVERLAP, ``insertBtw``) disabled and
 exhibits concrete counterexample schedules.
+
+:class:`ParallelExplorer` (and the :func:`explore` dispatcher) run the
+same semantics across a ``multiprocessing`` worker pool with periodic
+checkpoints, so large schedule classes can be certified on all cores
+and interrupted runs resume instead of restarting.
 """
 
 from .ablations import (
@@ -14,9 +19,14 @@ from .ablations import (
     ablate_overlap,
     ablate_r2,
     ablate_r3,
+    insert_btw_explorer,
+    overlap_explorer,
+    r2_explorer,
+    r3_explorer,
     verify_intact,
+    verify_intact_explorer,
 )
-from .symmetry import canonical_key, symmetry_group
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .explorer import (
     ExplorationResult,
     Explorer,
@@ -25,21 +35,44 @@ from .explorer import (
     jump_reconfig_candidates,
     set_reconfig_candidates,
 )
+from .parallel import (
+    EngineStats,
+    ParallelExplorer,
+    ProgressSnapshot,
+    explore,
+    merge_results,
+    print_progress,
+)
+from .symmetry import canonical_key, symmetry_group
 
 __all__ = [
     "FIG4_BUDGET",
     "FIG4_NODES",
+    "Checkpoint",
+    "EngineStats",
     "ExplorationResult",
     "Explorer",
     "OpBudget",
+    "ParallelExplorer",
+    "ProgressSnapshot",
     "Violation",
     "ablate_insert_btw",
     "ablate_overlap",
     "ablate_r2",
     "ablate_r3",
     "canonical_key",
-    "symmetry_group",
+    "explore",
+    "insert_btw_explorer",
     "jump_reconfig_candidates",
+    "load_checkpoint",
+    "merge_results",
+    "overlap_explorer",
+    "print_progress",
+    "r2_explorer",
+    "r3_explorer",
+    "save_checkpoint",
     "set_reconfig_candidates",
+    "symmetry_group",
     "verify_intact",
+    "verify_intact_explorer",
 ]

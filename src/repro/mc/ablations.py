@@ -8,12 +8,25 @@ dropped.
 
 Each ablation returns an :class:`~repro.mc.explorer.ExplorationResult`
 whose first violation carries the full schedule and tree.
+
+Every run here is built from a ``*_explorer()`` factory returning the
+configured :class:`Explorer`, so callers (tests, the parallel engine's
+equivalence suite, CI smoke jobs) can run the *same* instance under
+either engine.  The ``ablate_*``/``verify_intact`` entry points accept
+``workers=`` and ``checkpoint=``: with ``workers=1`` and no checkpoint
+they behave exactly as before; otherwise they route through
+:func:`repro.mc.parallel.explore`.  The parallel engine supports only
+breadth-first search, so hunts that default to the ``guided`` strategy
+switch to ``bfs`` when parallelized (same verdict; the hunt order, and
+hence the states-explored count, differs from the guided run).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..core.cache import CCache
+from ..core.oracle import Fail
 from ..schemes.single_node import RaftSingleNodeScheme, UnsafeMultiNodeScheme
 from .explorer import (
     ExplorationResult,
@@ -21,6 +34,7 @@ from .explorer import (
     OpBudget,
     jump_reconfig_candidates,
 )
+from .parallel import explore
 
 #: The four-node universe the Fig. 4 counterexample needs.
 FIG4_NODES = frozenset({1, 2, 3, 4})
@@ -30,7 +44,8 @@ FIG4_NODES = frozenset({1, 2, 3, 4})
 FIG4_BUDGET = OpBudget(pulls=3, invokes=1, reconfigs=2, pushes=2)
 
 
-def _hunt(**overrides) -> ExplorationResult:
+def _hunt_explorer(**overrides) -> Explorer:
+    """The shared counterexample-hunt configuration (Fig. 4 shaped)."""
     params = dict(
         scheme=RaftSingleNodeScheme(),
         conf0=FIG4_NODES,
@@ -42,42 +57,118 @@ def _hunt(**overrides) -> ExplorationResult:
         strategy="guided",
     )
     params.update(overrides)
-    return Explorer(**params).run()
+    return Explorer(**params)
+
+
+def _run(
+    explorer: Explorer,
+    workers: int,
+    checkpoint: Optional[str],
+    **engine_options,
+) -> ExplorationResult:
+    return explore(
+        explorer, workers=workers, checkpoint=checkpoint, **engine_options
+    )
+
+
+def _hunt_overrides(workers: int, overrides: dict) -> dict:
+    """Force ``bfs`` when a guided hunt is parallelized."""
+    if workers != 1 and overrides.get("strategy", "guided") == "guided":
+        overrides = dict(overrides, strategy="bfs")
+    return overrides
+
+
+def verify_intact_explorer(
+    budget: Optional[OpBudget] = None,
+    conf0: frozenset = frozenset({1, 2, 3}),
+    max_states: int = 500_000,
+    **overrides,
+) -> Explorer:
+    """The positive-verification instance behind :func:`verify_intact`."""
+    params = dict(
+        scheme=RaftSingleNodeScheme(),
+        conf0=conf0,
+        budget=budget or OpBudget(pulls=2, invokes=2, reconfigs=2, pushes=2),
+        max_states=max_states,
+        stop_at_first_violation=True,
+        strategy="bfs",
+    )
+    params.update(overrides)
+    return Explorer(**params)
 
 
 def verify_intact(
     budget: Optional[OpBudget] = None,
     conf0: frozenset = frozenset({1, 2, 3}),
     max_states: int = 500_000,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    **engine_options,
 ) -> ExplorationResult:
     """Exhaustive BFS over the *intact* model: must report SAFE.
 
     This is the positive half of the reproduction of Theorem 4.5: every
     reachable state of the bounded instance satisfies replicated state
-    safety and all Appendix-B invariants.
+    safety and all Appendix-B invariants.  ``workers`` > 1 partitions
+    each frontier level across processes; ``checkpoint`` makes the run
+    resumable (see :mod:`repro.mc.parallel`); both leave the verdict
+    and state count identical to the sequential run.
     """
-    explorer = Explorer(
-        RaftSingleNodeScheme(),
-        conf0,
-        budget=budget or OpBudget(pulls=2, invokes=2, reconfigs=2, pushes=2),
-        max_states=max_states,
-        stop_at_first_violation=True,
-        strategy="bfs",
-    )
-    return explorer.run()
+    explorer = verify_intact_explorer(budget, conf0, max_states)
+    return _run(explorer, workers, checkpoint, **engine_options)
 
 
-def ablate_r3(max_states: int = 300_000) -> ExplorationResult:
+def r3_explorer(max_states: int = 300_000, **overrides) -> Explorer:
+    """The R3-ablated hunt instance behind :func:`ablate_r3`."""
+    return _hunt_explorer(enforce_r3=False, max_states=max_states, **overrides)
+
+
+def ablate_r3(
+    max_states: int = 300_000,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    **engine_options,
+) -> ExplorationResult:
     """Drop R3: the model checker rediscovers the Fig. 4 violation.
 
     Without the committed-entry-at-current-term requirement, two leaders
     reconfigure concurrently, end up with configurations two changes
     apart, and commit with disjoint quorums on divergent branches.
     """
-    return _hunt(enforce_r3=False, max_states=max_states)
+    overrides = _hunt_overrides(workers, {})
+    return _run(
+        r3_explorer(max_states, **overrides),
+        workers, checkpoint, **engine_options,
+    )
 
 
-def ablate_r2(max_states: int = 300_000) -> ExplorationResult:
+def _removals_only(state, nid, conf):
+    """Removal-only reconfiguration moves (the R2 counterexample
+    shrinks the configuration, so this halves the branching)."""
+    conf_set = frozenset(conf)
+    if len(conf_set) > 1:
+        for node in sorted(conf_set):
+            yield conf_set - {node}
+
+
+def r2_explorer(max_states: int = 300_000, **overrides) -> Explorer:
+    """The R2-ablated hunt instance behind :func:`ablate_r2`."""
+    params = dict(
+        enforce_r2=False,
+        max_states=max_states,
+        budget=OpBudget(pulls=2, invokes=2, reconfigs=3, pushes=3),
+        reconfig_candidates=_removals_only,
+    )
+    params.update(overrides)
+    return _hunt_explorer(**params)
+
+
+def ablate_r2(
+    max_states: int = 300_000,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    **engine_options,
+) -> ExplorationResult:
     """Drop R2 (keep R3): stacked uncommitted reconfigurations.
 
     R3 alone does not stop a single leader from piling up multiple
@@ -85,45 +176,96 @@ def ablate_r2(max_states: int = 300_000) -> ExplorationResult:
     one commit and consecutive-overlap (R1⁺) no longer protects the
     election quorums.  A slightly larger schedule class is needed than
     for the R3 ablation because the leader must first commit a command
-    of its own term.
+    of its own term: one leader commits at its term, stacks three
+    reconfigurations down to a singleton configuration and commits them
+    alone; a second leader, elected under the original configuration
+    (which it can still see), commits on the main branch.  pulls=2,
+    invokes=2, reconfigs=3, pushes=3 is exactly that schedule class.
     """
-    # Counterexample shape: one leader commits at its term, stacks three
-    # reconfigurations down to a singleton configuration and commits
-    # them alone; a second leader, elected under the original
-    # configuration (which it can still see), commits on the main
-    # branch.  pulls=2, invokes=2, reconfigs=3, pushes=3 is exactly that
-    # schedule class.  Removal-only reconfiguration moves suffice (the
-    # counterexample shrinks the configuration) and halve the branching.
-    def removals_only(state, nid, conf):
-        conf_set = frozenset(conf)
-        if len(conf_set) > 1:
-            for node in sorted(conf_set):
-                yield conf_set - {node}
-
-    return _hunt(
-        enforce_r2=False,
-        max_states=max_states,
-        budget=OpBudget(pulls=2, invokes=2, reconfigs=3, pushes=3),
-        reconfig_candidates=removals_only,
+    overrides = _hunt_overrides(workers, {})
+    return _run(
+        r2_explorer(max_states, **overrides),
+        workers, checkpoint, **engine_options,
     )
 
 
-def ablate_overlap(max_states: int = 300_000) -> ExplorationResult:
+def overlap_explorer(max_states: int = 300_000, **overrides) -> Explorer:
+    """The OVERLAP-ablated hunt instance behind :func:`ablate_overlap`."""
+    params = dict(
+        scheme=UnsafeMultiNodeScheme(),
+        reconfig_candidates=jump_reconfig_candidates(FIG4_NODES),
+        max_states=max_states,
+        budget=OpBudget(pulls=3, invokes=2, reconfigs=1, pushes=3),
+    )
+    params.update(overrides)
+    return _hunt_explorer(**params)
+
+
+def ablate_overlap(
+    max_states: int = 300_000,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    **engine_options,
+) -> ExplorationResult:
     """Break OVERLAP: R1⁺ permits multi-node configuration jumps.
 
     With :class:`UnsafeMultiNodeScheme` a single legal reconfiguration
     can move to a configuration with a disjoint majority, so even R2 and
     R3 cannot save safety.
     """
-    return _hunt(
-        scheme=UnsafeMultiNodeScheme(),
-        reconfig_candidates=jump_reconfig_candidates(FIG4_NODES),
-        max_states=max_states,
-        budget=OpBudget(pulls=3, invokes=2, reconfigs=1, pushes=3),
+    overrides = _hunt_overrides(workers, {})
+    return _run(
+        overlap_explorer(max_states, **overrides),
+        workers, checkpoint, **engine_options,
     )
 
 
-def ablate_insert_btw(max_states: int = 100_000) -> ExplorationResult:
+def _leaf_push(state, nid, outcome, scheme):
+    """The ablated push: commit as a leaf (``addLeaf``) instead of
+    ``insertBtw``, detaching partial-failure children from the
+    committed branch."""
+    if isinstance(outcome, Fail):
+        return state, None, "oracle-fail"
+    target = state.tree.cache(outcome.target)
+    state = state.set_times(outcome.group, target.time)
+    if not scheme.is_quorum(outcome.group, target.conf):
+        return state, None, "no-quorum"
+    new_cache = CCache(
+        caller=nid,
+        time=target.time,
+        vrsn=target.vrsn,
+        conf=target.conf,
+        voters=outcome.group,
+    )
+    tree, cid = state.tree.add_leaf(outcome.target, new_cache)
+    return state.with_tree(tree), cid, "ok"
+
+
+def insert_btw_explorer(max_states: int = 100_000, **overrides) -> Explorer:
+    """The insertBtw-ablated instance behind :func:`ablate_insert_btw`.
+
+    With leaf commits even a single leader on a single branch violates
+    the invariants (the second commit's CCache no longer dominates the
+    first's successors), so a small budget suffices.
+    """
+    params = dict(
+        budget=OpBudget(pulls=1, invokes=2, reconfigs=0, pushes=2),
+        invariants=["safety", "well-formedness"],
+        enforce_r3=True,
+        max_states=max_states,
+        strategy="bfs",
+        push_step=_leaf_push,
+    )
+    params.update(overrides)
+    return _hunt_explorer(**params)
+
+
+def ablate_insert_btw(
+    max_states: int = 100_000,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    **engine_options,
+) -> ExplorationResult:
     """Replace ``insertBtw`` by ``addLeaf`` for CCaches.
 
     The paper's append-only trick places a commit *between* the
@@ -133,34 +275,7 @@ def ablate_insert_btw(max_states: int = 100_000) -> ExplorationResult:
     whose branch does not contain the earlier commit -- replicated
     state safety breaks immediately.
     """
-    from ..core.cache import CCache
-    from ..core.oracle import Fail
-
-    def leaf_push(state, nid, outcome, scheme):
-        if isinstance(outcome, Fail):
-            return state, None, "oracle-fail"
-        target = state.tree.cache(outcome.target)
-        state = state.set_times(outcome.group, target.time)
-        if not scheme.is_quorum(outcome.group, target.conf):
-            return state, None, "no-quorum"
-        new_cache = CCache(
-            caller=nid,
-            time=target.time,
-            vrsn=target.vrsn,
-            conf=target.conf,
-            voters=outcome.group,
-        )
-        tree, cid = state.tree.add_leaf(outcome.target, new_cache)
-        return state.with_tree(tree), cid, "ok"
-
-    # With leaf commits even a single leader on a single branch violates
-    # the invariants (the second commit's CCache no longer dominates the
-    # first's successors), so a small budget suffices.
-    return _hunt(
-        budget=OpBudget(pulls=1, invokes=2, reconfigs=0, pushes=2),
-        invariants=["safety", "well-formedness"],
-        enforce_r3=True,
-        max_states=max_states,
-        strategy="bfs",
-        push_step=leaf_push,
+    return _run(
+        insert_btw_explorer(max_states),
+        workers, checkpoint, **engine_options,
     )

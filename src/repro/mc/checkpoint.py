@@ -1,0 +1,124 @@
+"""Durable checkpoints for interruptible model-checking runs.
+
+A checkpoint captures everything the level-synchronized BFS engine
+(:mod:`repro.mc.parallel`) needs to continue exactly where it stopped:
+the current frontier (states with their remaining budgets and traces),
+the visited-key set, the aggregate counters, and a fingerprint of the
+exploration configuration so a resume against a *different* model is
+detected instead of silently merging incompatible state spaces.
+
+The on-disk format is a pickled :class:`Checkpoint` written atomically
+(temp file + ``os.replace``), so a run killed mid-write never corrupts
+an existing checkpoint.  Checkpoints are an internal engine format --
+they are only guaranteed to resume under the same code version that
+wrote them, which is all a CI time-slice needs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set, Tuple
+
+#: Bumped whenever the pickled layout changes; a loader seeing a
+#: different version discards the checkpoint rather than guessing.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """A resumable snapshot of one bounded exploration."""
+
+    #: :meth:`repro.mc.explorer.Explorer.config_fingerprint` of the run.
+    fingerprint: str
+    #: BFS level the frontier sits at (== depth of every frontier trace).
+    level: int
+    #: ``(state, remaining_budget, trace)`` triples, in deterministic
+    #: frontier order.
+    frontier: List[Tuple[Any, Any, Tuple]]
+    #: Dedup keys of every visited state.
+    visited_keys: Set[Any]
+    transitions: int
+    max_depth: int
+    exhausted: bool
+    #: Violations found so far (normally empty: with
+    #: ``stop_at_first_violation`` the run finalizes instead of
+    #: checkpointing).
+    violations: List[Any] = field(default_factory=list)
+    #: Wall-clock seconds already spent across previous slices.
+    elapsed_seconds: float = 0.0
+    version: int = CHECKPOINT_VERSION
+
+    @property
+    def states_visited(self) -> int:
+        return len(self.visited_keys)
+
+
+def save_checkpoint(path: str, checkpoint: Checkpoint) -> None:
+    """Atomically persist ``checkpoint`` to ``path``.
+
+    The temp file lives in the destination directory so ``os.replace``
+    stays a same-filesystem atomic rename.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(
+    path: str, fingerprint: Optional[str] = None
+) -> Optional[Checkpoint]:
+    """Load the checkpoint at ``path``, or ``None`` when unusable.
+
+    Unusable means: missing file, unreadable/truncated pickle, a layout
+    version mismatch, or -- when ``fingerprint`` is given -- a
+    checkpoint written by a differently configured exploration.  Each
+    non-missing rejection warns, because the caller is about to redo
+    work the checkpoint was supposed to save.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        warnings.warn(
+            f"ignoring unreadable checkpoint {path!r}: {exc}", stacklevel=2
+        )
+        return None
+    if not isinstance(checkpoint, Checkpoint):
+        warnings.warn(
+            f"ignoring {path!r}: not a model-checker checkpoint", stacklevel=2
+        )
+        return None
+    if checkpoint.version != CHECKPOINT_VERSION:
+        warnings.warn(
+            f"ignoring checkpoint {path!r}: version {checkpoint.version} "
+            f"!= {CHECKPOINT_VERSION}",
+            stacklevel=2,
+        )
+        return None
+    if fingerprint is not None and checkpoint.fingerprint != fingerprint:
+        warnings.warn(
+            f"ignoring checkpoint {path!r}: it was written by a "
+            "differently configured exploration (fingerprint mismatch); "
+            "starting fresh",
+            stacklevel=2,
+        )
+        return None
+    return checkpoint

@@ -18,10 +18,20 @@ counterexample schedules (e.g. the Fig. 4 violation).
 
 from __future__ import annotations
 
+import hashlib
 import time as _time
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.aux import active_cache
 from ..core.cache import Config, NodeId
@@ -30,7 +40,11 @@ from ..core.oracle import (
     enumerate_pull_outcomes,
     enumerate_push_outcomes,
 )
-from ..core.safety import SafetyReport, check_state, tree_rdist
+from ..core.safety import (
+    SafetyReport,
+    check_state,
+    validate_invariant_labels,
+)
 from ..core.semantics import apply_invoke, apply_pull, apply_push, apply_reconfig
 from ..core.state import AdoreState, initial_state
 
@@ -105,15 +119,34 @@ class ExplorationResult:
     violations: List[Violation]
     elapsed_seconds: float
     budget: OpBudget
+    #: True when the run stopped at a time-slice / level limit and left
+    #: a checkpoint behind; resume by re-running with the same
+    #: ``checkpoint=`` path (see :mod:`repro.mc.parallel`).
+    interrupted: bool = False
+    #: Engine throughput counters (:class:`repro.mc.parallel.EngineStats`)
+    #: when the run came from the parallel engine; ``None`` otherwise.
+    stats: Optional[object] = None
 
     @property
     def safe(self) -> bool:
         """True when no reachable state violated any checked invariant."""
         return not self.violations
 
+    @property
+    def states_per_second(self) -> float:
+        """Visit throughput (0.0 for instantaneous runs)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.states_visited / self.elapsed_seconds
+
     def summary(self) -> str:
         status = "SAFE" if self.safe else f"{len(self.violations)} VIOLATION(S)"
-        coverage = "exhaustive" if self.exhausted else "truncated"
+        if self.exhausted:
+            coverage = "exhaustive"
+        elif self.interrupted:
+            coverage = "interrupted (resumable)"
+        else:
+            coverage = "truncated"
         return (
             f"{status}: {self.states_visited} states, {self.transitions} "
             f"transitions, depth <= {self.max_depth}, {coverage}, "
@@ -199,7 +232,13 @@ class Explorer:
         self.stop_at_first_violation = stop_at_first_violation
         #: Restrict which invariants count as violations (labels from
         #: ``SafetyReport.LABELS``); ``None`` checks all of them.
-        self.invariants = tuple(invariants) if invariants is not None else None
+        #: Validated here so a bad label fails in the constructing
+        #: process, not inside a pool worker.
+        self.invariants = (
+            validate_invariant_labels(invariants)
+            if invariants is not None
+            else None
+        )
         #: Counterexample-search heuristic: only consider supporter sets
         #: that are *minimal* quorums.  Larger quorums add observers and
         #: only make divergence harder, so for violation hunting this
@@ -232,17 +271,66 @@ class Explorer:
         else:
             self._sym_group = None
 
-    def _state_key(self, state: AdoreState):
+    # ------------------------------------------------------------------
+    # The pure step API.  Everything below is side-effect free, so the
+    # sequential loop in :meth:`run` and the parallel engine
+    # (:mod:`repro.mc.parallel`) share one semantics path.
+    # ------------------------------------------------------------------
+
+    def initial(self) -> AdoreState:
+        """The initial state of the configured instance."""
+        return initial_state(self.conf0, self.scheme)
+
+    def state_key(self, state: AdoreState) -> Hashable:
+        """The deduplication key of ``state`` (canonical under the
+        symmetry group when symmetry reduction is on)."""
         if self._sym_group is None:
             return state
         from .symmetry import canonical_key
 
         return canonical_key(state, self._sym_group)
 
-    def _check(self, state: AdoreState) -> SafetyReport:
+    def check(self, state: AdoreState) -> SafetyReport:
+        """The safety report for ``state`` under this exploration's
+        invariant selection and rdist bound."""
         return check_state(state, self.lemma_rdist_bound, only=self.invariants)
 
-    # ------------------------------------------------------------------
+    def config_fingerprint(self) -> str:
+        """A stable digest of everything that shapes the explored
+        transition system.
+
+        Checkpoints record it so a resume against a differently
+        configured exploration is detected instead of silently merging
+        incompatible state spaces.  Callable hooks contribute their
+        qualified names (the best a fingerprint can do for code).
+        """
+        try:
+            conf0 = tuple(sorted(self.conf0))
+        except TypeError:
+            conf0 = repr(self.conf0)
+        parts = (
+            type(self.scheme).__name__,
+            conf0,
+            self.callers,
+            (self.budget.pulls, self.budget.invokes,
+             self.budget.reconfigs, self.budget.pushes),
+            self.quorum_pulls_only,
+            self.quorum_pushes_only,
+            self.enforce_r2,
+            self.enforce_r3,
+            self.max_states,
+            self.lemma_rdist_bound,
+            self.stop_at_first_violation,
+            self.invariants,
+            self.minimal_quorums_only,
+            self.strategy,
+            self.symmetry,
+            getattr(self.reconfig_candidates, "__qualname__",
+                    type(self.reconfig_candidates).__name__),
+            getattr(self.push_step, "__qualname__",
+                    type(self.push_step).__name__),
+        )
+        return hashlib.sha256(repr(parts).encode()).hexdigest()
 
     def successors(
         self, state: AdoreState
@@ -253,6 +341,23 @@ class Explorer:
             yield from self._invoke_successors(state, nid)
             yield from self._reconfig_successors(state, nid)
             yield from self._push_successors(state, nid)
+
+    def expand(
+        self, state: AdoreState, budget: OpBudget
+    ) -> Iterator[Tuple[OpDesc, AdoreState, OpBudget, Hashable]]:
+        """Budget-respecting expansion of one frontier entry.
+
+        Yields ``(op_desc, next_state, remaining_budget, dedup_key)``
+        for every successor the budget still allows, in the same
+        deterministic order :meth:`successors` produces.  This is the
+        unit of work both engines execute; each yielded tuple counts as
+        one transition.
+        """
+        for op_desc, next_state in self.successors(state):
+            next_budget = budget.spend(op_desc[0])
+            if next_budget is None:
+                continue
+            yield op_desc, next_state, next_budget, self.state_key(next_state)
 
     def _is_minimal_quorum(self, group, conf, nid) -> bool:
         if not self.scheme.is_quorum(group, conf):
@@ -352,8 +457,8 @@ class Explorer:
         import heapq
 
         start = _time.monotonic()
-        init = initial_state(self.conf0, self.scheme)
-        visited = {self._state_key(init)}
+        init = self.initial()
+        visited = {self.state_key(init)}
         violations: List[Violation] = []
         transitions = 0
         max_depth = 0
@@ -387,7 +492,7 @@ class Explorer:
         else:
             frontier = deque([(init, self.budget, ())])
 
-        report = self._check(init)
+        report = self.check(init)
         if not report.ok:
             violations.append(Violation(init, (), report))
 
@@ -397,13 +502,10 @@ class Explorer:
             else:
                 state, budget, trace = frontier.popleft()
             max_depth = max(max_depth, len(trace))
-            for op_desc, next_state in self.successors(state):
-                op = op_desc[0]
-                next_budget = budget.spend(op)
-                if next_budget is None:
-                    continue
+            for op_desc, next_state, next_budget, key in self.expand(
+                state, budget
+            ):
                 transitions += 1
-                key = self._state_key(next_state)
                 if key in visited:
                     continue
                 if len(visited) >= self.max_states:
@@ -411,7 +513,7 @@ class Explorer:
                     continue
                 visited.add(key)
                 next_trace = trace + (op_desc,)
-                report = self._check(next_state)
+                report = self.check(next_state)
                 if not report.ok:
                     violations.append(Violation(next_state, next_trace, report))
                     if self.stop_at_first_violation:

@@ -1,0 +1,521 @@
+"""TLC-style parallel, resumable bounded model checking.
+
+:class:`ParallelExplorer` runs the same transition semantics as the
+sequential :class:`~repro.mc.explorer.Explorer` -- both engines call the
+explorer's pure ``expand`` step API -- but partitions each BFS frontier
+level across a pool of ``multiprocessing`` workers.  Successor
+generation, symmetry canonicalization and invariant checking (the three
+hot operations) happen in the workers; the master keeps the shared
+seen-set and merges worker results **in deterministic frontier order**,
+so for any worker count the engine visits exactly the states the
+sequential breadth-first search visits, reports the same verdict, and
+finds the identical first violation.
+
+The search is level-synchronized: a barrier between BFS depths is what
+makes the merge order (and therefore the result) independent of worker
+scheduling.  Between levels the engine can write a
+:class:`~repro.mc.checkpoint.Checkpoint` to disk, so an interrupted run
+-- a killed process, or a CI job that deliberately stops at
+``max_seconds`` -- resumes from the last completed level instead of
+restarting.
+
+Worker processes are created with the ``fork`` start method so that
+explorer configurations containing closures (reconfiguration candidate
+generators, the insertBtw ablation's push override) are inherited
+rather than pickled.  On platforms without ``fork`` the engine degrades
+to in-process execution with a warning; results are identical, only the
+speedup is lost.
+
+Parallel exploration supports the ``bfs`` strategy only: best-first
+("guided") search orders its global priority queue by previously
+expanded states, which a frontier partition cannot reproduce
+deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time as _time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .explorer import ExplorationResult, Explorer, OpBudget, Violation
+
+#: One frontier entry: ``(state, remaining_budget, trace)``.
+FrontierEntry = Tuple[Any, OpBudget, Tuple]
+
+#: Explorer used by pool workers; populated by :func:`_init_worker`
+#: (inherited through ``fork``, never pickled).
+_WORKER_EXPLORER: Optional[Explorer] = None
+
+
+def _init_worker(explorer: Explorer) -> None:
+    global _WORKER_EXPLORER
+    _WORKER_EXPLORER = explorer
+
+
+def _expand_batch(payload):
+    """Expand one contiguous slice of the frontier (runs in a worker).
+
+    ``payload`` is ``(base_index, [(state, budget), ...])``.  Returns
+    ``(worker_name, produced, [(index, succs), ...])`` where ``succs``
+    preserves expansion order and each element is either
+
+    * ``None`` -- a successor whose dedup key already appeared earlier
+      in this batch (a guaranteed global duplicate; it still counts as
+      a transition but needs no state shipping or safety check), or
+    * ``(op_desc, next_state, next_budget, key, report)`` with
+      ``report`` being ``None`` for a clean state and the full
+      :class:`~repro.core.safety.SafetyReport` otherwise.
+
+    The batch-local dedup is sound because batches are contiguous
+    frontier slices merged in order: the first occurrence inside the
+    batch is also the first occurrence the sequential search would see
+    within this level segment.
+    """
+    base_index, items = payload
+    explorer = _WORKER_EXPLORER
+    batch_seen = set()
+    produced = 0
+    results = []
+    for offset, (state, budget) in enumerate(items):
+        succs: List[Optional[Tuple]] = []
+        for op_desc, next_state, next_budget, key in explorer.expand(
+            state, budget
+        ):
+            produced += 1
+            if key in batch_seen:
+                succs.append(None)
+                continue
+            batch_seen.add(key)
+            report = explorer.check(next_state)
+            succs.append((
+                op_desc,
+                next_state,
+                next_budget,
+                key,
+                None if report.ok else report,
+            ))
+        results.append((base_index + offset, succs))
+    return multiprocessing.current_process().name, produced, results
+
+
+@dataclass
+class EngineStats:
+    """Aggregate throughput counters for one engine run (one slice)."""
+
+    workers: int
+    levels: int = 0
+    batches: int = 0
+    #: Successor states produced by workers (== transitions this slice).
+    produced: int = 0
+    #: Successors dropped as duplicates (batch-local or in the shared
+    #: seen-set).
+    dedup_hits: int = 0
+    checkpoints_written: int = 0
+    #: Successors produced per pool worker, by process name.
+    per_worker: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        """Fraction of produced successors that were duplicates."""
+        if self.produced == 0:
+            return 0.0
+        return self.dedup_hits / self.produced
+
+    def describe(self) -> str:
+        workers = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.per_worker.items())
+        )
+        return (
+            f"{self.workers} worker(s), {self.levels} level(s), "
+            f"{self.batches} batch(es), dedup hit-rate "
+            f"{self.dedup_hit_rate:.0%}, {self.checkpoints_written} "
+            f"checkpoint(s) [{workers}]"
+        )
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """Observability record emitted after every completed BFS level."""
+
+    level: int
+    #: Entries expanded at this level (the queue depth going in).
+    frontier: int
+    #: Entries queued for the next level (the queue depth going out).
+    next_frontier: int
+    states_visited: int
+    transitions: int
+    dedup_hits: int
+    elapsed_seconds: float
+    states_per_second: float
+    per_worker: Tuple[Tuple[str, int], ...]
+
+    def describe(self) -> str:
+        return (
+            f"level {self.level}: frontier {self.frontier} -> "
+            f"{self.next_frontier}, {self.states_visited} states, "
+            f"{self.transitions} transitions, "
+            f"{self.states_per_second:,.0f} states/s, "
+            f"dedup {self.dedup_hits}"
+        )
+
+
+def print_progress(snapshot: ProgressSnapshot) -> None:
+    """A ready-made ``progress=`` callback that prints to stdout."""
+    print("  " + snapshot.describe(), flush=True)
+
+
+class ParallelExplorer:
+    """Work-queue engine running an :class:`Explorer` across processes.
+
+    Parameters
+    ----------
+    explorer:
+        A configured sequential explorer (``strategy="bfs"``).  Its
+        ``expand``/``check`` step API defines the semantics; this class
+        only schedules it.
+    workers:
+        Pool size; ``None`` or ``0`` means ``os.cpu_count()``.
+        ``workers=1`` runs in-process (no pool) but keeps every other
+        engine feature -- checkpointing, time slicing, progress
+        counters.
+    checkpoint:
+        Path for the resumable snapshot.  When the file already exists
+        and matches the explorer's configuration fingerprint, the run
+        resumes from it; on successful completion the file is removed.
+    checkpoint_interval:
+        Minimum seconds between checkpoint writes (checked at level
+        boundaries).  ``0`` checkpoints after every level.
+    batch_size:
+        Upper bound on frontier entries per worker task.  Within a
+        level, batches are contiguous slices, so the merged result is
+        independent of this value.
+    max_seconds / max_levels:
+        Stop cleanly (checkpointing first) once the slice has run this
+        long / processed this many levels.  The returned result has
+        ``interrupted=True``; re-running with the same ``checkpoint=``
+        path continues the search.
+    progress:
+        Optional callback receiving a :class:`ProgressSnapshot` after
+        each level (see :func:`print_progress`).
+    """
+
+    def __init__(
+        self,
+        explorer: Explorer,
+        workers: Optional[int] = None,
+        checkpoint: Optional[str] = None,
+        checkpoint_interval: float = 30.0,
+        batch_size: int = 32,
+        max_seconds: Optional[float] = None,
+        max_levels: Optional[int] = None,
+        progress: Optional[Callable[[ProgressSnapshot], None]] = None,
+    ) -> None:
+        if explorer.strategy != "bfs":
+            raise ValueError(
+                "parallel exploration requires strategy='bfs'; best-first "
+                "('guided') search has no deterministic frontier partition"
+            )
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per CPU core)")
+        self.explorer = explorer
+        self.workers = workers if workers else (os.cpu_count() or 1)
+        self.checkpoint = checkpoint
+        self.checkpoint_interval = checkpoint_interval
+        self.batch_size = batch_size
+        self.max_seconds = max_seconds
+        self.max_levels = max_levels
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def _batches(self, frontier: Sequence[FrontierEntry]):
+        """Contiguous ``(base_index, [(state, budget), ...])`` slices.
+
+        The slice size balances scheduling overhead against pool
+        utilization; correctness does not depend on it.
+        """
+        per_worker = -(-len(frontier) // (self.workers * 4)) or 1
+        size = max(1, min(self.batch_size, per_worker))
+        for start in range(0, len(frontier), size):
+            chunk = frontier[start:start + size]
+            yield start, [(state, budget) for state, budget, _ in chunk]
+
+    def _run_level(self, pool, frontier: Sequence[FrontierEntry], stats):
+        """Expand one full level, returning per-entry successor lists
+        ordered by frontier index."""
+        payloads = list(self._batches(frontier))
+        stats.batches += len(payloads)
+        if pool is None:
+            outputs = [_expand_batch(payload) for payload in payloads]
+        else:
+            outputs = pool.map(_expand_batch, payloads, chunksize=1)
+        merged: List[Tuple[int, List]] = []
+        for worker_name, produced, results in outputs:
+            stats.produced += produced
+            stats.per_worker[worker_name] = (
+                stats.per_worker.get(worker_name, 0) + produced
+            )
+            merged.extend(results)
+        merged.sort(key=lambda item: item[0])
+        return merged
+
+    def _make_pool(self):
+        if self.workers <= 1:
+            _init_worker(self.explorer)
+            return None
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            warnings.warn(
+                "the 'fork' start method is unavailable on this platform; "
+                "running the parallel engine in-process (results are "
+                "identical, the speedup is lost)",
+                stacklevel=2,
+            )
+            _init_worker(self.explorer)
+            return None
+        return context.Pool(
+            processes=self.workers,
+            initializer=_init_worker,
+            initargs=(self.explorer,),
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(self, resume: bool = True) -> ExplorationResult:
+        """Explore to completion, a violation, or a slice limit.
+
+        Semantics are identical to ``Explorer.run()`` with
+        ``strategy="bfs"``: same visited states, same transition count,
+        same verdict, same first violation -- for any worker count.
+        """
+        explorer = self.explorer
+        start = _time.monotonic()
+        stats = EngineStats(workers=self.workers)
+        base_elapsed = 0.0
+        level = 0
+        transitions = 0
+        max_depth = 0
+        exhausted = True
+        violations: List[Violation] = []
+
+        loaded = None
+        if self.checkpoint and resume:
+            loaded = load_checkpoint(
+                self.checkpoint, explorer.config_fingerprint()
+            )
+        if loaded is not None:
+            frontier: List[FrontierEntry] = list(loaded.frontier)
+            visited = set(loaded.visited_keys)
+            level = loaded.level
+            transitions = loaded.transitions
+            max_depth = loaded.max_depth
+            exhausted = loaded.exhausted
+            violations = list(loaded.violations)
+            base_elapsed = loaded.elapsed_seconds
+        else:
+            init = explorer.initial()
+            visited = {explorer.state_key(init)}
+            frontier = [(init, explorer.budget, ())]
+            report = explorer.check(init)
+            if not report.ok:
+                violations.append(Violation(init, (), report))
+
+        def elapsed() -> float:
+            return base_elapsed + (_time.monotonic() - start)
+
+        def result(**overrides) -> ExplorationResult:
+            values = dict(
+                states_visited=len(visited),
+                transitions=transitions,
+                max_depth=max_depth,
+                exhausted=exhausted,
+                violations=violations,
+                elapsed_seconds=elapsed(),
+                budget=explorer.budget,
+                interrupted=False,
+                stats=stats,
+            )
+            values.update(overrides)
+            return ExplorationResult(**values)
+
+        def write_checkpoint() -> None:
+            save_checkpoint(
+                self.checkpoint,
+                Checkpoint(
+                    fingerprint=explorer.config_fingerprint(),
+                    level=level,
+                    frontier=list(frontier),
+                    visited_keys=set(visited),
+                    transitions=transitions,
+                    max_depth=max_depth,
+                    exhausted=exhausted,
+                    violations=list(violations),
+                    elapsed_seconds=elapsed(),
+                ),
+            )
+            stats.checkpoints_written += 1
+
+        pool = self._make_pool()
+        last_checkpoint = _time.monotonic()
+        levels_this_slice = 0
+        try:
+            while frontier:
+                max_depth = max(max_depth, level)
+                expanded = self._run_level(pool, frontier, stats)
+                next_frontier: List[FrontierEntry] = []
+                for index, succs in expanded:
+                    trace = frontier[index][2]
+                    for entry in succs:
+                        transitions += 1
+                        if entry is None:  # batch-local duplicate
+                            stats.dedup_hits += 1
+                            continue
+                        op_desc, next_state, next_budget, key, report = entry
+                        if key in visited:
+                            stats.dedup_hits += 1
+                            continue
+                        if len(visited) >= explorer.max_states:
+                            exhausted = False
+                            continue
+                        visited.add(key)
+                        next_trace = trace + (op_desc,)
+                        if report is not None and not report.ok:
+                            violations.append(
+                                Violation(next_state, next_trace, report)
+                            )
+                            if explorer.stop_at_first_violation:
+                                self._discard_checkpoint()
+                                return result(
+                                    max_depth=len(next_trace),
+                                    exhausted=False,
+                                )
+                            continue
+                        next_frontier.append(
+                            (next_state, next_budget, next_trace)
+                        )
+                frontier = next_frontier
+                level += 1
+                levels_this_slice += 1
+                stats.levels = levels_this_slice
+                if self.progress is not None:
+                    now_elapsed = elapsed()
+                    self.progress(ProgressSnapshot(
+                        level=level,
+                        frontier=len(expanded),
+                        next_frontier=len(frontier),
+                        states_visited=len(visited),
+                        transitions=transitions,
+                        dedup_hits=stats.dedup_hits,
+                        elapsed_seconds=now_elapsed,
+                        states_per_second=(
+                            len(visited) / now_elapsed if now_elapsed > 0
+                            else 0.0
+                        ),
+                        per_worker=tuple(sorted(stats.per_worker.items())),
+                    ))
+                out_of_time = (
+                    self.max_seconds is not None
+                    and _time.monotonic() - start >= self.max_seconds
+                )
+                out_of_levels = (
+                    self.max_levels is not None
+                    and levels_this_slice >= self.max_levels
+                )
+                if frontier and (out_of_time or out_of_levels):
+                    if self.checkpoint:
+                        write_checkpoint()
+                    return result(interrupted=True, exhausted=False)
+                if self.checkpoint and frontier and (
+                    self.checkpoint_interval <= 0
+                    or _time.monotonic() - last_checkpoint
+                    >= self.checkpoint_interval
+                ):
+                    write_checkpoint()
+                    last_checkpoint = _time.monotonic()
+        except KeyboardInterrupt:
+            # A mid-level interrupt has no consistent frontier to
+            # checkpoint (the merge may be half-applied), so keep the
+            # last interval checkpoint and stop the workers immediately
+            # -- close()+join() would block on the abandoned map call.
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+                pool = None
+            raise
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+
+        self._discard_checkpoint()
+        return result()
+
+    def _discard_checkpoint(self) -> None:
+        """Remove the checkpoint of a run that reached a final verdict."""
+        if self.checkpoint and os.path.exists(self.checkpoint):
+            try:
+                os.unlink(self.checkpoint)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+
+
+def explore(
+    explorer: Explorer,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    **engine_options: Any,
+) -> ExplorationResult:
+    """Run ``explorer`` with the engine the options call for.
+
+    ``workers=1`` with no checkpoint and no engine options is exactly
+    ``explorer.run()`` (any strategy); anything else routes through
+    :class:`ParallelExplorer` (``bfs`` only).  This is the single entry
+    point :func:`~repro.mc.ablations.verify_intact`, the ablations, the
+    examples and the benchmarks all share.
+    """
+    if workers == 1 and checkpoint is None and not engine_options:
+        return explorer.run()
+    return ParallelExplorer(
+        explorer, workers=workers, checkpoint=checkpoint, **engine_options
+    ).run()
+
+
+def merge_results(
+    results: Iterable[ExplorationResult],
+    budget: Optional[OpBudget] = None,
+) -> ExplorationResult:
+    """Combine :class:`ExplorationResult`s from disjoint partitions.
+
+    Counters add up (callers guarantee the partitions share no states),
+    coverage degrades pessimistically (``exhausted`` only if every part
+    was), and the first violation is chosen deterministically: minimal
+    schedule depth, ties broken by the lexicographically least trace --
+    the same violation the sequential search would report first,
+    independent of partition order.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("merge_results needs at least one result")
+    violations = [v for res in results for v in res.violations]
+    violations.sort(key=lambda v: (len(v.trace), v.trace))
+    return ExplorationResult(
+        states_visited=sum(r.states_visited for r in results),
+        transitions=sum(r.transitions for r in results),
+        max_depth=max(r.max_depth for r in results),
+        exhausted=all(r.exhausted for r in results),
+        violations=violations,
+        elapsed_seconds=max(r.elapsed_seconds for r in results),
+        budget=budget or results[0].budget,
+        interrupted=any(r.interrupted for r in results),
+    )

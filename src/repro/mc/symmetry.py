@@ -22,9 +22,9 @@ richer config types would need a scheme-specific renaming hook.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
-from ..core.cache import Cache, NodeId, is_ccache, is_ecache, is_mcache, is_rcache
+from ..core.cache import Cache, NodeId, is_ccache, is_ecache, is_mcache
 from ..core.state import AdoreState
 
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Union
 
 from ..core.cache import NodeId, Time
-from ..raft.messages import Log, LogEntry, log_order_key  # re-exported
+from ..raft.messages import Log
 
 
 @dataclass(frozen=True)

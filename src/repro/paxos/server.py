@@ -19,7 +19,7 @@ commit-advance rule are structurally identical to Raft's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.cache import Config, Method, NodeId, Time
 from ..core.config import ReconfigScheme

@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 from ..core.cache import Config, Method, NodeId
 from ..core.config import ReconfigScheme
 from ..core.errors import InvalidOperation
-from .messages import CommitReq, ElectReq, Log, Msg
+from .messages import Log, Msg
 from .network import Network
 from .server import LEADER, Server
 

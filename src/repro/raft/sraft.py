@@ -21,12 +21,10 @@ composite, atomic operation -- exactly the granularity of Adore's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import FrozenSet, Iterable, List
 
-from ..core.cache import Config, Method, NodeId, Time
-from ..core.config import ReconfigScheme
+from ..core.cache import NodeId, Time
 from ..core.errors import InvalidOperation
-from .messages import CommitAck, CommitReq, ElectAck, ElectReq, Msg
 from .server import LEADER
 from .spec import RaftSystem
 

@@ -24,11 +24,11 @@ trace, with randomized traces exercising them in the test suite.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.cache import Config
 from ..core.config import ReconfigScheme
-from ..raft.messages import CommitAck, CommitReq, ElectAck, ElectReq, Msg
+from ..raft.messages import CommitReq, ElectAck, ElectReq, Msg
 from ..raft.spec import Deliver, RaftEvent, RaftSystem
 from .relation import r_net
 

@@ -30,7 +30,7 @@ log-invisible).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from ..core.aux import active_cache
 from ..core.cache import Config, Method, NodeId

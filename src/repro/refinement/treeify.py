@@ -70,7 +70,6 @@ def treeify(system: RaftSystem) -> TreeifiedState:
     implies).  Entry caches carry caller 0 -- the construction abstracts
     *who* appended them, exactly like the paper's merge argument.
     """
-    from ..core.state import root_cache
 
     root = CCache(
         caller=0,

@@ -24,7 +24,7 @@ timeouts recovers with high probability, not certainty).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.cache import Config, Method, NodeId

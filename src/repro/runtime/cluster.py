@@ -11,8 +11,8 @@ through the same path (hot reconfiguration: processing never stops).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..core.cache import Config, Method, NodeId
 from ..core.config import ReconfigScheme

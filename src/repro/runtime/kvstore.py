@@ -10,7 +10,7 @@ only (linearizable reads at the leader).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.cache import Config, NodeId
 from ..core.config import ReconfigScheme

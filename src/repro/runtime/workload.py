@@ -11,11 +11,11 @@ runs.  The single-node scheme changes one member at a time, so the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.cache import NodeId
 from ..schemes.single_node import RaftSingleNodeScheme
-from .cluster import Cluster, RequestRecord
+from .cluster import Cluster
 from .simnet import LatencyModel
 
 

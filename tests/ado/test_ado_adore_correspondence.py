@@ -7,16 +7,7 @@ both models, the ADO's persistent log must equal Adore's committed
 method sequence.
 """
 
-from repro.ado import (
-    ADO_FAIL,
-    AdoMachine,
-    CID,
-    PullOkAdo,
-    PushOkAdo,
-    ROOT,
-    ScriptedAdoOracle,
-    next_cid,
-)
+from repro.ado import AdoMachine, CID, PullOkAdo, PushOkAdo, ROOT, ScriptedAdoOracle, next_cid
 from repro.core import (
     AdoreMachine,
     PullOk,

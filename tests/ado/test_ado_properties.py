@@ -2,13 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from repro.ado import (
-    AdoMachine,
-    NO_OWN,
-    RandomAdoOracle,
-    interp_all,
-    is_le,
-)
+from repro.ado import AdoMachine, RandomAdoOracle, interp_all, is_le
 
 NODES = [1, 2, 3]
 

@@ -3,18 +3,10 @@ reconfiguration."""
 
 import pytest
 
-from repro.core import (
-    FAIL,
-    PullOk,
-    PushOk,
-    ScriptedOracle,
-    check_state,
-    committed_methods,
-)
+from repro.core import PullOk, PushOk, ScriptedOracle, check_state, committed_methods
 from repro.core.extensions import (
     AlphaReconfigMachine,
     StopTheWorldMachine,
-    apply_push_stop_world,
     effective_config,
     prune_to_branch,
     uncommitted_depth,

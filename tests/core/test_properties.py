@@ -9,7 +9,6 @@ exhaustive model checker in ``repro.mc``.
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (
-    FAIL,
     apply_invoke,
     apply_pull,
     apply_push,
@@ -18,7 +17,6 @@ from repro.core import (
     enumerate_pull_outcomes,
     enumerate_push_outcomes,
     initial_state,
-    known_nodes,
 )
 from repro.core.aux import active_cache
 from repro.schemes import RaftSingleNodeScheme

@@ -18,7 +18,7 @@ from repro.core import (
 from repro.core.figures import fig4_unsafe_machine, fig5_machine
 from repro.core.tree import ROOT_CID
 
-from ..helpers import build_tree, cc, ec, mc, rc, state_of
+from ..helpers import build_tree, cc, ec, mc, rc
 
 
 def forked_tree():

@@ -11,7 +11,7 @@ from repro.core import (
     ScriptedOracle,
     committed_methods,
 )
-from repro.core.smr import AdoStyleClient, CallStats, RpcTimeout, SmrClient
+from repro.core.smr import AdoStyleClient, RpcTimeout, SmrClient
 from repro.schemes import RaftSingleNodeScheme
 
 NODES = frozenset({1, 2, 3})

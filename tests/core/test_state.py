@@ -1,12 +1,6 @@
 """Unit tests for the Adore state pair (tree, times) and the TimeMap."""
 
-from repro.core import (
-    AdoreState,
-    CacheTree,
-    TimeMap,
-    initial_state,
-    root_cache,
-)
+from repro.core import TimeMap, initial_state, root_cache
 from repro.core.state import initial_supporters
 from repro.schemes import RaftSingleNodeScheme
 

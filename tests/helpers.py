@@ -7,7 +7,7 @@ deliberately illegal shapes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core import (
     AdoreState,

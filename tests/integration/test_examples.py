@@ -8,7 +8,6 @@ API surfaces as an example failure, not just a unit failure.
 import importlib.util
 import io
 import os
-import sys
 from contextlib import redirect_stdout
 
 import pytest

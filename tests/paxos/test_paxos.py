@@ -2,17 +2,8 @@
 
 import pytest
 
-from repro.paxos import (
-    Accepted,
-    AcceptReq,
-    BALLOT_MODULUS,
-    PaxosServer,
-    PaxosSystem,
-    PrepareReq,
-    Promise,
-    ballot_for,
-)
-from repro.raft import CANDIDATE, FOLLOWER, LEADER, LogEntry
+from repro.paxos import BALLOT_MODULUS, PaxosServer, PaxosSystem, PrepareReq, Promise, ballot_for
+from repro.raft import LEADER, LogEntry
 from repro.schemes import RaftSingleNodeScheme
 
 CONF = frozenset({1, 2, 3})

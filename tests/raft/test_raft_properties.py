@@ -8,7 +8,7 @@ committed prefixes, and replays must be deterministic.
 
 from hypothesis import given, settings, strategies as st
 
-from repro.raft import Deliver, RaftSystem
+from repro.raft import RaftSystem
 from repro.schemes import RaftSingleNodeScheme
 
 UNIVERSE = [1, 2, 3, 4]

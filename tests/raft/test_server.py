@@ -1,6 +1,5 @@
 """Unit tests for the Raft server handlers."""
 
-import pytest
 
 from repro.raft import (
     CANDIDATE,
@@ -8,7 +7,6 @@ from repro.raft import (
     CommitReq,
     ElectAck,
     ElectReq,
-    FOLLOWER,
     LEADER,
     LogEntry,
     Server,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.errors import InvalidOperation
 from repro.raft import (
-    CommitReq,
     Deliver,
     ElectReq,
     LEADER,

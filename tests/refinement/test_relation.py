@@ -1,7 +1,7 @@
 """Tests for toLog/logMatch/ℝ_net (Fig. 17-18)."""
 
 from repro.core.figures import fig5_machine
-from repro.raft import LogEntry, RaftSystem
+from repro.raft import RaftSystem
 from repro.refinement import ObservationMap, r_net, to_log
 from repro.schemes import RaftSingleNodeScheme
 

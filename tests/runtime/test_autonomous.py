@@ -1,6 +1,5 @@
 """Tests for the autonomous (timer-driven) cluster."""
 
-import pytest
 
 from repro.runtime import AutonomousCluster, TimingConfig
 from repro.schemes import RaftSingleNodeScheme
