@@ -14,7 +14,7 @@ network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 from ..core.cache import Config, Method, NodeId, Time, Vrsn
 
@@ -27,12 +27,19 @@ class LogEntry:
     per-term sequence number).  ``is_config`` marks reconfiguration
     entries, whose ``payload`` is the new configuration; these take
     effect the moment they enter a log (hot reconfiguration).
+
+    ``request_id`` is an optional client-assigned ``(client, seq)``
+    identity used for at-most-once retry deduplication: a client that
+    times out and retries can recognize its own earlier append in the
+    new leader's log instead of appending the command again.  The
+    protocol itself never reads it.
     """
 
     time: Time
     vrsn: Vrsn
     payload: Union[Method, Config]
     is_config: bool = False
+    request_id: Optional[Tuple[str, int]] = None
 
     def describe(self) -> str:
         tag = "cfg" if self.is_config else "m"

@@ -113,11 +113,16 @@ class Server:
             if peer != self.nid
         ]
 
-    def invoke(self, method: Method) -> bool:
+    def invoke(self, method: Method, request_id=None) -> bool:
         """Append a regular command (leaders only); local operation."""
         if self.role != LEADER:
             return False
-        entry = LogEntry(time=self.time, vrsn=self.next_vrsn(), payload=method)
+        entry = LogEntry(
+            time=self.time,
+            vrsn=self.next_vrsn(),
+            payload=method,
+            request_id=request_id,
+        )
         self.log = self.log + (entry,)
         self.acked[self.nid] = len(self.log)
         return True
@@ -128,6 +133,7 @@ class Server:
         scheme: ReconfigScheme,
         enforce_r2: bool = True,
         enforce_r3: bool = True,
+        request_id=None,
     ) -> Tuple[bool, str]:
         """Append a configuration entry, subject to R1⁺/R2/R3.
 
@@ -147,6 +153,7 @@ class Server:
             vrsn=self.next_vrsn(),
             payload=new_conf,
             is_config=True,
+            request_id=request_id,
         )
         self.log = self.log + (entry,)
         self.acked[self.nid] = len(self.log)

@@ -17,8 +17,8 @@ from typing import Dict, List, Optional
 from ..core.cache import Config, Method, NodeId
 from ..core.config import ReconfigScheme
 from ..raft.messages import CommitReq, ElectReq, Msg
-from ..raft.server import LEADER, Server
-from .simnet import LatencyModel, Simulator
+from ..raft.server import FOLLOWER, LEADER, Server
+from .simnet import FaultPlan, LatencyModel, Simulator
 
 
 @dataclass
@@ -30,6 +30,10 @@ class RequestRecord:
     is_reconfig: bool
     submitted_ms: float
     completed_ms: Optional[float] = None
+    #: Log position (length of the prefix ending at this request's
+    #: entry) in the leader that committed it; lets clients materialize
+    #: the state a read observed.
+    log_index: Optional[int] = None
 
     @property
     def latency_ms(self) -> Optional[float]:
@@ -49,6 +53,7 @@ class Cluster:
         latency: Optional[LatencyModel] = None,
         processing_ms: float = 0.05,
         extra_nodes=(),
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.scheme = scheme
         self.sim = Simulator(seed=seed)
@@ -61,6 +66,16 @@ class Cluster:
         self.records: List[RequestRecord] = []
         self.messages_sent = 0
         self._crashed: set = set()
+        self.faults = faults
+        if faults is not None:
+            for event in faults.crashes:
+                self.sim.schedule(
+                    event.at_ms, lambda n=event.nid: self.crash(n)
+                )
+                if event.restart_ms is not None:
+                    self.sim.schedule(
+                        event.restart_ms, lambda n=event.nid: self.restart(n)
+                    )
 
     # ------------------------------------------------------------------
     # Failure injection (fail-stop with durable logs)
@@ -77,8 +92,22 @@ class Cluster:
         self._crashed.add(nid)
 
     def restart(self, nid: NodeId) -> None:
-        """Bring a crashed node back with its durable state intact."""
+        """Bring a crashed node back with its durable state intact.
+
+        Only durable state survives: the log, the commit length, and
+        (as Raft persists them) the current term and the vote.  The
+        volatile role, vote tally, and replication bookkeeping are
+        reset -- a restarted leader comes back as a follower, never as
+        a zombie leader that :meth:`leader` would report and clients
+        would submit to.
+        """
+        if nid not in self._crashed:
+            return
         self._crashed.discard(nid)
+        server = self.servers[nid]
+        server.role = FOLLOWER
+        server.votes = frozenset()
+        server.acked = {}
 
     def is_crashed(self, nid: NodeId) -> bool:
         return nid in self._crashed
@@ -106,11 +135,25 @@ class Cluster:
     def _send(self, msg: Msg, extra_delay: float = 0.0) -> None:
         if msg.to not in self.servers:
             return
+        if msg.frm in self._crashed:
+            # A dead node sends nothing: responses computed before the
+            # crash (queued behind the processing delay) must not leak
+            # onto the network.
+            return
         self.messages_sent += 1
-        delay = extra_delay + self.latency.sample(
-            self.sim.rng, self._payload_size(msg)
-        )
-        self.sim.schedule(delay, lambda m=msg: self._receive(m))
+        copies = 1
+        if self.faults is not None:
+            if self.faults.should_drop(msg.frm, msg.to, self.sim.now):
+                return
+            if self.faults.should_duplicate():
+                copies = 2
+        for _ in range(copies):
+            delay = extra_delay + self.latency.sample(
+                self.sim.rng, self._payload_size(msg)
+            )
+            if self.faults is not None:
+                delay += self.faults.reorder_delay()
+            self.sim.schedule(delay, lambda m=msg: self._receive(m))
 
     def _send_all(self, msgs) -> None:
         msgs = list(msgs)
@@ -149,12 +192,13 @@ class Cluster:
         return server.role == LEADER
 
     def leader(self) -> Optional[NodeId]:
-        """The highest-term current leader, if any."""
+        """The highest-term current *live* leader, if any."""
         best: Optional[NodeId] = None
         for nid, server in self.servers.items():
-            if server.role == LEADER:
-                if best is None or server.time > self.servers[best].time:
-                    best = nid
+            if nid in self._crashed or server.role != LEADER:
+                continue
+            if best is None or server.time > self.servers[best].time:
+                best = nid
         return best
 
     def submit(
@@ -162,21 +206,45 @@ class Cluster:
         payload: Method,
         leader: NodeId,
         max_wait_ms: float = 10_000.0,
+        request_id=None,
     ) -> RequestRecord:
-        """Submit one regular command and wait until it is committed."""
-        return self._submit(payload, leader, False, max_wait_ms)
+        """Submit one regular command and wait until it is committed.
+
+        ``request_id`` (a ``(client, seq)`` pair) makes the submission
+        idempotent: if an entry carrying the same id is already in the
+        leader's log -- a previous attempt that survived a failover --
+        the command is *not* appended again; the call just waits for
+        the existing entry to commit.
+        """
+        return self._submit(payload, leader, False, max_wait_ms, request_id)
 
     def submit_reconfig(
         self,
         new_conf: Config,
         leader: NodeId,
         max_wait_ms: float = 10_000.0,
+        request_id=None,
     ) -> RequestRecord:
         """Submit a reconfiguration command and wait for commit."""
-        return self._submit(new_conf, leader, True, max_wait_ms)
+        return self._submit(new_conf, leader, True, max_wait_ms, request_id)
+
+    @staticmethod
+    def _find_request(server: Server, request_id) -> Optional[int]:
+        """Log position (1-based prefix length) of ``request_id``."""
+        if request_id is None:
+            return None
+        for i, entry in enumerate(server.log):
+            if entry.request_id == request_id:
+                return i + 1
+        return None
 
     def _submit(
-        self, payload, leader_id: NodeId, is_reconfig: bool, max_wait_ms: float
+        self,
+        payload,
+        leader_id: NodeId,
+        is_reconfig: bool,
+        max_wait_ms: float,
+        request_id=None,
     ) -> RequestRecord:
         if leader_id in self._crashed:
             raise RuntimeError(f"leader S{leader_id} is down")
@@ -188,17 +256,31 @@ class Cluster:
             submitted_ms=self.sim.now,
         )
         self.records.append(record)
-        if is_reconfig:
-            ok, reason = server.reconfig(payload, self.scheme)
+        existing = self._find_request(server, request_id)
+        if existing is not None:
+            # At-most-once: a previous attempt already appended this
+            # request and the entry survived into this leader's log.
+            # Don't append again -- but a leader elected after the
+            # append can only commit entries of its own term by
+            # counting (Raft's commit rule), so lay down a no-op
+            # barrier at the current term if none exists yet.
+            target_len = existing
+            if all(e.time != server.time for e in server.log):
+                server.invoke(("noop",))
+        elif is_reconfig:
+            ok, reason = server.reconfig(
+                payload, self.scheme, request_id=request_id
+            )
             if not ok:
                 raise RuntimeError(f"reconfig denied: {reason}")
+            target_len = len(server.log)
         else:
-            if not server.invoke(payload):
+            if not server.invoke(payload, request_id=request_id):
                 raise RuntimeError("invoke refused: not leader")
-        target_len = len(server.log)
+            target_len = len(server.log)
         self._send_all(server.broadcast_commit(self.scheme))
         deadline = self.sim.now + max_wait_ms
-        done = self.sim.run_until(
+        self.sim.run_until(
             lambda: server.commit_len >= target_len
             or self.sim.now >= deadline
             or self.sim.pending() == 0
@@ -210,6 +292,7 @@ class Cluster:
                 f"target={target_len}, pending={self.sim.pending()})"
             )
         record.completed_ms = self.sim.now
+        record.log_index = target_len
         return record
 
     def sync_followers(self, leader_id: NodeId, max_wait_ms: float = 1_000.0):

@@ -39,13 +39,27 @@ class FailoverEvent:
 
 @dataclass
 class FailoverDriver:
-    """A client that survives leader crashes by re-electing and retrying."""
+    """A client that survives leader crashes by re-electing and retrying.
+
+    Every submission is stamped with a ``(client_id, seq)`` request id,
+    so a retry after a timeout is *at most once*: if the first attempt's
+    entry survived into the new leader's log, the retry recognizes it
+    and waits for it to commit instead of appending the command a
+    second time.
+    """
 
     cluster: Cluster
     leader: NodeId
     request_timeout_ms: float = 50.0
     election_timeout_ms: float = 200.0
     events: List[FailoverEvent] = field(default_factory=list)
+    client_id: str = "client-0"
+    _seq: int = field(default=0, repr=False)
+
+    def _next_request_id(self):
+        rid = (self.client_id, self._seq)
+        self._seq += 1
+        return rid
 
     def _live_candidates(self) -> List[NodeId]:
         """Live members of the current leader's configuration, preferring
@@ -84,18 +98,24 @@ class FailoverDriver:
         raise RuntimeError("no live candidate could win an election")
 
     def submit(self, payload: Method, max_attempts: int = 6) -> RequestRecord:
-        """Submit one command, failing over as needed."""
+        """Submit one command at most once, failing over as needed."""
+        request_id = self._next_request_id()
         for _ in range(max_attempts):
             if self.cluster.is_crashed(self.leader):
                 self._fail_over()
                 continue
             try:
                 return self.cluster.submit(
-                    payload, self.leader, max_wait_ms=self.request_timeout_ms
+                    payload,
+                    self.leader,
+                    max_wait_ms=self.request_timeout_ms,
+                    request_id=request_id,
                 )
             except RuntimeError:
                 # Timeout: the leader may be dead or partitioned from a
-                # quorum; try the next candidate.
+                # quorum; try the next candidate.  The request id keeps
+                # the retry from re-appending a command whose entry
+                # already survived into the next leader's log.
                 self._fail_over()
         raise RuntimeError(f"request {payload!r} failed after retries")
 
@@ -105,17 +125,24 @@ class FailoverDriver:
         R3 may require a committed command of the current term first;
         the driver submits a no-op to satisfy it when needed.
         """
+        request_id = self._next_request_id()
         for _ in range(max_attempts):
             if self.cluster.is_crashed(self.leader):
                 self._fail_over()
                 continue
             server = self.cluster.servers[self.leader]
-            if not server.has_commit_at_current_time():
+            already_appended = (
+                Cluster._find_request(server, request_id) is not None
+            )
+            if not already_appended and not server.has_commit_at_current_time():
                 self.submit(("noop",))
                 continue
             try:
                 return self.cluster.submit_reconfig(
-                    new_conf, self.leader, max_wait_ms=self.request_timeout_ms
+                    new_conf,
+                    self.leader,
+                    max_wait_ms=self.request_timeout_ms,
+                    request_id=request_id,
                 )
             except RuntimeError:
                 self._fail_over()

@@ -1,0 +1,103 @@
+"""Client operation histories, Jepsen-style.
+
+A history records every client invocation and response against the
+replicated key-value store, with (simulated) wall-clock timestamps.
+It is the input to the linearizability checker
+(:mod:`repro.runtime.linearize`): an operation that received a
+response *must* appear to take effect atomically between its
+invocation and its response; an operation whose outcome is unknown (a
+timeout -- the request may or may not have been applied) *may* take
+effect at any point after its invocation, or never.
+
+Operations use the kvstore command vocabulary: ``put``/``add``/
+``delete`` are writes; ``get`` is a read whose ``result`` is the value
+it observed (``None`` for an absent key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+#: Kinds of operations a history may contain.
+WRITE_OPS = ("put", "add", "delete")
+READ_OP = "get"
+
+
+@dataclass
+class Operation:
+    """One client invocation and (maybe) its response."""
+
+    op_id: int
+    client: str
+    op: str  # "put" | "add" | "delete" | "get"
+    key: str
+    #: put: the written value; add: the delta; get: unused on invoke.
+    value: Any
+    invoked_ms: float
+    completed_ms: Optional[float] = None
+    #: get: the observed value (None = key absent).  Writes: True.
+    result: Any = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_ms is not None
+
+    @property
+    def is_read(self) -> bool:
+        return self.op == READ_OP
+
+    def describe(self) -> str:
+        span = (
+            f"[{self.invoked_ms:.2f}, {self.completed_ms:.2f}]"
+            if self.completed
+            else f"[{self.invoked_ms:.2f}, ?]"
+        )
+        return f"{self.client}#{self.op_id} {self.op}({self.key}) {span} -> {self.result!r}"
+
+
+class History:
+    """An append-only record of client operations."""
+
+    def __init__(self) -> None:
+        self.operations: List[Operation] = []
+
+    def invoke(
+        self, client: str, op: str, key: str, value: Any, now: float
+    ) -> Operation:
+        operation = Operation(
+            op_id=len(self.operations),
+            client=client,
+            op=op,
+            key=key,
+            value=value,
+            invoked_ms=now,
+        )
+        self.operations.append(operation)
+        return operation
+
+    def complete(self, operation: Operation, now: float, result: Any = True) -> None:
+        operation.completed_ms = now
+        operation.result = result
+
+    # A failed operation simply never gets complete() called: its
+    # outcome stays unknown and the checker treats it as optional.
+
+    def completed(self) -> List[Operation]:
+        return [op for op in self.operations if op.completed]
+
+    def pending(self) -> List[Operation]:
+        return [op for op in self.operations if not op.completed]
+
+    def per_key(self) -> Dict[str, List[Operation]]:
+        """Split by key (keys are independent sub-histories, so
+        linearizability decomposes per key -- the standard locality
+        property)."""
+        split: Dict[str, List[Operation]] = {}
+        for op in self.operations:
+            split.setdefault(op.key, []).append(op)
+        return split
+
+    def __len__(self) -> int:
+        return len(self.operations)

@@ -15,20 +15,35 @@ from typing import Any, Dict, Optional, Tuple
 from ..core.cache import Config, NodeId
 from ..core.config import ReconfigScheme
 from .cluster import Cluster
+from .simnet import FaultPlan, LatencyModel
 
 
-Command = Tuple  # ("put", key, value) | ("delete", key)
+#: ("put", key, value) | ("add", key, delta) | ("delete", key)
+#: | ("get", key) | ("noop",)
+Command = Tuple
 
 
 def apply_command(store: Dict[str, Any], command: Command) -> None:
-    """Apply one committed command to a materialized dictionary."""
+    """Apply one committed command to a materialized dictionary.
+
+    ``add`` is a non-idempotent read-modify-write (a counter
+    increment): re-applying a duplicated entry visibly corrupts the
+    state, which is what makes at-most-once retry bugs detectable by
+    the linearizability checker.  ``get`` and ``noop`` entries are
+    protocol/read markers that do not change the state.
+    """
     op = command[0]
     if op == "put":
         _, key, value = command
         store[key] = value
+    elif op == "add":
+        _, key, delta = command
+        store[key] = store.get(key, 0) + delta
     elif op == "delete":
         _, key = command
         store.pop(key, None)
+    elif op in ("get", "noop"):
+        pass
     else:
         raise ValueError(f"unknown command {command!r}")
 
@@ -53,8 +68,17 @@ class ReplicatedKV:
         seed: int = 0,
         leader: Optional[NodeId] = None,
         extra_nodes=(),
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
-        self.cluster = Cluster(conf0, scheme, seed=seed, extra_nodes=extra_nodes)
+        self.cluster = Cluster(
+            conf0,
+            scheme,
+            seed=seed,
+            extra_nodes=extra_nodes,
+            latency=latency,
+            faults=faults,
+        )
         self.leader = leader if leader is not None else min(scheme.members(conf0))
         if not self.cluster.elect(self.leader):
             raise RuntimeError("initial election failed")
@@ -62,6 +86,11 @@ class ReplicatedKV:
     def put(self, key: str, value: Any) -> float:
         """Replicate a ``put``; returns the commit latency in ms."""
         record = self.cluster.submit(("put", key, value), self.leader)
+        return record.latency_ms
+
+    def add(self, key: str, delta: int = 1) -> float:
+        """Replicate a counter increment; returns the commit latency."""
+        record = self.cluster.submit(("add", key, delta), self.leader)
         return record.latency_ms
 
     def delete(self, key: str) -> float:

@@ -16,7 +16,7 @@ from typing import List, Optional, Tuple
 from ..core.cache import NodeId
 from ..schemes.single_node import RaftSingleNodeScheme
 from .cluster import Cluster
-from .simnet import LatencyModel
+from .simnet import FaultPlan, LatencyModel
 
 
 @dataclass
@@ -35,6 +35,10 @@ class Fig16Config:
     )
     leader: NodeId = 1
     latency: LatencyModel = field(default_factory=LatencyModel)
+    #: Optional fault schedule threaded into the cluster's transport
+    #: (drops/duplication/reordering; the externally-driven workload
+    #: tolerates them through per-request retry in ``submit``).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.requests_per_phase <= 0:
@@ -76,6 +80,7 @@ def run_fig16_workload(seed: int, config: Optional[Fig16Config] = None) -> Fig16
         seed=seed,
         latency=cfg.latency,
         extra_nodes=all_nodes,
+        faults=cfg.faults,
     )
     if not cluster.elect(cfg.leader):
         raise RuntimeError("initial election failed")

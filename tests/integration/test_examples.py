@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "scheme_zoo",
     "failover_replacement",
     "paxos_vs_raft",
+    "chaos",
 ]
 
 SLOW_EXAMPLES = [

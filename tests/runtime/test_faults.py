@@ -1,0 +1,387 @@
+"""Fault injection, the chaos bugfix regressions, and nemesis runs.
+
+The three regression tests each encode a bug that the fault-injecting
+network surfaced (see ISSUE 2):
+
+* a node crashed between receiving a message and its processing
+  callback kept *sending* (its queued responses leaked);
+* ``Cluster.restart`` resurrected volatile state, so a crashed leader
+  came back as a zombie leader clients would submit to;
+* ``FailoverDriver.submit`` violated at-most-once: a timeout after the
+  old leader appended re-invoked the same payload on the new leader.
+
+Each test demonstrably fails when its fix is reverted (the at-most-once
+test emulates the pre-fix driver inline to prove the scenario bites).
+"""
+
+import pytest
+
+from repro.runtime import (
+    Cluster,
+    FailoverDriver,
+    FaultPlan,
+    LatencyModel,
+    NemesisConfig,
+    NetworkConditions,
+    duplicate_request_audit,
+    fig16_chaos_config,
+    run_nemesis,
+)
+from repro.runtime.linearize import check_history
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+FLAT = LatencyModel(jitter=0.0, spike_prob=0.0)
+
+
+def payload_count(cluster, nid, payload):
+    return sum(
+        1 for e in cluster.servers[nid].committed_log() if e.payload == payload
+    )
+
+
+def advance_to(cluster, t_ms):
+    """Advance simulated time to ``t_ms`` exactly (a sentinel event
+    keeps ``run_until`` from overshooting to the next real event)."""
+    cluster.sim.schedule(max(0.0, t_ms - cluster.sim.now), lambda: None)
+    cluster.sim.run_until(lambda: cluster.sim.now >= t_ms)
+
+
+class TestFaultPlan:
+    def test_deterministic_per_seed(self):
+        a = FaultPlan(seed=5, conditions=NetworkConditions(drop_prob=0.3))
+        b = FaultPlan(seed=5, conditions=NetworkConditions(drop_prob=0.3))
+        decisions_a = [a.should_drop(1, 2, 0.0) for _ in range(100)]
+        decisions_b = [b.should_drop(1, 2, 0.0) for _ in range(100)]
+        assert decisions_a == decisions_b
+        assert a.dropped == b.dropped > 0
+
+    def test_per_link_override(self):
+        plan = FaultPlan(
+            seed=1,
+            conditions=NetworkConditions(
+                drop_prob=0.0, link_drop_prob={(1, 2): 1.0}
+            ),
+        )
+        assert plan.should_drop(1, 2, 0.0)
+        assert not plan.should_drop(2, 1, 0.0)
+        assert not plan.should_drop(1, 3, 0.0)
+
+    def test_partition_window_and_heal(self):
+        plan = FaultPlan(seed=0)
+        plan.add_partition(10.0, 20.0, {1}, {2, 3})
+        assert not plan.partitioned(1, 2, 9.9)
+        assert plan.partitioned(1, 2, 10.0)
+        assert plan.partitioned(2, 1, 15.0)  # symmetric
+        assert not plan.partitioned(1, 2, 20.0)  # healed
+
+    def test_asymmetric_partition(self):
+        plan = FaultPlan(seed=0)
+        plan.add_partition(0.0, 10.0, {2, 3}, {1}, symmetric=False)
+        assert plan.partitioned(2, 1, 5.0)
+        assert not plan.partitioned(1, 2, 5.0)
+
+    def test_crash_schedule_applies(self):
+        plan = FaultPlan(seed=0)
+        plan.add_crash(2, at_ms=5.0, restart_ms=50.0)
+        cluster = Cluster(NODES, SCHEME, seed=1, faults=plan)
+        assert cluster.elect(1)
+        advance_to(cluster, 6.0)
+        assert cluster.is_crashed(2)
+        advance_to(cluster, 55.0)
+        assert not cluster.is_crashed(2)
+
+    def test_faults_do_not_perturb_latency_draws(self):
+        # Same simulator seed, faults off vs. a no-op fault plan: the
+        # latency RNG stream is untouched, so timings are identical.
+        quiet = Cluster(NODES, SCHEME, seed=3)
+        planned = Cluster(NODES, SCHEME, seed=3, faults=FaultPlan(seed=9))
+        assert quiet.elect(1) and planned.elect(1)
+        r1 = quiet.submit("a", leader=1)
+        r2 = planned.submit("a", leader=1)
+        assert r1.latency_ms == r2.latency_ms
+
+
+class TestCrashedSenderSuppressed:
+    """Regression: a crashed node must not send (bugfix 1)."""
+
+    def test_ack_queued_before_crash_does_not_leak(self):
+        # Node 3 is down, so commit hinges on node 2's ack.  Node 2
+        # receives the CommitReq (~0.4ms) and would respond after its
+        # 5ms processing delay; crashing it at 2ms lands in between.
+        # Pre-fix the queued ack still went out and the entry committed.
+        cluster = Cluster(
+            NODES, SCHEME, seed=1, latency=FLAT, processing_ms=5.0
+        )
+        assert cluster.elect(1)
+        cluster.crash(3)
+        cluster.sim.schedule(2.0, lambda: cluster.crash(2))
+        with pytest.raises(RuntimeError, match="did not commit"):
+            cluster.submit("a", leader=1, max_wait_ms=50.0)
+        # The delivery itself happened (the entry is on node 2's disk);
+        # only the response was suppressed.
+        assert len(cluster.servers[2].log) == 1
+
+    def test_crashed_candidate_emits_no_vote_requests(self):
+        cluster = Cluster(NODES, SCHEME, seed=1, latency=FLAT)
+        sent_before = cluster.messages_sent
+        cluster.crash(2)
+        assert not cluster.elect(2)
+        assert cluster.messages_sent == sent_before
+
+
+class TestRestartDemotes:
+    """Regression: restart must not resurrect a zombie leader (bugfix 2)."""
+
+    def test_restarted_leader_is_a_follower(self):
+        cluster = Cluster(NODES, SCHEME, seed=2)
+        assert cluster.elect(1)
+        cluster.submit("a", leader=1)
+        cluster.crash(1)
+        cluster.restart(1)
+        assert cluster.servers[1].role == "follower"
+        assert cluster.leader() is None  # no zombie reported
+
+    def test_restart_keeps_durable_state_only(self):
+        cluster = Cluster(NODES, SCHEME, seed=2)
+        assert cluster.elect(1)
+        cluster.submit("a", leader=1)
+        server = cluster.servers[1]
+        log, commit, term = server.log, server.commit_len, server.time
+        cluster.crash(1)
+        cluster.restart(1)
+        # Durable: log, commit length, current term (Raft persists it).
+        assert server.log == log
+        assert server.commit_len == commit
+        assert server.time == term
+        # Volatile: role, vote tally, replication bookkeeping.
+        assert server.votes == frozenset()
+        assert server.acked == {}
+
+    def test_driver_does_not_submit_to_zombie(self):
+        cluster = Cluster(NODES, SCHEME, seed=2)
+        assert cluster.elect(1)
+        driver = FailoverDriver(cluster, leader=1)
+        driver.submit(("put", "a", 1))
+        cluster.crash(1)
+        cluster.restart(1)
+        # The restarted node is live but a follower; the driver must
+        # fail over (to anyone, possibly node 1 via re-election) and
+        # still commit exactly once.
+        driver.submit(("put", "b", 2))
+        cluster.sync_followers(driver.leader)
+        assert cluster.check_safety() == []
+        assert payload_count(cluster, driver.leader, ("put", "b", 2)) == 1
+
+    def test_restart_of_live_node_is_a_noop(self):
+        cluster = Cluster(NODES, SCHEME, seed=2)
+        assert cluster.elect(1)
+        cluster.restart(1)  # never crashed: must not demote
+        assert cluster.servers[1].role == "leader"
+
+
+class TestAtMostOnce:
+    """Regression: retry after timeout must not double-commit (bugfix 3)."""
+
+    def scenario(self, emulate_prefix_driver: bool) -> Cluster:
+        # Asymmetric partition: the leader's CommitReqs reach the
+        # followers, but their acks (and votes) back to it are lost.
+        # The client times out, fails over to a follower that already
+        # holds the entry, and retries.
+        plan = FaultPlan(seed=0)
+        cluster = Cluster(NODES, SCHEME, seed=1, faults=plan)
+        assert cluster.elect(1)
+        plan.add_partition(
+            cluster.sim.now,
+            cluster.sim.now + 100.0,
+            {2, 3},
+            {1},
+            symmetric=False,
+        )
+        driver = FailoverDriver(
+            cluster, leader=1, request_timeout_ms=5.0, election_timeout_ms=50.0
+        )
+        if emulate_prefix_driver:
+            driver._next_request_id = lambda: None  # the pre-fix client
+        driver.submit(("put", "x", 1))
+        advance_to(cluster, 105.0)
+        driver.submit(("put", "y", 2))
+        cluster.sync_followers(driver.leader)
+        assert cluster.check_safety() == []
+        assert len(driver.events) >= 1  # the failover really happened
+        self.cluster, self.driver = cluster, driver
+        return cluster
+
+    def test_fixed_driver_commits_exactly_once(self):
+        cluster = self.scenario(emulate_prefix_driver=False)
+        assert payload_count(cluster, self.driver.leader, ("put", "x", 1)) == 1
+        assert duplicate_request_audit(cluster) == []
+
+    def test_prefix_driver_double_commits(self):
+        # The bug, demonstrated: without request ids the same scenario
+        # commits the payload twice.  (This is the assertion that flips
+        # if the dedup fix is reverted.)
+        cluster = self.scenario(emulate_prefix_driver=True)
+        assert payload_count(cluster, self.driver.leader, ("put", "x", 1)) == 2
+
+    def test_dedup_lays_commit_barrier_when_needed(self):
+        # After the failover election the deduped entry belongs to an
+        # older term; the retry must still commit it (via the no-op
+        # barrier) rather than spin until attempts run out.
+        cluster = self.scenario(emulate_prefix_driver=False)
+        leader_log = cluster.servers[self.driver.leader].committed_log()
+        assert any(e.payload == ("noop",) for e in leader_log)
+
+    def test_reconfig_retry_is_deduplicated(self):
+        plan = FaultPlan(seed=0)
+        cluster = Cluster(
+            NODES, SCHEME, seed=1, faults=plan, extra_nodes=frozenset({4})
+        )
+        assert cluster.elect(1)
+        driver = FailoverDriver(
+            cluster, leader=1, request_timeout_ms=5.0, election_timeout_ms=50.0
+        )
+        driver.submit(("put", "warm", 0))  # satisfy R3 at term 1
+        heal_at = cluster.sim.now + 100.0
+        plan.add_partition(
+            cluster.sim.now, heal_at, {2, 3}, {1}, symmetric=False
+        )
+        driver.reconfigure(frozenset({1, 2, 3, 4}))
+        advance_to(cluster, heal_at + 5.0)
+        driver.submit(("put", "after", 1))
+        cluster.sync_followers(driver.leader)
+        config_entries = [
+            e
+            for e in cluster.servers[driver.leader].committed_log()
+            if e.is_config
+        ]
+        assert len(config_entries) == 1
+        assert cluster.check_safety() == []
+
+
+class TestPartitionHeal:
+    def test_failover_across_partition_then_heal(self):
+        plan = FaultPlan(seed=0)
+        cluster = Cluster(NODES, SCHEME, seed=4, faults=plan)
+        assert cluster.elect(1)
+        driver = FailoverDriver(
+            cluster, leader=1, request_timeout_ms=5.0, election_timeout_ms=50.0
+        )
+        driver.submit(("put", "pre", 1))
+        # Isolate the leader; the majority side must take over.
+        heal_at = cluster.sim.now + 80.0
+        plan.add_partition(cluster.sim.now, heal_at, {1}, {2, 3})
+        driver.submit(("put", "during", 2))
+        assert driver.leader in (2, 3)
+        # Heal, then write again and push commit indexes everywhere.
+        advance_to(cluster, heal_at + 5.0)
+        driver.submit(("put", "post", 3))
+        cluster.sync_followers(driver.leader)
+        assert cluster.check_safety() == []
+        assert duplicate_request_audit(cluster) == []
+        # The old leader was dethroned and converged on the same log.
+        assert cluster.servers[1].committed_log() == cluster.servers[
+            driver.leader
+        ].committed_log()
+        for payload in (("put", "pre", 1), ("put", "during", 2), ("put", "post", 3)):
+            assert payload_count(cluster, driver.leader, payload) == 1
+
+
+class TestDuplicateDelivery:
+    def test_every_message_duplicated_is_harmless(self):
+        cfg = NemesisConfig(
+            seed=5,
+            ops=80,
+            conditions=NetworkConditions(duplicate_prob=1.0),
+        )
+        result = run_nemesis(cfg)
+        assert result.safety_violations == []
+        assert result.linearizability.ok
+        assert result.stats.ops_completed == 80
+
+
+class TestNemesis:
+    def test_deterministic_per_seed(self):
+        cfg = NemesisConfig(
+            seed=11,
+            ops=60,
+            conditions=NetworkConditions(drop_prob=0.05, duplicate_prob=0.05),
+            crash_leader_at=(20,),
+        )
+        a, b = run_nemesis(cfg), run_nemesis(cfg)
+        assert a.stats == b.stats
+        assert [op.result for op in a.history.operations] == [
+            op.result for op in b.history.operations
+        ]
+
+    def test_acceptance_500_ops_full_chaos(self):
+        # The ISSUE's acceptance bar: >= 500 ops with drops,
+        # duplication, one partition, and two leader crash/restarts;
+        # zero safety violations and a passing linearizability check.
+        cfg = NemesisConfig(
+            seed=7,
+            ops=500,
+            conditions=NetworkConditions(
+                drop_prob=0.02,
+                duplicate_prob=0.02,
+                reorder_prob=0.1,
+                reorder_window_ms=2.0,
+            ),
+            crash_leader_at=(125, 315),
+            partition_at=220,
+            partition_ms=40.0,
+        )
+        result = run_nemesis(cfg)
+        assert result.stats.crashes_injected == 2
+        assert result.stats.restarts_injected == 2
+        assert result.stats.partitions_injected == 1
+        assert result.stats.ops_completed >= 450
+        assert result.safety_violations == []
+        assert result.linearizability.ok
+        assert result.ok
+
+    def test_fig16_trajectory_under_churn(self):
+        result = run_nemesis(fig16_chaos_config(seed=3, ops=400))
+        assert result.safety_violations == []
+        assert result.linearizability.ok
+        assert result.stats.reconfigs_done >= 3
+
+    def test_nemesis_catches_the_retry_bug(self):
+        # End-to-end evidence the checkers have teeth: run the chaos
+        # schedule with a pre-fix (request-id-less) client and the
+        # at-most-once audit flags the double commit.
+        import repro.runtime.nemesis as nemesis_mod
+        from repro.runtime.failover import FailoverDriver as RealDriver
+
+        class PrefixDriver(RealDriver):
+            def _next_request_id(self):
+                return None
+
+        cfg = NemesisConfig(
+            seed=2,
+            ops=250,
+            conditions=NetworkConditions(drop_prob=0.05, reorder_prob=0.2),
+            crash_leader_at=(60, 140),
+            partition_at=100,
+            partition_ms=60.0,
+            partition_symmetric=False,
+        )
+        original = nemesis_mod.FailoverDriver
+        nemesis_mod.FailoverDriver = PrefixDriver
+        try:
+            buggy = nemesis_mod.run_nemesis(cfg)
+        finally:
+            nemesis_mod.FailoverDriver = original
+        fixed = run_nemesis(cfg)
+        assert fixed.ok
+        assert not buggy.ok  # duplicate commit and/or non-linearizable
+
+    def test_history_checked_not_just_prefixes(self):
+        result = run_nemesis(NemesisConfig(seed=1, ops=40))
+        # The recorded history is a real artifact: reads observed
+        # values, and the checker consumed every operation.
+        reads = [op for op in result.history.operations if op.is_read]
+        assert result.linearizability.checked_ops == 40
+        assert any(op.result is not None for op in reads) or reads == []
+        assert check_history(result.history).ok
