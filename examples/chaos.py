@@ -90,6 +90,12 @@ def parse_args() -> argparse.Namespace:
         action="store_true",
         help="run the Fig. 16 5→3→5 reconfiguration trajectory under churn",
     )
+    parser.add_argument(
+        "--bundle-dir",
+        default=None,
+        help="write a replayable violation bundle here if a check fails "
+        "(view it with examples/trace_view.py)",
+    )
     return parser.parse_args()
 
 
@@ -98,9 +104,11 @@ def main(
     ops: int = 500,
     faults: str = "drop=0.02,dup=0.02,reorder=0.1,partitions=1,crashes=2",
     fig16: bool = False,
+    bundle_dir: str = None,
 ) -> int:
     args = argparse.Namespace(seed=seed, ops=ops, faults=faults, fig16=fig16)
     config = build_config(args)
+    config.bundle_dir = bundle_dir
     print(
         f"nemesis: seed={config.seed} ops={config.ops} "
         f"drop={config.conditions.drop_prob} "
@@ -123,6 +131,12 @@ def main(
     print(f"  throughput: {throughput:.0f} ops/sim-second ({wall:.2f}s wall)")
     if not result.ok:
         print("FAILED: safety or linearizability violation", file=sys.stderr)
+        if result.bundle_path is not None:
+            print(
+                f"violation bundle: {result.bundle_path} "
+                "(render it with examples/trace_view.py)",
+                file=sys.stderr,
+            )
         return 1
     print("all checks passed")
     return 0

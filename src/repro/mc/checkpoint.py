@@ -96,7 +96,24 @@ def load_checkpoint(
     try:
         with open(path, "rb") as handle:
             checkpoint = pickle.load(handle)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+    except (
+        OSError,
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        # Corrupt pickle streams surface more than UnpicklingError:
+        # flipped bytes raise ValueError (bad opcode arguments; its
+        # UnicodeDecodeError subclass from mangled strings),
+        # OverflowError (absurd lengths), IndexError (a damaged mark
+        # stack), or ImportError / ModuleNotFoundError (a damaged
+        # GLOBAL opcode naming a module that does not exist).  All mean
+        # the same thing here: redo the work the checkpoint was
+        # supposed to save.
+        ValueError,
+        ImportError,
+        IndexError,
+        OverflowError,
+    ) as exc:
         warnings.warn(
             f"ignoring unreadable checkpoint {path!r}: {exc}", stacklevel=2
         )

@@ -41,6 +41,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .explorer import ExplorationResult, Explorer, OpBudget, Violation
 
@@ -202,6 +203,13 @@ class ParallelExplorer:
     progress:
         Optional callback receiving a :class:`ProgressSnapshot` after
         each level (see :func:`print_progress`).
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  After
+        every level the engine updates ``mc.levels`` / ``mc.states`` /
+        ``mc.transitions`` / ``mc.frontier`` / ``mc.dedup_hit_rate``
+        and the per-level throughput histogram
+        ``mc.level_states_per_second`` -- the structured version of
+        what ``print_progress`` prints.
     """
 
     def __init__(
@@ -214,6 +222,7 @@ class ParallelExplorer:
         max_seconds: Optional[float] = None,
         max_levels: Optional[int] = None,
         progress: Optional[Callable[[ProgressSnapshot], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if explorer.strategy != "bfs":
             raise ValueError(
@@ -232,6 +241,7 @@ class ParallelExplorer:
         self.max_seconds = max_seconds
         self.max_levels = max_levels
         self.progress = progress
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # ------------------------------------------------------------------
 
@@ -369,6 +379,7 @@ class ParallelExplorer:
         try:
             while frontier:
                 max_depth = max(max_depth, level)
+                level_started = _time.monotonic()
                 expanded = self._run_level(pool, frontier, stats)
                 next_frontier: List[FrontierEntry] = []
                 for index, succs in expanded:
@@ -405,6 +416,19 @@ class ParallelExplorer:
                 level += 1
                 levels_this_slice += 1
                 stats.levels = levels_this_slice
+                if self.metrics.enabled:
+                    self.metrics.counter("mc.levels").inc()
+                    self.metrics.gauge("mc.frontier").set(len(frontier))
+                    self.metrics.gauge("mc.states").set(len(visited))
+                    self.metrics.gauge("mc.transitions").set(transitions)
+                    self.metrics.gauge("mc.dedup_hit_rate").set(
+                        stats.dedup_hit_rate
+                    )
+                    level_seconds = _time.monotonic() - level_started
+                    if level_seconds > 0:
+                        self.metrics.histogram(
+                            "mc.level_states_per_second"
+                        ).observe(len(expanded) / level_seconds)
                 if self.progress is not None:
                     now_elapsed = elapsed()
                     self.progress(ProgressSnapshot(

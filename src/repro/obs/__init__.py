@@ -1,0 +1,76 @@
+"""Observability: tracing, metrics, and replayable violation bundles.
+
+The two halves the chaos layer was missing:
+
+* :mod:`repro.obs.trace` -- a :class:`Tracer` recording typed events
+  (``send``/``receive``/``drop``/``duplicate``/``crash``/``restart``/
+  ``election_start``/``leader_elected``/``commit``/``reconfig``/
+  ``client_invoke``/``client_response``), each stamped with simulated
+  time and a per-node Lamport clock, in a bounded ring buffer with
+  JSONL export.  The default everywhere is the no-op
+  :data:`NULL_TRACER`.
+* :mod:`repro.obs.metrics` -- a :class:`MetricsRegistry` of counters,
+  gauges, and reservoir-sampled histograms (p50/p95/p99) with a
+  ``snapshot()`` API; disabled default :data:`NULL_METRICS`.
+
+:mod:`repro.obs.bundle` combines them into the *violation bundle*: on
+any nemesis/safety/linearizability failure the run's config, verdicts,
+stats, metrics snapshot, event trace, and client history are written
+to disk as a directory from which :func:`replay_bundle` reproduces the
+identical run (same seed ⇒ same violation) and
+``examples/trace_view.py`` renders a timeline.
+"""
+
+from .bundle import (
+    BUNDLE_VERSION,
+    ViolationBundle,
+    find_bundles,
+    load_bundle,
+    nemesis_config_from_dict,
+    nemesis_config_to_dict,
+    replay_bundle,
+    verdict_matches,
+    write_bundle,
+)
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from .trace import (
+    EVENT_KINDS,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    events_by_kind,
+    load_jsonl,
+)
+
+__all__ = [
+    "BUNDLE_VERSION",
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "ViolationBundle",
+    "events_by_kind",
+    "find_bundles",
+    "load_bundle",
+    "load_jsonl",
+    "nemesis_config_from_dict",
+    "nemesis_config_to_dict",
+    "replay_bundle",
+    "verdict_matches",
+    "write_bundle",
+]

@@ -1,0 +1,243 @@
+"""Counters, gauges, and latency histograms with a snapshot API.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments:
+
+* :class:`Counter` -- a monotonically increasing count (messages sent,
+  requests timed out, faults injected);
+* :class:`Gauge` -- a last-written value (current frontier size,
+  dedup hit-rate);
+* :class:`Histogram` -- a value distribution with ``p50``/``p95``/
+  ``p99`` computed from a bounded reservoir (Vitter's algorithm R with
+  a *seeded* RNG, so two identical runs report identical percentiles).
+
+``registry.snapshot()`` returns a plain, JSON-serializable dict -- the
+form the violation bundle persists and ``trace_view`` renders.
+
+As with tracing, the disabled path is a first-class citizen:
+:data:`NULL_METRICS` hands out a shared no-op instrument whose
+``inc``/``set``/``observe`` are empty, and its ``enabled`` flag lets
+hot paths skip instrumentation blocks entirely.  Instruments are
+created once and cached on the caller (``registry.counter(name)`` is a
+dict lookup, not a per-event cost).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any, Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Any = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A value distribution summarized by count/mean/min/max/percentiles.
+
+    Keeps a fixed-size uniform sample (reservoir sampling), seeded from
+    the instrument's name so percentile reports are reproducible across
+    identical runs -- the same property everything else in the
+    simulator has.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "_reservoir_size", "_rng")
+
+    def __init__(self, name: str, reservoir_size: int = 1024) -> None:
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(zlib.crc32(name.encode()))
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < self._reservoir_size:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._samples[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of the sampled distribution,
+        by linear interpolation; 0.0 when empty."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class _NullInstrument:
+    """The shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = None
+    max = None
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms."""
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, reservoir_size: int = 1024) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(
+                name, reservoir_size
+            )
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Every instrument's current value as a plain nested dict."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: gauge.value
+                for name, gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def describe(self) -> str:
+        """A compact human-readable dump, one instrument per line."""
+        lines = []
+        for name, counter in sorted(self.counters.items()):
+            lines.append(f"{name} = {counter.value}")
+        for name, gauge in sorted(self.gauges.items()):
+            lines.append(f"{name} = {gauge.value}")
+        for name, histogram in sorted(self.histograms.items()):
+            s = histogram.summary()
+            lines.append(
+                f"{name}: n={s['count']} mean={s['mean']:.3f} "
+                f"p50={s['p50']:.3f} p95={s['p95']:.3f} p99={s['p99']:.3f} "
+                f"max={s['max']:.3f}"
+            )
+        return "\n".join(lines)
+
+
+class NullMetrics(MetricsRegistry):
+    """The disabled registry: every lookup returns the no-op instrument."""
+
+    enabled = False
+
+    def counter(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, reservoir_size: int = 1024):
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> Dict[str, Dict]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The shared disabled registry instrumented components default to.
+NULL_METRICS = NullMetrics()

@@ -11,11 +11,14 @@ through the same path (hot reconfiguration: processing never stops).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.cache import Config, Method, NodeId
 from ..core.config import ReconfigScheme
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..raft.messages import CommitReq, ElectReq, Msg
 from ..raft.server import FOLLOWER, LEADER, Server
 from .simnet import FaultPlan, LatencyModel, Simulator
@@ -54,6 +57,8 @@ class Cluster:
         processing_ms: float = 0.05,
         extra_nodes=(),
         faults: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.scheme = scheme
         self.sim = Simulator(seed=seed)
@@ -67,6 +72,32 @@ class Cluster:
         self.messages_sent = 0
         self._crashed: set = set()
         self.faults = faults
+        # -- observability (see repro.obs) -----------------------------
+        # The disabled path must stay near-free: one boolean (`_obs`)
+        # guards every instrumentation block, and instruments are
+        # resolved once here, never per message.  Tracing/metrics
+        # consume no randomness and schedule no simulator events, so an
+        # instrumented run is bit-identical to a bare one.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._obs = self.tracer.enabled or self.metrics.enabled
+        registry = self.metrics
+        self._m_sent = registry.counter("cluster.messages_sent")
+        self._m_received = registry.counter("cluster.messages_received")
+        self._m_dropped = registry.counter("cluster.messages_dropped")
+        self._m_duplicated = registry.counter("cluster.messages_duplicated")
+        self._m_commits = registry.counter("cluster.entries_committed")
+        self._m_requests = registry.counter("cluster.requests_submitted")
+        self._m_completed = registry.counter("cluster.requests_completed")
+        self._m_timeouts = registry.counter("cluster.requests_timed_out")
+        self._m_elections = registry.counter("cluster.elections_started")
+        self._m_crashes = registry.counter("cluster.crashes")
+        self._m_restarts = registry.counter("cluster.restarts")
+        self._h_latency = registry.histogram("cluster.request_latency_ms")
+        self._h_election = registry.histogram("cluster.election_ms")
+        #: Last commit length the tracer saw, per node (commit events
+        #: are emitted on the delta).
+        self._commit_seen: Dict[NodeId, int] = {}
         if faults is not None:
             for event in faults.crashes:
                 self.sim.schedule(
@@ -90,6 +121,9 @@ class Cluster:
         if nid not in self.servers:
             raise KeyError(f"unknown node {nid}")
         self._crashed.add(nid)
+        if self._obs:
+            self.tracer.record("crash", self.sim.now, nid)
+            self._m_crashes.inc()
 
     def restart(self, nid: NodeId) -> None:
         """Bring a crashed node back with its durable state intact.
@@ -108,6 +142,12 @@ class Cluster:
         server.role = FOLLOWER
         server.votes = frozenset()
         server.acked = {}
+        if self._obs:
+            self.tracer.record(
+                "restart", self.sim.now, nid,
+                term=server.time, log_len=len(server.log),
+            )
+            self._m_restarts.inc()
 
     def is_crashed(self, nid: NodeId) -> bool:
         return nid in self._crashed
@@ -144,16 +184,49 @@ class Cluster:
         copies = 1
         if self.faults is not None:
             if self.faults.should_drop(msg.frm, msg.to, self.sim.now):
+                if self._obs:
+                    # `partitioned` is RNG-free, so asking again for
+                    # the drop reason cannot perturb the fault stream.
+                    reason = (
+                        "partition"
+                        if self.faults.partitioned(msg.frm, msg.to, self.sim.now)
+                        else "loss"
+                    )
+                    self.tracer.record(
+                        "drop", self.sim.now, msg.frm,
+                        to=msg.to, msg=type(msg).__name__, reason=reason,
+                    )
+                    self._m_dropped.inc()
                 return
             if self.faults.should_duplicate():
                 copies = 2
-        for _ in range(copies):
+                if self._obs:
+                    self.tracer.record(
+                        "duplicate", self.sim.now, msg.frm,
+                        to=msg.to, msg=type(msg).__name__,
+                    )
+                    self._m_duplicated.inc()
+        for i in range(copies):
+            # Each in-flight copy must be an independent object: both
+            # fault-injected duplicates used to alias the *same* Msg, so
+            # a handler mutating its received message (e.g. through a
+            # mutable payload) corrupted the copy still on the wire.
+            delivery = msg if i == 0 else copy.deepcopy(msg)
             delay = extra_delay + self.latency.sample(
                 self.sim.rng, self._payload_size(msg)
             )
             if self.faults is not None:
                 delay += self.faults.reorder_delay()
-            self.sim.schedule(delay, lambda m=msg: self._receive(m))
+            if self._obs:
+                self._m_sent.inc()
+                stamp = self.tracer.send(
+                    self.sim.now, msg.frm, msg.to, type(msg).__name__
+                )
+                self.sim.schedule(
+                    delay, lambda m=delivery, s=stamp: self._receive(m, s)
+                )
+            else:
+                self.sim.schedule(delay, lambda m=delivery: self._receive(m))
 
     def _send_all(self, msgs) -> None:
         msgs = list(msgs)
@@ -167,12 +240,37 @@ class Cluster:
         for msg in msgs:
             self._send(msg, extra_delay=tx_cost)
 
-    def _receive(self, msg: Msg) -> None:
+    def _receive(self, msg: Msg, sent_lamport: int = 0) -> None:
         if msg.to in self._crashed:
             return  # dropped on the floor: the recipient is down
         server = self.servers[msg.to]
+        if self._obs:
+            self.tracer.receive(
+                self.sim.now, msg.to, msg.frm,
+                type(msg).__name__, sent_lamport,
+            )
+            self._m_received.inc()
+            role_before = server.role
         responses = server.handle(msg, self.scheme)
+        if self._obs:
+            self._note_progress(server, role_before)
         self.sim.schedule(self.processing_ms, lambda: self._send_all(responses))
+
+    def _note_progress(self, server: Server, role_before: str) -> None:
+        """Trace state transitions a message handler just caused:
+        commit-index advancement and promotions to leader."""
+        seen = self._commit_seen.get(server.nid, 0)
+        if server.commit_len > seen:
+            self._commit_seen[server.nid] = server.commit_len
+            self.tracer.record(
+                "commit", self.sim.now, server.nid,
+                commit_len=server.commit_len, term=server.time,
+            )
+            self._m_commits.inc(server.commit_len - seen)
+        if role_before != LEADER and server.role == LEADER:
+            self.tracer.record(
+                "leader_elected", self.sim.now, server.nid, term=server.time
+            )
 
     # ------------------------------------------------------------------
     # Cluster operations
@@ -183,13 +281,28 @@ class Cluster:
         if nid in self._crashed:
             return False
         server = self.servers[nid]
+        started_ms = self.sim.now
+        if self._obs:
+            self.tracer.record(
+                "election_start", started_ms, nid, term=server.time + 1
+            )
+            self._m_elections.inc()
         self._send_all(server.start_election(self.scheme))
+        if self._obs and server.role == LEADER:
+            # Immediate win (single-member electorate): no ack will
+            # arrive to trigger the transition in _receive.
+            self.tracer.record(
+                "leader_elected", self.sim.now, nid, term=server.time
+            )
         deadline = self.sim.now + max_wait_ms
         self.sim.run_until(
             lambda: server.role == LEADER or self.sim.now >= deadline
             or self.sim.pending() == 0
         )
-        return server.role == LEADER
+        won = server.role == LEADER
+        if self._obs and won:
+            self._h_election.observe(self.sim.now - started_ms)
+        return won
 
     def leader(self) -> Optional[NodeId]:
         """The highest-term current *live* leader, if any."""
@@ -256,6 +369,13 @@ class Cluster:
             submitted_ms=self.sim.now,
         )
         self.records.append(record)
+        if self._obs:
+            self.tracer.record(
+                "client_invoke", self.sim.now, leader_id,
+                request=record.index, reconfig=is_reconfig,
+                payload=repr(payload),
+            )
+            self._m_requests.inc()
         existing = self._find_request(server, request_id)
         if existing is not None:
             # At-most-once: a previous attempt already appended this
@@ -278,7 +398,21 @@ class Cluster:
             if not server.invoke(payload, request_id=request_id):
                 raise RuntimeError("invoke refused: not leader")
             target_len = len(server.log)
+        if self._obs and is_reconfig:
+            try:
+                members = sorted(payload)
+            except TypeError:
+                members = repr(payload)
+            self.tracer.record(
+                "reconfig", self.sim.now, leader_id,
+                members=members, term=server.time,
+            )
         self._send_all(server.broadcast_commit(self.scheme))
+        if self._obs:
+            # broadcast_commit re-evaluates the commit rule, so the
+            # leader's index can advance here without any message
+            # arriving (e.g. a single-member quorum).
+            self._note_progress(server, server.role)
         deadline = self.sim.now + max_wait_ms
         self.sim.run_until(
             lambda: server.commit_len >= target_len
@@ -286,6 +420,8 @@ class Cluster:
             or self.sim.pending() == 0
         )
         if server.commit_len < target_len:
+            if self._obs:
+                self._m_timeouts.inc()
             raise RuntimeError(
                 f"request {record.index} did not commit within "
                 f"{max_wait_ms}ms (commit_len={server.commit_len}, "
@@ -293,6 +429,13 @@ class Cluster:
             )
         record.completed_ms = self.sim.now
         record.log_index = target_len
+        if self._obs:
+            self.tracer.record(
+                "client_response", self.sim.now, leader_id,
+                request=record.index, latency_ms=record.latency_ms,
+            )
+            self._m_completed.inc()
+            self._h_latency.observe(record.latency_ms)
         return record
 
     def sync_followers(self, leader_id: NodeId, max_wait_ms: float = 1_000.0):

@@ -54,9 +54,16 @@ class FailoverDriver:
     election_timeout_ms: float = 200.0
     events: List[FailoverEvent] = field(default_factory=list)
     client_id: str = "client-0"
+    #: When False the client stamps no request ids -- the historical
+    #: pre-dedup client, kept as an explicit (and bundle-serializable)
+    #: chaos discipline so the checkers' teeth can be demonstrated and
+    #: *replayed* from a violation bundle.
+    use_request_ids: bool = True
     _seq: int = field(default=0, repr=False)
 
     def _next_request_id(self):
+        if not self.use_request_ids:
+            return None
         rid = (self.client_id, self._seq)
         self._seq += 1
         return rid
@@ -82,6 +89,7 @@ class FailoverDriver:
     def _fail_over(self) -> NodeId:
         old = self.leader
         tried = 0
+        started_ms = self.cluster.sim.now
         for candidate in self._live_candidates():
             tried += 1
             if self.cluster.elect(candidate, max_wait_ms=self.election_timeout_ms):
@@ -94,7 +102,17 @@ class FailoverDriver:
                         elections_tried=tried,
                     )
                 )
+                metrics = self.cluster.metrics
+                if metrics.enabled:
+                    metrics.counter("failover.count").inc()
+                    metrics.histogram("failover.elections_tried").observe(tried)
+                    metrics.histogram("failover.outage_ms").observe(
+                        self.cluster.sim.now - started_ms
+                    )
                 return candidate
+        metrics = self.cluster.metrics
+        if metrics.enabled:
+            metrics.counter("failover.exhausted").inc()
         raise RuntimeError("no live candidate could win an election")
 
     def submit(self, payload: Method, max_attempts: int = 6) -> RequestRecord:
@@ -116,6 +134,9 @@ class FailoverDriver:
                 # quorum; try the next candidate.  The request id keeps
                 # the retry from re-appending a command whose entry
                 # already survived into the next leader's log.
+                metrics = self.cluster.metrics
+                if metrics.enabled:
+                    metrics.counter("failover.retries").inc()
                 self._fail_over()
         raise RuntimeError(f"request {payload!r} failed after retries")
 

@@ -26,6 +26,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.bundle import write_bundle
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
 from ..raft.server import LEADER
 from ..schemes.single_node import RaftSingleNodeScheme
 from .cluster import Cluster
@@ -84,6 +87,19 @@ class NemesisConfig:
     request_timeout_ms: float = 30.0
     election_timeout_ms: float = 200.0
 
+    #: When False the driver runs without ``(client, seq)`` request ids
+    #: -- the historical at-most-once bug, selectable as an explicit
+    #: chaos discipline (and recorded in violation bundles, so a bundle
+    #: of the resulting violation replays faithfully).
+    client_request_ids: bool = True
+    #: Ring-buffer capacity of the run's event tracer; 0 disables
+    #: tracing entirely (the null tracer).
+    trace_capacity: int = 200_000
+    #: When set, a run that fails either checker writes a replayable
+    #: violation bundle (config, verdicts, stats, metrics, trace,
+    #: history) under this directory.
+    bundle_dir: Optional[str] = None
+
 
 @dataclass
 class NemesisStats:
@@ -124,6 +140,12 @@ class NemesisResult:
     safety_violations: List[str]
     linearizability: LinearizabilityResult
     stats: NemesisStats
+    #: The run's tracer (its ring buffer holds the event trace).
+    tracer: Optional[Tracer] = None
+    #: ``MetricsRegistry.snapshot()`` taken at the end of the run.
+    metrics: Optional[dict] = None
+    #: Where the violation bundle was written, when one was.
+    bundle_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -137,6 +159,8 @@ class NemesisResult:
             f"  safety: {self.safety_violations or 'clean'}",
             f"  {self.linearizability.describe()}",
         ]
+        if self.bundle_path is not None:
+            lines.append(f"  violation bundle: {self.bundle_path}")
         return "\n".join(lines)
 
 
@@ -157,8 +181,22 @@ def duplicate_request_audit(cluster: Cluster) -> List[str]:
 
 
 def run_nemesis(config: NemesisConfig) -> NemesisResult:
-    """Run one seeded chaos schedule; returns history plus verdicts."""
+    """Run one seeded chaos schedule; returns history plus verdicts.
+
+    Every run is traced and metered (:mod:`repro.obs`); neither
+    consumes randomness nor schedules simulator events, so results are
+    identical to an uninstrumented run.  On a failed check the trace,
+    metrics, config, and history are persisted as a replayable
+    violation bundle when ``config.bundle_dir`` is set.
+    """
     plan = FaultPlan(seed=config.seed + 1, conditions=config.conditions)
+    tracer = (
+        Tracer(capacity=config.trace_capacity)
+        if config.trace_capacity > 0
+        else NULL_TRACER
+    )
+    metrics = MetricsRegistry()
+    nemesis_faults = metrics.counter("nemesis.fault_activations")
     all_nodes = (
         set(config.initial_members)
         | set(config.extra_nodes)
@@ -171,6 +209,8 @@ def run_nemesis(config: NemesisConfig) -> NemesisResult:
         latency=config.latency,
         extra_nodes=all_nodes,
         faults=plan,
+        tracer=tracer,
+        metrics=metrics,
     )
     leader0 = min(config.initial_members)
     if not cluster.elect(leader0):
@@ -180,6 +220,7 @@ def run_nemesis(config: NemesisConfig) -> NemesisResult:
         leader=leader0,
         request_timeout_ms=config.request_timeout_ms,
         election_timeout_ms=config.election_timeout_ms,
+        use_request_ids=config.client_request_ids,
     )
     history = History()
     stats = NemesisStats()
@@ -207,12 +248,14 @@ def run_nemesis(config: NemesisConfig) -> NemesisResult:
             if i >= due:
                 cluster.restart(nid)
                 stats.restarts_injected += 1
+                nemesis_faults.inc()
                 restarts_due.remove((due, nid))
         if i in crash_at:
             victim = current_victim()
             if victim is not None:
                 cluster.crash(victim)
                 stats.crashes_injected += 1
+                nemesis_faults.inc()
                 restarts_due.append((i + config.restart_after_ops, victim))
         if config.partition_at is not None and i == config.partition_at:
             victim = current_victim()
@@ -235,6 +278,13 @@ def run_nemesis(config: NemesisConfig) -> NemesisResult:
                     symmetric=config.partition_symmetric,
                 )
                 stats.partitions_injected += 1
+                nemesis_faults.inc()
+                tracer.record(
+                    "partition_start", cluster.sim.now, victim,
+                    others=sorted(others),
+                    heal_ms=cluster.sim.now + config.partition_ms,
+                    symmetric=config.partition_symmetric,
+                )
         if i in reconfig_at:
             try:
                 driver.reconfigure(reconfig_at[i])
@@ -310,13 +360,23 @@ def run_nemesis(config: NemesisConfig) -> NemesisResult:
     safety = cluster.check_safety()
     safety.extend(duplicate_request_audit(cluster))
     linearizability = check_history(history)
-    return NemesisResult(
+    gauges = metrics
+    gauges.gauge("nemesis.sim_ms").set(stats.sim_ms)
+    gauges.gauge("nemesis.ops_completed").set(stats.ops_completed)
+    gauges.gauge("nemesis.ops_unknown").set(stats.ops_unknown)
+    gauges.gauge("nemesis.reconfigs_done").set(stats.reconfigs_done)
+    result = NemesisResult(
         config=config,
         history=history,
         safety_violations=safety,
         linearizability=linearizability,
         stats=stats,
+        tracer=tracer,
+        metrics=metrics.snapshot(),
     )
+    if not result.ok and config.bundle_dir is not None:
+        result.bundle_path = write_bundle(config.bundle_dir, result)
+    return result
 
 
 def fig16_chaos_config(seed: int = 0, ops: int = 500) -> NemesisConfig:

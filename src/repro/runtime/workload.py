@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..core.cache import NodeId
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from ..schemes.single_node import RaftSingleNodeScheme
 from .cluster import Cluster
 from .simnet import FaultPlan, LatencyModel
@@ -39,6 +41,10 @@ class Fig16Config:
     #: (drops/duplication/reordering; the externally-driven workload
     #: tolerates them through per-request retry in ``submit``).
     faults: Optional[FaultPlan] = None
+    #: Optional observability sinks threaded into the cluster; the
+    #: defaults are the no-op tracer/registry (see repro.obs).
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
 
     def __post_init__(self) -> None:
         if self.requests_per_phase <= 0:
@@ -81,6 +87,8 @@ def run_fig16_workload(seed: int, config: Optional[Fig16Config] = None) -> Fig16
         latency=cfg.latency,
         extra_nodes=all_nodes,
         faults=cfg.faults,
+        tracer=cfg.tracer,
+        metrics=cfg.metrics,
     )
     if not cluster.elect(cfg.leader):
         raise RuntimeError("initial election failed")

@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "failover_replacement",
     "paxos_vs_raft",
     "chaos",
+    "trace_view",
 ]
 
 SLOW_EXAMPLES = [

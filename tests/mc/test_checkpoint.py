@@ -1,0 +1,108 @@
+"""Corrupt-checkpoint robustness (ISSUE 3 bugfix b).
+
+``load_checkpoint`` promises *None on any unusable file*: a resumed CI
+run must redo work, never crash, when a checkpoint was half-written by
+a killed worker or mangled on disk.  The original handler caught only
+``(OSError, UnpicklingError, EOFError, AttributeError)``; real corrupt
+pickles also raise ``ValueError`` (bad opcode arguments, including its
+``UnicodeDecodeError`` subclass), ``OverflowError``, ``IndexError``,
+and ``ModuleNotFoundError`` (a damaged GLOBAL opcode).  Each test here
+pins one concrete corruption; the module-rename and bad-int cases fail
+with the broadened handler reverted.
+"""
+
+import pickle
+import random
+import warnings
+
+import pytest
+
+from repro.mc import Checkpoint, load_checkpoint, save_checkpoint
+
+
+def make_checkpoint(path: str) -> bytes:
+    checkpoint = Checkpoint(
+        fingerprint="f", level=2, frontier=[], visited_keys={1, 2, 3},
+        transitions=9, max_depth=2, exhausted=False,
+    )
+    save_checkpoint(path, checkpoint)
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def assert_ignored_with_warning(path: str) -> None:
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert load_checkpoint(path) is None
+    assert any("ignoring" in str(w.message) for w in caught)
+
+
+class TestCorruptPickles:
+    def test_truncated_file(self, tmp_path):
+        path = str(tmp_path / "trunc.ckpt")
+        data = make_checkpoint(path)
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert_ignored_with_warning(path)
+
+    @pytest.mark.parametrize(
+        "seed",
+        # Seeds chosen so the 256 random bytes deterministically raise,
+        # in order: UnpicklingError, ValueError, UnicodeDecodeError,
+        # and OverflowError inside pickle.load.
+        [0, 5, 26, 124],
+    )
+    def test_random_bytes_file(self, tmp_path, seed):
+        rng = random.Random(seed)
+        path = str(tmp_path / f"noise{seed}.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(bytes(rng.randrange(256) for _ in range(256)))
+        assert_ignored_with_warning(path)
+
+    def test_bad_int_literal_raises_value_error_and_is_ignored(self, tmp_path):
+        # A protocol-0 INT opcode with a mangled argument: pickle.load
+        # raises plain ValueError, which the original handler missed.
+        path = str(tmp_path / "badint.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"Iabc\n.")
+        with pytest.raises(ValueError):
+            with open(path, "rb") as handle:
+                pickle.load(handle)
+        assert_ignored_with_warning(path)
+
+    def test_damaged_module_name_is_ignored(self, tmp_path):
+        # Same-length byte damage to the GLOBAL opcode's module name:
+        # pickle.load raises ModuleNotFoundError, which the original
+        # handler missed.
+        path = str(tmp_path / "badmod.ckpt")
+        data = make_checkpoint(path)
+        assert b"repro.mc.checkpoint" in data
+        with open(path, "wb") as handle:
+            handle.write(
+                data.replace(b"repro.mc.checkpoint", b"repro.mc.checkpoinX")
+            )
+        with pytest.raises(ModuleNotFoundError):
+            with open(path, "rb") as handle:
+                pickle.load(handle)
+        assert_ignored_with_warning(path)
+
+    def test_wrong_type_pickle_is_ignored(self, tmp_path):
+        # Loads fine but is not a Checkpoint: the isinstance gate.
+        path = str(tmp_path / "dict.ckpt")
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a checkpoint"}, handle)
+        assert_ignored_with_warning(path)
+
+    def test_intact_checkpoint_still_loads(self, tmp_path):
+        # The broadened handler must not eat healthy files.
+        path = str(tmp_path / "ok.ckpt")
+        make_checkpoint(path)
+        loaded = load_checkpoint(path, "f")
+        assert loaded is not None
+        assert loaded.states_visited == 3
+
+    def test_missing_file_is_silently_none(self, tmp_path):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert load_checkpoint(str(tmp_path / "absent.ckpt")) is None
+        assert caught == []

@@ -259,6 +259,41 @@ class TestEngineOptions:
         assert snapshots[-1].next_frontier == 0
         assert "states/s" in snapshots[-1].describe()
 
+    def test_metrics_registry_tracks_exploration(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        result = ParallelExplorer(
+            verify_intact_explorer(SMALL_BUDGET),
+            workers=1, metrics=metrics,
+        ).run()
+        snap = metrics.snapshot()
+        # The structured replacement of print_progress: per-level
+        # counters/gauges plus a per-level throughput histogram.
+        assert snap["counters"]["mc.levels"] == result.stats.levels
+        assert snap["gauges"]["mc.states"] == result.states_visited
+        assert snap["gauges"]["mc.transitions"] == result.transitions
+        assert snap["gauges"]["mc.frontier"] == 0  # exhausted
+        assert 0.0 <= snap["gauges"]["mc.dedup_hit_rate"] <= 1.0
+        throughput = snap["histograms"]["mc.level_states_per_second"]
+        assert throughput["count"] >= 1
+        assert throughput["min"] > 0.0
+
+    def test_metrics_thread_through_explore(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        result = explore(
+            verify_intact_explorer(SMALL_BUDGET), workers=2, metrics=metrics
+        )
+        assert metrics.counter("mc.levels").value == result.stats.levels
+
+    def test_metrics_default_to_the_null_registry(self):
+        from repro.obs import NULL_METRICS
+
+        engine = ParallelExplorer(verify_intact_explorer(SMALL_BUDGET))
+        assert engine.metrics is NULL_METRICS
+
     def test_verify_intact_workers_api(self):
         seq = verify_intact(budget=SMALL_BUDGET)
         par = verify_intact(budget=SMALL_BUDGET, workers=2)

@@ -1,0 +1,146 @@
+"""The instrumented runtime: event coverage, metric fidelity, parity.
+
+The load-bearing invariant is *parity*: tracing and metrics consume no
+randomness and schedule no simulator events, so an instrumented run is
+bit-identical to a bare run with the same seed.  Everything else here
+checks that the events and counters the instrumentation emits actually
+describe what the cluster did.
+"""
+
+from repro.obs import MetricsRegistry, Tracer, events_by_kind
+from repro.runtime import Cluster, FaultPlan, LatencyModel, NetworkConditions
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+FLAT = LatencyModel(jitter=0.0, spike_prob=0.0)
+
+
+def instrumented_cluster(seed=1, **kwargs):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    cluster = Cluster(
+        NODES, SCHEME, seed=seed, tracer=tracer, metrics=metrics, **kwargs
+    )
+    return cluster, tracer, metrics
+
+
+class TestEventCoverage:
+    def test_election_and_request_trace(self):
+        cluster, tracer, _ = instrumented_cluster()
+        assert cluster.elect(1)
+        cluster.submit("a", leader=1)
+        kinds = {e.kind for e in tracer.snapshot()}
+        assert {
+            "send", "receive", "election_start", "leader_elected",
+            "commit", "client_invoke", "client_response",
+        } <= kinds
+
+    def test_commit_events_carry_advancing_lengths(self):
+        cluster, tracer, _ = instrumented_cluster()
+        assert cluster.elect(1)
+        cluster.submit("a", leader=1)
+        cluster.submit("b", leader=1)
+        commits = events_by_kind(tracer.snapshot(), "commit")
+        leader_commits = [e for e in commits if e.node == 1]
+        lengths = [e.data["commit_len"] for e in leader_commits]
+        assert lengths == sorted(lengths)
+        assert lengths[-1] == 2
+
+    def test_crash_restart_and_reconfig_trace(self):
+        cluster, tracer, _ = instrumented_cluster(seed=2)
+        assert cluster.elect(1)
+        cluster.submit("a", leader=1)
+        cluster.crash(3)
+        cluster.restart(3)
+        cluster.submit_reconfig(frozenset({1, 2}), 1)
+        kinds = [e.kind for e in tracer.snapshot()]
+        assert "crash" in kinds and "restart" in kinds
+        reconfigs = events_by_kind(tracer.snapshot(), "reconfig")
+        assert reconfigs[0].data["members"] == [1, 2]
+
+    def test_drop_events_name_their_reason(self):
+        plan = FaultPlan(seed=0)
+        cluster, tracer, _ = instrumented_cluster(seed=1, faults=plan)
+        assert cluster.elect(1)
+        plan.add_partition(
+            cluster.sim.now, cluster.sim.now + 1000.0, {1}, {2, 3}
+        )
+        try:
+            cluster.submit("a", leader=1, max_wait_ms=20.0)
+        except RuntimeError:
+            pass
+        drops = events_by_kind(tracer.snapshot(), "drop")
+        assert drops and all(e.data["reason"] == "partition" for e in drops)
+
+    def test_lamport_joins_across_the_simulated_network(self):
+        cluster, tracer, _ = instrumented_cluster()
+        assert cluster.elect(1)
+        cluster.submit("a", leader=1)
+        for event in events_by_kind(tracer.snapshot(), "receive"):
+            assert event.lamport > event.data["sent_lamport"]
+
+
+class TestMetricFidelity:
+    def test_counters_mirror_cluster_tallies(self):
+        cluster, _, metrics = instrumented_cluster()
+        assert cluster.elect(1)
+        cluster.submit("a", leader=1)
+        snap = metrics.snapshot()
+        assert snap["counters"]["cluster.messages_sent"] == (
+            cluster.messages_sent
+        )
+        assert snap["counters"]["cluster.entries_committed"] >= 1
+        assert snap["counters"]["cluster.requests_submitted"] == 1
+        assert snap["counters"]["cluster.requests_completed"] == 1
+        assert snap["histograms"]["cluster.request_latency_ms"]["count"] == 1
+        assert snap["histograms"]["cluster.election_ms"]["count"] == 1
+
+    def test_latency_histogram_matches_records(self):
+        cluster, _, metrics = instrumented_cluster(seed=4)
+        assert cluster.elect(1)
+        for i in range(5):
+            cluster.submit(f"req-{i}", leader=1)
+        hist = metrics.histogram("cluster.request_latency_ms")
+        assert hist.count == 5
+        assert hist.total == sum(cluster.latencies())
+
+
+class TestParity:
+    def test_instrumented_run_is_bit_identical_to_bare(self):
+        bare = Cluster(NODES, SCHEME, seed=3)
+        inst, _, _ = instrumented_cluster(seed=3)
+        assert bare.elect(1) and inst.elect(1)
+        for i in range(10):
+            a = bare.submit(f"req-{i}", leader=1)
+            b = inst.submit(f"req-{i}", leader=1)
+            assert a.latency_ms == b.latency_ms
+        assert bare.messages_sent == inst.messages_sent
+        assert bare.sim.now == inst.sim.now
+
+    def test_parity_under_faults(self):
+        conditions = NetworkConditions(drop_prob=0.1, duplicate_prob=0.1)
+        bare = Cluster(
+            NODES, SCHEME, seed=5, faults=FaultPlan(seed=9, conditions=conditions)
+        )
+        inst, _, _ = instrumented_cluster(
+            seed=5, faults=FaultPlan(seed=9, conditions=conditions)
+        )
+        assert bare.elect(1) and inst.elect(1)
+
+        def attempt(cluster, i):
+            # Drops can time a request out; parity means the *outcome*
+            # (success latency or failure) is identical, not that every
+            # request succeeds.
+            try:
+                return cluster.submit(f"req-{i}", leader=1, max_wait_ms=500.0)
+            except RuntimeError:
+                return None
+
+        for i in range(10):
+            a = attempt(bare, i)
+            b = attempt(inst, i)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.latency_ms == b.latency_ms
+        assert bare.sim.now == inst.sim.now

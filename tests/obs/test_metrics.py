@@ -1,0 +1,125 @@
+"""Counters, gauges, reservoir histograms, and the registry snapshot."""
+
+import random
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("frontier")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_summary_on_known_values(self):
+        h = Histogram("lat")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["mean"] == pytest.approx(50.5)
+        # Reservoir holds everything (100 < 1024): exact percentiles.
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(95) == pytest.approx(95.05)
+        assert h.percentile(0) == 1.0 and h.percentile(100) == 100.0
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.percentile(99) == 0.0
+        assert h.summary()["count"] == 0
+        assert h.mean == 0.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").percentile(101)
+
+    def test_reservoir_bounds_memory(self):
+        h = Histogram("lat", reservoir_size=16)
+        for v in range(1000):
+            h.observe(float(v))
+        assert len(h._samples) == 16
+        assert h.count == 1000  # totals are exact even when sampled
+
+    def test_percentiles_reproducible_across_runs(self):
+        # The reservoir RNG is seeded from the name: two identical
+        # observation streams report identical percentiles.
+        rng = random.Random(7)
+        values = [rng.expovariate(1.0) for _ in range(5000)]
+        a, b = Histogram("lat", 64), Histogram("lat", 64)
+        for v in values:
+            a.observe(v)
+            b.observe(v)
+        assert a.percentile(99) == b.percentile(99)
+        assert a.summary() == b.summary()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_is_plain_and_sorted(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("z.sent").inc(3)
+        reg.counter("a.dropped").inc()
+        reg.gauge("frontier").set(12)
+        reg.histogram("lat").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.dropped": 1, "z.sent": 3}
+        assert snap["gauges"] == {"frontier": 12}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # bundle-manifest serializable
+
+    def test_describe_mentions_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("sent").inc()
+        reg.histogram("lat").observe(2.0)
+        text = reg.describe()
+        assert "sent = 1" in text and "lat:" in text
+
+
+class TestNullMetrics:
+    def test_disabled_and_free(self):
+        assert NULL_METRICS.enabled is False
+        c = NULL_METRICS.counter("anything")
+        c.inc(100)
+        assert c.value == 0
+        NULL_METRICS.gauge("g").set(5)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_shared_instrument(self):
+        reg = NullMetrics()
+        assert reg.counter("a") is reg.histogram("b")
+        assert isinstance(reg, MetricsRegistry)

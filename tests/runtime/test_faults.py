@@ -289,6 +289,33 @@ class TestPartitionHeal:
 
 
 class TestDuplicateDelivery:
+    def test_duplicated_deliveries_are_independent_objects(self):
+        # Regression (ISSUE 3 bugfix a): both fault-injected duplicates
+        # used to alias the *same* Msg object, so a handler mutating
+        # its received message through a mutable payload corrupted the
+        # copy still in flight.  Deliveries must be independent.
+        from repro.raft.messages import CommitReq, LogEntry
+
+        plan = FaultPlan(
+            seed=0, conditions=NetworkConditions(duplicate_prob=1.0)
+        )
+        cluster = Cluster(NODES, SCHEME, seed=1, latency=FLAT, faults=plan)
+        entry = LogEntry(time=1, vrsn=0, payload=["v"])
+        msg = CommitReq(frm=1, to=2, time=1, log=(entry,), commit_len=0)
+        seen = []
+
+        def bad_handler_receive(m, sent_lamport=0):
+            # Snapshot what arrived, then mutate in place -- the
+            # worst-case recipient the transport must tolerate.
+            seen.append(list(m.log[0].payload))
+            m.log[0].payload.append("corrupted")
+
+        cluster._receive = bad_handler_receive
+        cluster._send(msg)
+        cluster.sim.drain()
+        assert len(seen) == 2  # duplicate_prob=1.0 really duplicated
+        assert seen == [["v"], ["v"]]
+
     def test_every_message_duplicated_is_harmless(self):
         cfg = NemesisConfig(
             seed=5,

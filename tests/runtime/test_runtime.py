@@ -4,6 +4,7 @@ import pytest
 
 from repro.runtime import (
     Cluster,
+    FaultPlan,
     Fig16Config,
     LatencyModel,
     ReplicatedKV,
@@ -93,6 +94,51 @@ class TestCluster:
             cluster.submit(f"m{i}", leader=1)
         cluster.sync_followers(1)
         assert cluster.check_safety() == []
+
+    def test_leader_picks_higher_term_among_two_live_leaders(self):
+        # Partition the sitting leader away, elect a new one on the
+        # majority side: both report role == leader (the old one never
+        # saw the higher term), and leader() must pick the higher term.
+        plan = FaultPlan(seed=0)
+        cluster = Cluster(NODES, SCHEME, seed=6, faults=plan)
+        assert cluster.elect(1)
+        plan.add_partition(cluster.sim.now, cluster.sim.now + 10_000.0,
+                           {1}, {2, 3})
+        assert cluster.elect(2)
+        assert cluster.servers[1].role == "leader"  # stale, but live
+        assert cluster.servers[2].role == "leader"
+        assert cluster.servers[2].time > cluster.servers[1].time
+        assert cluster.leader() == 2
+
+    def test_leader_tiebreak_is_by_term_not_node_id(self):
+        # Same split with the *higher-numbered* node as the stale
+        # leader: the lower-numbered, higher-term winner must be chosen.
+        plan = FaultPlan(seed=0)
+        cluster = Cluster(NODES, SCHEME, seed=6, faults=plan)
+        assert cluster.elect(3)
+        plan.add_partition(cluster.sim.now, cluster.sim.now + 10_000.0,
+                           {3}, {1, 2})
+        assert cluster.elect(1)
+        assert cluster.servers[3].role == "leader"
+        assert cluster.leader() == 1
+
+    def test_latencies_exclude_pending_and_timed_out_requests(self):
+        # A request submitted into a partition times out: its record
+        # stays (completed_ms None) but the latency series must only
+        # contain completed requests.
+        plan = FaultPlan(seed=0)
+        cluster = Cluster(NODES, SCHEME, seed=7, faults=plan)
+        assert cluster.elect(1)
+        cluster.submit("before", leader=1)
+        plan.add_partition(cluster.sim.now, cluster.sim.now + 10_000.0,
+                           {1}, {2, 3})
+        with pytest.raises(RuntimeError, match="did not commit"):
+            cluster.submit("stuck", leader=1, max_wait_ms=20.0)
+        assert len(cluster.records) == 2
+        assert cluster.records[1].completed_ms is None
+        assert cluster.records[1].latency_ms is None
+        assert len(cluster.latencies()) == 1
+        assert cluster.latencies()[0] == cluster.records[0].latency_ms
 
     def test_reconfiguration_requires_commit_first(self):
         cluster = Cluster(NODES, SCHEME, seed=4, extra_nodes={4})
