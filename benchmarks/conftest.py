@@ -5,11 +5,26 @@ evaluation (see DESIGN.md's experiment index) and prints the
 reproduced artifact directly to the terminal (bypassing capture), so
 ``pytest benchmarks/ --benchmark-only`` output contains both the
 timing table and the reproduced rows/series.
+
+Alongside the human-readable table, every benchmark writes its numbers
+to ``BENCH_<name>.json`` (one file per module, one key per test) via
+the :func:`bench_json` fixture, so downstream tooling can diff runs
+without scraping terminal output.  Files land in
+``benchmarks/results/`` unless ``REPRO_BENCH_DIR`` says otherwise.
 """
 
+import json
 import os
+import time
 
 import pytest
+
+
+def _bench_dir() -> str:
+    return os.environ.get(
+        "REPRO_BENCH_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+    )
 
 
 @pytest.fixture
@@ -20,6 +35,38 @@ def report(capfd):
         with capfd.disabled():
             for line in lines:
                 print(line)
+
+    return emit
+
+
+@pytest.fixture
+def bench_json(request):
+    """Record this test's machine-readable result.
+
+    ``bench_json(payload)`` merges ``{test_name: payload}`` into the
+    module's ``BENCH_<name>.json`` (name = module minus the ``test_``
+    prefix).  Values that JSON cannot express (frozensets, tuples as
+    keys, ...) are stringified rather than rejected.  Returns the path.
+    """
+    module = request.node.module.__name__
+    name = module[len("test_"):] if module.startswith("test_") else module
+    path = os.path.join(_bench_dir(), f"BENCH_{name}.json")
+
+    def emit(payload, test=None):
+        os.makedirs(_bench_dir(), exist_ok=True)
+        data = {}
+        if os.path.exists(path):
+            with open(path) as handle:
+                try:
+                    data = json.load(handle)
+                except ValueError:
+                    data = {}
+        data[test or request.node.name] = payload
+        data["_meta"] = {"module": module, "updated_unix": time.time()}
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        return path
 
     return emit
 

@@ -44,8 +44,16 @@ def measure_degradation():
     return results
 
 
-def test_chaos_throughput_degradation(benchmark, report):
+def test_chaos_throughput_degradation(benchmark, report, bench_json):
     results = benchmark.pedantic(measure_degradation, rounds=1, iterations=1)
+    bench_json({
+        f"drop={drop:.2f}": {
+            "mean_ops_per_sim_s": statistics.mean(throughputs),
+            "min_ops_per_sim_s": min(throughputs),
+            "unknown_ops": unknown,
+        }
+        for drop, (throughputs, unknown) in sorted(results.items())
+    })
     rows = []
     for drop, (throughputs, unknown) in sorted(results.items()):
         rows.append((

@@ -31,8 +31,15 @@ def check_both():
     return hot, stop
 
 
-def test_stop_the_world_model_checked(benchmark, report):
+def test_stop_the_world_model_checked(benchmark, report, bench_json):
     hot, stop = benchmark.pedantic(check_both, rounds=1, iterations=1)
+    bench_json({
+        "hot": {"states": hot.states_visited, "transitions": hot.transitions,
+                "safe": hot.safe, "exhausted": hot.exhausted},
+        "stop_world": {"states": stop.states_visited,
+                       "transitions": stop.transitions,
+                       "safe": stop.safe, "exhausted": stop.exhausted},
+    })
     report(
         "",
         "=" * 72,
@@ -60,7 +67,7 @@ def test_stop_the_world_model_checked(benchmark, report):
     assert stop.states_visited <= hot.states_visited
 
 
-def test_alpha_machine_behaviour(benchmark, report):
+def test_alpha_machine_behaviour(benchmark, report, bench_json):
     """The two α-sketch requirements, demonstrated on one schedule."""
 
     def run():
@@ -84,6 +91,14 @@ def test_alpha_machine_behaviour(benchmark, report):
     machine, blocked, full, election = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
+    bench_json({
+        "alpha": 2,
+        "blocked_reason": full.reason,
+        "election_ok": election.ok,
+        "election_config": sorted(
+            machine.state.tree.cache(election.new_cid).conf
+        ),
+    })
     rows = [
         ("uncommitted RCache is inert",
          f"post-RCache MCache carries config "

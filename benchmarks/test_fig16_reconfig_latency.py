@@ -31,7 +31,7 @@ def run_experiment():
     return run_fig16_experiment(runs=RUNS, config=Fig16Config())
 
 
-def test_fig16_reconfiguration_latency(benchmark, report):
+def test_fig16_reconfiguration_latency(benchmark, report, bench_json):
     runs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
     maxima, means, minima = aggregate_runs([r.latencies_ms for r in runs])
@@ -122,6 +122,18 @@ def test_fig16_reconfiguration_latency(benchmark, report):
     #    every run completed all requests.
     assert all(len(r.latencies_ms) == 5004 for r in runs)
 
+    bench_json({
+        "runs": RUNS,
+        "phase_sizes": list(phase_sizes),
+        "phase_medians_ms": phase_medians,
+        "reconfig_means_ms": {
+            "5->4": shrink[0], "4->3": shrink[1],
+            "3->4": grow[0], "4->5": grow[1],
+        },
+        "grow_mean_ms": statistics.mean(grow),
+        "shrink_mean_ms": statistics.mean(shrink),
+        "ordinary_spike_max_ms": ordinary_max,
+    })
     report(
         "",
         f"shape checks: flat steady state {['%.3f' % m for m in phase_medians]}, "

@@ -28,7 +28,7 @@ def run_both_levels():
     return adore_unsafe, labels, denied, net_unsafe, net_fixed
 
 
-def test_fig4_bug_reproduction(benchmark, report):
+def test_fig4_bug_reproduction(benchmark, report, bench_json):
     adore_unsafe, labels, denied, net_unsafe, net_fixed = benchmark.pedantic(
         run_both_levels, rounds=1, iterations=1
     )
@@ -77,6 +77,14 @@ def test_fig4_bug_reproduction(benchmark, report):
         tree.render(),
     )
 
+    bench_json({
+        "adore_violations": len(adore_violations),
+        "disjoint_quorums": [q_s2, q_s1],
+        "net_unsafe_leaders": len(net_unsafe.system.leaders()),
+        "r3_denial": denied.reason,
+        "net_fixed_violated": net_fixed.violated,
+    })
+
     # Paper claims, as assertions.
     assert len(adore_violations) == 1
     assert not set(q_s1) & set(q_s2)
@@ -86,13 +94,18 @@ def test_fig4_bug_reproduction(benchmark, report):
     assert net_fixed.reconfig_results == ["S1 removes S4: r3-denied"]
 
 
-def test_fig4_automated_rediscovery(benchmark, report):
+def test_fig4_automated_rediscovery(benchmark, report, bench_json):
     """The model checker finds the violation with zero guidance."""
     from repro.mc import ablate_r3
 
     result = benchmark.pedantic(ablate_r3, rounds=1, iterations=1)
     assert not result.safe
     violation = result.violations[0]
+    bench_json({
+        "states_explored": result.states_visited,
+        "schedule_depth": len(violation.trace),
+        "elapsed_s": result.elapsed_seconds,
+    })
     report(
         "",
         "model checker, R3 ablated (guided search, safety invariant only):",
@@ -109,7 +122,7 @@ def test_fig4_automated_rediscovery(benchmark, report):
     assert ops.count("push") == 2
 
 
-def test_fig4_schedule_class_safe_with_r3(benchmark, report):
+def test_fig4_schedule_class_safe_with_r3(benchmark, report, bench_json):
     """Exhaustive BFS over the same schedule class, R3 on: SAFE."""
     from repro.mc import FIG4_BUDGET, FIG4_NODES, Explorer
     from repro.schemes import RaftSingleNodeScheme
@@ -126,6 +139,11 @@ def test_fig4_schedule_class_safe_with_r3(benchmark, report):
         ).run()
 
     result = benchmark.pedantic(verify, rounds=1, iterations=1)
+    bench_json({
+        "states_explored": result.states_visited,
+        "safe": result.safe,
+        "exhausted": result.exhausted,
+    })
     report(
         "",
         "same schedule class with R3 enforced:",

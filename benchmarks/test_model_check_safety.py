@@ -80,8 +80,14 @@ def positive_runs():
     return results
 
 
-def test_safety_verification(benchmark, report):
+def test_safety_verification(benchmark, report, bench_json):
     results = benchmark.pedantic(positive_runs, rounds=1, iterations=1)
+    bench_json({
+        name: {"states": res.states_visited, "transitions": res.transitions,
+               "depth": res.max_depth, "safe": res.safe,
+               "exhausted": res.exhausted}
+        for name, res in results
+    })
     rows = [
         (
             name,
@@ -113,7 +119,7 @@ def test_safety_verification(benchmark, report):
         assert res.exhausted, name
 
 
-def test_ablation_counterexamples(benchmark, report):
+def test_ablation_counterexamples(benchmark, report, bench_json):
     def hunt():
         results = [("insertBtw -> addLeaf", ablate_insert_btw())]
         if full_scale():
@@ -128,6 +134,15 @@ def test_ablation_counterexamples(benchmark, report):
         return results
 
     results = benchmark.pedantic(hunt, rounds=1, iterations=1)
+    bench_json({
+        name: {
+            "states": res.states_visited,
+            "depth": len(res.violations[0].trace) if res.violations else None,
+            "elapsed_s": res.elapsed_seconds,
+            "found": bool(res.violations),
+        }
+        for name, res in results
+    })
     rows = []
     for name, res in results:
         first = res.violations[0] if res.violations else None
@@ -165,7 +180,8 @@ def test_ablation_counterexamples(benchmark, report):
 PARALLEL_BENCH_BUDGET = OpBudget(pulls=2, invokes=2, reconfigs=1, pushes=2)
 
 
-def test_parallel_engine_equivalence_and_speedup(benchmark, report):
+def test_parallel_engine_equivalence_and_speedup(benchmark, report,
+                                                 bench_json):
     """The parallel work-queue engine vs the sequential explorer.
 
     Both engines run the same ``expand`` step semantics, so on the same
@@ -190,6 +206,16 @@ def test_parallel_engine_equivalence_and_speedup(benchmark, report):
         else float("inf")
     )
     cpus = os.cpu_count() or 1
+    bench_json({
+        "sequential": {"states": seq.states_visited,
+                       "states_per_s": seq.states_per_second,
+                       "elapsed_s": seq.elapsed_seconds},
+        "parallel": {"workers": workers, "states": par.states_visited,
+                     "states_per_s": par.states_per_second,
+                     "elapsed_s": par.elapsed_seconds},
+        "speedup": speedup,
+        "cpus": cpus,
+    })
     report(
         "",
         "E5 / parallel model-checking engine (level-synchronized BFS):",
@@ -221,7 +247,8 @@ def test_parallel_engine_equivalence_and_speedup(benchmark, report):
         )
 
 
-def test_parallel_engine_resumes_from_checkpoint(benchmark, report, tmp_path):
+def test_parallel_engine_resumes_from_checkpoint(benchmark, report, tmp_path,
+                                                 bench_json):
     """A time-sliced run plus its resume certify the same space as one
     uninterrupted run (the CI-time-slice scenario)."""
     path = str(tmp_path / "bench-checkpoint.pkl")
@@ -242,6 +269,12 @@ def test_parallel_engine_resumes_from_checkpoint(benchmark, report, tmp_path):
         return slice1, resumed, whole
 
     slice1, resumed, whole = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bench_json({
+        "slice1_states": slice1.states_visited,
+        "resumed_states": resumed.states_visited,
+        "whole_states": whole.states_visited,
+        "resumed_exhausted": resumed.exhausted,
+    })
     report(
         "",
         "E5 / checkpoint-resume (interrupted after 3 BFS levels):",
@@ -265,7 +298,7 @@ def test_parallel_engine_resumes_from_checkpoint(benchmark, report, tmp_path):
     assert resumed.exhausted == whole.exhausted
 
 
-def test_adore_vs_cado_checking_cost(benchmark, report):
+def test_adore_vs_cado_checking_cost(benchmark, report, bench_json):
     """The paper: adding reconfiguration to CADO took 3 more
     person-weeks on top of 2 (and 4.5k vs 1.3k Coq lines).  Analogue:
     the state-space cost reconfiguration adds at identical budgets."""
@@ -282,6 +315,11 @@ def test_adore_vs_cado_checking_cost(benchmark, report):
         return cado, adore
 
     cado, adore = benchmark.pedantic(measure, rounds=1, iterations=1)
+    bench_json({
+        "cado_states": cado.states_visited,
+        "adore_states": adore.states_visited,
+        "ratio": adore.states_visited / max(1, cado.states_visited),
+    })
     report(
         "",
         "E5 / CADO vs Adore verification cost (same non-reconfig budget):",

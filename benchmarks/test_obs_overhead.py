@@ -99,7 +99,7 @@ def measure(factories) -> dict:
     return best
 
 
-def test_disabled_observability_overhead(benchmark, report):
+def test_disabled_observability_overhead(benchmark, report, bench_json):
     latency = LatencyModel(jitter=0.0, spike_prob=0.0)
     factories = {
         "bare": lambda: BareCluster(NODES, SCHEME, seed=11, latency=latency),
@@ -120,6 +120,14 @@ def test_disabled_observability_overhead(benchmark, report):
     )
     disabled_ratio = best["disabled"] / best["bare"]
     enabled_ratio = best["enabled"] / best["bare"]
+    bench_json({
+        "bare_ms": best["bare"] * 1e3,
+        "disabled_ms": best["disabled"] * 1e3,
+        "enabled_ms": best["enabled"] * 1e3,
+        "disabled_ratio": disabled_ratio,
+        "enabled_ratio": enabled_ratio,
+        "bound": DISABLED_OVERHEAD_BOUND,
+    })
     report(
         "",
         "=" * 72,

@@ -1,0 +1,285 @@
+"""``python -m repro.net`` -- run the spec on a real network.
+
+Subcommands:
+
+* ``node``   -- run one replica process (what :class:`LocalCluster`
+  spawns; also usable by hand across terminals or machines).
+* ``client`` -- one-shot operations against a running cluster
+  (``put``/``get``/``add``/``delete``/``status``/``reconfig``).
+* ``demo``   -- spawn a localhost cluster, drive a workload through it
+  (optionally killing the leader mid-run), then verify the recorded
+  history with the Wing-Gong checker and the committed logs with the
+  cross-node prefix-agreement check.  Exits non-zero on any violation,
+  so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import random
+import sys
+import time
+import uuid
+from typing import Dict, List, Tuple
+
+from .client import ClientError, ClientTimeout, NetClient
+from .node import NodeConfig, run_node
+from .procs import LocalCluster
+from ..runtime.driver import TimingConfig
+from ..runtime.linearize import check_history
+
+
+def _parse_peers(spec: str) -> Dict[int, Tuple[str, int]]:
+    """``"1=127.0.0.1:7001,2=127.0.0.1:7002"`` -> address map."""
+    peers: Dict[int, Tuple[str, int]] = {}
+    for part in spec.split(","):
+        nid, _, addr = part.strip().partition("=")
+        host, _, port = addr.rpartition(":")
+        peers[int(nid)] = (host, int(port))
+    return peers
+
+
+def _parse_conf(spec: str) -> frozenset:
+    return frozenset(int(part) for part in spec.split(",") if part.strip())
+
+
+# ----------------------------------------------------------------------
+# node
+# ----------------------------------------------------------------------
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stdout,
+    )
+    config = NodeConfig(
+        nid=args.nid,
+        host=args.host,
+        port=args.port,
+        peers=_parse_peers(args.peers),
+        conf0=_parse_conf(args.conf),
+        timing=TimingConfig(
+            heartbeat_ms=args.heartbeat_ms,
+            election_timeout_min_ms=args.election_min_ms,
+            election_timeout_max_ms=args.election_max_ms,
+        ),
+        seed=args.seed,
+    )
+    run_node(config)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    addresses = _parse_peers(args.peers)
+    # Each one-shot invocation is a distinct client: a fixed default id
+    # would restart the sequence counter at the same value every time,
+    # and the at-most-once dedup would answer later invocations with
+    # the first one's result.
+    client_id = args.client_id or f"cli-{uuid.uuid4().hex[:12]}"
+    with NetClient(addresses, client_id=client_id) as client:
+        try:
+            if args.op == "status":
+                for nid in sorted(addresses):
+                    reply = client.status(nid)
+                    if reply is None:
+                        print(f"S{nid}: unreachable")
+                    else:
+                        print(
+                            f"S{nid}: {reply.role} term={reply.term} "
+                            f"commit={reply.commit_len}/{reply.log_len} "
+                            f"members={sorted(reply.members)}"
+                        )
+                return 0
+            if args.op == "put":
+                result = client.put(args.key, args.value)
+            elif args.op == "get":
+                result = client.get(args.key)
+            elif args.op == "add":
+                result = client.add(args.key, int(args.value or 1))
+            elif args.op == "delete":
+                result = client.delete(args.key)
+            elif args.op == "reconfig":
+                result = client.reconfigure(_parse_conf(args.key))
+            else:  # pragma: no cover - argparse restricts choices
+                raise SystemExit(f"unknown op {args.op}")
+        except (ClientError, ClientTimeout) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(result)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# demo
+# ----------------------------------------------------------------------
+
+
+def _run_workload(
+    client: NetClient, rng: random.Random, ops: int, keys: List[str]
+) -> Tuple[int, int]:
+    """Drive ``ops`` random kvstore operations; returns (ok, unknown)."""
+    ok = unknown = 0
+    for _ in range(ops):
+        key = rng.choice(keys)
+        roll = rng.random()
+        try:
+            if roll < 0.4:
+                client.put(key, rng.randrange(1000))
+            elif roll < 0.6:
+                client.add(key, rng.randrange(1, 5))
+            elif roll < 0.7:
+                client.delete(key)
+            else:
+                client.get(key)
+            ok += 1
+        except ClientTimeout:
+            unknown += 1  # outcome unknown: the op stays pending
+    return ok, unknown
+
+
+def _committed_prefix_agreement(cluster: LocalCluster) -> Tuple[bool, str]:
+    """Every pair of reachable nodes must agree on the shared prefix of
+    their committed logs (the paper's log agreement, checked live)."""
+    with cluster.client(client_id="safety-check") as probe:
+        logs = {
+            nid: entries
+            for nid in cluster.nids
+            if cluster.handles[nid].alive
+            and (entries := probe.committed_log(nid)) is not None
+        }
+    nids = sorted(logs)
+    for i, a in enumerate(nids):
+        for b in nids[i + 1:]:
+            shared = min(len(logs[a]), len(logs[b]))
+            if logs[a][:shared] != logs[b][:shared]:
+                return False, (
+                    f"S{a} and S{b} disagree within their committed "
+                    f"prefixes (first {shared} entries)"
+                )
+    return True, f"{len(nids)} nodes agree on committed prefixes"
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    nids = tuple(range(1, args.nodes + 1))
+    rng = random.Random(args.seed)
+    keys = [f"k{i}" for i in range(5)]
+    print(f"demo: spawning {args.nodes}-node cluster ...")
+    with LocalCluster(
+        nids=nids, seed=args.seed, log_dir=args.log_dir
+    ) as cluster:
+        leader = cluster.wait_for_leader()
+        print(f"demo: S{leader} is leader; driving {args.ops} ops ...")
+        with cluster.client(
+            client_id="demo", total_timeout_s=args.op_timeout_s
+        ) as client:
+            ok, unknown = _run_workload(client, rng, args.ops // 2, keys)
+            if args.kill_leader:
+                victim = cluster.wait_for_leader()
+                print(f"demo: killing leader S{victim} (SIGKILL) ...")
+                cluster.kill(victim)
+                leader = cluster.wait_for_leader(exclude=(victim,))
+                print(f"demo: S{leader} took over")
+            ok2, unknown2 = _run_workload(
+                client, rng, args.ops - args.ops // 2, keys
+            )
+            ok, unknown = ok + ok2, unknown + unknown2
+            history = client.history
+            print(
+                f"demo: {ok} ops completed, {unknown} unknown, "
+                f"{client.retries} retries"
+            )
+
+            failures = []
+            verdict = check_history(history)
+            print(f"demo: history {verdict.describe()}")
+            if not verdict.ok:
+                failures.append("history is not linearizable")
+            agrees, detail = _committed_prefix_agreement(cluster)
+            print(f"demo: {detail}")
+            if not agrees:
+                failures.append(detail)
+            if ok == 0:
+                failures.append("no operation completed")
+
+        codes = cluster.shutdown()
+        clean = all(
+            code is None or code <= 0  # -9 for the killed leader is fine
+            for code in codes.values()
+        )
+        if not clean:
+            failures.append(f"unclean shutdown: {codes}")
+        if failures:
+            for nid, text in cluster.logs().items():
+                print(f"--- node {nid} log ---\n{text[-4000:]}")
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+    print("demo: OK")
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.net")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    node = sub.add_parser("node", help="run one replica process")
+    node.add_argument("--nid", type=int, required=True)
+    node.add_argument("--host", default="127.0.0.1")
+    node.add_argument("--port", type=int, required=True)
+    node.add_argument("--peers", required=True,
+                      help="e.g. 1=127.0.0.1:7001,2=127.0.0.1:7002")
+    node.add_argument("--conf", required=True, help="e.g. 1,2,3")
+    node.add_argument("--heartbeat-ms", type=float, default=25.0)
+    node.add_argument("--election-min-ms", type=float, default=100.0)
+    node.add_argument("--election-max-ms", type=float, default=200.0)
+    node.add_argument("--seed", type=int, default=None)
+    node.add_argument("--verbose", action="store_true")
+    node.set_defaults(func=_cmd_node)
+
+    client = sub.add_parser("client", help="one-shot client operation")
+    client.add_argument("--peers", required=True)
+    client.add_argument(
+        "--client-id", default=None,
+        help="stable identity for retry dedup (default: unique per run)",
+    )
+    client.add_argument(
+        "op",
+        choices=["put", "get", "add", "delete", "status", "reconfig"],
+    )
+    client.add_argument("key", nargs="?", default=None)
+    client.add_argument("value", nargs="?", default=None)
+    client.set_defaults(func=_cmd_client)
+
+    demo = sub.add_parser("demo", help="self-checking localhost demo")
+    demo.add_argument("--nodes", type=int, default=3)
+    demo.add_argument("--ops", type=int, default=200)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--kill-leader", action="store_true")
+    demo.add_argument("--op-timeout-s", type=float, default=20.0)
+    demo.add_argument(
+        "--log-dir", default=None,
+        help="keep node logs here instead of a temporary directory",
+    )
+    demo.set_defaults(func=_cmd_demo)
+
+    args = parser.parse_args(argv)
+    start = time.monotonic()
+    code = args.func(args)
+    if args.command == "demo":
+        print(f"demo: finished in {time.monotonic() - start:.1f}s")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

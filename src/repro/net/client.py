@@ -1,0 +1,299 @@
+"""A synchronous TCP client for the real-network runtime.
+
+The operational loop mirrors the PR-2 failover driver, but over
+sockets: every command is stamped with a ``(client_id, seq)`` request
+id before the first attempt, so however many times it is retried --
+across timeouts, dead leaders, and ``not-leader`` redirects -- the
+cluster applies it **at most once** (the leader recognizes the id in
+its log and waits for the existing entry instead of re-appending).
+
+Leader discovery is hint-driven: any node answers a
+:class:`~repro.net.wire.StatusRequest` with its best ``leader_hint``,
+and a ``not-leader`` refusal carries one too; the client follows hints
+and falls back to round-robin probing when they go stale.
+
+Every kvstore operation is recorded into a
+:class:`repro.runtime.history.History` with wall-clock timestamps:
+``invoke`` before the first attempt, ``complete`` only on a definitive
+response.  An operation that exhausts its deadline stays *pending* --
+its outcome is unknown (it may commit later), which is exactly the
+Jepsen-style semantics the Wing-Gong checker
+(:mod:`repro.runtime.linearize`) expects.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..runtime.history import History, Operation
+from .wire import (
+    ClientRequest,
+    ClientResponse,
+    LogRequest,
+    LogResponse,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    StatusRequest,
+    StatusResponse,
+    decode_message,
+    encode_frame,
+)
+
+
+def now_ms() -> float:
+    return time.monotonic() * 1000.0
+
+
+class ClientError(Exception):
+    """A definitive, non-retryable failure (e.g. a denied reconfig)."""
+
+
+class ClientTimeout(ClientError):
+    """The operation's outcome is unknown: every attempt timed out."""
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket):
+    header = _recv_exact(sock, 4)
+    length = int.from_bytes(header, "big")
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"declared frame length {length}")
+    return decode_message(_recv_exact(sock, length))
+
+
+class NetClient:
+    """A blocking client of a :mod:`repro.net` cluster."""
+
+    def __init__(
+        self,
+        addresses: Dict[int, Tuple[str, int]],
+        client_id: str = "client-0",
+        history: Optional[History] = None,
+        request_timeout_s: float = 1.0,
+        total_timeout_s: float = 20.0,
+        retry_delay_s: float = 0.02,
+    ) -> None:
+        if not addresses:
+            raise ValueError("need at least one node address")
+        self.addresses = dict(addresses)
+        self.client_id = client_id
+        self.history = history if history is not None else History()
+        self.request_timeout_s = request_timeout_s
+        self.total_timeout_s = total_timeout_s
+        self.retry_delay_s = retry_delay_s
+        self._seq = 0
+        self._leader_guess: Optional[int] = None
+        self._conns: Dict[int, socket.socket] = {}
+        #: Per-op retry counts, for reporting.
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    def _connect(self, nid: int) -> socket.socket:
+        sock = self._conns.get(nid)
+        if sock is not None:
+            return sock
+        host, port = self.addresses[nid]
+        sock = socket.create_connection(
+            (host, port), timeout=self.request_timeout_s
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._conns[nid] = sock
+        return sock
+
+    def _drop(self, nid: int) -> None:
+        sock = self._conns.pop(nid, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never matters
+                pass
+
+    def close(self) -> None:
+        for nid in list(self._conns):
+            self._drop(nid)
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Raw RPCs
+    # ------------------------------------------------------------------
+
+    def _rpc(self, nid: int, message, timeout_s: Optional[float] = None):
+        """One request/response exchange; connection errors propagate
+        (after dropping the cached socket)."""
+        try:
+            sock = self._connect(nid)
+            sock.settimeout(timeout_s or self.request_timeout_s)
+            sock.sendall(encode_frame(message))
+            return _recv_frame(sock)
+        except (OSError, ProtocolError, ConnectionError):
+            self._drop(nid)
+            raise
+
+    def status(self, nid: int) -> Optional[StatusResponse]:
+        """Probe one node; ``None`` when it is unreachable."""
+        try:
+            reply = self._rpc(nid, StatusRequest())
+        except (OSError, ProtocolError, ConnectionError):
+            return None
+        return reply if isinstance(reply, StatusResponse) else None
+
+    def committed_log(self, nid: int):
+        """A node's committed log (for cross-node safety checks);
+        ``None`` when unreachable."""
+        try:
+            reply = self._rpc(nid, LogRequest(), timeout_s=5.0)
+        except (OSError, ProtocolError, ConnectionError):
+            return None
+        return reply.entries if isinstance(reply, LogResponse) else None
+
+    def find_leader(self) -> Optional[int]:
+        """Probe every node and return the highest-term live leader."""
+        best: Optional[Tuple[int, int]] = None
+        hints: List[int] = []
+        for nid in sorted(self.addresses):
+            reply = self.status(nid)
+            if reply is None:
+                continue
+            if reply.role == "leader":
+                if best is None or reply.term > best[0]:
+                    best = (reply.term, nid)
+            elif reply.leader_hint is not None:
+                hints.append(reply.leader_hint)
+        if best is not None:
+            self._leader_guess = best[1]
+            return best[1]
+        for hint in hints:
+            if hint in self.addresses:
+                self._leader_guess = hint
+                return hint
+        return None
+
+    # ------------------------------------------------------------------
+    # The at-most-once request loop
+    # ------------------------------------------------------------------
+
+    def request(self, command: Tuple, operation: Optional[Operation] = None):
+        """Submit one command until a definitive response or deadline.
+
+        Returns the result value on success.  Raises
+        :class:`ClientTimeout` when the outcome is unknown and
+        :class:`ClientError` on a definitive refusal.  ``operation``
+        (an open history record) is completed only on success.
+
+        Targeting: the current leader guess first; a refusal or failure
+        updates or clears the guess, falling back to round-robin
+        probing of every node.
+        """
+        seq = self._seq
+        self._seq += 1
+        request = ClientRequest(
+            client_id=self.client_id, seq=seq, command=command
+        )
+        deadline = time.monotonic() + self.total_timeout_s
+        ordered = sorted(self.addresses)
+        first = True
+        probe = 0
+        while time.monotonic() < deadline:
+            if self._leader_guess in self.addresses:
+                nid = self._leader_guess
+            else:
+                nid = ordered[probe % len(ordered)]
+                probe += 1
+            if not first:
+                self.retries += 1
+                time.sleep(self.retry_delay_s)
+            first = False
+            try:
+                reply = self._rpc(nid, request)
+            except (OSError, ProtocolError, ConnectionError):
+                # Dead or confused node: forget a guess that failed us
+                # and move on to the next candidate.
+                if self._leader_guess == nid:
+                    self._leader_guess = None
+                continue
+            if not isinstance(reply, ClientResponse) or reply.seq != seq:
+                self._drop(nid)  # stale frame from an abandoned attempt
+                continue
+            if reply.ok:
+                if operation is not None:
+                    self.history.complete(operation, now_ms(), reply.result)
+                self._leader_guess = nid
+                return reply.result
+            if reply.error == "not-leader":
+                self._leader_guess = (
+                    reply.leader_hint
+                    if reply.leader_hint in self.addresses
+                    and reply.leader_hint != nid
+                    else None
+                )
+                continue
+            if reply.error == "retry":
+                self._leader_guess = nid
+                continue
+            raise ClientError(f"{command!r} refused: {reply.error}")
+        raise ClientTimeout(f"{command!r}: outcome unknown after deadline")
+
+    # ------------------------------------------------------------------
+    # The kvstore surface (history-recorded)
+    # ------------------------------------------------------------------
+
+    def _op(self, op: str, key: str, value: Any, command: Tuple):
+        operation = self.history.invoke(
+            self.client_id, op, key, value, now_ms()
+        )
+        return self.request(command, operation=operation)
+
+    def put(self, key: str, value: Any):
+        return self._op("put", key, value, ("put", key, value))
+
+    def add(self, key: str, delta: int = 1):
+        return self._op("add", key, delta, ("add", key, delta))
+
+    def delete(self, key: str):
+        return self._op("delete", key, None, ("delete", key))
+
+    def get(self, key: str):
+        return self._op("get", key, None, ("get", key))
+
+    def reconfigure(self, members: Iterable[int]):
+        """Change the membership (not a kvstore op: no history record)."""
+        return self.request(("reconfig", frozenset(members)))
+
+
+def merge_histories(histories: Iterable[History]) -> History:
+    """Merge per-client histories into one checkable record.
+
+    Monotonic timestamps from one process are comparable across
+    threads, so concatenation plus re-numbering preserves real-time
+    order; op_ids are re-assigned to stay unique.
+    """
+    merged = History()
+    operations = [
+        op for history in histories for op in history.operations
+    ]
+    operations.sort(key=lambda op: op.invoked_ms)
+    for op_id, op in enumerate(operations):
+        op.op_id = op_id
+        merged.operations.append(op)
+    return merged

@@ -1,0 +1,630 @@
+"""One spec replica as a live asyncio TCP process.
+
+A :class:`NetNode` hosts exactly one **unmodified**
+:class:`repro.raft.server.Server` -- the same pure handlers the
+simulator schedules -- and supplies everything the spec abstracts
+away on a real network:
+
+* **Timers**: the shared :class:`repro.runtime.driver.ElectionDriver`
+  (identical policy to the simulator) armed against the asyncio clock
+  (``loop.call_later``), so election timeouts and heartbeat chains run
+  on wall-clock milliseconds.
+* **Transport**: one listening socket; per-peer *outbound* connections
+  with reconnect, capped exponential backoff, and a bounded outbox
+  that sheds the oldest message under overload (the spec ships full
+  logs, so the newest message always supersedes a shed one).
+  Log-carrying messages travel through the per-connection delta layer
+  (:mod:`repro.net.wire`), keeping steady-state frames O(new entries)
+  while a rejoining node pays its real catch-up cost.
+* **Clients**: requests carry ``(client_id, seq)`` ids; the leader
+  deduplicates against its log (the PR-2 at-most-once semantics via
+  :func:`repro.runtime.driver.find_request`), lays down a no-op
+  barrier when commit rules require one, and answers when the entry's
+  index commits.  Reads (``get``) are serialized through the log, so
+  every response is linearizable by construction -- a deposed leader
+  cannot serve a stale read.  Non-leaders answer ``not-leader`` with
+  their best hint.
+
+Malformed frames close the offending connection and never crash the
+node (every decode failure is a :class:`repro.net.wire.ProtocolError`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACER, Tracer
+from ..raft.messages import CommitAck, CommitReq, ElectAck, ElectReq, Msg
+from ..raft.server import FOLLOWER, LEADER, Server
+from ..runtime.driver import ElectionDriver, TimingConfig, find_request
+from ..runtime.kvstore import materialize
+from ..schemes.single_node import RaftSingleNodeScheme
+from .wire import (
+    ClientRequest,
+    ClientResponse,
+    DeltaDecoder,
+    DeltaEncoder,
+    LogRequest,
+    LogResponse,
+    MAX_FRAME_BYTES,
+    PeerHello,
+    ProtocolError,
+    StatusRequest,
+    StatusResponse,
+    encode_frame,
+)
+
+log = logging.getLogger("repro.net.node")
+
+_RAFT_TYPES = (ElectReq, ElectAck, CommitReq, CommitAck)
+
+
+def now_ms() -> float:
+    """Wall-clock milliseconds (monotonic within the process)."""
+    return time.monotonic() * 1000.0
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one length-prefixed frame body; raises
+    :class:`ProtocolError` on a bad prefix, ``IncompleteReadError`` /
+    ``ConnectionError`` when the peer goes away."""
+    header = await reader.readexactly(4)
+    length = int.from_bytes(header, "big")
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"declared frame length {length}")
+    return await reader.readexactly(length)
+
+
+@dataclass
+class NodeConfig:
+    """Everything one node process needs to join a cluster."""
+
+    nid: int
+    host: str
+    port: int
+    #: Peer listen addresses, keyed by node id (self is ignored).
+    peers: Dict[int, Tuple[str, int]]
+    #: The initial configuration (hot reconfiguration evolves it).
+    conf0: frozenset
+    #: Wall-clock timing; defaults suit localhost clusters.
+    timing: TimingConfig = field(
+        default_factory=lambda: TimingConfig(
+            heartbeat_ms=25.0,
+            election_timeout_min_ms=100.0,
+            election_timeout_max_ms=200.0,
+        )
+    )
+    #: Seed for this node's timeout RNG (None: derived from nid).
+    seed: Optional[int] = None
+    #: Bounded per-peer outbox: beyond this, the oldest message is shed.
+    outbox_limit: int = 64
+    #: Reconnect backoff: initial delay, doubled per failure, capped.
+    reconnect_min_ms: float = 40.0
+    reconnect_max_ms: float = 2_000.0
+
+
+@dataclass
+class _PendingRequest:
+    """A client request waiting for its log index to commit."""
+
+    request: ClientRequest
+    target_len: int
+    writer: asyncio.StreamWriter
+    invoked_ms: float
+
+
+class NetNode:
+    """The asyncio runtime around one specification server."""
+
+    def __init__(
+        self,
+        config: NodeConfig,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config
+        self.scheme = RaftSingleNodeScheme()
+        self.server = Server(nid=config.nid, conf0=frozenset(config.conf0))
+        seed = config.seed if config.seed is not None else config.nid
+        self.rng = random.Random(seed)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self._obs = self.tracer.enabled or self.metrics.enabled
+        self._m_sent = self.metrics.counter("net.messages_sent")
+        self._m_received = self.metrics.counter("net.messages_received")
+        self._m_shed = self.metrics.counter("net.outbox_shed")
+        self._m_reconnects = self.metrics.counter("net.reconnects")
+        self._m_protocol_errors = self.metrics.counter("net.protocol_errors")
+        self._m_requests = self.metrics.counter("net.client_requests")
+        self._h_commit = self.metrics.histogram("net.commit_latency_ms")
+        self.driver: Optional[ElectionDriver] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._outboxes: Dict[int, asyncio.Queue] = {}
+        self._peer_tasks: List[asyncio.Task] = []
+        self._tcp_server: Optional[asyncio.base_events.Server] = None
+        self._pending: List[_PendingRequest] = []
+        self._leader_hint: Optional[int] = None
+        self._stopping = asyncio.Event()
+        self._timer_handles: List[asyncio.TimerHandle] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self.driver = ElectionDriver(
+            server=self.server,
+            scheme=self.scheme,
+            timing=self.config.timing,
+            rng=self.rng,
+            schedule=self._schedule,
+            send_all=self._send_all,
+            is_active=lambda: not self._stopping.is_set(),
+            on_leader=self._on_leader,
+        )
+        for nid in self.config.peers:
+            if nid == self.config.nid:
+                continue
+            queue: asyncio.Queue = asyncio.Queue()
+            self._outboxes[nid] = queue
+            self._peer_tasks.append(
+                asyncio.ensure_future(self._peer_loop(nid, queue))
+            )
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.driver.arm()
+        log.info(
+            "S%d listening on %s:%d (conf0=%s)",
+            self.config.nid, self.config.host, self.config.port,
+            sorted(self.config.conf0),
+        )
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        await self._stopping.wait()
+        await self.close()
+
+    def stop(self) -> None:
+        """Request a clean shutdown (signal-handler safe)."""
+        self._stopping.set()
+
+    async def close(self) -> None:
+        self._stopping.set()
+        for handle in self._timer_handles:
+            handle.cancel()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+        for task in self._peer_tasks:
+            task.cancel()
+        await asyncio.gather(*self._peer_tasks, return_exceptions=True)
+        log.info("S%d stopped cleanly", self.config.nid)
+
+    # ------------------------------------------------------------------
+    # Driver plumbing
+    # ------------------------------------------------------------------
+
+    def _schedule(self, delay_ms: float, fn) -> None:
+        handle = self.loop.call_later(delay_ms / 1000.0, fn)
+        # Keep handles so close() can cancel outstanding timers; prune
+        # opportunistically to stay O(live timers).
+        self._timer_handles.append(handle)
+        if len(self._timer_handles) > 256:
+            self._timer_handles = [
+                h for h in self._timer_handles if not h.cancelled()
+                and h.when() > self.loop.time()
+            ]
+
+    def _on_leader(self, term: int) -> None:
+        self._leader_hint = self.config.nid
+        log.info("S%d elected leader at term %d", self.config.nid, term)
+        if self._obs:
+            self.tracer.record(
+                "leader_elected", now_ms(), self.config.nid, term=term
+            )
+
+    # ------------------------------------------------------------------
+    # Outbound transport
+    # ------------------------------------------------------------------
+
+    def _send_all(self, msgs: List[Msg]) -> None:
+        msgs = msgs + self._courtesy_heartbeats(msgs)
+        for msg in msgs:
+            queue = self._outboxes.get(msg.to)
+            if queue is None:
+                continue
+            if queue.qsize() >= self.config.outbox_limit:
+                # Overload shedding: the spec's messages carry full
+                # state, so the newest always supersedes the oldest.
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - race-free
+                    pass
+                self._m_shed.inc()
+            queue.put_nowait(msg)
+
+    def _courtesy_heartbeats(self, msgs: List[Msg]) -> List[Msg]:
+        """Replication for peers the configuration just dropped.
+
+        ``broadcast_commit`` targets members only, so a removed node
+        would never receive the config entry that removed it -- it
+        would keep timing out and campaigning at ever-higher terms,
+        dethroning the real leader (the classic removed-server
+        disruption).  Whenever this leader broadcasts, it also sends
+        the same ``CommitReq`` to each non-member peer that has not yet
+        acknowledged up to *its own* removal entry -- the first config
+        entry after the last configuration naming it.  Once the removed
+        node holds that entry, the election driver sees it is not a
+        member and goes quiescent, its log frozen at the removal point
+        (so rejoining later still costs a real catch-up).  Targeting
+        the peer's removal entry rather than the newest config entry
+        matters: later reconfigurations must not wake long-removed
+        peers back up and replicate to them logs they have no business
+        holding.
+        """
+        server = self.server
+        if server.role != LEADER or not any(
+            isinstance(m, CommitReq) and m.frm == self.config.nid
+            for m in msgs
+        ):
+            return []
+        config_positions = [
+            (i, self.scheme.members(entry.payload))
+            for i, entry in enumerate(server.log)
+            if entry.is_config
+        ]
+        if not config_positions:
+            return []  # still on conf0: nobody has been removed
+
+        def removal_target(peer: int) -> int:
+            """Log length ``peer`` must ack to hold its removal entry."""
+            last_in = (
+                -1 if peer in self.scheme.members(server.conf0) else None
+            )
+            for i, group in config_positions:
+                if peer in group:
+                    last_in = i
+            if last_in is None:
+                return 0  # never a member: nothing to tell it
+            for i, _ in config_positions:
+                if i > last_in:
+                    return i + 1
+            return 0  # still a member of the newest configuration
+
+        members = self.scheme.members(server.config())
+        return [
+            CommitReq(
+                frm=self.config.nid,
+                to=peer,
+                time=server.time,
+                log=server.log[:target],
+                commit_len=min(server.commit_len, target),
+            )
+            for peer in sorted(self._outboxes)
+            if peer not in members
+            and server.acked.get(peer, 0) < (target := removal_target(peer))
+        ]
+
+    async def _peer_loop(self, nid: int, queue: asyncio.Queue) -> None:
+        """Own the outbound connection to one peer: connect with capped
+        exponential backoff, then drain the outbox through a fresh
+        delta encoder per connection."""
+        host, port = self.config.peers[nid]
+        backoff_ms = self.config.reconnect_min_ms
+        while not self._stopping.is_set():
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff_ms / 1000.0)
+                backoff_ms = min(backoff_ms * 2, self.config.reconnect_max_ms)
+                continue
+            backoff_ms = self.config.reconnect_min_ms
+            self._m_reconnects.inc()
+            encoder = DeltaEncoder()
+            try:
+                writer.write(encode_frame(PeerHello(nid=self.config.nid)))
+                while True:
+                    msg = await queue.get()
+                    frame = encoder.encode(msg)
+                    writer.write(frame)
+                    await writer.drain()
+                    self._m_sent.inc()
+                    if self._obs:
+                        self.tracer.send(
+                            now_ms(), self.config.nid, nid,
+                            type(msg).__name__, bytes=len(frame),
+                        )
+            except (OSError, asyncio.IncompleteReadError):
+                pass  # peer went away: reconnect with fresh delta state
+            finally:
+                writer.close()
+
+    # ------------------------------------------------------------------
+    # Inbound transport
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = DeltaDecoder()
+        peer_nid: Optional[int] = None
+        try:
+            while True:
+                payload = await read_frame(reader)
+                try:
+                    msg = decoder.decode(payload)
+                except ProtocolError as exc:
+                    # Malformed input never crashes the node: log,
+                    # count, drop the connection (its delta state can
+                    # no longer be trusted).
+                    self._m_protocol_errors.inc()
+                    log.warning(
+                        "S%d dropping connection after protocol error: %s",
+                        self.config.nid, exc,
+                    )
+                    return
+                if isinstance(msg, PeerHello):
+                    peer_nid = msg.nid
+                elif isinstance(msg, _RAFT_TYPES):
+                    self._deliver(msg)
+                elif isinstance(msg, StatusRequest):
+                    writer.write(encode_frame(self._status()))
+                elif isinstance(msg, LogRequest):
+                    writer.write(
+                        encode_frame(
+                            LogResponse(entries=self.server.committed_log())
+                        )
+                    )
+                elif isinstance(msg, ClientRequest):
+                    self._handle_client_request(msg, writer)
+                else:  # a response type arriving where none belongs
+                    self._m_protocol_errors.inc()
+                    return
+        except (
+            asyncio.IncompleteReadError, ConnectionError, ProtocolError, OSError
+        ):
+            pass
+        finally:
+            if peer_nid is not None:
+                log.debug(
+                    "S%d lost inbound connection from S%s",
+                    self.config.nid, peer_nid,
+                )
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # Spec message path
+    # ------------------------------------------------------------------
+
+    def _deliver(self, msg: Msg) -> None:
+        self._m_received.inc()
+        if self._obs:
+            self.tracer.receive(
+                now_ms(), self.config.nid, msg.frm, type(msg).__name__, 0
+            )
+        responses, accepted = self.driver.on_message(msg)
+        if accepted and isinstance(msg, CommitReq) and msg.frm != self.config.nid:
+            self._leader_hint = msg.frm
+        self._send_all(responses)
+        self._after_progress()
+
+    def _after_progress(self) -> None:
+        """React to state changes a delivery may have caused: complete
+        committed client requests, step down if the committed config
+        dropped us, bounce the remaining pending ones on dethrone."""
+        server = self.server
+        if server.role == LEADER:
+            still_waiting: List[_PendingRequest] = []
+            for pending in self._pending:
+                if server.commit_len >= pending.target_len:
+                    self._respond(pending, self._committed_response(pending))
+                else:
+                    still_waiting.append(pending)
+            self._pending = still_waiting
+            self._maybe_step_down()
+        if server.role != LEADER and self._pending:
+            for pending in self._pending:
+                self._respond(
+                    pending,
+                    ClientResponse(
+                        client_id=pending.request.client_id,
+                        seq=pending.request.seq,
+                        ok=False,
+                        error="not-leader",
+                        leader_hint=self._hint(),
+                    ),
+                )
+            self._pending = []
+
+    def _maybe_step_down(self) -> None:
+        """Raft section 6: a leader that committed the configuration
+        entry removing itself stops leading (the spec keeps it LEADER
+        forever, which would leave the remaining members waiting for
+        heartbeats from a non-member).  Demoting to follower is always
+        safe; the members elect a successor once heartbeats stop."""
+        server = self.server
+        if server.role != LEADER:
+            return
+        if self.config.nid in self.scheme.members(server.config()):
+            return
+        for i in range(len(server.log) - 1, -1, -1):
+            if server.log[i].is_config:
+                if server.commit_len >= i + 1:
+                    log.info(
+                        "S%d removed by committed config %s: stepping down",
+                        self.config.nid, sorted(server.log[i].payload),
+                    )
+                    server.role = FOLLOWER
+                    self._leader_hint = None
+                return
+
+    def _committed_response(self, pending: _PendingRequest) -> ClientResponse:
+        request = pending.request
+        command = request.command
+        result: object = True
+        if command[0] == "get":
+            # The read linearizes at its own log entry: materialize the
+            # committed prefix up to (and including) that entry.
+            store = materialize(self.server.log[: pending.target_len])
+            result = store.get(command[1])
+        self._h_commit.observe(now_ms() - pending.invoked_ms)
+        return ClientResponse(
+            client_id=request.client_id,
+            seq=request.seq,
+            ok=True,
+            result=result,
+        )
+
+    def _respond(
+        self, pending: _PendingRequest, response: ClientResponse
+    ) -> None:
+        try:
+            pending.writer.write(encode_frame(response))
+        except (OSError, RuntimeError):
+            pass  # client gave up; its retry will dedup via request id
+
+    # ------------------------------------------------------------------
+    # Client requests
+    # ------------------------------------------------------------------
+
+    def _hint(self) -> Optional[int]:
+        if self.server.role == LEADER:
+            return self.config.nid
+        return self._leader_hint
+
+    def _status(self) -> StatusResponse:
+        server = self.server
+        return StatusResponse(
+            nid=self.config.nid,
+            role=server.role,
+            term=server.time,
+            commit_len=server.commit_len,
+            log_len=len(server.log),
+            members=tuple(sorted(self.scheme.members(server.config()))),
+            leader_hint=self._hint(),
+        )
+
+    def _handle_client_request(
+        self, request: ClientRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        self._m_requests.inc()
+        if self._obs:
+            self.tracer.record(
+                "client_invoke", now_ms(), self.config.nid,
+                client=request.client_id, seq=request.seq,
+                payload=repr(request.command),
+            )
+        server = self.server
+        refuse = None
+        if server.role != LEADER:
+            refuse = ClientResponse(
+                client_id=request.client_id, seq=request.seq, ok=False,
+                error="not-leader", leader_hint=self._hint(),
+            )
+        elif not request.command:
+            refuse = ClientResponse(
+                client_id=request.client_id, seq=request.seq, ok=False,
+                error="empty-command",
+            )
+        if refuse is not None:
+            writer.write(encode_frame(refuse))
+            return
+
+        request_id = (request.client_id, request.seq)
+        existing = find_request(server, request_id)
+        if existing is not None:
+            # At-most-once: a previous attempt's entry survived (maybe
+            # from a dead leader's replicated log).  Wait for it -- and
+            # lay down a current-term no-op barrier so the commit rule
+            # can reach it (a new leader only counts its own term).
+            target_len = existing
+            if all(e.time != server.time for e in server.log):
+                server.invoke(("noop",))
+        elif request.command[0] == "reconfig":
+            outcome = self._start_reconfig(request, request_id)
+            if isinstance(outcome, ClientResponse):
+                writer.write(encode_frame(outcome))
+                return
+            target_len = outcome
+        else:
+            server.invoke(request.command, request_id=request_id)
+            target_len = len(server.log)
+
+        self._pending.append(
+            _PendingRequest(
+                request=request,
+                target_len=target_len,
+                writer=writer,
+                invoked_ms=now_ms(),
+            )
+        )
+        # Replicate immediately rather than waiting for the heartbeat.
+        self._send_all(server.broadcast_commit(self.scheme))
+        self._after_progress()  # single-member quorums commit inline
+
+    def _start_reconfig(self, request: ClientRequest, request_id):
+        """Append the config entry, or say why not.  Returns the target
+        log length, or a :class:`ClientResponse` refusal."""
+        server = self.server
+        try:
+            members = frozenset(request.command[1])
+        except (IndexError, TypeError):
+            return ClientResponse(
+                client_id=request.client_id, seq=request.seq, ok=False,
+                error="bad-reconfig",
+            )
+        ok, reason = server.reconfig(members, self.scheme,
+                                     request_id=request_id)
+        if ok:
+            if self._obs:
+                self.tracer.record(
+                    "reconfig", now_ms(), self.config.nid,
+                    members=sorted(members), term=server.time,
+                )
+            return len(server.log)
+        if reason == "r3-denied":
+            # No committed entry of the current term yet: lay down a
+            # no-op barrier (once) and ask the client to retry; the
+            # retry passes R3 after the barrier commits.
+            if all(e.time != server.time for e in server.log):
+                server.invoke(("noop",))
+                self._send_all(server.broadcast_commit(self.scheme))
+        return ClientResponse(
+            client_id=request.client_id, seq=request.seq, ok=False,
+            error=reason if reason != "r3-denied" else "retry",
+        )
+
+
+# ----------------------------------------------------------------------
+# Process entry point
+# ----------------------------------------------------------------------
+
+
+async def _run(node: NetNode) -> None:
+    loop = asyncio.get_running_loop()
+    import signal
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, node.stop)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    await node.serve_forever()
+
+
+def run_node(
+    config: NodeConfig,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> None:
+    """Run one node until SIGTERM/SIGINT; the ``python -m repro.net
+    node`` subcommand lands here."""
+    asyncio.run(_run(NetNode(config, tracer=tracer, metrics=metrics)))

@@ -1,0 +1,280 @@
+"""Spawn, health-check, and tear down a localhost cluster.
+
+Each node is a real OS process (``python -m repro.net node ...``), so
+a "leader kill" here is ``SIGKILL`` delivered to a live process, not a
+simulator flag.  Two flakiness sources ISSUE 4 calls out are handled
+centrally:
+
+* **No hardcoded ports**: :func:`allocate_ports` binds the requested
+  number of sockets to port 0 *simultaneously* (so the OS hands out
+  distinct ports) and releases them just before spawning.  A node that
+  still loses the race fails to bind, which health-checking surfaces
+  within the startup deadline instead of as a hang.
+* **No orphaned children**: :class:`LocalCluster` is a context manager
+  whose exit path terminates every live child, waits with a deadline,
+  and escalates to ``SIGKILL`` -- including when the owning test is
+  failing, so no node processes leak across tests.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .client import NetClient
+
+
+def allocate_ports(n: int, host: str = "127.0.0.1") -> List[int]:
+    """Reserve ``n`` distinct ephemeral ports.
+
+    All sockets are held open while the OS assigns, so no two calls
+    inside one allocation can collide; the small close-to-bind window
+    before the node process binds is the standard localhost trade-off,
+    and bind failures surface via the health-check deadline.
+    """
+    socks = []
+    try:
+        for _ in range(n):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            socks.append(sock)
+        return [sock.getsockname()[1] for sock in socks]
+    finally:
+        for sock in socks:
+            sock.close()
+
+
+def _repro_pythonpath() -> str:
+    """A PYTHONPATH that lets child processes import ``repro``,
+    regardless of how the parent found it."""
+    import repro
+
+    package_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__
+    )))
+    existing = os.environ.get("PYTHONPATH", "")
+    if existing:
+        return os.pathsep.join([package_dir, existing])
+    return package_dir
+
+
+@dataclass
+class NodeHandle:
+    """One spawned node process."""
+
+    nid: int
+    host: str
+    port: int
+    log_path: str
+    process: Optional[subprocess.Popen] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def log_text(self) -> str:
+        try:
+            with open(self.log_path) as handle:
+                return handle.read()
+        except OSError:
+            return ""
+
+
+@dataclass
+class LocalCluster:
+    """A cluster of localhost node subprocesses.
+
+    ``conf0`` defaults to all of ``nids``; pass a smaller initial
+    configuration to spawn standby processes that join later via
+    reconfiguration (the Fig. 16 trajectory needs live-but-unconfigured
+    nodes).
+    """
+
+    nids: Tuple[int, ...] = (1, 2, 3)
+    conf0: Optional[frozenset] = None
+    host: str = "127.0.0.1"
+    heartbeat_ms: float = 25.0
+    election_timeout_min_ms: float = 100.0
+    election_timeout_max_ms: float = 200.0
+    seed: int = 0
+    log_dir: Optional[str] = None
+    startup_timeout_s: float = 10.0
+    handles: Dict[int, NodeHandle] = field(default_factory=dict)
+    _tempdir: Optional[tempfile.TemporaryDirectory] = field(
+        default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self.nids = tuple(sorted(self.nids))
+        if self.conf0 is None:
+            self.conf0 = frozenset(self.nids)
+        self.conf0 = frozenset(self.conf0)
+        if not self.conf0 <= set(self.nids):
+            raise ValueError("conf0 must be a subset of the spawned nodes")
+        if self.log_dir is None:
+            self._tempdir = tempfile.TemporaryDirectory(prefix="repro-net-")
+            self.log_dir = self._tempdir.name
+        else:
+            os.makedirs(self.log_dir, exist_ok=True)
+        ports = allocate_ports(len(self.nids), self.host)
+        for nid, port in zip(self.nids, ports):
+            self.handles[nid] = NodeHandle(
+                nid=nid,
+                host=self.host,
+                port=port,
+                log_path=os.path.join(self.log_dir, f"node-{nid}.log"),
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def addresses(self) -> Dict[int, Tuple[str, int]]:
+        return {
+            nid: (handle.host, handle.port)
+            for nid, handle in self.handles.items()
+        }
+
+    def _peer_spec(self) -> str:
+        return ",".join(
+            f"{nid}={handle.host}:{handle.port}"
+            for nid, handle in sorted(self.handles.items())
+        )
+
+    def spawn(self, nid: int) -> NodeHandle:
+        handle = self.handles[nid]
+        if handle.alive:
+            return handle
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _repro_pythonpath()
+        log_file = open(handle.log_path, "ab")
+        handle.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.net", "node",
+                "--nid", str(nid),
+                "--host", handle.host,
+                "--port", str(handle.port),
+                "--peers", self._peer_spec(),
+                "--conf", ",".join(str(n) for n in sorted(self.conf0)),
+                "--heartbeat-ms", str(self.heartbeat_ms),
+                "--election-min-ms", str(self.election_timeout_min_ms),
+                "--election-max-ms", str(self.election_timeout_max_ms),
+                "--seed", str(self.seed * 1000 + nid),
+            ],
+            stdout=log_file,
+            stderr=subprocess.STDOUT,
+            env=env,
+            start_new_session=True,  # never die with the parent's tty
+        )
+        log_file.close()  # the child holds its own descriptor
+        return handle
+
+    def start(self) -> "LocalCluster":
+        for nid in self.nids:
+            self.spawn(nid)
+        self.wait_healthy()
+        return self
+
+    def wait_healthy(self, timeout_s: Optional[float] = None) -> None:
+        """Block until every spawned node answers a status probe."""
+        deadline = time.monotonic() + (timeout_s or self.startup_timeout_s)
+        pending = set(self.nids)
+        with self.client(client_id="health-check") as probe:
+            while pending and time.monotonic() < deadline:
+                for nid in sorted(pending):
+                    handle = self.handles[nid]
+                    if handle.process is not None and not handle.alive:
+                        raise RuntimeError(
+                            f"node {nid} exited during startup "
+                            f"(rc={handle.process.returncode}):\n"
+                            f"{handle.log_text()[-2000:]}"
+                        )
+                    if probe.status(nid) is not None:
+                        pending.discard(nid)
+                if pending:
+                    time.sleep(0.05)
+        if pending:
+            raise RuntimeError(
+                f"nodes {sorted(pending)} not healthy within deadline"
+            )
+
+    def client(self, **kwargs) -> NetClient:
+        return NetClient(self.addresses, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+
+    def kill(self, nid: int) -> None:
+        """SIGKILL: the real-world analog of the simulator's crash()."""
+        handle = self.handles[nid]
+        if handle.alive:
+            handle.process.kill()
+            handle.process.wait(timeout=5)
+
+    def wait_for_leader(
+        self, timeout_s: float = 10.0, exclude: Iterable[int] = ()
+    ) -> int:
+        """Poll until some live node reports itself leader."""
+        excluded = set(exclude)
+        deadline = time.monotonic() + timeout_s
+        with self.client(client_id="leader-probe") as probe:
+            while time.monotonic() < deadline:
+                leader = probe.find_leader()
+                if leader is not None and leader not in excluded:
+                    return leader
+                time.sleep(0.05)
+        raise RuntimeError("no leader emerged within deadline")
+
+    # ------------------------------------------------------------------
+    # Teardown (reaps children even on test failure)
+    # ------------------------------------------------------------------
+
+    def shutdown(self, grace_s: float = 5.0) -> Dict[int, Optional[int]]:
+        """Terminate every live child; escalate to SIGKILL after
+        ``grace_s``.  Returns exit codes.  Idempotent."""
+        for handle in self.handles.values():
+            if handle.alive:
+                try:
+                    handle.process.terminate()
+                except ProcessLookupError:  # pragma: no cover - exit race
+                    pass
+        deadline = time.monotonic() + grace_s
+        for handle in self.handles.values():
+            if handle.process is None:
+                continue
+            remaining = max(0.05, deadline - time.monotonic())
+            try:
+                handle.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                try:
+                    os.killpg(
+                        os.getpgid(handle.process.pid), signal.SIGKILL
+                    )
+                except (ProcessLookupError, PermissionError):
+                    handle.process.kill()
+                handle.process.wait(timeout=5)
+        return {
+            nid: (handle.process.returncode if handle.process else None)
+            for nid, handle in self.handles.items()
+        }
+
+    def logs(self) -> Dict[int, str]:
+        return {nid: handle.log_text() for nid, handle in self.handles.items()}
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+        if self._tempdir is not None and exc[0] is None:
+            self._tempdir.cleanup()

@@ -1,0 +1,566 @@
+"""The framed wire protocol of the real-network runtime.
+
+Frames are length-prefixed and versioned::
+
+    +----------------+---------+----------------------+
+    | length (4B BE) | version | JSON body (UTF-8)    |
+    +----------------+---------+----------------------+
+
+``length`` counts everything after the prefix (version byte + body).
+The body is JSON with a small *tagged value* extension so the spec's
+payload vocabulary -- tuples, frozensets, the ``(client, seq)``
+request ids -- round-trips exactly: ``decode_message(encode_message(m))
+== m`` for every message type (property-tested with Hypothesis in
+``tests/net/test_wire.py``).
+
+Malformed input **never** crashes a node: every decoding failure is a
+subclass of :class:`ProtocolError` (truncated, oversized, garbage
+bytes, unknown kinds, version skew), which connection handlers catch
+and turn into a dropped connection.  Anything else escaping the
+decoder is a bug.
+
+**Log-delta layer.**  The specification ships *full logs* in every
+``ElectReq``/``CommitReq`` (being a spec, messages carry values, not
+deltas), which over a real transport would make steady-state frames
+grow with history.  :class:`DeltaEncoder`/:class:`DeltaDecoder` are a
+per-connection compression layer: the sender transmits only the suffix
+beyond the longest common prefix with the last log it sent on that
+connection, and the receiver reconstructs the full log before the
+handlers see it -- the spec stays unmodified, the wire stays O(delta).
+A freshly (re-)joined node has no shared prefix, so it receives the
+whole log in one large frame: exactly the catch-up cost that makes
+*growing* the cluster the expensive direction in Fig. 16.  The layer
+is stateful per TCP connection (both ends reset on reconnect); TCP's
+ordered delivery is what makes the shared state sound.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..raft.messages import (
+    CommitAck,
+    CommitReq,
+    ElectAck,
+    ElectReq,
+    Log,
+    LogEntry,
+)
+
+#: Bumped on any incompatible frame/body change.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a frame's declared length: a malicious or corrupt
+#: 4-byte prefix must not make a node try to buffer gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy
+# ----------------------------------------------------------------------
+
+
+class ProtocolError(Exception):
+    """Base class: any malformed, oversized, truncated, or otherwise
+    undecodable input.  Handlers treat it as "drop this connection"."""
+
+
+class TruncatedFrame(ProtocolError):
+    """The buffer ends before the declared frame does."""
+
+
+class FrameTooLarge(ProtocolError):
+    """The length prefix exceeds :data:`MAX_FRAME_BYTES` (or is zero)."""
+
+
+class VersionMismatch(ProtocolError):
+    """The frame's version byte is not :data:`PROTOCOL_VERSION`."""
+
+
+class MalformedFrame(ProtocolError):
+    """The body is not valid UTF-8 JSON of the expected shape."""
+
+
+class UnknownMessageType(ProtocolError):
+    """The body's ``kind`` names no known message."""
+
+
+class UnencodableValue(ProtocolError):
+    """An outgoing value falls outside the wire vocabulary."""
+
+
+# ----------------------------------------------------------------------
+# Client/admin RPC message types (the spec types live in repro.raft)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PeerHello:
+    """First frame on a peer connection: who is dialing in."""
+
+    nid: int
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """One client command; ``command`` uses the kvstore vocabulary
+    (``("put", k, v)`` / ``("add", k, d)`` / ``("delete", k)`` /
+    ``("get", k)`` / ``("noop",)``) or ``("reconfig", members)``."""
+
+    client_id: str
+    seq: int
+    command: Tuple
+
+
+@dataclass(frozen=True)
+class ClientResponse:
+    """The reply to a :class:`ClientRequest`.
+
+    ``ok=False`` carries an ``error`` tag; ``"not-leader"`` additionally
+    carries the responder's best ``leader_hint`` (or ``None``)."""
+
+    client_id: str
+    seq: int
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+    leader_hint: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StatusRequest:
+    """Health/introspection probe (also the client's discovery RPC)."""
+
+
+@dataclass(frozen=True)
+class StatusResponse:
+    nid: int
+    role: str
+    term: int
+    commit_len: int
+    log_len: int
+    members: Tuple[int, ...]
+    leader_hint: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LogRequest:
+    """Ask a node for its committed log (cross-node safety checks)."""
+
+
+@dataclass(frozen=True)
+class LogResponse:
+    entries: Log
+
+
+WireMessage = Any  # one of the raft Msg types or the RPC types above
+
+
+# ----------------------------------------------------------------------
+# Tagged JSON values
+# ----------------------------------------------------------------------
+
+_SCALARS = (str, bool, int, float, type(None))
+
+
+def _pack(value) -> Any:
+    """Encode one payload value into tagged JSON."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise UnencodableValue(f"non-finite float {value!r}")
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple": [_pack(v) for v in value]}
+    if isinstance(value, frozenset):
+        # Sort for a canonical encoding (members are sortable in every
+        # scheme this repo ships; mixed-type sets fall back to repr).
+        try:
+            items = sorted(value)
+        except TypeError:
+            items = sorted(value, key=repr)
+        return {"__frozenset": [_pack(v) for v in items]}
+    if isinstance(value, list):
+        return {"__list": [_pack(v) for v in value]}
+    if isinstance(value, dict):
+        if not all(isinstance(k, str) for k in value):
+            raise UnencodableValue("dict payloads must have str keys")
+        return {"__dict": {k: _pack(v) for k, v in value.items()}}
+    raise UnencodableValue(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def _unpack(value) -> Any:
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, dict):
+        if len(value) == 1:
+            (tag, inner), = value.items()
+            if tag == "__tuple":
+                return tuple(_unpack(v) for v in inner)
+            if tag == "__frozenset":
+                return frozenset(_unpack(v) for v in inner)
+            if tag == "__list":
+                return [_unpack(v) for v in inner]
+            if tag == "__dict":
+                return {k: _unpack(v) for k, v in inner.items()}
+        raise MalformedFrame(f"untagged object in payload: {value!r}")
+    raise MalformedFrame(f"unexpected JSON value {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Log entries
+# ----------------------------------------------------------------------
+
+
+def _pack_entry(entry: LogEntry) -> List:
+    return [
+        entry.time,
+        entry.vrsn,
+        _pack(entry.payload),
+        entry.is_config,
+        _pack(entry.request_id),
+    ]
+
+
+def _unpack_entry(raw) -> LogEntry:
+    try:
+        time, vrsn, payload, is_config, request_id = raw
+    except (TypeError, ValueError) as exc:
+        raise MalformedFrame(f"bad log entry {raw!r}") from exc
+    if not isinstance(time, int) or not isinstance(vrsn, int):
+        raise MalformedFrame(f"bad entry coordinates {raw!r}")
+    if not isinstance(is_config, bool):
+        raise MalformedFrame(f"bad is_config flag {raw!r}")
+    return LogEntry(
+        time=time,
+        vrsn=vrsn,
+        payload=_unpack(payload),
+        is_config=is_config,
+        request_id=_unpack(request_id),
+    )
+
+
+def _pack_log(log: Log) -> List:
+    return [_pack_entry(e) for e in log]
+
+
+def _unpack_log(raw) -> Log:
+    if not isinstance(raw, list):
+        raise MalformedFrame(f"log must be a list, got {raw!r}")
+    return tuple(_unpack_entry(e) for e in raw)
+
+
+# ----------------------------------------------------------------------
+# Message bodies
+# ----------------------------------------------------------------------
+
+def _body_elect_req(m: ElectReq) -> Dict:
+    return {"frm": m.frm, "to": m.to, "time": m.time, "log": _pack_log(m.log)}
+
+
+def _body_commit_req(m: CommitReq) -> Dict:
+    return {
+        "frm": m.frm, "to": m.to, "time": m.time,
+        "log": _pack_log(m.log), "commit_len": m.commit_len,
+    }
+
+
+_ENCODERS = {
+    ElectReq: ("elect_req", _body_elect_req),
+    ElectAck: ("elect_ack", lambda m: {
+        "frm": m.frm, "to": m.to, "time": m.time, "granted": m.granted,
+    }),
+    CommitReq: ("commit_req", _body_commit_req),
+    CommitAck: ("commit_ack", lambda m: {
+        "frm": m.frm, "to": m.to, "time": m.time, "acked_len": m.acked_len,
+    }),
+    PeerHello: ("peer_hello", lambda m: {"nid": m.nid}),
+    ClientRequest: ("client_request", lambda m: {
+        "client_id": m.client_id, "seq": m.seq, "command": _pack(m.command),
+    }),
+    ClientResponse: ("client_response", lambda m: {
+        "client_id": m.client_id, "seq": m.seq, "ok": m.ok,
+        "result": _pack(m.result), "error": m.error,
+        "leader_hint": m.leader_hint,
+    }),
+    StatusRequest: ("status_request", lambda m: {}),
+    StatusResponse: ("status_response", lambda m: {
+        "nid": m.nid, "role": m.role, "term": m.term,
+        "commit_len": m.commit_len, "log_len": m.log_len,
+        "members": list(m.members), "leader_hint": m.leader_hint,
+    }),
+    LogRequest: ("log_request", lambda m: {}),
+    LogResponse: ("log_response", lambda m: {
+        "entries": _pack_log(m.entries),
+    }),
+}
+
+
+def _require(body: Dict, key: str, types) -> Any:
+    try:
+        value = body[key]
+    except (KeyError, TypeError) as exc:
+        raise MalformedFrame(f"missing field {key!r}") from exc
+    if types is not None and not isinstance(value, types):
+        raise MalformedFrame(f"field {key!r} has wrong type: {value!r}")
+    return value
+
+
+def _opt_int(body: Dict, key: str) -> Optional[int]:
+    value = body.get(key)
+    if value is not None and not isinstance(value, int):
+        raise MalformedFrame(f"field {key!r} must be int or null")
+    return value
+
+
+def _decode_elect_req(body: Dict) -> ElectReq:
+    return ElectReq(
+        frm=_require(body, "frm", int),
+        to=_require(body, "to", int),
+        time=_require(body, "time", int),
+        log=_unpack_log(_require(body, "log", list)),
+    )
+
+
+def _decode_commit_req(body: Dict) -> CommitReq:
+    return CommitReq(
+        frm=_require(body, "frm", int),
+        to=_require(body, "to", int),
+        time=_require(body, "time", int),
+        log=_unpack_log(_require(body, "log", list)),
+        commit_len=_require(body, "commit_len", int),
+    )
+
+
+def _decode_client_request(body: Dict) -> ClientRequest:
+    command = _unpack(_require(body, "command", None))
+    if not isinstance(command, tuple):
+        raise MalformedFrame(f"command must be a tuple, got {command!r}")
+    return ClientRequest(
+        client_id=_require(body, "client_id", str),
+        seq=_require(body, "seq", int),
+        command=command,
+    )
+
+
+_DECODERS = {
+    "elect_req": _decode_elect_req,
+    "elect_ack": lambda b: ElectAck(
+        frm=_require(b, "frm", int), to=_require(b, "to", int),
+        time=_require(b, "time", int), granted=_require(b, "granted", bool),
+    ),
+    "commit_req": _decode_commit_req,
+    "commit_ack": lambda b: CommitAck(
+        frm=_require(b, "frm", int), to=_require(b, "to", int),
+        time=_require(b, "time", int), acked_len=_require(b, "acked_len", int),
+    ),
+    "peer_hello": lambda b: PeerHello(nid=_require(b, "nid", int)),
+    "client_request": _decode_client_request,
+    "client_response": lambda b: ClientResponse(
+        client_id=_require(b, "client_id", str),
+        seq=_require(b, "seq", int),
+        ok=_require(b, "ok", bool),
+        result=_unpack(b.get("result")),
+        error=_require(b, "error", (str, type(None))),
+        leader_hint=_opt_int(b, "leader_hint"),
+    ),
+    "status_request": lambda b: StatusRequest(),
+    "status_response": lambda b: StatusResponse(
+        nid=_require(b, "nid", int),
+        role=_require(b, "role", str),
+        term=_require(b, "term", int),
+        commit_len=_require(b, "commit_len", int),
+        log_len=_require(b, "log_len", int),
+        members=tuple(_require(b, "members", list)),
+        leader_hint=_opt_int(b, "leader_hint"),
+    ),
+    "log_request": lambda b: LogRequest(),
+    "log_response": lambda b: LogResponse(
+        entries=_unpack_log(_require(b, "entries", list)),
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Stateless encode/decode
+# ----------------------------------------------------------------------
+
+
+def encode_message(msg: WireMessage) -> bytes:
+    """Serialize one message to a frame *body* (version byte + JSON)."""
+    try:
+        kind, encoder = _ENCODERS[type(msg)]
+    except KeyError:
+        raise UnencodableValue(f"not a wire message: {msg!r}") from None
+    body = encoder(msg)
+    body["kind"] = kind
+    try:
+        text = json.dumps(body, separators=(",", ":"), allow_nan=False)
+    except ValueError as exc:
+        raise UnencodableValue(str(exc)) from exc
+    return bytes([PROTOCOL_VERSION]) + text.encode("utf-8")
+
+
+def decode_message(payload: bytes) -> WireMessage:
+    """Inverse of :func:`encode_message`; raises :class:`ProtocolError`."""
+    if not payload:
+        raise TruncatedFrame("empty frame body")
+    if payload[0] != PROTOCOL_VERSION:
+        raise VersionMismatch(
+            f"version {payload[0]}, expected {PROTOCOL_VERSION}"
+        )
+    try:
+        body = json.loads(payload[1:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MalformedFrame(f"undecodable body: {exc}") from exc
+    if not isinstance(body, dict):
+        raise MalformedFrame(f"body must be an object, got {body!r}")
+    kind = body.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise UnknownMessageType(f"unknown kind {kind!r}")
+    try:
+        return decoder(body)
+    except ProtocolError:
+        raise
+    except Exception as exc:  # belt and braces: never leak a bare error
+        raise MalformedFrame(f"bad {kind} body: {exc}") from exc
+
+
+def encode_frame(msg: WireMessage) -> bytes:
+    """A complete frame: length prefix + versioned body."""
+    payload = encode_message(msg)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"{len(payload)} bytes > {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(data: bytes, offset: int = 0) -> Tuple[WireMessage, int]:
+    """Decode one frame starting at ``offset``; returns ``(message,
+    next_offset)``.  Raises :class:`TruncatedFrame` when ``data`` ends
+    mid-frame (the caller should read more and retry)."""
+    header_end = offset + _LENGTH.size
+    if len(data) < header_end:
+        raise TruncatedFrame("incomplete length prefix")
+    (length,) = _LENGTH.unpack_from(data, offset)
+    if length == 0 or length > MAX_FRAME_BYTES:
+        raise FrameTooLarge(f"declared length {length}")
+    if len(data) < header_end + length:
+        raise TruncatedFrame(
+            f"frame declares {length} bytes, {len(data) - header_end} present"
+        )
+    payload = data[header_end : header_end + length]
+    return decode_message(payload), header_end + length
+
+
+# ----------------------------------------------------------------------
+# Per-connection log-delta layer
+# ----------------------------------------------------------------------
+
+
+def _common_prefix_len(a: Log, b: Log) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n
+
+
+class DeltaEncoder:
+    """Sender half of the per-connection log compression.
+
+    For log-carrying messages, substitutes the full log with
+    ``{"p": shared_prefix_len, "s": suffix}`` relative to the last log
+    sent on this connection.  Everything else passes through
+    :func:`encode_message` untouched.
+    """
+
+    def __init__(self) -> None:
+        self._last: Log = ()
+
+    def encode(self, msg: WireMessage) -> bytes:
+        if not isinstance(msg, (ElectReq, CommitReq)):
+            frame = encode_frame(msg)
+            return frame
+        prefix = _common_prefix_len(self._last, msg.log)
+        self._last = msg.log
+        body = {
+            "kind": "delta_" + ("elect_req" if isinstance(msg, ElectReq)
+                                 else "commit_req"),
+            "frm": msg.frm,
+            "to": msg.to,
+            "time": msg.time,
+            "p": prefix,
+            "s": _pack_log(msg.log[prefix:]),
+        }
+        if isinstance(msg, CommitReq):
+            body["commit_len"] = msg.commit_len
+        try:
+            text = json.dumps(body, separators=(",", ":"), allow_nan=False)
+        except ValueError as exc:
+            raise UnencodableValue(str(exc)) from exc
+        payload = bytes([PROTOCOL_VERSION]) + text.encode("utf-8")
+        if len(payload) > MAX_FRAME_BYTES:
+            raise FrameTooLarge(f"{len(payload)} bytes > {MAX_FRAME_BYTES}")
+        return _LENGTH.pack(len(payload)) + payload
+
+
+class DeltaDecoder:
+    """Receiver half: reconstructs full logs from delta frames.
+
+    A delta frame whose shared prefix exceeds what this connection has
+    seen is a :class:`MalformedFrame` (it can only happen if sender and
+    receiver state diverged, which the connection-scoped lifetime and
+    TCP ordering rule out short of a bug or corruption).
+    """
+
+    def __init__(self) -> None:
+        self._last: Log = ()
+
+    def decode(self, payload: bytes) -> WireMessage:
+        if not payload:
+            raise TruncatedFrame("empty frame body")
+        if payload[0] != PROTOCOL_VERSION:
+            raise VersionMismatch(
+                f"version {payload[0]}, expected {PROTOCOL_VERSION}"
+            )
+        try:
+            body = json.loads(payload[1:].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise MalformedFrame(f"undecodable body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise MalformedFrame(f"body must be an object, got {body!r}")
+        kind = body.get("kind")
+        if kind not in ("delta_elect_req", "delta_commit_req"):
+            return decode_message(payload)
+        prefix = _require(body, "p", int)
+        if prefix < 0 or prefix > len(self._last):
+            raise MalformedFrame(
+                f"delta prefix {prefix} exceeds connection state "
+                f"({len(self._last)} entries)"
+            )
+        suffix = _unpack_log(_require(body, "s", list))
+        log = self._last[:prefix] + suffix
+        self._last = log
+        if kind == "delta_elect_req":
+            return ElectReq(
+                frm=_require(body, "frm", int),
+                to=_require(body, "to", int),
+                time=_require(body, "time", int),
+                log=log,
+            )
+        return CommitReq(
+            frm=_require(body, "frm", int),
+            to=_require(body, "to", int),
+            time=_require(body, "time", int),
+            log=log,
+            commit_len=_require(body, "commit_len", int),
+        )

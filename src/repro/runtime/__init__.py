@@ -12,8 +12,9 @@ transport, with client histories checked for linearizability
 (:mod:`repro.runtime.linearize`) after every run.
 """
 
-from .autonomous import AutonomousCluster, LeaderChange, TimingConfig
+from .autonomous import AutonomousCluster, LeaderChange
 from .cluster import Cluster, RequestRecord
+from .driver import ElectionDriver, TimingConfig, find_request
 from .failover import FailoverDriver, FailoverEvent
 from .history import History, Operation
 from .kvstore import ReplicatedKV, apply_command, materialize
@@ -46,6 +47,7 @@ __all__ = [
     "AutonomousCluster",
     "Cluster",
     "CrashEvent",
+    "ElectionDriver",
     "FIG16_TRAJECTORY",
     "FailoverDriver",
     "FailoverEvent",
@@ -71,6 +73,7 @@ __all__ = [
     "check_key",
     "duplicate_request_audit",
     "fig16_chaos_config",
+    "find_request",
     "materialize",
     "run_fig16_experiment",
     "run_fig16_workload",

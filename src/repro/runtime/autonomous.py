@@ -13,6 +13,15 @@ externally-driven :class:`~repro.runtime.cluster.Cluster` leaves out:
   fixed interval, which also carries the commit index to followers;
 * crashes silence a node; restarts resume it with durable state.
 
+The policy itself -- when to campaign, when to heartbeat, when a
+received message counts as a heartbeat -- lives in the
+transport-agnostic :class:`~repro.runtime.driver.ElectionDriver`; this
+module supplies the simulated-network transport around one driver per
+node.  The real-TCP runtime (:mod:`repro.net.node`) wraps the *same*
+driver around an asyncio loop, so both runtimes exercise identical
+election logic (``tests/runtime/test_driver_equivalence.py`` pins the
+extraction: seeded runs are bit-identical to the pre-driver code).
+
 With this in place liveness becomes *measurable*: time to first
 leader, unavailability window after a leader crash, and liveness under
 hot reconfiguration -- the quantities
@@ -31,18 +40,10 @@ from ..core.cache import Config, Method, NodeId
 from ..core.config import ReconfigScheme
 from ..raft.messages import CommitReq, ElectReq, Msg
 from ..raft.server import LEADER, Server
+from .driver import ElectionDriver, TimingConfig
 from .simnet import LatencyModel, Simulator
 
-
-@dataclass
-class TimingConfig:
-    """The partial-synchrony knobs."""
-
-    #: Leader heartbeat period.
-    heartbeat_ms: float = 5.0
-    #: Election timeout window [min, max); each arming draws uniformly.
-    election_timeout_min_ms: float = 15.0
-    election_timeout_max_ms: float = 30.0
+__all__ = ["AutonomousCluster", "LeaderChange", "TimingConfig"]
 
 
 @dataclass
@@ -77,61 +78,32 @@ class AutonomousCluster:
             nid: Server(nid=nid, conf0=conf0) for nid in sorted(nodes)
         }
         self._crashed: set = set()
-        #: Monotone per-node timer epochs: rearming bumps the epoch so a
-        #: stale timer event becomes a no-op.
-        self._timer_epoch: Dict[NodeId, int] = {nid: 0 for nid in self.servers}
         self._last_heartbeat: Dict[NodeId, float] = {
             nid: 0.0 for nid in self.servers
         }
         self.leader_changes: List[LeaderChange] = []
+        # One policy driver per node, all drawing timeouts from the
+        # simulator's seeded RNG (in arming order, which keeps seeded
+        # runs reproducible -- and identical to the pre-driver code).
+        self.drivers: Dict[NodeId, ElectionDriver] = {
+            nid: ElectionDriver(
+                server=self.servers[nid],
+                scheme=scheme,
+                timing=self.timing,
+                rng=self.sim.rng,
+                schedule=self.sim.schedule,
+                send_all=self._send_all,
+                is_active=lambda nid=nid: nid not in self._crashed,
+                on_leader=lambda term, nid=nid: self._record_leader(nid, term),
+            )
+            for nid in self.servers
+        }
         for nid in self.servers:
-            self._arm_election_timer(nid)
+            self.drivers[nid].arm()
 
-    # ------------------------------------------------------------------
-    # Timers
-    # ------------------------------------------------------------------
-
-    def _draw_timeout(self) -> float:
-        lo = self.timing.election_timeout_min_ms
-        hi = self.timing.election_timeout_max_ms
-        return lo + self.sim.rng.random() * (hi - lo)
-
-    def _arm_election_timer(self, nid: NodeId) -> None:
-        self._timer_epoch[nid] += 1
-        epoch = self._timer_epoch[nid]
-        self.sim.schedule(
-            self._draw_timeout(), lambda: self._election_timer_fired(nid, epoch)
-        )
-
-    def _election_timer_fired(self, nid: NodeId, epoch: int) -> None:
-        if epoch != self._timer_epoch[nid] or nid in self._crashed:
-            return
-        server = self.servers[nid]
-        members = self.scheme.members(server.config())
-        if nid in members and server.role != LEADER:
-            self._send_all(server.start_election(self.scheme))
-            if server.role == LEADER:
-                self._became_leader(nid)
-        self._arm_election_timer(nid)
-
-    def _became_leader(self, nid: NodeId) -> None:
-        server = self.servers[nid]
+    def _record_leader(self, nid: NodeId, term: int) -> None:
         self.leader_changes.append(
-            LeaderChange(at_ms=self.sim.now, leader=nid, term=server.time)
-        )
-        self._heartbeat(nid, server.time)
-
-    def _heartbeat(self, nid: NodeId, term: int) -> None:
-        server = self.servers[nid]
-        if (
-            nid in self._crashed
-            or server.role != LEADER
-            or server.time != term
-        ):
-            return  # dethroned or dead: stop this heartbeat chain
-        self._send_all(server.broadcast_commit(self.scheme))
-        self.sim.schedule(
-            self.timing.heartbeat_ms, lambda: self._heartbeat(nid, term)
+            LeaderChange(at_ms=self.sim.now, leader=nid, term=term)
         )
 
     # ------------------------------------------------------------------
@@ -159,16 +131,9 @@ class AutonomousCluster:
     def _receive(self, msg: Msg) -> None:
         if msg.to in self._crashed:
             return
-        server = self.servers[msg.to]
-        was_leader = server.role == LEADER
-        responses = server.handle(msg, self.scheme)
-        if isinstance(msg, (CommitReq, ElectReq)) and responses:
-            # Any accepted traffic from a live leader/candidate counts
-            # as a heartbeat: push the election timer out.
+        responses, accepted = self.drivers[msg.to].on_message(msg)
+        if accepted:
             self._last_heartbeat[msg.to] = self.sim.now
-            self._arm_election_timer(msg.to)
-        if not was_leader and server.role == LEADER:
-            self._became_leader(msg.to)
         self.sim.schedule(
             self.processing_ms, lambda: self._send_all(responses)
         )
@@ -184,7 +149,7 @@ class AutonomousCluster:
     def restart(self, nid: NodeId) -> None:
         self._crashed.discard(nid)
         self.servers[nid].role = "follower"
-        self._arm_election_timer(nid)
+        self.drivers[nid].arm()
 
     def leader(self) -> Optional[NodeId]:
         """The live leader with the highest term, if any."""

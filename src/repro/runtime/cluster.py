@@ -21,6 +21,7 @@ from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..raft.messages import CommitReq, ElectReq, Msg
 from ..raft.server import FOLLOWER, LEADER, Server
+from .driver import find_request
 from .simnet import FaultPlan, LatencyModel, Simulator
 
 
@@ -344,12 +345,7 @@ class Cluster:
     @staticmethod
     def _find_request(server: Server, request_id) -> Optional[int]:
         """Log position (1-based prefix length) of ``request_id``."""
-        if request_id is None:
-            return None
-        for i, entry in enumerate(server.log):
-            if entry.request_id == request_id:
-                return i + 1
-        return None
+        return find_request(server, request_id)
 
     def _submit(
         self,

@@ -25,6 +25,7 @@ FAST_EXAMPLES = [
     "paxos_vs_raft",
     "chaos",
     "trace_view",
+    "net_cluster",
 ]
 
 SLOW_EXAMPLES = [

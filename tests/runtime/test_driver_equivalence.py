@@ -1,0 +1,310 @@
+"""The ElectionDriver extraction changed *nothing* observable.
+
+The election-timeout/heartbeat policy used to live inline in
+``AutonomousCluster``; it now lives in the transport-agnostic
+:class:`repro.runtime.driver.ElectionDriver` so the real-TCP runtime
+(:mod:`repro.net.node`) can run the identical policy.  These tests pin
+the extraction: a frozen verbatim copy of the pre-driver implementation
+(``LegacyAutonomousCluster`` below) is run side by side with the
+refactored cluster under identical seeds and identical driving, and
+every observable -- simulated clock, event counts, RNG stream position,
+leader-change records, and full per-server state -- must be
+bit-identical.  Any divergence in scheduling order or RNG consumption
+introduced by the refactor fails here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.cache import Config, NodeId
+from repro.core.config import ReconfigScheme
+from repro.raft.messages import CommitReq, ElectReq, Msg
+from repro.raft.server import LEADER, Server
+from repro.runtime import AutonomousCluster, TimingConfig
+from repro.runtime.simnet import LatencyModel, Simulator
+from repro.schemes import RaftSingleNodeScheme
+
+NODES = frozenset({1, 2, 3})
+SCHEME = RaftSingleNodeScheme()
+
+
+# ----------------------------------------------------------------------
+# The pre-extraction implementation, frozen verbatim (minus docstrings).
+# Do not "improve" this class: it is the reference the refactor is
+# measured against.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LegacyLeaderChange:
+    at_ms: float
+    leader: NodeId
+    term: int
+
+
+class LegacyAutonomousCluster:
+    def __init__(
+        self,
+        conf0: Config,
+        scheme: ReconfigScheme,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        timing: Optional[TimingConfig] = None,
+        processing_ms: float = 0.05,
+        extra_nodes=(),
+    ) -> None:
+        self.scheme = scheme
+        self.sim = Simulator(seed=seed)
+        self.latency = latency or LatencyModel()
+        self.timing = timing or TimingConfig()
+        self.processing_ms = processing_ms
+        nodes = set(scheme.members(conf0)) | set(extra_nodes)
+        self.servers: Dict[NodeId, Server] = {
+            nid: Server(nid=nid, conf0=conf0) for nid in sorted(nodes)
+        }
+        self._crashed: set = set()
+        self._timer_epoch: Dict[NodeId, int] = {nid: 0 for nid in self.servers}
+        self._last_heartbeat: Dict[NodeId, float] = {
+            nid: 0.0 for nid in self.servers
+        }
+        self.leader_changes: List[LegacyLeaderChange] = []
+        for nid in self.servers:
+            self._arm_election_timer(nid)
+
+    def _draw_timeout(self) -> float:
+        lo = self.timing.election_timeout_min_ms
+        hi = self.timing.election_timeout_max_ms
+        return lo + self.sim.rng.random() * (hi - lo)
+
+    def _arm_election_timer(self, nid: NodeId) -> None:
+        self._timer_epoch[nid] += 1
+        epoch = self._timer_epoch[nid]
+        self.sim.schedule(
+            self._draw_timeout(), lambda: self._election_timer_fired(nid, epoch)
+        )
+
+    def _election_timer_fired(self, nid: NodeId, epoch: int) -> None:
+        if epoch != self._timer_epoch[nid] or nid in self._crashed:
+            return
+        server = self.servers[nid]
+        members = self.scheme.members(server.config())
+        if nid in members and server.role != LEADER:
+            self._send_all(server.start_election(self.scheme))
+            if server.role == LEADER:
+                self._became_leader(nid)
+        self._arm_election_timer(nid)
+
+    def _became_leader(self, nid: NodeId) -> None:
+        server = self.servers[nid]
+        self.leader_changes.append(
+            LegacyLeaderChange(at_ms=self.sim.now, leader=nid, term=server.time)
+        )
+        self._heartbeat(nid, server.time)
+
+    def _heartbeat(self, nid: NodeId, term: int) -> None:
+        server = self.servers[nid]
+        if (
+            nid in self._crashed
+            or server.role != LEADER
+            or server.time != term
+        ):
+            return
+        self._send_all(server.broadcast_commit(self.scheme))
+        self.sim.schedule(
+            self.timing.heartbeat_ms, lambda: self._heartbeat(nid, term)
+        )
+
+    def _send_all(self, msgs) -> None:
+        msgs = list(msgs)
+        tx = self.latency.tx_per_entry_ms * sum(
+            self._payload(m) for m in msgs
+        )
+        for msg in msgs:
+            if msg.to not in self.servers:
+                continue
+            delay = tx + self.latency.sample(self.sim.rng, self._payload(msg))
+            self.sim.schedule(delay, lambda m=msg: self._receive(m))
+
+    def _payload(self, msg: Msg) -> int:
+        if isinstance(msg, (ElectReq, CommitReq)):
+            receiver = self.servers.get(msg.to)
+            have = len(receiver.log) if receiver is not None else 0
+            return max(0, len(msg.log) - have)
+        return 0
+
+    def _receive(self, msg: Msg) -> None:
+        if msg.to in self._crashed:
+            return
+        server = self.servers[msg.to]
+        was_leader = server.role == LEADER
+        responses = server.handle(msg, self.scheme)
+        if isinstance(msg, (CommitReq, ElectReq)) and responses:
+            self._last_heartbeat[msg.to] = self.sim.now
+            self._arm_election_timer(msg.to)
+        if not was_leader and server.role == LEADER:
+            self._became_leader(msg.to)
+        self.sim.schedule(
+            self.processing_ms, lambda: self._send_all(responses)
+        )
+
+    def crash(self, nid: NodeId) -> None:
+        self._crashed.add(nid)
+
+    def restart(self, nid: NodeId) -> None:
+        self._crashed.discard(nid)
+        self.servers[nid].role = "follower"
+        self._arm_election_timer(nid)
+
+    def leader(self) -> Optional[NodeId]:
+        best = None
+        for nid, server in self.servers.items():
+            if nid in self._crashed or server.role != LEADER:
+                continue
+            if best is None or server.time > self.servers[best].time:
+                best = nid
+        return best
+
+    def wait_for_leader(self, max_wait_ms: float = 2_000.0) -> Optional[NodeId]:
+        deadline = self.sim.now + max_wait_ms
+        self.sim.run_until(
+            lambda: self.leader() is not None or self.sim.now >= deadline
+        )
+        return self.leader()
+
+    def submit(self, payload, max_wait_ms: float = 2_000.0) -> Optional[float]:
+        start = self.sim.now
+        deadline = start + max_wait_ms
+        while self.sim.now < deadline:
+            leader = self.wait_for_leader(deadline - self.sim.now)
+            if leader is None:
+                return None
+            server = self.servers[leader]
+            if not server.invoke(payload):
+                continue
+            target = len(server.log)
+            self._send_all(server.broadcast_commit(self.scheme))
+            self.sim.run_until(
+                lambda: server.commit_len >= target
+                or server.role != LEADER
+                or leader in self._crashed
+                or self.sim.now >= deadline
+            )
+            if server.commit_len >= target:
+                return self.sim.now - start
+        return None
+
+    def run_for(self, duration_ms: float) -> None:
+        deadline = self.sim.now + duration_ms
+        self.sim.run_until(lambda: self.sim.now >= deadline)
+
+
+# ----------------------------------------------------------------------
+# Equivalence harness
+# ----------------------------------------------------------------------
+
+
+def observe(cluster):
+    """Everything a run exposes, in comparable form."""
+    return {
+        "now": cluster.sim.now,
+        "events_processed": cluster.sim.events_processed,
+        "pending": cluster.sim.pending(),
+        # The RNG stream position: identical histories imply identical
+        # future draws; getstate() captures consumption exactly.
+        "rng_state": cluster.sim.rng.getstate(),
+        "leader_changes": [
+            (c.at_ms, c.leader, c.term) for c in cluster.leader_changes
+        ],
+        "servers": {
+            nid: (s.log, s.time, s.commit_len, s.role, s.votes, s.voted_at,
+                  dict(s.acked))
+            for nid, s in cluster.servers.items()
+        },
+    }
+
+
+def drive(cluster, script):
+    """Apply one deterministic driving script to either implementation."""
+    outcomes = []
+    for step in script:
+        kind = step[0]
+        if kind == "wait_leader":
+            outcomes.append(("leader", cluster.wait_for_leader()))
+        elif kind == "submit":
+            outcomes.append(("submit", cluster.submit(step[1])))
+        elif kind == "crash":
+            cluster.crash(step[1])
+        elif kind == "restart":
+            cluster.restart(step[1])
+        elif kind == "run_for":
+            cluster.run_for(step[1])
+        else:  # pragma: no cover - script typo guard
+            raise ValueError(step)
+    return outcomes
+
+
+SCRIPTS = {
+    "quiet_start": [("wait_leader",), ("run_for", 200.0)],
+    "requests": [
+        ("wait_leader",),
+        ("submit", "a"),
+        ("submit", "b"),
+        ("run_for", 50.0),
+        ("submit", "c"),
+    ],
+    "leader_crash": [
+        ("wait_leader",),
+        ("submit", "before"),
+        ("crash", 1),
+        ("crash", 2),
+        ("run_for", 120.0),
+        ("restart", 1),
+        ("submit", "after"),
+        ("run_for", 80.0),
+    ],
+}
+
+
+def test_seeded_runs_bit_identical_across_scripts():
+    for name, script in SCRIPTS.items():
+        for seed in range(6):
+            legacy = LegacyAutonomousCluster(NODES, SCHEME, seed=seed)
+            current = AutonomousCluster(NODES, SCHEME, seed=seed)
+            legacy_out = drive(legacy, script)
+            current_out = drive(current, script)
+            assert legacy_out == current_out, (name, seed)
+            assert observe(legacy) == observe(current), (name, seed)
+
+
+def test_bit_identical_under_custom_timing_and_extra_nodes():
+    timing = TimingConfig(
+        heartbeat_ms=2.0,
+        election_timeout_min_ms=8.0,
+        election_timeout_max_ms=12.0,
+    )
+    for seed in range(4):
+        kwargs = dict(seed=seed, timing=timing, extra_nodes=(4, 5))
+        legacy = LegacyAutonomousCluster(NODES, SCHEME, **kwargs)
+        current = AutonomousCluster(NODES, SCHEME, **kwargs)
+        assert drive(legacy, SCRIPTS["requests"]) == drive(
+            current, SCRIPTS["requests"]
+        )
+        assert observe(legacy) == observe(current), seed
+
+
+def test_crash_during_heartbeat_chain_identical():
+    # Crashing the leader mid-chain exercises the is_active guard that
+    # replaced the inline _crashed check.
+    for seed in range(4):
+        legacy = LegacyAutonomousCluster(NODES, SCHEME, seed=seed)
+        current = AutonomousCluster(NODES, SCHEME, seed=seed)
+        for c in (legacy, current):
+            first = c.wait_for_leader()
+            c.submit("x")
+            c.crash(first)
+            c.run_for(300.0)
+            c.restart(first)
+            c.run_for(100.0)
+        assert observe(legacy) == observe(current), seed
