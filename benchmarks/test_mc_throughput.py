@@ -1,0 +1,190 @@
+"""Model-checker throughput: seed engine vs optimized engine (ISSUE 5).
+
+Measures states/second and peak RSS for the frozen seed engine
+(:mod:`repro.mc.legacy` -- the explorer as it stood before hash-consed
+trees, incremental fingerprints and the compact visited set) against
+the current engine, on the Fig. 4 intact verification budget and on
+that budget deepened by one operation (``invokes + 1``,
+``max_states``-capped so the comparison stays affordable).
+
+Measurement protocol
+--------------------
+
+* Each run happens in a fresh forked child process, so ``ru_maxrss``
+  is a clean per-engine high-water mark and each run pays the full
+  cold-start cost (no process-wide intern tables carried over).
+* Each child records both wall-clock and CPU time
+  (``time.process_time``).  The speedup gate uses **CPU time**: CI
+  runners and shared development machines deschedule single-threaded
+  processes unpredictably, and a noisy neighbour during one engine's
+  run would otherwise swing the ratio by tens of percent.  Wall-clock
+  numbers are reported alongside for context.
+* The gated depth runs each engine twice, interleaved
+  (seed/new/seed/new), and scores each engine by its best run.  Both
+  engines get the same treatment, so drift in machine load between
+  runs cannot systematically favour either.
+
+Asserts the two acceptance criteria directly:
+
+* exact parity -- state count, transition count, verdict -- between the
+  engines across every run at every depth, and
+* the optimized engine sustains >= 5x the seed engine's states/second
+  on the intact budget, single worker.
+
+Results land in ``BENCH_mc_throughput.json`` via ``bench_json``.
+"""
+
+import multiprocessing
+import resource
+import sys
+import time
+
+from repro.mc import legacy
+from repro.mc.ablations import verify_intact_explorer
+from repro.mc.explorer import OpBudget
+
+#: The Fig. 4 intact verification budget (matches
+#: repro.mc.ablations.verify_intact_explorer's default).
+INTACT_BUDGET = dict(pulls=2, invokes=2, reconfigs=2, pushes=2)
+#: One operation deeper; capped so the seed engine finishes in CI time.
+DEEPER_BUDGET = dict(pulls=2, invokes=3, reconfigs=2, pushes=2)
+DEEPER_MAX_STATES = 40_000
+
+SPEEDUP_FLOOR = 5.0
+
+
+def _run_engine(make_explorer, budget_kwargs, max_states, conn):
+    budget = OpBudget(**budget_kwargs)
+    explorer = make_explorer(budget=budget, max_states=max_states)
+    wall_started = time.monotonic()
+    cpu_started = time.process_time()
+    result = explorer.run()
+    cpu = time.process_time() - cpu_started
+    wall = time.monotonic() - wall_started
+    first = None
+    if result.violations:
+        violation = result.violations[0]
+        first = (
+            tuple(repr(op) for op in violation.trace),
+            tuple(violation.report.all_violations()),
+        )
+    conn.send({
+        "states": result.states_visited,
+        "transitions": result.transitions,
+        "violations": len(result.violations),
+        "first_violation": first,
+        "exhausted": result.exhausted,
+        "elapsed_seconds": wall,
+        "cpu_seconds": cpu,
+        "states_per_second": result.states_visited / cpu if cpu else 0.0,
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    })
+    conn.close()
+
+
+def measure(make_explorer, budget_kwargs, max_states=500_000):
+    """Run one engine cold in a fresh forked child; return its metrics."""
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_run_engine,
+        args=(make_explorer, budget_kwargs, max_states, child_conn),
+    )
+    process.start()
+    child_conn.close()
+    payload = parent_conn.recv()
+    process.join()
+    assert process.exitcode == 0
+    return payload
+
+
+def parity_fields(payload):
+    return {
+        key: payload[key]
+        for key in ("states", "transitions", "violations", "first_violation",
+                    "exhausted")
+    }
+
+
+def best_of(payloads):
+    """The payload with the highest states/second (lowest CPU time)."""
+    return max(payloads, key=lambda p: p["states_per_second"])
+
+
+def test_mc_throughput(report, bench_json):
+    if sys.platform == "win32":
+        # measure() needs fork for closure-bearing explorer configs.
+        import pytest
+
+        pytest.skip("throughput benchmark requires the fork start method")
+
+    rows = {}
+    for depth, budget_kwargs, max_states, repeats in (
+        ("budget", INTACT_BUDGET, 500_000, 2),
+        ("budget+1", DEEPER_BUDGET, DEEPER_MAX_STATES, 1),
+    ):
+        seed_runs, new_runs = [], []
+        for _ in range(repeats):  # interleaved: seed, new, seed, new
+            seed_runs.append(
+                measure(legacy.verify_intact_explorer, budget_kwargs, max_states)
+            )
+            new_runs.append(
+                measure(verify_intact_explorer, budget_kwargs, max_states)
+            )
+        for run in seed_runs[1:] + new_runs:
+            assert parity_fields(seed_runs[0]) == parity_fields(run), (
+                f"engines diverged at depth {depth}"
+            )
+        seed, new = best_of(seed_runs), best_of(new_runs)
+        speedup = (
+            new["states_per_second"] / seed["states_per_second"]
+            if seed["states_per_second"]
+            else float("inf")
+        )
+        rows[depth] = {
+            "budget": budget_kwargs,
+            "max_states": max_states,
+            "runs_per_engine": repeats,
+            "states": new["states"],
+            "transitions": new["transitions"],
+            "exhausted": new["exhausted"],
+            "seed": {
+                "elapsed_seconds": seed["elapsed_seconds"],
+                "cpu_seconds": seed["cpu_seconds"],
+                "states_per_second": seed["states_per_second"],
+                "peak_rss_kib": seed["peak_rss_kib"],
+            },
+            "optimized": {
+                "elapsed_seconds": new["elapsed_seconds"],
+                "cpu_seconds": new["cpu_seconds"],
+                "states_per_second": new["states_per_second"],
+                "peak_rss_kib": new["peak_rss_kib"],
+            },
+            "speedup": speedup,
+        }
+
+    lines = [
+        "",
+        "Model-checker throughput: seed engine vs optimized engine",
+        "(states/second over CPU time, best of the interleaved runs)",
+        f"{'depth':>10} {'states':>8} {'seed st/s':>10} {'new st/s':>10} "
+        f"{'speedup':>8} {'seed RSS':>10} {'new RSS':>10}",
+    ]
+    for depth, row in rows.items():
+        lines.append(
+            f"{depth:>10} {row['states']:>8} "
+            f"{row['seed']['states_per_second']:>10,.0f} "
+            f"{row['optimized']['states_per_second']:>10,.0f} "
+            f"{row['speedup']:>7.1f}x "
+            f"{row['seed']['peak_rss_kib'] / 1024:>8.0f}Mi "
+            f"{row['optimized']['peak_rss_kib'] / 1024:>8.0f}Mi"
+        )
+    report(*lines)
+    bench_json(rows)
+
+    # The acceptance bar: >= 5x states/second on the intact Fig. 4
+    # budget, single worker.
+    assert rows["budget"]["speedup"] >= SPEEDUP_FLOOR, (
+        f"optimized engine is only {rows['budget']['speedup']:.2f}x the "
+        f"seed engine (floor: {SPEEDUP_FLOOR}x)"
+    )

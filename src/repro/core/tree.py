@@ -23,10 +23,20 @@ to a separate persistent log as in the ADO model; instead a cache is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .cache import Cache, Cid, is_ccache, is_committable, is_ecache, order_key
+from .cache import (
+    Cache,
+    Cid,
+    NodeId,
+    intern_cache,
+    is_ccache,
+    is_committable,
+    is_ecache,
+    order_key,
+)
 from .errors import MalformedTree, UnknownCache
+from .fingerprint import FP_MASK, fp128
 
 ROOT_CID: Cid = 0
 
@@ -39,6 +49,52 @@ class TreeEntry:
     cache: Cache
 
 
+def _entry_fp(cid: Cid, parent: Optional[Cid], cache: Cache) -> int:
+    """The multiset term one ``(cid, parent, cache)`` slot contributes.
+
+    A tree's fingerprint is the sum of its entry terms mod 2**128
+    (see :mod:`repro.core.fingerprint`), which is what lets
+    :meth:`CacheTree.add_leaf` / :meth:`CacheTree.insert_btw` derive the
+    successor's fingerprint from the parent's in O(changed entries).
+
+    Memoized per ``(cid, parent, interned cache)``: the same few slots
+    recur across millions of candidate successors.  The cache is
+    interned first -- interned caches are immortal (strong intern
+    table), so ``id(cache)`` is a stable memo key.
+    """
+    cache = intern_cache(cache)
+    key = (cid, parent, id(cache))
+    term = _ENTRY_FPS.get(key)
+    if term is None:
+        term = _ENTRY_FPS[key] = fp128(
+            b"%d|%d|%s"
+            % (cid, -1 if parent is None else parent, cache.fingerprint().to_bytes(16, "little"))
+        )
+    return term
+
+
+_ENTRY_FPS: Dict[Tuple, int] = {}
+
+
+#: Per-process hash-consing table: tree fingerprint -> the one shared
+#: instance.  Deliberately *strong*: the model checker generates each
+#: distinct successor tree a dozen times on average, and with weak
+#: values the discarded duplicates die before the next occurrence can
+#: hit the table, defeating hash-consing exactly where it pays.  Bounded
+#: by an epoch flush (:data:`_INTERN_CAP`) so pathological runs cannot
+#: grow it without limit -- a flush only costs subsequent re-interning.
+_INTERNED_TREES: Dict[int, "CacheTree"] = {}
+
+#: Epoch-flush threshold for the tree intern table.
+_INTERN_CAP = 1 << 19
+
+
+def _intern_tree(fp: int, tree: "CacheTree") -> "CacheTree":
+    if len(_INTERNED_TREES) >= _INTERN_CAP:
+        _INTERNED_TREES.clear()
+    return _INTERNED_TREES.setdefault(fp, tree)
+
+
 class CacheTree:
     """An immutable cache tree.
 
@@ -47,19 +103,80 @@ class CacheTree:
     tree as the paper does: a set of caches with ancestor structure.
     """
 
-    __slots__ = ("_entries", "_children", "_hash")
+    __slots__ = ("_entries", "_children", "_fp", "_items", "_memo")
 
-    def __init__(self, entries: Dict[Cid, TreeEntry]) -> None:
-        self._entries: Dict[Cid, TreeEntry] = dict(entries)
-        children: Dict[Cid, Tuple[Cid, ...]] = {cid: () for cid in self._entries}
-        for cid, entry in sorted(self._entries.items()):
-            # Tolerate dangling parents here so deliberately malformed
-            # trees can still be constructed and then *diagnosed* by
-            # well_formedness_violations().
-            if entry.parent is not None and entry.parent in children:
-                children[entry.parent] = children[entry.parent] + (cid,)
-        self._children = children
-        self._hash: Optional[int] = None
+    def __init__(self, entries: Dict[Cid, TreeEntry], _fp: Optional[int] = None) -> None:
+        held = dict(entries)
+        # The growth operations (add_leaf / insert_btw) always produce
+        # dicts already in ascending-cid insertion order, so the sort
+        # is needed only for directly constructed trees.
+        cids = list(held)
+        if any(a >= b for a, b in zip(cids, cids[1:])):
+            held = dict(sorted(held.items()))
+        self._entries: Dict[Cid, TreeEntry] = held
+        self._items: Tuple[Tuple[Cid, Cache], ...] = tuple(
+            (cid, entry.cache) for cid, entry in held.items()
+        )
+        # The child map is built on first use (_child_map): push-free
+        # expansion paths never ask for it.
+        self._children: Optional[Dict[Cid, Tuple[Cid, ...]]] = None
+        self._fp: Optional[int] = _fp
+        self._memo: Optional[Dict] = None
+
+    def _child_map(self) -> Dict[Cid, Tuple[Cid, ...]]:
+        children = self._children
+        if children is None:
+            children = {cid: () for cid in self._entries}
+            for cid, entry in self._entries.items():
+                # Tolerate dangling parents here so deliberately
+                # malformed trees can still be constructed and then
+                # *diagnosed* by well_formedness_violations().
+                if entry.parent is not None and entry.parent in children:
+                    children[entry.parent] = children[entry.parent] + (cid,)
+            self._children = children
+        return children
+
+    @classmethod
+    def _shared(cls, entries: Dict[Cid, TreeEntry], fp: int) -> "CacheTree":
+        """The interned tree for ``entries`` (hash-consing).
+
+        Successor states produced by the growth operations route through
+        here, so structurally-equal trees are reference-equal within a
+        process and the per-tree derived tables (:meth:`node_tables`,
+        the ``r2``/``r3`` memos in :mod:`repro.core.aux`) are computed
+        once per *distinct* tree instead of once per path reaching it.
+        """
+        tree = _INTERNED_TREES.get(fp)
+        if tree is None:
+            tree = _intern_tree(fp, cls(entries, _fp=fp))
+        return tree
+
+    def fingerprint(self) -> int:
+        """The 128-bit structural fingerprint of this tree.
+
+        Order-insensitive multiset combine of the entry terms, so it
+        never depends on dict insertion order; maintained incrementally
+        by the growth operations and computed from scratch only for
+        directly constructed trees.
+        """
+        fp = self._fp
+        if fp is None:
+            fp = 0
+            for cid, entry in self._entries.items():
+                fp = (fp + _entry_fp(cid, entry.parent, entry.cache)) & FP_MASK
+            self._fp = fp
+        return fp
+
+    def memo(self) -> Dict:
+        """This tree's scratch memo-dict for derived, pure-function data.
+
+        Shared by every holder of the interned instance; values must
+        depend only on the tree itself.
+        """
+        memo = self._memo
+        if memo is None:
+            memo = self._memo = {}
+        return memo
 
     # ------------------------------------------------------------------
     # Construction
@@ -72,7 +189,7 @@ class CacheTree:
 
     def fresh_cid(self) -> Cid:
         """The next unused cache id (``max + 1``, Fig. 26)."""
-        return max(self._entries) + 1
+        return self._items[-1][0] + 1 if self._items else ROOT_CID
 
     def add_leaf(self, parent: Cid, cache: Cache) -> Tuple["CacheTree", Cid]:
         """Add ``cache`` as a new leaf child of ``parent``.
@@ -80,10 +197,22 @@ class CacheTree:
         Returns the new tree and the cid assigned to the new cache.
         """
         self._require(parent)
+        cache = intern_cache(cache)
         cid = self.fresh_cid()
-        entries = dict(self._entries)
-        entries[cid] = TreeEntry(parent, cache)
-        return CacheTree(entries), cid
+        fp = (self.fingerprint() + _entry_fp(cid, parent, cache)) & FP_MASK
+        # Fingerprint-first: when the successor tree is already interned
+        # (most candidate successors the model checker generates are),
+        # return it without materializing the new entries dict at all.
+        tree = _INTERNED_TREES.get(fp)
+        if tree is None:
+            entries = dict(self._entries)
+            entries[cid] = TreeEntry(parent, cache)
+            tree = CacheTree._shared(entries, fp)
+            # Record how this tree was derived: the incremental safety
+            # checker uses any one valid derivation (the report is a
+            # pure function of the tree, so which one is irrelevant).
+            tree.memo().setdefault("prov", (self, "leaf", cid, parent))
+        return tree, cid
 
     def insert_btw(self, parent: Cid, cache: Cache) -> Tuple["CacheTree", Cid]:
         """Insert ``cache`` between ``parent`` and its current children.
@@ -95,12 +224,25 @@ class CacheTree:
         CCache rather than discarded.
         """
         self._require(parent)
+        cache = intern_cache(cache)
         cid = self.fresh_cid()
-        entries = dict(self._entries)
-        for child in self._children[parent]:
-            entries[child] = TreeEntry(cid, entries[child].cache)
-        entries[cid] = TreeEntry(parent, cache)
-        return CacheTree(entries), cid
+        fp = self.fingerprint()
+        children = self._child_map()
+        for child in children[parent]:
+            child_cache = self._entries[child].cache
+            fp = (
+                fp - _entry_fp(child, parent, child_cache) + _entry_fp(child, cid, child_cache)
+            ) & FP_MASK
+        fp = (fp + _entry_fp(cid, parent, cache)) & FP_MASK
+        tree = _INTERNED_TREES.get(fp)
+        if tree is None:
+            entries = dict(self._entries)
+            for child in children[parent]:
+                entries[child] = TreeEntry(cid, entries[child].cache)
+            entries[cid] = TreeEntry(parent, cache)
+            tree = CacheTree._shared(entries, fp)
+            tree.memo().setdefault("prov", (self, "btw", cid, parent))
+        return tree, cid
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -120,11 +262,14 @@ class CacheTree:
 
     def cids(self) -> Iterator[Cid]:
         """All cache ids, in insertion (= cid) order."""
-        return iter(sorted(self._entries))
+        return (cid for cid, _ in self._items)
 
     def cache(self, cid: Cid) -> Cache:
         """The cache stored at ``cid``."""
-        return self._require(cid).cache
+        try:
+            return self._entries[cid].cache
+        except KeyError:
+            raise UnknownCache(f"cache id {cid} not in tree") from None
 
     def parent(self, cid: Cid) -> Optional[Cid]:
         """The parent cid of ``cid`` (``None`` for the root)."""
@@ -133,20 +278,62 @@ class CacheTree:
     def children(self, cid: Cid) -> Tuple[Cid, ...]:
         """The direct children of ``cid``, in cid order."""
         self._require(cid)
-        return self._children[cid]
+        return self._child_map()[cid]
 
     def items(self) -> Iterator[Tuple[Cid, Cache]]:
         """``(cid, cache)`` pairs in cid order."""
-        for cid in sorted(self._entries):
-            yield cid, self._entries[cid].cache
+        return iter(self._items)
+
+    def parent_items(self) -> Iterator[Tuple[Cid, Optional[Cid], Cache]]:
+        """``(cid, parent, cache)`` triples in cid order.
+
+        The per-node safety checkers walk every node together with its
+        parent; this saves them a lookup round-trip per node.
+        """
+        entries = self._entries
+        return ((cid, entries[cid].parent, cache) for cid, cache in self._items)
 
     def leaves(self) -> List[Cid]:
         """Cids with no children."""
-        return [cid for cid in sorted(self._entries) if not self._children[cid]]
+        children = self._child_map()
+        return [cid for cid, _ in self._items if not children[cid]]
 
     # ------------------------------------------------------------------
     # Ancestry
     # ------------------------------------------------------------------
+
+    def _branch_of(self, cid: Cid) -> Tuple[Cid, ...]:
+        """The root-to-``cid`` path as a memoized tuple.
+
+        Every ancestry query (:meth:`ancestors`, :meth:`branch`,
+        :meth:`is_ancestor`, :meth:`path_between`) reduces to this
+        table; the safety checkers issue them by the million against the
+        same interned tree.  Parent chains are walked exactly as the
+        un-memoized code did (a dangling parent still raises
+        ``KeyError``; the walk is bounded so a cyclic parent chain
+        cannot hang it).
+        """
+        memo = self._memo
+        if memo is None:
+            memo = self._memo = {}
+        table = memo.get("branches")
+        if table is None:
+            table = memo["branches"] = {}
+        got = table.get(cid)
+        if got is None:
+            chain: List[Cid] = []
+            current: Optional[Cid] = cid
+            bound = len(self._entries) + 1
+            while current is not None and current not in table and bound > 0:
+                chain.append(current)
+                current = self._entries[current].parent
+                bound -= 1
+            base: Tuple[Cid, ...] = table.get(current, ()) if current is not None else ()
+            for link in reversed(chain):
+                base = base + (link,)
+                table[link] = base
+            got = table[cid]
+        return got
 
     def ancestors(self, cid: Cid, include_self: bool = False) -> List[Cid]:
         """Ancestors of ``cid`` from its parent up to the root.
@@ -154,16 +341,15 @@ class CacheTree:
         With ``include_self`` the list starts at ``cid`` itself.
         """
         self._require(cid)
-        path: List[Cid] = [cid] if include_self else []
-        current = self._entries[cid].parent
-        while current is not None:
-            path.append(current)
-            current = self._entries[current].parent
-        return path
+        branch = self._branch_of(cid)
+        if not include_self:
+            branch = branch[:-1]
+        return list(reversed(branch))
 
     def branch(self, cid: Cid) -> List[Cid]:
         """The root-to-``cid`` path, inclusive on both ends."""
-        return list(reversed(self.ancestors(cid, include_self=True)))
+        self._require(cid)
+        return list(self._branch_of(cid))
 
     def is_ancestor(self, anc: Cid, desc: Cid, strict: bool = True) -> bool:
         """True iff ``anc`` is an ancestor of ``desc``.
@@ -173,7 +359,7 @@ class CacheTree:
         self._require(anc)
         if anc == desc:
             return not strict
-        return anc in self.ancestors(desc)
+        return anc in self._branch_of(desc)
 
     def same_branch(self, a: Cid, b: Cid) -> bool:
         """True iff one of ``a``/``b`` is an ancestor-or-self of the other."""
@@ -181,12 +367,18 @@ class CacheTree:
 
     def nearest_common_ancestor(self, a: Cid, b: Cid) -> Cid:
         """The nearest common ancestor of ``a`` and ``b`` (possibly one of them)."""
-        anc_a = self.ancestors(a, include_self=True)
-        set_b = set(self.ancestors(b, include_self=True))
-        for cid in anc_a:
-            if cid in set_b:
-                return cid
-        raise MalformedTree(f"no common ancestor of {a} and {b}")
+        self._require(a)
+        self._require(b)
+        # Root-to-node paths share exactly their common prefix; the NCA
+        # is the last element of it.
+        nca: Optional[Cid] = None
+        for x, y in zip(self._branch_of(a), self._branch_of(b)):
+            if x != y:
+                break
+            nca = x
+        if nca is None:
+            raise MalformedTree(f"no common ancestor of {a} and {b}")
+        return nca
 
     def path_between(self, a: Cid, b: Cid) -> List[Cid]:
         """The path from ``a`` to ``b`` through their nearest common
@@ -202,15 +394,20 @@ class CacheTree:
         return [cid for cid in path if cid not in (a, b)]
 
     def descendants(self, cid: Cid, include_self: bool = False) -> List[Cid]:
-        """All descendants of ``cid`` (pre-order)."""
+        """All descendants of ``cid`` (pre-order; memoized per tree)."""
         self._require(cid)
-        out: List[Cid] = [cid] if include_self else []
-        stack = list(reversed(self._children[cid]))
-        while stack:
-            current = stack.pop()
-            out.append(current)
-            stack.extend(reversed(self._children[current]))
-        return out
+        memo = self.memo().setdefault("descendants", {})
+        got = memo.get(cid)
+        if got is None:
+            out: List[Cid] = []
+            children = self._child_map()
+            stack = list(reversed(children[cid]))
+            while stack:
+                current = stack.pop()
+                out.append(current)
+                stack.extend(reversed(children[current]))
+            got = memo[cid] = tuple(out)
+        return [cid, *got] if include_self else list(got)
 
     def subtree_cids(self, cid: Cid) -> FrozenSet[Cid]:
         """The set of cids rooted at ``cid`` (inclusive)."""
@@ -242,17 +439,88 @@ class CacheTree:
                 best = cid
         return best
 
+    def node_tables(
+        self,
+    ) -> Tuple[
+        Dict[NodeId, Tuple[Tuple, Cid]],
+        Dict[NodeId, Tuple[Tuple, Cid]],
+        Dict[NodeId, Tuple[Tuple, Cid]],
+    ]:
+        """Per-node greatest-cache tables, computed once per tree.
+
+        Returns ``(observed, active, committed)``: for each node id, the
+        ``((order_key, cid))`` of the greatest cache the node observes /
+        the greatest non-root cache it called / the greatest CCache it
+        supports.  One pass over the tree replaces the per-query scans
+        that dominated :func:`repro.core.aux.most_recent`,
+        :func:`~repro.core.aux.active_cache` and
+        :func:`~repro.core.aux.last_commit` -- the successor generator
+        issues dozens of those queries per state against the same tree.
+        Max keys include the cid, preserving :meth:`max_cache`'s
+        larger-cid tie-break exactly.
+        """
+        memo = self._memo
+        if memo is None:
+            memo = self._memo = {}
+        tables = memo.get("node_tables")
+        if tables is None:
+            observed: Dict[NodeId, Tuple[Tuple, Cid]] = {}
+            active: Dict[NodeId, Tuple[Tuple, Cid]] = {}
+            committed: Dict[NodeId, Tuple[Tuple, Cid]] = {}
+            for cid, cache in self._items:
+                okey = (order_key(cache), cid)
+                for nid in cache.observers:
+                    cur = observed.get(nid)
+                    if cur is None or okey > cur:
+                        observed[nid] = okey
+                if cid != ROOT_CID:
+                    nid = cache.caller
+                    cur = active.get(nid)
+                    if cur is None or okey > cur:
+                        active[nid] = okey
+                if is_ccache(cache):
+                    for nid in cache.supporters:
+                        cur = committed.get(nid)
+                        if cur is None or okey > cur:
+                            committed[nid] = okey
+            tables = memo["node_tables"] = (observed, active, committed)
+        return tables
+
+    def _kind_lists(self) -> Dict[str, List[Cid]]:
+        """Cids partitioned by cache kind, one pass, memoized per tree.
+
+        The safety checkers select by kind several times per tree; this
+        replaces repeated full scans with a single partition.
+        """
+        memo = self._memo
+        if memo is None:
+            memo = self._memo = {}
+        kinds = memo.get("kinds")
+        if kinds is None:
+            kinds = {}
+            for cid, cache in self._items:
+                kinds.setdefault(cache.kind, []).append(cid)
+            memo["kinds"] = kinds
+        return kinds
+
+    def kind_cids(self, kind: str) -> Sequence[Cid]:
+        """The cids of ``kind`` (``"E"``/``"M"``/``"R"``/``"C"``) in cid
+        order, without the defensive copy of :meth:`ccaches` and
+        friends.  Callers must not mutate the result; the safety
+        checkers iterate these once per distinct tree."""
+        return self._kind_lists().get(kind, ())
+
     def ccaches(self) -> List[Cid]:
         """All commit caches, in cid order."""
-        return self.select(is_ccache)
+        return list(self._kind_lists().get("C", ()))
 
     def rcaches(self) -> List[Cid]:
         """All reconfiguration caches, in cid order."""
-        return self.select(lambda c: c.kind == "R")
+        return list(self._kind_lists().get("R", ()))
 
     def ecaches(self) -> List[Cid]:
         """All election caches, in cid order."""
-        return self.select(is_ecache)
+        return list(self._kind_lists().get("E", ()))
 
     # ------------------------------------------------------------------
     # Well-formedness (the paper's 2.3k lines of generic tree invariants)
@@ -269,36 +537,45 @@ class CacheTree:
         same timestamp and version.
         """
         problems: List[str] = []
-        if ROOT_CID not in self._entries:
+        entries = self._entries
+        if ROOT_CID not in entries:
             return [f"root cid {ROOT_CID} missing"]
-        if self._entries[ROOT_CID].parent is not None:
+        if entries[ROOT_CID].parent is not None:
             problems.append("root has a parent")
-        for cid, entry in sorted(self._entries.items()):
+        for cid, _ in self._items:
             if cid == ROOT_CID:
                 continue
-            if entry.parent is None:
+            parent = entries[cid].parent
+            if parent is None:
                 problems.append(f"cache {cid} is a second root")
-            elif entry.parent not in self._entries:
-                problems.append(f"cache {cid} has unknown parent {entry.parent}")
-        # Acyclicity: walk each parent chain with a step bound.
+            elif parent not in entries:
+                problems.append(f"cache {cid} has unknown parent {parent}")
+        # Acyclicity: walk each parent chain with a step bound.  Chains
+        # that terminate (at the root, or at a dangling parent reported
+        # above) are remembered so shared suffixes are walked once.
         bound = len(self._entries)
+        terminating: set = set()
         for cid in self._entries:
             current: Optional[Cid] = cid
+            chain: List[Cid] = []
             for _ in range(bound + 1):
-                if current is None:
+                if current is None or current in terminating:
+                    terminating.update(chain)
                     break
                 entry = self._entries.get(current)
                 if entry is None:
+                    terminating.update(chain)
                     break
+                chain.append(current)
                 current = entry.parent
             else:
                 problems.append(f"cycle reachable from cache {cid}")
-        for cid, entry in sorted(self._entries.items()):
-            cache = entry.cache
+        for cid, cache in self._items:
+            entry = entries[cid]
             if is_ecache(cache) and cache.vrsn != 0:
                 problems.append(f"ECache {cid} has nonzero version {cache.vrsn}")
             if is_ccache(cache) and entry.parent is not None:
-                parent_cache = self._entries[entry.parent].cache
+                parent_cache = entries[entry.parent].cache
                 if not is_committable(parent_cache):
                     problems.append(
                         f"CCache {cid} parent is a {parent_cache.kind}Cache, "
@@ -320,14 +597,22 @@ class CacheTree:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, CacheTree):
             return NotImplemented
+        if self.fingerprint() != other.fingerprint():
+            return False
         return self._entries == other._entries
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            self._hash = hash(frozenset(self._entries.items()))
-        return self._hash
+        return hash(self.fingerprint())
+
+    def __reduce__(self):
+        # Trees carry caches (weak-referenceable, memoized) and derived
+        # tables; ship only the entries and re-intern on the other side
+        # so unpickled trees rejoin that process's hash-consing table.
+        return (_restore_tree, (self._entries,))
 
     def __repr__(self) -> str:
         return f"CacheTree({len(self._entries)} caches)"
@@ -340,8 +625,14 @@ class CacheTree:
             cache = self._entries[cid].cache
             prefix = "  " * depth + ("- " if depth else "")
             lines.append(f"{prefix}[{cid}] {cache.describe()}")
-            for child in self._children[cid]:
+            for child in self._child_map()[cid]:
                 walk(child, depth + 1)
 
         walk(ROOT_CID, 0)
         return "\n".join(lines)
+
+
+def _restore_tree(entries: Dict[Cid, TreeEntry]) -> CacheTree:
+    """Unpickle hook: rebuild and re-intern a tree in this process."""
+    tree = CacheTree(entries)
+    return _intern_tree(tree.fingerprint(), tree)

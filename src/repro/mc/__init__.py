@@ -27,6 +27,7 @@ from .ablations import (
     verify_intact_explorer,
 )
 from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .fpset import FingerprintSet
 from .explorer import (
     ExplorationResult,
     Explorer,
@@ -43,7 +44,12 @@ from .parallel import (
     merge_results,
     print_progress,
 )
-from .symmetry import canonical_key, symmetry_group
+from .symmetry import (
+    SymmetryReducer,
+    apply_renaming,
+    canonical_key,
+    symmetry_group,
+)
 
 __all__ = [
     "FIG4_BUDGET",
@@ -52,6 +58,8 @@ __all__ = [
     "EngineStats",
     "ExplorationResult",
     "Explorer",
+    "FingerprintSet",
+    "SymmetryReducer",
     "OpBudget",
     "ParallelExplorer",
     "ProgressSnapshot",
@@ -60,6 +68,7 @@ __all__ = [
     "ablate_overlap",
     "ablate_r2",
     "ablate_r3",
+    "apply_renaming",
     "canonical_key",
     "explore",
     "insert_btw_explorer",

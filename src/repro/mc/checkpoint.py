@@ -25,7 +25,16 @@ from typing import Any, List, Optional, Set, Tuple
 
 #: Bumped whenever the pickled layout changes; a loader seeing a
 #: different version discards the checkpoint rather than guessing.
-CHECKPOINT_VERSION = 1
+#:
+#: Version history:
+#:
+#: 1. Pickled full state objects in ``visited_keys`` -- by far the
+#:    largest part of a checkpoint.
+#: 2. Fingerprint-mode runs store the visited set as packed sorted
+#:    128-bit fingerprints in ``visited_fps`` (16 bytes per state,
+#:    canonical byte form of :class:`repro.mc.fpset.FingerprintSet`);
+#:    ``visited_keys`` stays for legacy exact-equality runs.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -51,10 +60,27 @@ class Checkpoint:
     #: Wall-clock seconds already spent across previous slices.
     elapsed_seconds: float = 0.0
     version: int = CHECKPOINT_VERSION
+    #: Fingerprint-mode visited set: sorted 16-byte little-endian
+    #: records (:meth:`repro.mc.fpset.FingerprintSet.to_bytes`).
+    #: ``None`` for legacy exact-equality runs, which keep using
+    #: ``visited_keys``.
+    visited_fps: Optional[bytes] = None
 
     @property
     def states_visited(self) -> int:
+        if self.visited_fps is not None:
+            return len(self.visited_fps) // 16
         return len(self.visited_keys)
+
+    def restore_visited(self):
+        """The live visited-set this checkpoint describes: a
+        :class:`repro.mc.fpset.FingerprintSet` for fingerprint-mode
+        checkpoints, a plain ``set`` otherwise."""
+        if self.visited_fps is not None:
+            from .fpset import FingerprintSet
+
+            return FingerprintSet.from_packed(self.visited_fps)
+        return set(self.visited_keys)
 
 
 def save_checkpoint(path: str, checkpoint: Checkpoint) -> None:
@@ -124,11 +150,23 @@ def load_checkpoint(
         )
         return None
     if checkpoint.version != CHECKPOINT_VERSION:
-        warnings.warn(
-            f"ignoring checkpoint {path!r}: version {checkpoint.version} "
-            f"!= {CHECKPOINT_VERSION}",
-            stacklevel=2,
-        )
+        if checkpoint.version == 1:
+            # v1 checkpoints predate the compact visited set; their
+            # visited_keys pickles full state objects from the old
+            # engine and cannot be mapped onto fingerprint-mode dedup.
+            warnings.warn(
+                f"ignoring checkpoint {path!r}: version 1 checkpoints "
+                "(pre-compact-visited-set) cannot be resumed by this "
+                f"engine (version {CHECKPOINT_VERSION}); delete it and "
+                "re-run from scratch",
+                stacklevel=2,
+            )
+        else:
+            warnings.warn(
+                f"ignoring checkpoint {path!r}: version "
+                f"{checkpoint.version} != {CHECKPOINT_VERSION}",
+                stacklevel=2,
+            )
         return None
     if fingerprint is not None and checkpoint.fingerprint != fingerprint:
         warnings.warn(

@@ -1,0 +1,165 @@
+"""The seed (pre-optimization) model-checking engine, frozen in-tree.
+
+This package is a verbatim copy of the explorer hot path as it stood
+before the hash-consing / incremental-fingerprint rework: the original
+``CacheTree`` (full-copy growth operations, per-query tree scans), the
+original auxiliary functions, oracles, semantics, safety checkers, and
+the original sequential :class:`Explorer`.  Only the modules that the
+rework touched are vendored; unchanged leaf modules
+(:mod:`repro.core.config`, :mod:`repro.core.errors`) are imported from
+their current location.
+
+It exists for two reasons:
+
+* **Benchmarking** -- ``benchmarks/test_mc_throughput.py`` measures the
+  old and new engines side by side on the same machine in the same
+  process tree, so the recorded speedup is a real like-for-like ratio
+  rather than a number copied from an older commit.
+* **Parity testing** -- ``tests/mc/test_parity.py`` asserts that the
+  optimized engine visits exactly the same number of states and
+  transitions, reaches the same verdict, and reports the same first
+  violation as this engine on the Fig. 4 instances, intact and ablated.
+
+Do not "fix" or optimize anything here; its value is precisely that it
+does not change.  It will be deleted once the optimized engine has
+soaked long enough to be trusted on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...schemes.single_node import RaftSingleNodeScheme, UnsafeMultiNodeScheme
+from .cache import CCache
+from .explorer import (
+    ExplorationResult,
+    Explorer,
+    OpBudget,
+    jump_reconfig_candidates,
+)
+from .oracle import Fail
+
+__all__ = [
+    "ExplorationResult",
+    "Explorer",
+    "OpBudget",
+    "verify_intact_explorer",
+    "hunt_explorer",
+    "r3_explorer",
+    "r2_explorer",
+    "overlap_explorer",
+    "insert_btw_explorer",
+]
+
+
+def verify_intact_explorer(
+    budget: Optional[OpBudget] = None,
+    conf0: frozenset = frozenset({1, 2, 3}),
+    max_states: int = 500_000,
+    **overrides,
+) -> Explorer:
+    """The seed engine configured exactly like
+    :func:`repro.mc.ablations.verify_intact_explorer`."""
+    params = dict(
+        scheme=RaftSingleNodeScheme(),
+        conf0=conf0,
+        budget=budget or OpBudget(pulls=2, invokes=2, reconfigs=2, pushes=2),
+        max_states=max_states,
+        stop_at_first_violation=True,
+        strategy="bfs",
+    )
+    params.update(overrides)
+    return Explorer(**params)
+
+
+# ----------------------------------------------------------------------
+# Seed-engine twins of the repro.mc.ablations hunt factories, for
+# like-for-like parity tests.  They must build every state ingredient
+# (caches, push override) from the *legacy* modules: mixing current-core
+# objects into legacy trees would silently break the seed engine's
+# exact-equality dedup.
+# ----------------------------------------------------------------------
+
+FIG4_NODES = frozenset({1, 2, 3, 4})
+FIG4_BUDGET = OpBudget(pulls=3, invokes=1, reconfigs=2, pushes=2)
+
+
+def hunt_explorer(**overrides) -> Explorer:
+    """Seed-engine twin of ``repro.mc.ablations._hunt_explorer``."""
+    params = dict(
+        scheme=RaftSingleNodeScheme(),
+        conf0=FIG4_NODES,
+        callers=[1, 2],
+        budget=FIG4_BUDGET,
+        quorum_pulls_only=True,
+        minimal_quorums_only=True,
+        invariants=["safety"],
+        strategy="guided",
+    )
+    params.update(overrides)
+    return Explorer(**params)
+
+
+def r3_explorer(max_states: int = 300_000, **overrides) -> Explorer:
+    return hunt_explorer(enforce_r3=False, max_states=max_states, **overrides)
+
+
+def _removals_only(state, nid, conf):
+    conf_set = frozenset(conf)
+    if len(conf_set) > 1:
+        for node in sorted(conf_set):
+            yield conf_set - {node}
+
+
+def r2_explorer(max_states: int = 300_000, **overrides) -> Explorer:
+    params = dict(
+        enforce_r2=False,
+        max_states=max_states,
+        budget=OpBudget(pulls=2, invokes=2, reconfigs=3, pushes=3),
+        reconfig_candidates=_removals_only,
+    )
+    params.update(overrides)
+    return hunt_explorer(**params)
+
+
+def overlap_explorer(max_states: int = 300_000, **overrides) -> Explorer:
+    params = dict(
+        scheme=UnsafeMultiNodeScheme(),
+        reconfig_candidates=jump_reconfig_candidates(FIG4_NODES),
+        max_states=max_states,
+        budget=OpBudget(pulls=3, invokes=2, reconfigs=1, pushes=3),
+    )
+    params.update(overrides)
+    return hunt_explorer(**params)
+
+
+def _leaf_push(state, nid, outcome, scheme):
+    """The insertBtw ablation's push, over legacy state objects."""
+    if isinstance(outcome, Fail):
+        return state, None, "oracle-fail"
+    target = state.tree.cache(outcome.target)
+    state = state.set_times(outcome.group, target.time)
+    if not scheme.is_quorum(outcome.group, target.conf):
+        return state, None, "no-quorum"
+    new_cache = CCache(
+        caller=nid,
+        time=target.time,
+        vrsn=target.vrsn,
+        conf=target.conf,
+        voters=outcome.group,
+    )
+    tree, cid = state.tree.add_leaf(outcome.target, new_cache)
+    return state.with_tree(tree), cid, "ok"
+
+
+def insert_btw_explorer(max_states: int = 100_000, **overrides) -> Explorer:
+    params = dict(
+        budget=OpBudget(pulls=1, invokes=2, reconfigs=0, pushes=2),
+        invariants=["safety", "well-formedness"],
+        enforce_r3=True,
+        max_states=max_states,
+        strategy="bfs",
+        push_step=_leaf_push,
+    )
+    params.update(overrides)
+    return hunt_explorer(**params)

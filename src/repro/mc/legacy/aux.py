@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, Optional
 
 from .cache import Cache, Cid, Config, NodeId, cache_gt, is_ccache, is_committable, is_rcache
-from .config import ReconfigScheme
+from ...core.config import ReconfigScheme
 from .state import AdoreState
 from .tree import ROOT_CID, CacheTree
 
@@ -25,20 +25,15 @@ def most_recent(tree: CacheTree, group: Iterable[NodeId]) -> Cid:
     bump timestamps but do not transfer logs.  Falls back to the root
     (observed by all of conf₀) when no member of ``Q`` has observed
     anything else.
-
-    Implemented against the tree's per-node greatest-observed table
-    (:meth:`CacheTree.node_tables`): the max over ``Q`` of per-node
-    maxima equals the max over all caches observed by ``Q``, and the
-    table keys are ``(order_key, cid)`` so the larger-cid tie-break of
-    :meth:`CacheTree.max_cache` is preserved exactly.
     """
-    observed = tree.node_tables()[0]
-    best = None
-    for nid in group:
-        entry = observed.get(nid)
-        if entry is not None and (best is None or entry > best):
-            best = entry
-    return ROOT_CID if best is None else best[1]
+    group_set = frozenset(group)
+    candidates = [
+        cid
+        for cid, cache in tree.items()
+        if group_set & cache.observers
+    ]
+    best = tree.max_cache(candidates)
+    return ROOT_CID if best is None else best
 
 
 def active_cache(tree: CacheTree, nid: NodeId) -> Optional[Cid]:
@@ -48,8 +43,9 @@ def active_cache(tree: CacheTree, nid: NodeId) -> Optional[Cid]:
     in that case it has no active branch and ``invoke``/``reconfig``/
     ``push`` are no-ops for it.
     """
-    entry = tree.node_tables()[1].get(nid)
-    return None if entry is None else entry[1]
+    return tree.max_cache(
+        cid for cid, cache in tree.items() if cache.caller == nid and cid != ROOT_CID
+    )
 
 
 def last_commit(tree: CacheTree, nid: NodeId) -> Cid:
@@ -59,8 +55,12 @@ def last_commit(tree: CacheTree, nid: NodeId) -> Cid:
     acknowledged a commit simply gets the root (time 0), which never
     blocks anything.
     """
-    entry = tree.node_tables()[2].get(nid)
-    return ROOT_CID if entry is None else entry[1]
+    best = tree.max_cache(
+        cid
+        for cid, cache in tree.items()
+        if is_ccache(cache) and nid in cache.supporters
+    )
+    return ROOT_CID if best is None else best
 
 
 def valid_supp(
@@ -94,26 +94,15 @@ def r2_holds(tree: CacheTree, cid: Cid) -> bool:
     CCache strictly below it and at-or-above ``cid``.  Counting ``cid``
     itself ensures a leader whose active cache *is* an uncommitted
     RCache cannot start a second reconfiguration.
-
-    Pure in the (immutable) tree and ``cid``, so the result is memoized
-    on the interned tree -- the reconfig enumerator re-asks this for the
-    same active cache once per candidate configuration.
     """
-    memo = tree.memo()
-    key = ("r2", cid)
-    held = memo.get(key)
-    if held is None:
-        held = True
-        branch = tree.branch(cid)
-        for index, anc in enumerate(branch):
-            if not is_rcache(tree.cache(anc)):
-                continue
-            below = branch[index + 1 :]
-            if not any(is_ccache(tree.cache(c)) for c in below):
-                held = False
-                break
-        memo[key] = held
-    return held
+    branch = tree.branch(cid)
+    for index, anc in enumerate(branch):
+        if not is_rcache(tree.cache(anc)):
+            continue
+        below = branch[index + 1 :]
+        if not any(is_ccache(tree.cache(c)) for c in below):
+            return False
+    return True
 
 
 def r3_holds(tree: CacheTree, cid: Cid) -> bool:
@@ -124,20 +113,12 @@ def r3_holds(tree: CacheTree, cid: Cid) -> bool:
     membership bug: it forces the leader to commit a command of its own
     term before reconfiguring, which implicitly finalizes or invalidates
     any reconfiguration still pending from an earlier term.
-
-    Memoized on the interned tree like :func:`r2_holds`.
     """
-    memo = tree.memo()
-    key = ("r3", cid)
-    held = memo.get(key)
-    if held is None:
-        target = tree.cache(cid)
-        held = any(
-            is_ccache(tree.cache(anc)) and tree.cache(anc).time == target.time
-            for anc in tree.ancestors(cid, include_self=True)
-        )
-        memo[key] = held
-    return held
+    target = tree.cache(cid)
+    return any(
+        is_ccache(tree.cache(anc)) and tree.cache(anc).time == target.time
+        for anc in tree.ancestors(cid, include_self=True)
+    )
 
 
 def can_reconf(

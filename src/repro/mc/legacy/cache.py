@@ -26,9 +26,7 @@ as :func:`cache_gt` and as the sort key :func:`order_key`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Tuple, Union
-
-from .fingerprint import canonical_encode, fp128
+from typing import FrozenSet, Hashable, Tuple, Union
 
 NodeId = int
 Time = int
@@ -58,11 +56,7 @@ class _CacheBase:
         caller (Fig. 9); election and commit caches override this with the
         explicit voter set recorded by the oracle.
         """
-        memo = self.__dict__.get("_callerset")
-        if memo is None:
-            memo = frozenset({self.caller})
-            object.__setattr__(self, "_callerset", memo)
-        return memo
+        return frozenset({self.caller})
 
     @property
     def observers(self) -> FrozenSet[NodeId]:
@@ -80,24 +74,7 @@ class _CacheBase:
         makes the Fig. 4 counterexample expressible: a voter of a later
         election can still legitimately serve an older branch.
         """
-        return self.supporters
-
-    def fingerprint(self) -> int:
-        """A 128-bit structural fingerprint of this cache.
-
-        Computed once per instance (caches are immutable) from the
-        canonical type-tagged encoding, so two caches fingerprint
-        equally iff they compare equal -- regardless of how the
-        ``conf``/``voters`` collections were built up.
-        """
-        fp = self.__dict__.get("_fp")
-        if fp is None:
-            fp = fp128(canonical_encode((self.kind,) + self._fp_fields()))
-            object.__setattr__(self, "_fp", fp)
-        return fp
-
-    def _fp_fields(self) -> Tuple:
-        return (self.caller, self.time, self.vrsn, self.conf)
+        return frozenset({self.caller})
 
     def describe(self) -> str:
         """A compact human-readable rendering, e.g. ``E(n1,t2,v0)``."""
@@ -129,14 +106,7 @@ class ECache(_CacheBase):
         # caller is therefore an observer; the voters are not.  Note
         # {caller} ⊆ voters, so this stays a sub-relation of the
         # paper's supporter relation.
-        memo = self.__dict__.get("_callerset")
-        if memo is None:
-            memo = frozenset({self.caller})
-            object.__setattr__(self, "_callerset", memo)
-        return memo
-
-    def _fp_fields(self) -> Tuple:
-        return (self.caller, self.time, self.vrsn, self.conf, self.voters)
+        return frozenset({self.caller})
 
 
 @dataclass(frozen=True)
@@ -151,9 +121,6 @@ class MCache(_CacheBase):
 
     method: Method = None
     kind: str = field(default="M", init=False, repr=False)
-
-    def _fp_fields(self) -> Tuple:
-        return (self.caller, self.time, self.vrsn, self.conf, self.method)
 
 
 @dataclass(frozen=True)
@@ -191,32 +158,8 @@ class CCache(_CacheBase):
         # Acknowledging a commit adopts the leader's branch up to here.
         return self.voters
 
-    def _fp_fields(self) -> Tuple:
-        return (self.caller, self.time, self.vrsn, self.conf, self.voters)
-
 
 Cache = Union[ECache, MCache, RCache, CCache]
-
-#: Per-process intern table: cache -> the canonical instance.  Keyed by
-#: the caches themselves: dataclass equality is exact (no fingerprint
-#: collision risk) and the generated tuple hash is far cheaper than a
-#: structural fingerprint, which matters because the successor generator
-#: constructs millions of short-lived candidate caches.  Caches are tiny
-#: and the set of distinct ones a run creates is far smaller than its
-#: set of distinct trees, so a strong table is fine.
-_INTERNED: Dict["Cache", "Cache"] = {}
-
-
-def intern_cache(cache: "Cache") -> "Cache":
-    """The canonical shared instance structurally equal to ``cache``.
-
-    Hash-consing: every tree-growth operation routes its new cache
-    through this table, so structurally-equal caches are reference-equal
-    within a process, their fingerprints/order keys/observer sets are
-    computed once (and only for caches that actually get interned), and
-    successor trees share cache objects with their parents.
-    """
-    return _INTERNED.setdefault(cache, cache)
 
 
 def is_ecache(cache: _CacheBase) -> bool:
@@ -252,11 +195,7 @@ def order_key(cache: _CacheBase) -> Tuple[Time, Vrsn, int]:
     per timestamp, version numbers incremented per call) this key is
     unique for the caches the semantics ever compares.
     """
-    key = cache.__dict__.get("_okey")
-    if key is None:
-        key = (cache.time, cache.vrsn, 1 if is_ccache(cache) else 0)
-        object.__setattr__(cache, "_okey", key)
-    return key
+    return (cache.time, cache.vrsn, 1 if is_ccache(cache) else 0)
 
 
 def cache_gt(left: _CacheBase, right: _CacheBase) -> bool:

@@ -33,20 +33,20 @@ from typing import (
     Tuple,
 )
 
-from ..core.aux import active_cache, r2_holds, r3_holds
-from ..core.cache import Config, NodeId
-from ..core.config import ReconfigScheme
-from ..core.oracle import (
+from .aux import active_cache
+from .cache import Config, NodeId
+from ...core.config import ReconfigScheme
+from .oracle import (
     enumerate_pull_outcomes,
     enumerate_push_outcomes,
 )
-from ..core.safety import (
+from .safety import (
     SafetyReport,
     check_state,
     validate_invariant_labels,
 )
-from ..core.semantics import apply_invoke, apply_pull, apply_push, apply_reconfig
-from ..core.state import AdoreState, initial_state
+from .semantics import apply_invoke, apply_pull, apply_push, apply_reconfig
+from .state import AdoreState, initial_state
 
 #: A single schedule step, for counterexample traces:
 #: ``(op, nid, detail)`` such as ``("pull", 1, "Q={1,2}, t=1")``.
@@ -70,38 +70,21 @@ class OpBudget:
     pushes: int = 2
 
     def spend(self, op: str) -> Optional["OpBudget"]:
-        """The remaining budget after one ``op``; ``None`` if exhausted.
-
-        Memoized per ``(budget, op)``: the explorer spends once per
-        transition, but only ~(pulls+1)(invokes+1)(reconfigs+1)(pushes+1)
-        distinct budgets ever exist in a run.
-        """
-        key = (self, op)
-        hit = _SPEND_MEMO.get(key)
-        if hit is not None:
-            return hit[0]
+        """The remaining budget after one ``op``; ``None`` if exhausted."""
         field_name = op + ("es" if op == "push" else "s")
         remaining = getattr(self, field_name)
         if remaining <= 0:
-            result = None
-        else:
-            result = OpBudget(**{
-                "pulls": self.pulls,
-                "invokes": self.invokes,
-                "reconfigs": self.reconfigs,
-                "pushes": self.pushes,
-                field_name: remaining - 1,
-            })
-        _SPEND_MEMO[key] = (result,)
-        return result
+            return None
+        return OpBudget(**{
+            "pulls": self.pulls,
+            "invokes": self.invokes,
+            "reconfigs": self.reconfigs,
+            "pushes": self.pushes,
+            field_name: remaining - 1,
+        })
 
     def total(self) -> int:
         return self.pulls + self.invokes + self.reconfigs + self.pushes
-
-
-#: Process-wide ``(budget, op) -> (spent budget or None,)`` memo; the
-#: 1-tuple wrapper distinguishes a memoized None from a miss.
-_SPEND_MEMO: dict = {}
 
 
 @dataclass
@@ -230,7 +213,6 @@ class Explorer:
         strategy: str = "bfs",
         push_step: Optional[Callable] = None,
         symmetry: bool = False,
-        fingerprints: bool = True,
     ) -> None:
         self.scheme = scheme
         self.conf0 = conf0
@@ -279,28 +261,15 @@ class Explorer:
         #: Sound for set-based configurations; the group respects the
         #: restricted caller set when one is given.
         self.symmetry = symmetry
-        #: Deduplicate by 128-bit structural fingerprint (compact visited
-        #: set, incremental hashing) instead of by full state objects.
-        #: ``False`` restores the seed engine's exact-equality dedup --
-        #: kept as a collision canary: fingerprint mode must visit the
-        #: same states (see tests/mc/test_parity.py).
-        self.fingerprints = fingerprints
-        self._sym_group = None
-        self._sym_reducer = None
         if symmetry:
+            from .symmetry import symmetry_group
+
             fixed = [frozenset(self.callers)] if callers is not None else []
-            if fingerprints:
-                from .symmetry import SymmetryReducer
-
-                self._sym_reducer = SymmetryReducer(
-                    scheme.members(conf0), fixed_sets=fixed
-                )
-            else:
-                from .symmetry import symmetry_group
-
-                self._sym_group = symmetry_group(
-                    scheme.members(conf0), fixed_sets=fixed
-                )
+            self._sym_group = symmetry_group(
+                scheme.members(conf0), fixed_sets=fixed
+            )
+        else:
+            self._sym_group = None
 
     # ------------------------------------------------------------------
     # The pure step API.  Everything below is side-effect free, so the
@@ -313,32 +282,13 @@ class Explorer:
         return initial_state(self.conf0, self.scheme)
 
     def state_key(self, state: AdoreState) -> Hashable:
-        """The deduplication key of ``state``.
-
-        In fingerprint mode this is a 128-bit int (the state's
-        structural fingerprint, or the fingerprint of its canonical
-        symmetry representative); in legacy mode it is the state object
-        itself (or its full canonical serialization under symmetry).
-        """
-        if self.fingerprints:
-            if self._sym_reducer is not None:
-                return self._sym_reducer.canonical_fingerprint(state)
-            return state.fingerprint()
+        """The deduplication key of ``state`` (canonical under the
+        symmetry group when symmetry reduction is on)."""
         if self._sym_group is None:
             return state
         from .symmetry import canonical_key
 
         return canonical_key(state, self._sym_group)
-
-    def new_visited_set(self):
-        """An empty visited-set of the kind this configuration needs:
-        a :class:`repro.mc.fpset.FingerprintSet` in fingerprint mode, a
-        plain ``set`` otherwise."""
-        if self.fingerprints:
-            from .fpset import FingerprintSet
-
-            return FingerprintSet()
-        return set()
 
     def check(self, state: AdoreState) -> SafetyReport:
         """The safety report for ``state`` under this exploration's
@@ -375,7 +325,6 @@ class Explorer:
             self.minimal_quorums_only,
             self.strategy,
             self.symmetry,
-            self.fingerprints,
             getattr(self.reconfig_candidates, "__qualname__",
                     type(self.reconfig_candidates).__name__),
             getattr(self.push_step, "__qualname__",
@@ -384,27 +333,14 @@ class Explorer:
         return hashlib.sha256(repr(parts).encode()).hexdigest()
 
     def successors(
-        self, state: AdoreState, ops: Optional[frozenset] = None
+        self, state: AdoreState
     ) -> Iterator[Tuple[OpDesc, AdoreState]]:
-        """Every distinct state one valid operation away from ``state``.
-
-        ``ops`` optionally restricts which operation kinds are
-        *generated* (names as in :class:`OpBudget`: "pull", "invoke",
-        "reconfig", "push").  Relative order of the remaining successors
-        is unchanged, so budget-gated generation is observationally
-        identical to generating everything and filtering afterwards --
-        without constructing the successor trees the filter would drop,
-        which used to be most of them.
-        """
+        """Every distinct state one valid operation away from ``state``."""
         for nid in self.callers:
-            if ops is None or "pull" in ops:
-                yield from self._pull_successors(state, nid)
-            if ops is None or "invoke" in ops:
-                yield from self._invoke_successors(state, nid)
-            if ops is None or "reconfig" in ops:
-                yield from self._reconfig_successors(state, nid)
-            if ops is None or "push" in ops:
-                yield from self._push_successors(state, nid)
+            yield from self._pull_successors(state, nid)
+            yield from self._invoke_successors(state, nid)
+            yield from self._reconfig_successors(state, nid)
+            yield from self._push_successors(state, nid)
 
     def expand(
         self, state: AdoreState, budget: OpBudget
@@ -417,17 +353,7 @@ class Explorer:
         unit of work both engines execute; each yielded tuple counts as
         one transition.
         """
-        ops = frozenset(
-            op
-            for op, left in (
-                ("pull", budget.pulls),
-                ("invoke", budget.invokes),
-                ("reconfig", budget.reconfigs),
-                ("push", budget.pushes),
-            )
-            if left > 0
-        )
-        for op_desc, next_state in self.successors(state, ops):
+        for op_desc, next_state in self.successors(state):
             next_budget = budget.spend(op_desc[0])
             if next_budget is None:
                 continue
@@ -450,7 +376,7 @@ class Explorer:
             include_non_quorum=not self.quorum_pulls_only,
         )
         if self.minimal_quorums_only:
-            from ..core.aux import most_recent
+            from .aux import most_recent
 
             outcomes = [
                 o
@@ -478,17 +404,7 @@ class Explorer:
         active = active_cache(state.tree, nid)
         if active is None:
             return
-        cache = state.tree.cache(active)
-        # The leader / R2 / R3 gates of apply_reconfig depend only on
-        # (tree, active), not the candidate: when any fails, *every*
-        # candidate is a NoOp, so hoist them out of the loop.
-        if not state.is_leader(nid, cache.time):
-            return
-        if self.enforce_r2 and not r2_holds(state.tree, active):
-            return
-        if self.enforce_r3 and not r3_holds(state.tree, active):
-            return
-        conf = cache.conf
+        conf = state.tree.cache(active).conf
         seen = set()
         for candidate in self.reconfig_candidates(state, nid, conf):
             if candidate in seen:
@@ -542,18 +458,7 @@ class Explorer:
 
         start = _time.monotonic()
         init = self.initial()
-        visited = self.new_visited_set()
-        visited.add(self.state_key(init))
-        # One probe per successor instead of two: FingerprintSet.add
-        # reports whether the key was new, and for plain sets a length
-        # comparison gives the same answer after one C-level insert.
-        if isinstance(visited, set):
-            def add_if_new(key, _add=visited.add, _visited=visited):
-                before = len(_visited)
-                _add(key)
-                return len(_visited) != before
-        else:
-            add_if_new = visited.add
+        visited = {self.state_key(init)}
         violations: List[Violation] = []
         transitions = 0
         max_depth = 0
@@ -601,12 +506,12 @@ class Explorer:
                 state, budget
             ):
                 transitions += 1
+                if key in visited:
+                    continue
                 if len(visited) >= self.max_states:
-                    if key not in visited:
-                        exhausted = False
+                    exhausted = False
                     continue
-                if not add_if_new(key):
-                    continue
+                visited.add(key)
                 next_trace = trace + (op_desc,)
                 report = self.check(next_state)
                 if not report.ok:

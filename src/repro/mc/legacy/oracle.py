@@ -24,15 +24,13 @@ import itertools
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
 from .aux import can_commit, most_recent, valid_supp
 from .cache import Cid, NodeId, Time, is_committable
-from .config import ReconfigScheme
-from .errors import InvalidOracleOutcome
+from ...core.config import ReconfigScheme
+from ...core.errors import InvalidOracleOutcome
 from .state import AdoreState
-from .tree import ROOT_CID
 
 
 @dataclass(frozen=True)
@@ -140,36 +138,18 @@ def validate_push(
 # ----------------------------------------------------------------------
 
 def known_nodes(state: AdoreState, scheme: ReconfigScheme) -> FrozenSet[NodeId]:
-    """Every node id mentioned by any configuration in the tree.
-
-    Pure in the (immutable) tree and the scheme, so memoized on the
-    interned tree -- the successor generator asks this once per caller
-    per state against the same tree.
-    """
-    memo = state.tree.memo()
-    key = ("known_nodes", scheme.name)
-    nodes = memo.get(key)
-    if nodes is None:
-        acc: Set[NodeId] = set()
-        for _, cache in state.tree.items():
-            acc |= scheme.members(cache.conf)
-        nodes = memo[key] = frozenset(acc)
-    return nodes
-
-
-@lru_cache(maxsize=4096)
-def _subsets_of(ordered: Tuple[NodeId, ...]) -> Tuple[FrozenSet[NodeId], ...]:
-    return tuple(
-        frozenset(combo)
-        for size in range(1, len(ordered) + 1)
-        for combo in itertools.combinations(ordered, size)
-    )
+    """Every node id mentioned by any configuration in the tree."""
+    nodes: Set[NodeId] = set()
+    for _, cache in state.tree.items():
+        nodes |= scheme.members(cache.conf)
+    return frozenset(nodes)
 
 
 def _nonempty_subsets(universe: Sequence[NodeId]) -> Iterator[FrozenSet[NodeId]]:
-    # The checker enumerates subsets of the same few-node universes
-    # millions of times; reuse the frozensets instead of rebuilding.
-    return iter(_subsets_of(tuple(sorted(universe))))
+    ordered = sorted(universe)
+    for size in range(1, len(ordered) + 1):
+        for combo in itertools.combinations(ordered, size):
+            yield frozenset(combo)
 
 
 def enumerate_pull_outcomes(
@@ -192,33 +172,16 @@ def enumerate_pull_outcomes(
     bump timestamps, so the default keeps them).
     """
     outcomes: List[PullOk] = []
-    tree = state.tree
     universe = known_nodes(state, scheme)
-    # Hoisted inner loop: this runs once per candidate supporter set per
-    # state, so the per-group mostRecent query is inlined against the
-    # tree's per-node greatest-observed table (same max + tie-break as
-    # aux.most_recent) and validSupp's membership test is applied
-    # directly.
-    observed = tree.node_tables()[0]
-    times_get = state.times.get
     for group in _nonempty_subsets(sorted(universe)):
         if nid not in group:
             continue
-        best = None
-        base_time = 0
-        for member in group:
-            entry = observed.get(member)
-            if entry is not None and (best is None or entry > best):
-                best = entry
-            t = times_get(member)
-            if t > base_time:
-                base_time = t
-        c_max = tree.cache(ROOT_CID if best is None else best[1])
-        if not group <= scheme.members(c_max.conf):
+        c_max = state.tree.cache(most_recent(state.tree, group))
+        if not valid_supp(nid, group, c_max, scheme):
             continue
         if not include_non_quorum and not scheme.is_quorum(group, c_max.conf):
             continue
-        base_time += 1
+        base_time = max(state.time_of(s) for s in group) + 1
         for offset in range(extra_times + 1):
             outcomes.append(PullOk(group=group, time=base_time + offset))
     return outcomes

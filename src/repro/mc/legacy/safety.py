@@ -18,8 +18,8 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterable, List, Optional, Tuple
 
-from .cache import Cid, cache_gt, is_ccache, is_committable, is_ecache, is_rcache, order_key
-from .errors import SafetyViolation
+from .cache import Cid, cache_gt, is_ccache, is_committable, is_ecache, is_rcache
+from ...core.errors import SafetyViolation
 from .state import AdoreState
 from .tree import ROOT_CID, CacheTree
 
@@ -28,66 +28,15 @@ from .tree import ROOT_CID, CacheTree
 # rdist (Definition 4.2)
 # ----------------------------------------------------------------------
 
-def _rprefix(tree: CacheTree) -> dict:
-    """Per-cid count of RCaches on the root-to-cid path (inclusive).
-
-    Memoized on the (hash-consed) tree; turns :func:`rdist` into O(depth)
-    arithmetic instead of materializing the path.  Built by walking down
-    from the root, so it covers exactly the caches reachable from it --
-    the only ones ``rdist`` is ever asked about on well-formed trees.
-    """
-    memo = tree.memo()
-    table = memo.get("rprefix")
-    if table is None:
-        # Incremental form: a tree derived by add_leaf extends the
-        # parent tree's table by one entry, and insert_btw only ever
-        # inserts a CCache (never an RCache), which changes no existing
-        # path's RCache count either.  Both therefore copy the parent
-        # table and add the new node's entry.
-        prov = memo.get("prov")
-        if prov is not None:
-            parent_tree, op, new_cid, parent_cid = prov
-            parent_memo = parent_tree._memo
-            base = parent_memo.get("rprefix") if parent_memo else None
-            new_is_r = is_rcache(tree.cache(new_cid))
-            if base is not None and (op == "leaf" or not new_is_r):
-                table = dict(base)
-                table[new_cid] = base[parent_cid] + (1 if new_is_r else 0)
-                memo["rprefix"] = table
-                return table
-        table = {}
-        stack = [(ROOT_CID, 0)]
-        while stack:
-            cid, above = stack.pop()
-            count = above + (1 if is_rcache(tree.cache(cid)) else 0)
-            table[cid] = count
-            for child in tree.children(cid):
-                stack.append((child, count))
-        memo["rprefix"] = table
-    return table
-
-
 def rdist(tree: CacheTree, a: Cid, b: Cid) -> int:
     """The number of RCaches on the path between ``a`` and ``b``.
 
     The path runs through the nearest common ancestor and excludes both
     endpoints (Definition 4.2).  This counts exactly the
     reconfigurations that can make the two caches' configurations
-    diverge.  Computed from the per-branch RCache prefix counts: each
-    leg contributes its prefix-count difference to the NCA minus the
-    excluded endpoint, and the NCA itself counts when it is interior.
+    diverge.
     """
-    nca = tree.nearest_common_ancestor(a, b)
-    table = _rprefix(tree)
-    at_nca = table[nca]
-    total = 0
-    if a != nca:
-        total += table[a] - at_nca - (1 if is_rcache(tree.cache(a)) else 0)
-    if b != nca:
-        total += table[b] - at_nca - (1 if is_rcache(tree.cache(b)) else 0)
-    if nca != a and nca != b and is_rcache(tree.cache(nca)):
-        total += 1
-    return total
+    return sum(1 for cid in tree.path_between(a, b) if is_rcache(tree.cache(cid)))
 
 
 def tree_rdist(tree: CacheTree) -> int:
@@ -116,7 +65,7 @@ def is_committed(tree: CacheTree, cid: Cid) -> bool:
 
 def max_ccache(tree: CacheTree) -> Cid:
     """The greatest CCache under the cache order (the deepest commit)."""
-    best = tree.max_cache(tree.kind_cids("C"))
+    best = tree.max_cache(tree.ccaches())
     return ROOT_CID if best is None else best
 
 
@@ -155,7 +104,7 @@ def check_replicated_state_safety(tree: CacheTree) -> List[str]:
     violation descriptions (empty when safe).
     """
     problems: List[str] = []
-    ccaches = tree.kind_cids("C")
+    ccaches = tree.ccaches()
     for a, b in combinations(ccaches, 2):
         if not tree.same_branch(a, b):
             problems.append(
@@ -172,12 +121,13 @@ def check_descendant_order(tree: CacheTree) -> List[str]:
     If ``C_Y`` is a descendant of ``C_X`` then ``C_Y > C_X``.
     """
     problems: List[str] = []
-    for cid, parent, cache in tree.parent_items():
+    for cid in tree.cids():
+        parent = tree.parent(cid)
         if parent is None:
             continue
-        if not cache_gt(cache, tree.cache(parent)):
+        if not cache_gt(tree.cache(cid), tree.cache(parent)):
             problems.append(
-                f"cache {cid} ({cache.describe()}) is not greater "
+                f"cache {cid} ({tree.cache(cid).describe()}) is not greater "
                 f"than its parent {parent} ({tree.cache(parent).describe()})"
             )
     return problems
@@ -194,16 +144,15 @@ def check_leader_time_uniqueness(
     what the ablations break).
     """
     problems: List[str] = []
-    etimes = [(cid, tree.cache(cid).time) for cid in tree.kind_cids("E")]
-    for (a, ta), (b, tb) in combinations(etimes, 2):
-        if ta != tb:
-            continue
+    ecaches = tree.ecaches()
+    for a, b in combinations(ecaches, 2):
         if max_rdist is not None and rdist(tree, a, b) > max_rdist:
             continue
-        problems.append(
-            f"ECaches {a} and {b} share timestamp {ta} "
-            f"(rdist={rdist(tree, a, b)})"
-        )
+        if tree.cache(a).time == tree.cache(b).time:
+            problems.append(
+                f"ECaches {a} and {b} share timestamp {tree.cache(a).time} "
+                f"(rdist={rdist(tree, a, b)})"
+            )
     return problems
 
 
@@ -217,11 +166,9 @@ def check_election_commit_order(
     leaders must have every earlier commit in their history.
     """
     problems: List[str] = []
-    ckeys = [(c, order_key(tree.cache(c))) for c in tree.kind_cids("C")]
-    for e in tree.kind_cids("E"):
-        ekey = order_key(tree.cache(e))
-        for c, ckey in ckeys:
-            if not ekey > ckey:
+    for e in tree.ecaches():
+        for c in tree.ccaches():
+            if not cache_gt(tree.cache(e), tree.cache(c)):
                 continue
             if max_rdist is not None and rdist(tree, e, c) > max_rdist:
                 continue
@@ -243,7 +190,7 @@ def check_ccache_in_rcache_fork(tree: CacheTree) -> List[str]:
     the circularity in the general safety proof.
     """
     problems: List[str] = []
-    for a, b in combinations(tree.kind_cids("R"), 2):
+    for a, b in combinations(tree.rcaches(), 2):
         if tree.same_branch(a, b):
             continue
         if rdist(tree, a, b) != 0:
@@ -265,7 +212,9 @@ def check_ccache_in_rcache_fork(tree: CacheTree) -> List[str]:
 def check_version_reset(tree: CacheTree) -> List[str]:
     """ECaches reset the version number to 0; M/RCaches increment it."""
     problems: List[str] = []
-    for cid, parent, cache in tree.parent_items():
+    for cid in tree.cids():
+        cache = tree.cache(cid)
+        parent = tree.parent(cid)
         if is_ecache(cache) and cache.vrsn != 0:
             problems.append(f"ECache {cid} has version {cache.vrsn}")
         if parent is not None and is_committable(cache):
@@ -305,15 +254,7 @@ class SafetyReport:
     @property
     def ok(self) -> bool:
         """True when no checker reported a violation."""
-        return not (
-            self.safety
-            or self.well_formedness
-            or self.descendant_order
-            or self.leader_time_uniqueness
-            or self.election_commit_order
-            or self.ccache_in_rcache_fork
-            or self.version_reset
-        )
+        return not self.all_violations()
 
     def _by_label(self) -> List[Tuple[str, List[str]]]:
         return [
@@ -367,124 +308,6 @@ def validate_invariant_labels(labels: Iterable[str]) -> Tuple[str, ...]:
     return labels
 
 
-#: Validated ``(wanted, memo_key)`` per ``(lemma_rdist_bound, only)``.
-_CHECK_CONFIGS: dict = {}
-
-
-def _delta_clean(
-    tree: CacheTree,
-    op: str,
-    new_cid: Cid,
-    parent_cid: Cid,
-    wanted: set,
-    bound: Optional[int],
-) -> bool:
-    """True iff adding one node to a *clean* tree stays clean.
-
-    Incremental form of the checkers for the two growth operations: a
-    clean parent report plus clean delta pairs implies a clean report,
-    because (a) adding a leaf, or inserting a non-RCache into an edge,
-    changes no existing pair's rdist, branch membership, or pairwise
-    ancestry, so every previously-checked pair checks identically, and
-    (b) the only new pairs involve the new node, which are exactly the
-    ones examined here (for ``insert_btw`` also the reparented
-    children's parent-edge conditions).  Any failed or *suspect* delta
-    returns False and the caller recomputes the full report, so
-    violation messages and their order always come from the full
-    checkers.  Callers must not use this when inserting an RCache
-    between existing nodes (that can change existing rdists).
-    """
-    new_cache = tree.cache(new_cid)
-    pcache = tree.cache(parent_cid)
-    new_is_c = is_ccache(new_cache)
-    new_is_e = is_ecache(new_cache)
-    reparented = tree.children(new_cid) if op == "btw" else ()
-
-    if "well-formedness" in wanted:
-        if new_is_e and new_cache.vrsn != 0:
-            return False
-        if new_is_c and (
-            not is_committable(pcache)
-            or (pcache.time, pcache.vrsn) != (new_cache.time, new_cache.vrsn)
-        ):
-            return False
-        for child in reparented:
-            cc = tree.cache(child)
-            if is_ccache(cc) and (
-                not is_committable(new_cache)
-                or (new_cache.time, new_cache.vrsn) != (cc.time, cc.vrsn)
-            ):
-                return False
-    if "descendant-order" in wanted:
-        if not cache_gt(new_cache, pcache):
-            return False
-        for child in reparented:
-            if not cache_gt(tree.cache(child), new_cache):
-                return False
-    if "version-reset" in wanted:
-        if new_is_e and new_cache.vrsn != 0:
-            return False
-        if (
-            is_committable(new_cache)
-            and new_cache.time == pcache.time
-            and new_cache.vrsn != pcache.vrsn + 1
-        ):
-            return False
-        for child in reparented:
-            cc = tree.cache(child)
-            if (
-                is_committable(cc)
-                and cc.time == new_cache.time
-                and cc.vrsn != new_cache.vrsn + 1
-            ):
-                return False
-    if "safety" in wanted and new_is_c:
-        for other in tree.kind_cids("C"):
-            if other != new_cid and not tree.same_branch(new_cid, other):
-                return False
-    if "leader-time-uniqueness" in wanted and new_is_e:
-        for other in tree.kind_cids("E"):
-            if other == new_cid or tree.cache(other).time != new_cache.time:
-                continue
-            if bound is None or rdist(tree, other, new_cid) <= bound:
-                return False
-    if "election-commit-order" in wanted:
-        if new_is_e:
-            nkey = order_key(new_cache)
-            for c in tree.kind_cids("C"):
-                if not nkey > order_key(tree.cache(c)):
-                    continue
-                if bound is not None and rdist(tree, new_cid, c) > bound:
-                    continue
-                if not tree.is_ancestor(c, new_cid, strict=True):
-                    return False
-        elif new_is_c:
-            nkey = order_key(new_cache)
-            for e in tree.kind_cids("E"):
-                if not order_key(tree.cache(e)) > nkey:
-                    continue
-                if bound is not None and rdist(tree, e, new_cid) > bound:
-                    continue
-                if not tree.is_ancestor(new_cid, e, strict=True):
-                    return False
-    if "ccache-in-rcache-fork" in wanted and is_rcache(new_cache):
-        for other in tree.kind_cids("R"):
-            if other == new_cid or tree.same_branch(other, new_cid):
-                continue
-            if rdist(tree, other, new_cid) != 0:
-                continue
-            nca = tree.nearest_common_ancestor(other, new_cid)
-            found = any(
-                is_ccache(tree.cache(mid))
-                for target in (other, new_cid)
-                for mid in tree.ancestors(target)
-                if tree.is_ancestor(nca, mid, strict=True)
-            )
-            if not found:
-                return False
-    return True
-
-
 def check_state(
     state: AdoreState,
     lemma_rdist_bound: Optional[int] = 1,
@@ -499,59 +322,17 @@ def check_state(
     from ``SafetyReport.LABELS``) -- unlike :meth:`SafetyReport.filtered`
     this skips the computation entirely, which matters inside the model
     checker's inner loop.
-
-    Every checker reads only ``state.tree`` (the time map never appears
-    in an invariant), so the report is pure in the tree, the rdist
-    bound, and the selection -- and is memoized on the (hash-consed)
-    tree.  States that differ only in their time maps share one report;
-    the *set of checks run per distinct tree* is unchanged.
     """
     tree = state.tree
-    # The checker selection is validated and keyed once per distinct
-    # (bound, only) pair -- the explorer asks with the same pair for
-    # every state it visits.
-    try:
-        config = _CHECK_CONFIGS.get((lemma_rdist_bound, only))
-    except TypeError:  # unhashable `only` (e.g. a list)
-        config = None
-        only = tuple(only)
-    if config is None:
-        wanted = set(SafetyReport.LABELS) if only is None else set(only)
-        unknown = wanted - set(SafetyReport.LABELS)
-        if unknown:
-            raise ValueError(f"unknown invariant labels: {sorted(unknown)}")
-        memo_key = ("safety_report", lemma_rdist_bound, tuple(sorted(wanted)))
-        config = _CHECK_CONFIGS[(lemma_rdist_bound, only)] = (wanted, memo_key)
-    wanted, memo_key = config
-
-    memo = tree.memo()
-    cached = memo.get(memo_key)
-    if cached is not None:
-        return cached
-
-    # Incremental fast path: this tree extends a parent tree whose
-    # report (same bound + selection) is already known clean.  If the
-    # delta pairs are clean too, the report is clean; anything suspect
-    # falls through to the full recomputation, so violating states
-    # always get the full checkers' messages in their exact order.
-    prov = memo.get("prov")
-    if prov is not None:
-        parent_tree, op, new_cid, parent_cid = prov
-        parent_memo = parent_tree._memo
-        parent_report = parent_memo.get(memo_key) if parent_memo else None
-        if (
-            parent_report is not None
-            and parent_report.ok
-            and (op == "leaf" or not is_rcache(tree.cache(new_cid)))
-            and _delta_clean(tree, op, new_cid, parent_cid, wanted, lemma_rdist_bound)
-        ):
-            report = memo[memo_key] = SafetyReport()
-            return report
+    wanted = set(SafetyReport.LABELS) if only is None else set(only)
+    unknown = wanted - set(SafetyReport.LABELS)
+    if unknown:
+        raise ValueError(f"unknown invariant labels: {sorted(unknown)}")
 
     def run(label, thunk):
         return thunk() if label in wanted else []
 
-    report = memo[memo_key] = SafetyReport(
+    return SafetyReport(
         safety=run("safety", lambda: check_replicated_state_safety(tree)),
         well_formedness=run(
             "well-formedness", tree.well_formedness_violations
@@ -572,7 +353,6 @@ def check_state(
         ),
         version_reset=run("version-reset", lambda: check_version_reset(tree)),
     )
-    return report
 
 
 def assert_safe(state: AdoreState, lemma_rdist_bound: Optional[int] = 1) -> None:

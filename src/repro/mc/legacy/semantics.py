@@ -1,0 +1,325 @@
+"""Operational semantics of the Adore operations (Fig. 8, 10 / Fig. 28).
+
+Two layers:
+
+* Pure step functions (:func:`apply_pull`, :func:`apply_invoke`,
+  :func:`apply_reconfig`, :func:`apply_push`) that map a state plus an
+  (already resolved) oracle outcome to the next state.  These are exact
+  transcriptions of the PULLOK/INVOKEOK/RECONFIGOK/PUSHOK rules together
+  with their NoOp counterparts.  The model checker drives these directly.
+* :class:`AdoreMachine` -- a convenience wrapper bundling a state, a
+  :class:`~repro.core.config.ReconfigScheme` and an
+  :class:`~repro.core.oracle.Oracle`, recording a history of
+  :class:`OpResult` steps.  Examples and tests drive this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from .aux import active_cache, most_recent, r2_holds, r3_holds
+from .cache import CCache, Cid, Config, ECache, MCache, Method, NodeId, RCache
+from ...core.config import ReconfigScheme
+from ...core.errors import InvalidOperation, NotLeader, ReconfigDenied
+from .oracle import Fail, Oracle, PullOutcome, PushOutcome, validate_pull, validate_push
+from .state import AdoreState, initial_state
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """The record of one operation step.
+
+    ``ok`` is True when the operation changed the cache tree.  ``reason``
+    explains NoOps (oracle failure, lost election, stale leader, R1-R3
+    denial).  ``new_cid`` is the cid of the cache the step added, if any.
+    """
+
+    op: str
+    nid: NodeId
+    ok: bool
+    reason: str
+    state: AdoreState
+    new_cid: Optional[Cid] = None
+    outcome: Union[PullOutcome, PushOutcome, None] = None
+    #: The operation's argument (the method for invoke, the new
+    #: configuration for reconfig); None for pull/push.
+    arg: object = None
+
+
+# ----------------------------------------------------------------------
+# Pure step functions
+# ----------------------------------------------------------------------
+
+def apply_pull(
+    state: AdoreState, nid: NodeId, outcome: PullOutcome, scheme: ReconfigScheme
+) -> Tuple[AdoreState, Optional[Cid], str]:
+    """PULLOK / PULLNOOP: run an election with a resolved oracle outcome.
+
+    On ``PullOk`` the supporters' observed times always advance; the
+    ECache is only added when the supporters form a quorum of the adopted
+    cache's configuration (a failed election may still block older
+    leaders -- that is exactly the timestamp bump).
+    """
+    if isinstance(outcome, Fail):
+        return state, None, "oracle-fail"
+    c_max_cid = most_recent(state.tree, outcome.group)
+    c_max = state.tree.cache(c_max_cid)
+    state = state.set_times(outcome.group, outcome.time)
+    if not scheme.is_quorum(outcome.group, c_max.conf):
+        return state, None, "no-quorum"
+    new_cache = ECache(
+        caller=nid,
+        time=outcome.time,
+        vrsn=0,
+        conf=c_max.conf,
+        voters=outcome.group,
+    )
+    tree, cid = state.tree.add_leaf(c_max_cid, new_cache)
+    return state.with_tree(tree), cid, "ok"
+
+
+def apply_invoke(
+    state: AdoreState, nid: NodeId, method: Method
+) -> Tuple[AdoreState, Optional[Cid], str]:
+    """INVOKEOK / NOOP: append an MCache to the caller's active branch.
+
+    Fails (NoOp) when the caller has no active cache or has been
+    preempted by a newer leader (its observed time moved past the active
+    cache's timestamp).
+    """
+    active = active_cache(state.tree, nid)
+    if active is None:
+        return state, None, "no-active-cache"
+    cache = state.tree.cache(active)
+    if not state.is_leader(nid, cache.time):
+        return state, None, "not-leader"
+    new_cache = MCache(
+        caller=nid,
+        time=cache.time,
+        vrsn=cache.vrsn + 1,
+        conf=cache.conf,
+        method=method,
+    )
+    tree, cid = state.tree.add_leaf(active, new_cache)
+    return state.with_tree(tree), cid, "ok"
+
+
+def apply_reconfig(
+    state: AdoreState,
+    nid: NodeId,
+    new_conf: Config,
+    scheme: ReconfigScheme,
+    enforce_r2: bool = True,
+    enforce_r3: bool = True,
+) -> Tuple[AdoreState, Optional[Cid], str]:
+    """RECONFIGOK / NOOP: append an RCache carrying ``new_conf``.
+
+    ``enforce_r2`` / ``enforce_r3`` exist solely for the ablation studies
+    (reproducing the unsound pre-fix Raft algorithm of Fig. 4); leave
+    them True for the verified model.
+    """
+    active = active_cache(state.tree, nid)
+    if active is None:
+        return state, None, "no-active-cache"
+    cache = state.tree.cache(active)
+    if not state.is_leader(nid, cache.time):
+        return state, None, "not-leader"
+    if not scheme.r1_plus(cache.conf, new_conf):
+        return state, None, "r1-denied"
+    if enforce_r2 and not r2_holds(state.tree, active):
+        return state, None, "r2-denied"
+    if enforce_r3 and not r3_holds(state.tree, active):
+        return state, None, "r3-denied"
+    new_cache = RCache(
+        caller=nid,
+        time=cache.time,
+        vrsn=cache.vrsn + 1,
+        conf=new_conf,
+    )
+    tree, cid = state.tree.add_leaf(active, new_cache)
+    return state.with_tree(tree), cid, "ok"
+
+
+def apply_push(
+    state: AdoreState, nid: NodeId, outcome: PushOutcome, scheme: ReconfigScheme
+) -> Tuple[AdoreState, Optional[Cid], str]:
+    """PUSHOK / PUSHNOOP: commit with a resolved oracle outcome.
+
+    The new CCache copies the target's time and version and is inserted
+    *between* the target and its children, so partial failures hanging
+    off the target stay viable commit candidates.
+    """
+    if isinstance(outcome, Fail):
+        return state, None, "oracle-fail"
+    target = state.tree.cache(outcome.target)
+    state = state.set_times(outcome.group, target.time)
+    if not scheme.is_quorum(outcome.group, target.conf):
+        return state, None, "no-quorum"
+    new_cache = CCache(
+        caller=nid,
+        time=target.time,
+        vrsn=target.vrsn,
+        conf=target.conf,
+        voters=outcome.group,
+    )
+    tree, cid = state.tree.insert_btw(outcome.target, new_cache)
+    return state.with_tree(tree), cid, "ok"
+
+
+# ----------------------------------------------------------------------
+# Machine wrapper
+# ----------------------------------------------------------------------
+
+@dataclass
+class AdoreMachine:
+    """A running Adore instance: state + scheme + oracle + history.
+
+    ``strict`` turns precondition NoOps (not-leader, R1-R3 denials) into
+    exceptions, which scenario tests use to assert that a step is
+    *forbidden* rather than merely unlucky.
+    """
+
+    scheme: ReconfigScheme
+    oracle: Oracle
+    state: AdoreState
+    strict: bool = False
+    #: Ablation switches -- leave True for the verified model.  Setting
+    #: ``enforce_r3=False`` reproduces the pre-fix Raft single-node
+    #: algorithm whose violation Fig. 4 shows.
+    enforce_r2: bool = True
+    enforce_r3: bool = True
+    history: List[OpResult] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        conf0: Config,
+        scheme: ReconfigScheme,
+        oracle: Oracle,
+        strict: bool = False,
+        enforce_r2: bool = True,
+        enforce_r3: bool = True,
+    ) -> "AdoreMachine":
+        """A machine in the initial state rooted at ``conf0``."""
+        return cls(
+            scheme=scheme,
+            oracle=oracle,
+            state=initial_state(conf0, scheme),
+            strict=strict,
+            enforce_r2=enforce_r2,
+            enforce_r3=enforce_r3,
+        )
+
+    def _record(self, result: OpResult) -> OpResult:
+        self.history.append(result)
+        self.state = result.state
+        if self.strict and not result.ok and result.reason not in (
+            "oracle-fail",
+            "no-quorum",
+        ):
+            if result.reason in ("r1-denied", "r2-denied", "r3-denied"):
+                raise ReconfigDenied(f"{result.op} by {result.nid}: {result.reason}")
+            if result.reason == "not-leader":
+                raise NotLeader(f"{result.op} by {result.nid}: {result.reason}")
+            raise InvalidOperation(f"{result.op} by {result.nid}: {result.reason}")
+        return result
+
+    def pull(self, nid: NodeId) -> OpResult:
+        """Run an election attempt by ``nid``."""
+        outcome = self.oracle.pull_outcome(self.state, nid, self.scheme)
+        validate_pull(self.state, nid, outcome, self.scheme)
+        state, cid, reason = apply_pull(self.state, nid, outcome, self.scheme)
+        return self._record(
+            OpResult("pull", nid, cid is not None, reason, state, cid, outcome)
+        )
+
+    def invoke(self, nid: NodeId, method: Method) -> OpResult:
+        """Invoke ``method`` as leader ``nid``."""
+        state, cid, reason = apply_invoke(self.state, nid, method)
+        return self._record(
+            OpResult("invoke", nid, cid is not None, reason, state, cid,
+                     arg=method)
+        )
+
+    def reconfig(self, nid: NodeId, new_conf: Config) -> OpResult:
+        """Propose configuration ``new_conf`` as leader ``nid``."""
+        state, cid, reason = apply_reconfig(
+            self.state,
+            nid,
+            new_conf,
+            self.scheme,
+            enforce_r2=self.enforce_r2,
+            enforce_r3=self.enforce_r3,
+        )
+        return self._record(
+            OpResult("reconfig", nid, cid is not None, reason, state, cid,
+                     arg=new_conf)
+        )
+
+    def push(self, nid: NodeId) -> OpResult:
+        """Run a commit attempt by ``nid``."""
+        outcome = self.oracle.push_outcome(self.state, nid, self.scheme)
+        validate_push(self.state, nid, outcome, self.scheme)
+        state, cid, reason = apply_push(self.state, nid, outcome, self.scheme)
+        return self._record(
+            OpResult("push", nid, cid is not None, reason, state, cid, outcome)
+        )
+
+    def render(self) -> str:
+        """ASCII rendering of the current cache tree."""
+        return self.state.tree.render()
+
+    # ------------------------------------------------------------------
+    # Event sourcing (parity with the ADO model's event log)
+    # ------------------------------------------------------------------
+
+    def export_history(self) -> List[Tuple]:
+        """The machine's run as a replayable event list.
+
+        Each element is ``(op, nid, arg, outcome)``; ``arg`` is the
+        invoke method / reconfig configuration, ``outcome`` the resolved
+        oracle outcome for pull/push.  Feed to :func:`replay_history`.
+        """
+        return [
+            (r.op, r.nid, r.arg, r.outcome) for r in self.history
+        ]
+
+
+def replay_history(
+    conf0: Config,
+    scheme: ReconfigScheme,
+    history,
+    enforce_r2: bool = True,
+    enforce_r3: bool = True,
+) -> "AdoreMachine":
+    """Reconstruct a machine from an exported history.
+
+    The recorded oracle outcomes are replayed through a scripted oracle,
+    so the reconstruction is exact: the final state equals the
+    original's (the semantics is deterministic given the outcomes).
+    """
+    from .oracle import ScriptedOracle
+
+    outcomes = [
+        outcome for op, _, _, outcome in history if op in ("pull", "push")
+    ]
+    machine = AdoreMachine.create(
+        conf0,
+        scheme,
+        ScriptedOracle(outcomes),
+        enforce_r2=enforce_r2,
+        enforce_r3=enforce_r3,
+    )
+    for op, nid, arg, _ in history:
+        if op == "pull":
+            machine.pull(nid)
+        elif op == "invoke":
+            machine.invoke(nid, arg)
+        elif op == "reconfig":
+            machine.reconfig(nid, arg)
+        elif op == "push":
+            machine.push(nid)
+        else:
+            raise ValueError(f"unknown op {op!r} in history")
+    return machine

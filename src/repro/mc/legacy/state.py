@@ -20,8 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
 from .cache import CCache, Config, NodeId, Time
-from .config import ReconfigScheme
-from .fingerprint import FP_MASK, combine, fp128
+from ...core.config import ReconfigScheme
 from .tree import ROOT_CID, CacheTree
 
 
@@ -31,19 +30,6 @@ class AdoreState:
 
     tree: CacheTree
     times: "TimeMap"
-
-    def fingerprint(self) -> int:
-        """The 128-bit structural fingerprint of this state.
-
-        Combines the tree and time-map fingerprints (both maintained
-        incrementally / per-component); equal states fingerprint equally
-        by construction of :func:`repro.core.fingerprint.canonical_encode`.
-        """
-        fp = self.__dict__.get("_fp")
-        if fp is None:
-            fp = combine(self.tree.fingerprint(), self.times.fingerprint())
-            object.__setattr__(self, "_fp", fp)
-        return fp
 
     def time_of(self, nid: NodeId) -> Time:
         """``times(st)[nid]``: the largest timestamp ``nid`` has observed."""
@@ -72,55 +58,22 @@ class TimeMap:
     Nodes never seen default to timestamp 0.
     """
 
-    __slots__ = ("_times", "_hash", "_fp")
+    __slots__ = ("_times", "_hash")
 
     def __init__(self, times: Mapping[NodeId, Time] = ()) -> None:
         self._times: Dict[NodeId, Time] = {
             nid: t for nid, t in dict(times).items() if t != 0
         }
         self._hash = None
-        self._fp = None
-
-    def fingerprint(self) -> int:
-        """Multiset fingerprint of the ``(nid, time)`` pairs.
-
-        Insertion-order independent by construction (terms combine by
-        addition mod 2**128); per-pair terms are memoized process-wide
-        since the pair domain in any run is tiny.
-        """
-        fp = self._fp
-        if fp is None:
-            fp = 0
-            terms = _TIME_TERM_FPS
-            for pair in self._times.items():
-                term = terms.get(pair)
-                if term is None:
-                    term = terms[pair] = fp128(b"t%d|%d" % pair)
-                fp = (fp + term) & FP_MASK
-            self._fp = fp
-        return fp
-
-    def __reduce__(self):
-        return (TimeMap, (self._times,))
 
     def get(self, nid: NodeId, default: Time = 0) -> Time:
         return self._times.get(nid, default)
 
     def update_many(self, group: Iterable[NodeId], time: Time) -> "TimeMap":
         updated = dict(self._times)
-        if time != 0:
-            for nid in group:
-                updated[nid] = time
-        else:
-            for nid in group:
-                updated.pop(nid, None)
-        # The updated dict is already zero-free, so skip __init__'s
-        # defensive refilter.
-        fresh = TimeMap.__new__(TimeMap)
-        fresh._times = updated
-        fresh._hash = None
-        fresh._fp = None
-        return fresh
+        for nid in group:
+            updated[nid] = time
+        return TimeMap(updated)
 
     def max_time(self) -> Time:
         return max(self._times.values(), default=0)
@@ -141,15 +94,6 @@ class TimeMap:
     def __repr__(self) -> str:
         inner = ", ".join(f"n{nid}: {t}" for nid, t in self.items())
         return f"TimeMap({{{inner}}})"
-
-
-#: Process-wide memo of per-``(nid, time)`` fingerprint terms.
-_TIME_TERM_FPS: Dict[Tuple[NodeId, Time], int] = {}
-
-
-def state_fingerprint(state: AdoreState) -> int:
-    """Module-level alias for :meth:`AdoreState.fingerprint`."""
-    return state.fingerprint()
 
 
 def root_cache(conf0: Config, scheme: ReconfigScheme) -> CCache:

@@ -1,0 +1,347 @@
+"""The Adore cache tree (Fig. 6 / Fig. 24 of the paper).
+
+``CacheTree ≜ N_cid → N_cid * Cache``: a partial map from cache ids to the
+id of the parent plus the cache itself.  The root occupies cid 0.  The two
+growth operations are
+
+* :meth:`CacheTree.add_leaf` -- add a new child under a parent (used by
+  ``pull``, ``invoke`` and ``reconfig``), and
+* :meth:`CacheTree.insert_btw` -- insert a new cache *between* a parent
+  and its current children (used by ``push`` to place a CCache below the
+  committed cache while keeping its partial-failure children viable).
+
+Trees are immutable: both operations return a new tree.  This makes
+states hashable, which the explicit-state model checker
+(:mod:`repro.mc`) relies on, and makes scenario scripts trivially
+re-playable.
+
+The paper keeps the tree append-only -- committed methods are not moved
+to a separate persistent log as in the ADO model; instead a cache is
+*implicitly* committed when a CCache is among its descendants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from .cache import Cache, Cid, is_ccache, is_committable, is_ecache, order_key
+from ...core.errors import MalformedTree, UnknownCache
+
+ROOT_CID: Cid = 0
+
+
+@dataclass(frozen=True)
+class TreeEntry:
+    """One slot of the cache tree: parent pointer plus the cache."""
+
+    parent: Optional[Cid]
+    cache: Cache
+
+
+class CacheTree:
+    """An immutable cache tree.
+
+    Construct the initial tree with :meth:`initial`, then grow it with
+    :meth:`add_leaf` / :meth:`insert_btw`.  All query methods treat the
+    tree as the paper does: a set of caches with ancestor structure.
+    """
+
+    __slots__ = ("_entries", "_children", "_hash")
+
+    def __init__(self, entries: Dict[Cid, TreeEntry]) -> None:
+        self._entries: Dict[Cid, TreeEntry] = dict(entries)
+        children: Dict[Cid, Tuple[Cid, ...]] = {cid: () for cid in self._entries}
+        for cid, entry in sorted(self._entries.items()):
+            # Tolerate dangling parents here so deliberately malformed
+            # trees can still be constructed and then *diagnosed* by
+            # well_formedness_violations().
+            if entry.parent is not None and entry.parent in children:
+                children[entry.parent] = children[entry.parent] + (cid,)
+        self._children = children
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def initial(cls, root_cache: Cache) -> "CacheTree":
+        """A tree holding only ``root_cache`` at :data:`ROOT_CID`."""
+        return cls({ROOT_CID: TreeEntry(None, root_cache)})
+
+    def fresh_cid(self) -> Cid:
+        """The next unused cache id (``max + 1``, Fig. 26)."""
+        return max(self._entries) + 1
+
+    def add_leaf(self, parent: Cid, cache: Cache) -> Tuple["CacheTree", Cid]:
+        """Add ``cache`` as a new leaf child of ``parent``.
+
+        Returns the new tree and the cid assigned to the new cache.
+        """
+        self._require(parent)
+        cid = self.fresh_cid()
+        entries = dict(self._entries)
+        entries[cid] = TreeEntry(parent, cache)
+        return CacheTree(entries), cid
+
+    def insert_btw(self, parent: Cid, cache: Cache) -> Tuple["CacheTree", Cid]:
+        """Insert ``cache`` between ``parent`` and its current children.
+
+        Every existing child of ``parent`` is re-parented onto the new
+        cache (Fig. 26, ``insertBtw``).  Used by ``push``: children of a
+        committed cache represent partial failures that must remain
+        candidates for later commits, so they are shifted below the new
+        CCache rather than discarded.
+        """
+        self._require(parent)
+        cid = self.fresh_cid()
+        entries = dict(self._entries)
+        for child in self._children[parent]:
+            entries[child] = TreeEntry(cid, entries[child].cache)
+        entries[cid] = TreeEntry(parent, cache)
+        return CacheTree(entries), cid
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def _require(self, cid: Cid) -> TreeEntry:
+        try:
+            return self._entries[cid]
+        except KeyError:
+            raise UnknownCache(f"cache id {cid} not in tree") from None
+
+    def __contains__(self, cid: Cid) -> bool:
+        return cid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cids(self) -> Iterator[Cid]:
+        """All cache ids, in insertion (= cid) order."""
+        return iter(sorted(self._entries))
+
+    def cache(self, cid: Cid) -> Cache:
+        """The cache stored at ``cid``."""
+        return self._require(cid).cache
+
+    def parent(self, cid: Cid) -> Optional[Cid]:
+        """The parent cid of ``cid`` (``None`` for the root)."""
+        return self._require(cid).parent
+
+    def children(self, cid: Cid) -> Tuple[Cid, ...]:
+        """The direct children of ``cid``, in cid order."""
+        self._require(cid)
+        return self._children[cid]
+
+    def items(self) -> Iterator[Tuple[Cid, Cache]]:
+        """``(cid, cache)`` pairs in cid order."""
+        for cid in sorted(self._entries):
+            yield cid, self._entries[cid].cache
+
+    def leaves(self) -> List[Cid]:
+        """Cids with no children."""
+        return [cid for cid in sorted(self._entries) if not self._children[cid]]
+
+    # ------------------------------------------------------------------
+    # Ancestry
+    # ------------------------------------------------------------------
+
+    def ancestors(self, cid: Cid, include_self: bool = False) -> List[Cid]:
+        """Ancestors of ``cid`` from its parent up to the root.
+
+        With ``include_self`` the list starts at ``cid`` itself.
+        """
+        self._require(cid)
+        path: List[Cid] = [cid] if include_self else []
+        current = self._entries[cid].parent
+        while current is not None:
+            path.append(current)
+            current = self._entries[current].parent
+        return path
+
+    def branch(self, cid: Cid) -> List[Cid]:
+        """The root-to-``cid`` path, inclusive on both ends."""
+        return list(reversed(self.ancestors(cid, include_self=True)))
+
+    def is_ancestor(self, anc: Cid, desc: Cid, strict: bool = True) -> bool:
+        """True iff ``anc`` is an ancestor of ``desc``.
+
+        ``strict=False`` additionally accepts ``anc == desc``.
+        """
+        self._require(anc)
+        if anc == desc:
+            return not strict
+        return anc in self.ancestors(desc)
+
+    def same_branch(self, a: Cid, b: Cid) -> bool:
+        """True iff one of ``a``/``b`` is an ancestor-or-self of the other."""
+        return self.is_ancestor(a, b, strict=False) or self.is_ancestor(b, a, strict=False)
+
+    def nearest_common_ancestor(self, a: Cid, b: Cid) -> Cid:
+        """The nearest common ancestor of ``a`` and ``b`` (possibly one of them)."""
+        anc_a = self.ancestors(a, include_self=True)
+        set_b = set(self.ancestors(b, include_self=True))
+        for cid in anc_a:
+            if cid in set_b:
+                return cid
+        raise MalformedTree(f"no common ancestor of {a} and {b}")
+
+    def path_between(self, a: Cid, b: Cid) -> List[Cid]:
+        """The path from ``a`` to ``b`` through their nearest common
+        ancestor, *excluding* both endpoints (used by ``rdist``).
+        """
+        nca = self.nearest_common_ancestor(a, b)
+        up_a = self.ancestors(a, include_self=True)
+        up_b = self.ancestors(b, include_self=True)
+        leg_a = up_a[: up_a.index(nca) + 1]
+        leg_b = up_b[: up_b.index(nca) + 1]
+        # a .. nca plus reversed nca .. b, dropping the duplicate nca.
+        path = leg_a + list(reversed(leg_b[:-1]))
+        return [cid for cid in path if cid not in (a, b)]
+
+    def descendants(self, cid: Cid, include_self: bool = False) -> List[Cid]:
+        """All descendants of ``cid`` (pre-order)."""
+        self._require(cid)
+        out: List[Cid] = [cid] if include_self else []
+        stack = list(reversed(self._children[cid]))
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(reversed(self._children[current]))
+        return out
+
+    def subtree_cids(self, cid: Cid) -> FrozenSet[Cid]:
+        """The set of cids rooted at ``cid`` (inclusive)."""
+        return frozenset(self.descendants(cid, include_self=True))
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Cache], bool]) -> List[Cid]:
+        """Cids whose caches satisfy ``predicate``, in cid order."""
+        return [cid for cid, cache in self.items() if predicate(cache)]
+
+    def max_cache(self, cids: Iterable[Cid]) -> Optional[Cid]:
+        """The cid whose cache is greatest under the order ``>``.
+
+        Ties on the order key are broken by the larger cid (the cache
+        added later), which makes scenario replays deterministic.
+        Returns ``None`` for an empty selection.
+        """
+        best: Optional[Cid] = None
+        for cid in cids:
+            cache = self.cache(cid)
+            if best is None:
+                best = cid
+                continue
+            best_cache = self.cache(best)
+            if (order_key(cache), cid) > (order_key(best_cache), best):
+                best = cid
+        return best
+
+    def ccaches(self) -> List[Cid]:
+        """All commit caches, in cid order."""
+        return self.select(is_ccache)
+
+    def rcaches(self) -> List[Cid]:
+        """All reconfiguration caches, in cid order."""
+        return self.select(lambda c: c.kind == "R")
+
+    def ecaches(self) -> List[Cid]:
+        """All election caches, in cid order."""
+        return self.select(is_ecache)
+
+    # ------------------------------------------------------------------
+    # Well-formedness (the paper's 2.3k lines of generic tree invariants)
+    # ------------------------------------------------------------------
+
+    def well_formedness_violations(self) -> List[str]:
+        """Check the structural invariants of a legal cache tree.
+
+        Returns a list of human-readable violation descriptions (empty
+        when well formed).  Mirrors the generic invariants the Coq
+        development proves about the tree data structure: single root at
+        cid 0, parents present, acyclicity, ECaches have version 0, and
+        every CCache sits directly below a committable cache with the
+        same timestamp and version.
+        """
+        problems: List[str] = []
+        if ROOT_CID not in self._entries:
+            return [f"root cid {ROOT_CID} missing"]
+        if self._entries[ROOT_CID].parent is not None:
+            problems.append("root has a parent")
+        for cid, entry in sorted(self._entries.items()):
+            if cid == ROOT_CID:
+                continue
+            if entry.parent is None:
+                problems.append(f"cache {cid} is a second root")
+            elif entry.parent not in self._entries:
+                problems.append(f"cache {cid} has unknown parent {entry.parent}")
+        # Acyclicity: walk each parent chain with a step bound.
+        bound = len(self._entries)
+        for cid in self._entries:
+            current: Optional[Cid] = cid
+            for _ in range(bound + 1):
+                if current is None:
+                    break
+                entry = self._entries.get(current)
+                if entry is None:
+                    break
+                current = entry.parent
+            else:
+                problems.append(f"cycle reachable from cache {cid}")
+        for cid, entry in sorted(self._entries.items()):
+            cache = entry.cache
+            if is_ecache(cache) and cache.vrsn != 0:
+                problems.append(f"ECache {cid} has nonzero version {cache.vrsn}")
+            if is_ccache(cache) and entry.parent is not None:
+                parent_cache = self._entries[entry.parent].cache
+                if not is_committable(parent_cache):
+                    problems.append(
+                        f"CCache {cid} parent is a {parent_cache.kind}Cache, "
+                        "expected MCache or RCache"
+                    )
+                elif (parent_cache.time, parent_cache.vrsn) != (cache.time, cache.vrsn):
+                    problems.append(
+                        f"CCache {cid} time/vrsn {(cache.time, cache.vrsn)} differ "
+                        f"from parent's {(parent_cache.time, parent_cache.vrsn)}"
+                    )
+        return problems
+
+    def is_well_formed(self) -> bool:
+        """True iff :meth:`well_formedness_violations` finds nothing."""
+        return not self.well_formedness_violations()
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / rendering
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheTree):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._entries.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"CacheTree({len(self._entries)} caches)"
+
+    def render(self) -> str:
+        """ASCII rendering of the tree, one cache per line."""
+        lines: List[str] = []
+
+        def walk(cid: Cid, depth: int) -> None:
+            cache = self._entries[cid].cache
+            prefix = "  " * depth + ("- " if depth else "")
+            lines.append(f"{prefix}[{cid}] {cache.describe()}")
+            for child in self._children[cid]:
+                walk(child, depth + 1)
+
+        walk(ROOT_CID, 0)
+        return "\n".join(lines)

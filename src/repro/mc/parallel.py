@@ -44,18 +44,31 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .explorer import ExplorationResult, Explorer, OpBudget, Violation
+from .fpset import FingerprintSet
 
 #: One frontier entry: ``(state, remaining_budget, trace)``.
 FrontierEntry = Tuple[Any, OpBudget, Tuple]
+
+#: Refuse to place the shared visited table in a SharedMemory segment
+#: larger than this; bigger runs fall back to a master-private table.
+_SHARED_VISITED_MAX_BYTES = 256 * 1024 * 1024
 
 #: Explorer used by pool workers; populated by :func:`_init_worker`
 #: (inherited through ``fork``, never pickled).
 _WORKER_EXPLORER: Optional[Explorer] = None
 
+#: Fork-inherited view of the master's shared-memory visited table
+#: (``None`` when the run has no shared table).  Workers only read it;
+#: the master writes between levels, when no worker is running.
+_WORKER_VISITED: Optional[FingerprintSet] = None
 
-def _init_worker(explorer: Explorer) -> None:
-    global _WORKER_EXPLORER
+
+def _init_worker(
+    explorer: Explorer, shared_visited: Optional[FingerprintSet] = None
+) -> None:
+    global _WORKER_EXPLORER, _WORKER_VISITED
     _WORKER_EXPLORER = explorer
+    _WORKER_VISITED = shared_visited
 
 
 def _expand_batch(payload):
@@ -65,9 +78,12 @@ def _expand_batch(payload):
     ``(worker_name, produced, [(index, succs), ...])`` where ``succs``
     preserves expansion order and each element is either
 
-    * ``None`` -- a successor whose dedup key already appeared earlier
-      in this batch (a guaranteed global duplicate; it still counts as
-      a transition but needs no state shipping or safety check), or
+    * ``None`` -- a successor whose dedup key is a guaranteed global
+      duplicate: it already appeared earlier in this batch, or it is in
+      the fork-shared visited table from a previous level.  It still
+      counts as a transition but needs no state shipping or safety
+      check, and in the shared-table case does not even travel back to
+      the master as a key; or
     * ``(op_desc, next_state, next_budget, key, report)`` with
       ``report`` being ``None`` for a clean state and the full
       :class:`~repro.core.safety.SafetyReport` otherwise.
@@ -75,10 +91,16 @@ def _expand_batch(payload):
     The batch-local dedup is sound because batches are contiguous
     frontier slices merged in order: the first occurrence inside the
     batch is also the first occurrence the sequential search would see
-    within this level segment.
+    within this level segment.  The shared-table probe is sound because
+    the level barrier (``pool.map``) means the master only inserts
+    fingerprints while no worker runs: a worker always observes a
+    consistent snapshot holding exactly the states visited up to the
+    previous level, and a hit is exactly the master's own
+    ``key in visited`` verdict.
     """
     base_index, items = payload
     explorer = _WORKER_EXPLORER
+    shared = _WORKER_VISITED
     batch_seen = set()
     produced = 0
     results = []
@@ -88,7 +110,7 @@ def _expand_batch(payload):
             state, budget
         ):
             produced += 1
-            if key in batch_seen:
+            if (shared is not None and key in shared) or key in batch_seen:
                 succs.append(None)
                 continue
             batch_seen.add(key)
@@ -276,13 +298,19 @@ class ParallelExplorer:
         merged.sort(key=lambda item: item[0])
         return merged
 
-    def _make_pool(self):
+    @staticmethod
+    def _fork_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+
+    def _make_pool(self, shared_visited: Optional[FingerprintSet] = None):
         if self.workers <= 1:
             _init_worker(self.explorer)
             return None
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
+        context = self._fork_context()
+        if context is None:
             warnings.warn(
                 "the 'fork' start method is unavailable on this platform; "
                 "running the parallel engine in-process (results are "
@@ -294,8 +322,39 @@ class ParallelExplorer:
         return context.Pool(
             processes=self.workers,
             initializer=_init_worker,
-            initargs=(self.explorer,),
+            initargs=(self.explorer, shared_visited),
         )
+
+    def _make_shared_visited(self, current):
+        """Move the visited table into a SharedMemory segment so pool
+        workers can probe it directly (pre-filtering duplicates without
+        shipping states back to the master).
+
+        Returns ``(shm, visited)``: the segment to clean up (``None``
+        when shared memory is not used) and the table to use as the
+        authoritative visited set.  Only applies when a real fork pool
+        will exist and the table fits the size cap; everything else
+        keeps the master-private table and just loses the pre-filter.
+        """
+        if (
+            self.workers <= 1
+            or not self.explorer.fingerprints
+            or self._fork_context() is None
+        ):
+            return None, current
+        nbytes = FingerprintSet.buffer_bytes(self.explorer.max_states)
+        if nbytes > _SHARED_VISITED_MAX_BYTES:
+            return None, current
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        except (ImportError, OSError):
+            return None, current
+        shared = FingerprintSet.attach(shm.buf, clear=True)
+        for fp in current:
+            shared.add(fp)
+        return shm, shared
 
     # ------------------------------------------------------------------
 
@@ -323,7 +382,7 @@ class ParallelExplorer:
             )
         if loaded is not None:
             frontier: List[FrontierEntry] = list(loaded.frontier)
-            visited = set(loaded.visited_keys)
+            visited = loaded.restore_visited()
             level = loaded.level
             transitions = loaded.transitions
             max_depth = loaded.max_depth
@@ -332,7 +391,8 @@ class ParallelExplorer:
             base_elapsed = loaded.elapsed_seconds
         else:
             init = explorer.initial()
-            visited = {explorer.state_key(init)}
+            visited = explorer.new_visited_set()
+            visited.add(explorer.state_key(init))
             frontier = [(init, explorer.budget, ())]
             report = explorer.check(init)
             if not report.ok:
@@ -357,23 +417,40 @@ class ParallelExplorer:
             return ExplorationResult(**values)
 
         def write_checkpoint() -> None:
+            if isinstance(visited, FingerprintSet):
+                visited_keys: set = set()
+                visited_fps = visited.to_bytes()
+            else:
+                visited_keys = set(visited)
+                visited_fps = None
             save_checkpoint(
                 self.checkpoint,
                 Checkpoint(
                     fingerprint=explorer.config_fingerprint(),
                     level=level,
                     frontier=list(frontier),
-                    visited_keys=set(visited),
+                    visited_keys=visited_keys,
                     transitions=transitions,
                     max_depth=max_depth,
                     exhausted=exhausted,
                     violations=list(violations),
                     elapsed_seconds=elapsed(),
+                    visited_fps=visited_fps,
                 ),
             )
             stats.checkpoints_written += 1
 
-        pool = self._make_pool()
+        shm, visited = self._make_shared_visited(visited)
+        pool = self._make_pool(visited if shm is not None else None)
+        # Single-probe dedup: FingerprintSet.add reports newness; for
+        # plain sets one insert plus a length check does the same.
+        if isinstance(visited, set):
+            def add_if_new(key, _add=visited.add, _visited=visited):
+                before = len(_visited)
+                _add(key)
+                return len(_visited) != before
+        else:
+            add_if_new = visited.add
         last_checkpoint = _time.monotonic()
         levels_this_slice = 0
         try:
@@ -390,13 +467,15 @@ class ParallelExplorer:
                             stats.dedup_hits += 1
                             continue
                         op_desc, next_state, next_budget, key, report = entry
-                        if key in visited:
+                        if len(visited) >= explorer.max_states:
+                            if key in visited:
+                                stats.dedup_hits += 1
+                            else:
+                                exhausted = False
+                            continue
+                        if not add_if_new(key):
                             stats.dedup_hits += 1
                             continue
-                        if len(visited) >= explorer.max_states:
-                            exhausted = False
-                            continue
-                        visited.add(key)
                         next_trace = trace + (op_desc,)
                         if report is not None and not report.ok:
                             violations.append(
@@ -478,6 +557,12 @@ class ParallelExplorer:
             if pool is not None:
                 pool.close()
                 pool.join()
+            if shm is not None:
+                # The pool is gone, so no process maps the segment but
+                # this one; release our view, then free the segment.
+                visited.release()
+                shm.close()
+                shm.unlink()
 
         self._discard_checkpoint()
         return result()

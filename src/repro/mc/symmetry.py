@@ -101,3 +101,173 @@ def canonical_key(
 ) -> Tuple:
     """The least serialization of ``state`` over the symmetry group."""
     return min(serialize_state(state, mapping) for mapping in group)
+
+
+def apply_renaming(state: AdoreState, mapping: Dict[NodeId, NodeId]) -> AdoreState:
+    """The state obtained by renaming every node id through ``mapping``.
+
+    Used by tests to check that canonicalization is constant on orbits;
+    the exploration itself never materializes renamed states.
+    """
+    from dataclasses import replace
+
+    from ..core.state import TimeMap
+    from ..core.tree import CacheTree, TreeEntry
+
+    def m(n):
+        return mapping.get(n, n)
+
+    entries = {}
+    for cid, cache in state.tree.items():
+        fields: Dict[str, object] = {"caller": m(cache.caller)}
+        if cache.conf is not None:
+            try:
+                fields["conf"] = frozenset(m(n) for n in cache.conf)
+            except TypeError:
+                raise TypeError(
+                    f"symmetry reduction supports set-based configs only, "
+                    f"got {cache.conf!r}"
+                ) from None
+        if is_ecache(cache) or is_ccache(cache):
+            fields["voters"] = frozenset(m(v) for v in cache.voters)
+        entries[cid] = TreeEntry(
+            parent=state.tree.parent(cid), cache=replace(cache, **fields)
+        )
+    tree = CacheTree(entries)
+    times = TimeMap({m(n): t for n, t in state.times.items()})
+    return AdoreState(tree=tree, times=times)
+
+
+class SymmetryReducer:
+    """Orbit-signature canonicalization: same equivalence classes as
+    :func:`canonical_key`, without sweeping the whole group per state.
+
+    ``canonical_key`` serializes a state once per group element --
+    ``|G|`` can be ``k!`` for ``k`` interchangeable replicas, and that
+    cost is paid for *every* generated state.  This reducer instead:
+
+    1. Partitions the universe into **atoms**: nodes with the same
+       membership vector across the ``fixed_sets`` constraints.  The
+       usable group is exactly the product of the symmetric groups on
+       the atoms, so any relabeling that permutes within atoms is sound.
+    2. Computes a per-node **signature** from the state: the node's
+       local time plus its role (caller / voter / config member) in each
+       cache, in cid order.  Signatures are *equivariant*: renaming the
+       state by ``pi`` maps the signature of ``n`` to that of ``pi(n)``
+       unchanged, because cids and roles are structural.
+    3. Sorts each atom's nodes by signature and relabels them onto the
+       atom's id slots in that order.  When all signatures in an atom
+       are distinct this pins a **unique** group element -- no sweep.
+    4. Only on signature **ties** does it enumerate permutations, and
+       then only of the tied nodes (the product of tie-class symmetric
+       groups, not all of ``G``), taking the least serialization.
+
+    Soundness: the candidate set ``R(s)`` (signature-sorted relabelings)
+    satisfies ``R(pi . s) = R(s) . pi^-1`` by equivariance, so
+    ``min(serialize(s, m) for m in R(s))`` is constant on orbits; and it
+    is the serialization of *some* orbit member, so distinct orbits get
+    distinct keys.  The induced partition is therefore identical to the
+    full-sweep partition -- only the representative differs.
+
+    ``sweep_invocations`` counts how many canonicalizations hit the tie
+    path; tests assert it stays 0 on signature-distinct states.
+    """
+
+    def __init__(
+        self,
+        universe: Iterable[NodeId],
+        fixed_sets: Sequence[FrozenSet[NodeId]] = (),
+    ) -> None:
+        self.universe: Tuple[NodeId, ...] = tuple(sorted(frozenset(universe)))
+        self.fixed_sets: Tuple[FrozenSet[NodeId], ...] = tuple(
+            frozenset(s) for s in fixed_sets
+        )
+        by_vector: Dict[Tuple[bool, ...], List[NodeId]] = {}
+        for n in self.universe:
+            vec = tuple(n in s for s in self.fixed_sets)
+            by_vector.setdefault(vec, []).append(n)
+        #: Atom member lists, each sorted; atoms ordered by first member.
+        self.atoms: Tuple[Tuple[NodeId, ...], ...] = tuple(
+            sorted((tuple(v) for v in by_vector.values()), key=lambda a: a[0])
+        )
+        #: Number of canonicalizations that needed a permutation sweep.
+        self.sweep_invocations = 0
+
+    def group_size(self) -> int:
+        size = 1
+        for atom in self.atoms:
+            for k in range(2, len(atom) + 1):
+                size *= k
+        return size
+
+    def _signatures(self, state: AdoreState) -> Dict[NodeId, Tuple]:
+        sig: Dict[NodeId, List] = {n: [] for n in self.universe}
+        for cid, cache in state.tree.items():
+            caller = cache.caller
+            if caller in sig:
+                sig[caller].append((cid, 0))
+            if is_ecache(cache) or is_ccache(cache):
+                for v in cache.voters:
+                    if v in sig:
+                        sig[v].append((cid, 1))
+            conf = cache.conf
+            if conf is not None:
+                try:
+                    members = iter(conf)
+                except TypeError:
+                    raise TypeError(
+                        f"symmetry reduction supports set-based configs "
+                        f"only, got {conf!r}"
+                    ) from None
+                for n in members:
+                    if n in sig:
+                        sig[n].append((cid, 2))
+        times_get = state.times.get
+        return {n: (times_get(n, 0), tuple(events)) for n, events in sig.items()}
+
+    def _candidate_mappings(
+        self, state: AdoreState
+    ) -> List[Dict[NodeId, NodeId]]:
+        sig = self._signatures(state)
+        base: Dict[NodeId, NodeId] = {}
+        tie_classes: List[Tuple[List[NodeId], Tuple[NodeId, ...]]] = []
+        for atom in self.atoms:
+            ranked = sorted(atom, key=lambda n: sig[n])
+            i = 0
+            while i < len(ranked):
+                j = i + 1
+                while j < len(ranked) and sig[ranked[j]] == sig[ranked[i]]:
+                    j += 1
+                slots = atom[i:j]
+                if j - i == 1:
+                    base[ranked[i]] = slots[0]
+                else:
+                    tie_classes.append((ranked[i:j], slots))
+                i = j
+        if not tie_classes:
+            return [base]
+        self.sweep_invocations += 1
+        mappings: List[Dict[NodeId, NodeId]] = []
+        per_class = [
+            list(itertools.permutations(nodes)) for nodes, _ in tie_classes
+        ]
+        for choice in itertools.product(*per_class):
+            mapping = dict(base)
+            for (nodes, slots), ordering in zip(tie_classes, choice):
+                mapping.update(zip(ordering, slots))
+            mappings.append(mapping)
+        return mappings
+
+    def canonical_serialization(self, state: AdoreState) -> Tuple:
+        """The canonical-representative serialization of ``state``'s
+        orbit (equal for two states iff :func:`canonical_key` is)."""
+        candidates = self._candidate_mappings(state)
+        if len(candidates) == 1:
+            return serialize_state(state, candidates[0])
+        return min(serialize_state(state, m) for m in candidates)
+
+    def canonical_fingerprint(self, state: AdoreState) -> int:
+        """128-bit fingerprint of the canonical serialization."""
+        from ..core.fingerprint import canonical_encode, fp128
+
+        return fp128(canonical_encode(self.canonical_serialization(state)))

@@ -17,7 +17,8 @@ import warnings
 
 import pytest
 
-from repro.mc import Checkpoint, load_checkpoint, save_checkpoint
+from repro.mc import Checkpoint, FingerprintSet, load_checkpoint, save_checkpoint
+from repro.mc.checkpoint import CHECKPOINT_VERSION
 
 
 def make_checkpoint(path: str) -> bytes:
@@ -106,3 +107,100 @@ class TestCorruptPickles:
             warnings.simplefilter("always")
             assert load_checkpoint(str(tmp_path / "absent.ckpt")) is None
         assert caught == []
+
+
+class TestVersioning:
+    """Format-v2 behavior (ISSUE 5: compact visited set)."""
+
+    def test_current_version_is_two(self):
+        assert CHECKPOINT_VERSION == 2
+
+    def test_v1_checkpoint_rejected_with_versioned_message(self, tmp_path):
+        path = str(tmp_path / "v1.ckpt")
+        old = Checkpoint(
+            fingerprint="f", level=1, frontier=[], visited_keys={1, 2},
+            transitions=3, max_depth=1, exhausted=False, version=1,
+        )
+        save_checkpoint(path, old)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert load_checkpoint(path, "f") is None
+        messages = [str(w.message) for w in caught]
+        assert any(
+            "version 1" in m and "re-run" in m for m in messages
+        ), messages
+
+    def test_future_version_rejected(self, tmp_path):
+        path = str(tmp_path / "v9.ckpt")
+        future = Checkpoint(
+            fingerprint="f", level=0, frontier=[], visited_keys=set(),
+            transitions=0, max_depth=0, exhausted=True, version=99,
+        )
+        save_checkpoint(path, future)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert load_checkpoint(path, "f") is None
+        assert any("99" in str(w.message) for w in caught)
+
+
+class TestFingerprintVisited:
+    """The compact visited-set payload round-trips exactly."""
+
+    @staticmethod
+    def make_fps(n):
+        rng = random.Random(42)
+        fps = FingerprintSet()
+        while len(fps) < n:
+            value = rng.getrandbits(128)
+            if value:
+                fps.add(value)
+        return fps
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "fp.ckpt")
+        fps = self.make_fps(500)
+        checkpoint = Checkpoint(
+            fingerprint="f", level=4, frontier=[], visited_keys=set(),
+            transitions=123, max_depth=4, exhausted=False,
+            visited_fps=fps.to_bytes(),
+        )
+        save_checkpoint(path, checkpoint)
+        loaded = load_checkpoint(path, "f")
+        assert loaded is not None
+        assert loaded.states_visited == 500
+        restored = loaded.restore_visited()
+        assert isinstance(restored, FingerprintSet)
+        assert restored.to_bytes() == fps.to_bytes()
+
+    def test_legacy_keys_still_supported(self, tmp_path):
+        # Exact-equality (fingerprints=False) runs keep pickling their
+        # key sets; a v2 checkpoint without visited_fps restores a set.
+        path = str(tmp_path / "keys.ckpt")
+        checkpoint = Checkpoint(
+            fingerprint="f", level=1, frontier=[], visited_keys={1, 2, 3},
+            transitions=5, max_depth=1, exhausted=True,
+        )
+        save_checkpoint(path, checkpoint)
+        loaded = load_checkpoint(path, "f")
+        assert loaded.states_visited == 3
+        assert loaded.restore_visited() == {1, 2, 3}
+
+    def test_checkpoint_size_shrinks(self, tmp_path):
+        # The point of the format: 16 bytes per state instead of a
+        # pickled state object (hundreds of bytes).
+        fps = self.make_fps(1000)
+        compact = pickle.dumps(Checkpoint(
+            fingerprint="f", level=1, frontier=[], visited_keys=set(),
+            transitions=0, max_depth=1, exhausted=False,
+            visited_fps=fps.to_bytes(),
+        ))
+        # A very conservative stand-in for "state object": a 10-tuple
+        # of small tuples per state.
+        fat_keys = {
+            tuple((i, j, f"label{j}") for j in range(10)) for i in range(1000)
+        }
+        fat = pickle.dumps(Checkpoint(
+            fingerprint="f", level=1, frontier=[], visited_keys=fat_keys,
+            transitions=0, max_depth=1, exhausted=False,
+        ))
+        assert len(compact) < len(fat) / 5

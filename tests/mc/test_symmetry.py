@@ -7,8 +7,15 @@ from repro.core import (
     ScriptedOracle,
     AdoreMachine,
 )
+from repro.core.state import initial_state
 from repro.mc import Explorer, OpBudget
-from repro.mc.symmetry import canonical_key, serialize_state, symmetry_group
+from repro.mc.symmetry import (
+    SymmetryReducer,
+    apply_renaming,
+    canonical_key,
+    serialize_state,
+    symmetry_group,
+)
 from repro.schemes import RaftSingleNodeScheme
 
 NODES = frozenset({1, 2, 3})
@@ -67,6 +74,79 @@ class TestCanonicalKey:
             _map_conf(42, {1: 1})
 
 
+class TestSymmetryReducer:
+    def test_atoms_partition_by_fixed_sets(self):
+        reducer = SymmetryReducer([1, 2, 3, 4], fixed_sets=[frozenset({1, 2})])
+        assert reducer.atoms == ((1, 2), (3, 4))
+        assert reducer.group_size() == 4  # 2! x 2!
+
+    def test_partition_matches_full_sweep(self):
+        # The acceptance property: the reducer induces exactly the
+        # equivalence classes of min-over-the-whole-group, on a sample
+        # of genuinely distinct reachable states.
+        group = symmetry_group(NODES)
+        reducer = SymmetryReducer(NODES)
+        states = [
+            run_once(leader, voters)
+            for leader in NODES
+            for voters in ({1, 2}, {2, 3}, {1, 3}, {1, 2, 3})
+            if leader in voters
+        ]
+        legacy_classes = {}
+        new_classes = {}
+        for index, state in enumerate(states):
+            legacy_classes.setdefault(canonical_key(state, group), set()).add(index)
+            new_classes.setdefault(
+                reducer.canonical_serialization(state), set()
+            ).add(index)
+        assert sorted(map(sorted, legacy_classes.values())) == sorted(
+            map(sorted, new_classes.values())
+        )
+
+    def test_orbit_invariance(self):
+        reducer = SymmetryReducer(NODES)
+        state = run_once(1, {1, 2})
+        fp = reducer.canonical_fingerprint(state)
+        for mapping in symmetry_group(NODES):
+            renamed = apply_renaming(state, mapping)
+            assert reducer.canonical_fingerprint(renamed) == fp
+
+    def test_no_sweep_on_distinct_signatures(self):
+        # After one pull+invoke by node 1 with voters {1, 2}, the three
+        # nodes play three different roles (caller, voter, bystander):
+        # signatures are distinct, so canonicalization must resolve
+        # without enumerating any permutations.
+        reducer = SymmetryReducer(NODES)
+        state = run_once(1, {1, 2})
+        reducer.canonical_serialization(state)
+        assert reducer.sweep_invocations == 0
+
+    def test_sweep_only_on_ties(self):
+        # The initial state is fully symmetric: every node is a config
+        # member with time 0 and nothing else -- one big tie class, so
+        # this is exactly the case that still needs a sweep.
+        reducer = SymmetryReducer(NODES)
+        reducer.canonical_serialization(initial_state(NODES, SCHEME))
+        assert reducer.sweep_invocations == 1
+        # ... while the asymmetric state still does not sweep.
+        reducer.canonical_serialization(run_once(1, {1, 2}))
+        assert reducer.sweep_invocations == 1
+
+    def test_exploration_mostly_avoids_sweeps(self):
+        # The point of the rework: on a real exploration the tie path
+        # is the exception, not the rule.
+        explorer = Explorer(
+            SCHEME,
+            NODES,
+            budget=OpBudget(pulls=1, invokes=1, reconfigs=1, pushes=2),
+            symmetry=True,
+        )
+        result = explorer.run()
+        reducer = explorer._sym_reducer
+        assert result.exhausted
+        assert reducer.sweep_invocations < result.transitions / 2
+
+
 class TestExplorerWithSymmetry:
     BUDGET = OpBudget(pulls=1, invokes=1, reconfigs=1, pushes=2)
 
@@ -80,6 +160,28 @@ class TestExplorerWithSymmetry:
         assert reduced.states_visited < plain.states_visited
         # The reduction factor is bounded by the group order.
         assert plain.states_visited <= 6 * reduced.states_visited
+
+    def test_fingerprint_and_legacy_dedup_agree(self):
+        # Orbit-fingerprint dedup and full-sweep exact dedup must carve
+        # the state space identically.
+        fp_mode = Explorer(
+            SCHEME, NODES, budget=self.BUDGET, symmetry=True
+        ).run()
+        exact_mode = Explorer(
+            SCHEME, NODES, budget=self.BUDGET, symmetry=True,
+            fingerprints=False,
+        ).run()
+        assert (
+            fp_mode.states_visited,
+            fp_mode.transitions,
+            fp_mode.safe,
+            fp_mode.exhausted,
+        ) == (
+            exact_mode.states_visited,
+            exact_mode.transitions,
+            exact_mode.safe,
+            exact_mode.exhausted,
+        )
 
     def test_symmetry_still_finds_violations(self):
         from repro.mc.ablations import FIG4_BUDGET, FIG4_NODES
