@@ -1,0 +1,159 @@
+"""Compare fresh BENCH_*.json results against committed baselines.
+
+CI's bench-gate job runs the perf-sensitive benchmarks on every PR,
+then invokes this script to diff the freshly-written
+``benchmarks/results/BENCH_*.json`` files against the committed
+reference numbers in ``benchmarks/baselines/``.  Each tracked metric
+has a direction and a severity:
+
+* **fail** metrics exit non-zero when they regress past the tolerance
+  (default 20%).  These are chosen to be hardware-independent ratios
+  (e.g. the optimized/baseline speedup measured within one run on one
+  machine), so a slower CI runner does not flag a phantom regression.
+* **warn** metrics only print a warning.  Absolute numbers (ops/sec,
+  wall-clock p99) land here: they track the trajectory across runs but
+  depend on the runner's hardware.
+
+Refreshing a baseline after an intentional perf change::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_net_throughput.py -q
+    cp benchmarks/results/BENCH_net_throughput.json benchmarks/baselines/
+
+Usage::
+
+    python benchmarks/compare.py [--results DIR] [--baselines DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: (metric label, path into the JSON, direction, severity, tolerance).
+#: direction "higher" means bigger is better (regression = drop);
+#: "lower" means smaller is better (regression = rise).
+Spec = Tuple[str, Sequence[str], str, str, float]
+
+SPECS: dict = {
+    "BENCH_net_throughput.json": [
+        ("net speedup (opt/base ops/sec)",
+         ("test_net_throughput", "speedup"), "higher", "fail", 0.20),
+        ("net optimized ops/sec",
+         ("test_net_throughput", "optimized", "ops_per_s"),
+         "higher", "warn", 0.20),
+        ("net optimized p99 latency (ms)",
+         ("test_net_throughput", "optimized", "p99_ms"),
+         "lower", "warn", 0.20),
+        ("net bytes shipped (opt/base)",
+         ("test_net_throughput", "bytes_ratio"), "lower", "warn", 0.20),
+    ],
+    "BENCH_obs_overhead.json": [
+        ("obs disabled-path overhead ratio",
+         ("test_disabled_observability_overhead", "disabled_ratio"),
+         "lower", "fail", 0.20),
+        ("obs enabled-path overhead ratio",
+         ("test_disabled_observability_overhead", "enabled_ratio"),
+         "lower", "warn", 0.20),
+    ],
+}
+
+
+def _dig(data, path: Sequence[str]) -> Optional[float]:
+    node = data
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def _load(path: str) -> Optional[dict]:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def compare(results_dir: str, baselines_dir: str) -> int:
+    failures: List[str] = []
+    warnings: List[str] = []
+    rows: List[Tuple[str, str, str, str, str]] = []
+    compared = 0
+    for filename, specs in sorted(SPECS.items()):
+        baseline = _load(os.path.join(baselines_dir, filename))
+        fresh = _load(os.path.join(results_dir, filename))
+        if baseline is None:
+            warnings.append(f"{filename}: no committed baseline, skipping")
+            continue
+        if fresh is None:
+            failures.append(
+                f"{filename}: baseline exists but no fresh result was "
+                f"written -- did the benchmark run?"
+            )
+            continue
+        for label, path, direction, severity, tolerance in specs:
+            ref = _dig(baseline, path)
+            now = _dig(fresh, path)
+            if ref is None or now is None or ref == 0:
+                warnings.append(f"{label}: metric missing, skipping")
+                continue
+            compared += 1
+            change = now / ref - 1.0
+            regressed = (
+                change < -tolerance if direction == "higher"
+                else change > tolerance
+            )
+            status = "ok"
+            if regressed:
+                status = severity.upper()
+                text = (
+                    f"{label}: {now:.3f} vs baseline {ref:.3f} "
+                    f"({change:+.1%}, tolerance {tolerance:.0%}, "
+                    f"{direction} is better)"
+                )
+                (failures if severity == "fail" else warnings).append(text)
+            rows.append((
+                label, f"{ref:.3f}", f"{now:.3f}", f"{change:+.1%}", status
+            ))
+    widths = [
+        max(len(str(row[col])) for row in rows + [("metric", "base",
+            "now", "change", "status")])
+        for col in range(5)
+    ] if rows else []
+    if rows:
+        header = ("metric", "base", "now", "change", "status")
+        print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in rows:
+            print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    for text in warnings:
+        print(f"WARN: {text}")
+    for text in failures:
+        print(f"FAIL: {text}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"bench-gate: {compared} metrics compared, no hard regressions")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results", default=os.path.join(HERE, "results"),
+        help="directory holding freshly-written BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baselines", default=os.path.join(HERE, "baselines"),
+        help="directory holding the committed reference BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+    return compare(args.results, args.baselines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,15 @@ the simulator uses.
 
 * :mod:`repro.net.wire` -- length-prefixed, versioned codec for every
   spec message plus client RPCs, with a :class:`ProtocolError`
-  taxonomy (malformed frames never crash a node) and a per-connection
+  taxonomy (malformed frames never crash a node), a per-connection
   log-delta layer (the transport ships log suffixes, handlers still
-  see full logs);
+  see full logs), and chunked InstallSnapshot frames for compacted
+  logs;
+* :mod:`repro.net.snapshot` -- Raft log compaction: the committed
+  prefix folds into a :class:`~repro.net.snapshot.Snapshot` behind a
+  :class:`~repro.net.snapshot.CompactLog`, which the unmodified spec
+  handlers keep operating on (absolute indices, loud failure on any
+  elided access);
 * :mod:`repro.net.node` -- one asyncio event loop per process hosting
   one ``Server``: per-peer outbound connections with reconnect,
   capped exponential backoff and bounded outboxes, plus the shared
@@ -30,6 +36,7 @@ the simulator uses.
 from .client import ClientError, NetClient
 from .node import NodeConfig, NetNode, run_node
 from .procs import LocalCluster, NodeHandle, allocate_ports
+from .snapshot import CompactLog, CompactServer, Snapshot, SnapshotElided
 from .wire import (
     ClientRequest,
     ClientResponse,
@@ -39,6 +46,9 @@ from .wire import (
     MalformedFrame,
     PeerHello,
     ProtocolError,
+    ReadProbe,
+    ReadProbeAck,
+    SnapshotChunk,
     StatusRequest,
     StatusResponse,
     TruncatedFrame,
@@ -49,12 +59,16 @@ from .wire import (
     decode_message,
     encode_frame,
     encode_message,
+    pack_snapshot,
+    unpack_snapshot,
 )
 
 __all__ = [
     "ClientError",
     "ClientRequest",
     "ClientResponse",
+    "CompactLog",
+    "CompactServer",
     "FrameTooLarge",
     "LocalCluster",
     "LogRequest",
@@ -66,6 +80,11 @@ __all__ = [
     "NodeHandle",
     "PeerHello",
     "ProtocolError",
+    "ReadProbe",
+    "ReadProbeAck",
+    "Snapshot",
+    "SnapshotChunk",
+    "SnapshotElided",
     "StatusRequest",
     "StatusResponse",
     "TruncatedFrame",
@@ -77,5 +96,7 @@ __all__ = [
     "decode_message",
     "encode_frame",
     "encode_message",
+    "pack_snapshot",
     "run_node",
+    "unpack_snapshot",
 ]

@@ -67,6 +67,9 @@ def _cmd_node(args: argparse.Namespace) -> int:
             election_timeout_max_ms=args.election_max_ms,
         ),
         seed=args.seed,
+        snapshot_threshold=args.snapshot_threshold,
+        batching=not args.no_batch,
+        read_index=not args.no_read_index,
     )
     run_node(config)
     return 0
@@ -84,7 +87,12 @@ def _cmd_client(args: argparse.Namespace) -> int:
     # and the at-most-once dedup would answer later invocations with
     # the first one's result.
     client_id = args.client_id or f"cli-{uuid.uuid4().hex[:12]}"
-    with NetClient(addresses, client_id=client_id) as client:
+    with NetClient(
+        addresses,
+        client_id=client_id,
+        total_timeout_s=args.timeout_s,
+        max_attempts=args.max_attempts or None,
+    ) as client:
         try:
             if args.op == "status":
                 for nid in sorted(addresses):
@@ -92,10 +100,17 @@ def _cmd_client(args: argparse.Namespace) -> int:
                     if reply is None:
                         print(f"S{nid}: unreachable")
                     else:
+                        extras = ""
+                        if reply.base_len:
+                            extras += f" snap={reply.base_len}"
+                        if reply.snapshots_installed:
+                            extras += f" installed={reply.snapshots_installed}"
+                        if reply.reads_fast:
+                            extras += f" fast_reads={reply.reads_fast}"
                         print(
                             f"S{nid}: {reply.role} term={reply.term} "
                             f"commit={reply.commit_len}/{reply.log_len} "
-                            f"members={sorted(reply.members)}"
+                            f"members={sorted(reply.members)}" + extras
                         )
                 return 0
             if args.op == "put":
@@ -150,19 +165,27 @@ def _committed_prefix_agreement(cluster: LocalCluster) -> Tuple[bool, str]:
     their committed logs (the paper's log agreement, checked live)."""
     with cluster.client(client_id="safety-check") as probe:
         logs = {
-            nid: entries
+            nid: tail
             for nid in cluster.nids
             if cluster.handles[nid].alive
-            and (entries := probe.committed_log(nid)) is not None
+            and (tail := probe.committed_tail(nid)) is not None
         }
     nids = sorted(logs)
     for i, a in enumerate(nids):
         for b in nids[i + 1:]:
-            shared = min(len(logs[a]), len(logs[b]))
-            if logs[a][:shared] != logs[b][:shared]:
+            # Entries ship from each node's snapshot point on: compare
+            # the overlap of the two visible (absolute) index ranges.
+            entries_a, base_a = logs[a]
+            entries_b, base_b = logs[b]
+            lo = max(base_a, base_b)
+            hi = min(base_a + len(entries_a), base_b + len(entries_b))
+            if lo >= hi:
+                continue  # no visible overlap (snapshots cover it)
+            if (entries_a[lo - base_a : hi - base_a]
+                    != entries_b[lo - base_b : hi - base_b]):
                 return False, (
                     f"S{a} and S{b} disagree within their committed "
-                    f"prefixes (first {shared} entries)"
+                    f"prefixes (absolute entries {lo}..{hi})"
                 )
     return True, f"{len(nids)} nodes agree on committed prefixes"
 
@@ -173,7 +196,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     keys = [f"k{i}" for i in range(5)]
     print(f"demo: spawning {args.nodes}-node cluster ...")
     with LocalCluster(
-        nids=nids, seed=args.seed, log_dir=args.log_dir
+        nids=nids, seed=args.seed, log_dir=args.log_dir,
+        snapshot_threshold=args.snapshot_threshold,
     ) as cluster:
         leader = cluster.wait_for_leader()
         print(f"demo: S{leader} is leader; driving {args.ops} ops ...")
@@ -244,6 +268,19 @@ def main(argv: List[str] = None) -> int:
     node.add_argument("--election-min-ms", type=float, default=100.0)
     node.add_argument("--election-max-ms", type=float, default=200.0)
     node.add_argument("--seed", type=int, default=None)
+    node.add_argument(
+        "--snapshot-threshold", type=int, default=1024,
+        help="compact the committed prefix after this many entries "
+             "past the snapshot point (0 disables)",
+    )
+    node.add_argument(
+        "--no-batch", action="store_true",
+        help="broadcast per request instead of per event-loop tick",
+    )
+    node.add_argument(
+        "--no-read-index", action="store_true",
+        help="serialize reads through the log instead of ReadIndex",
+    )
     node.add_argument("--verbose", action="store_true")
     node.set_defaults(func=_cmd_node)
 
@@ -252,6 +289,15 @@ def main(argv: List[str] = None) -> int:
     client.add_argument(
         "--client-id", default=None,
         help="stable identity for retry dedup (default: unique per run)",
+    )
+    client.add_argument(
+        "--max-attempts", type=int, default=20,
+        help="give up (exit 1) after this many attempts with no "
+             "definitive response (0 means deadline-bound only)",
+    )
+    client.add_argument(
+        "--timeout-s", type=float, default=20.0,
+        help="overall per-operation deadline in seconds",
     )
     client.add_argument(
         "op",
@@ -267,6 +313,11 @@ def main(argv: List[str] = None) -> int:
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument("--kill-leader", action="store_true")
     demo.add_argument("--op-timeout-s", type=float, default=20.0)
+    demo.add_argument(
+        "--snapshot-threshold", type=int, default=1024,
+        help="per-node compaction threshold (low values force "
+             "InstallSnapshot traffic mid-demo; 0 disables)",
+    )
     demo.add_argument(
         "--log-dir", default=None,
         help="keep node logs here instead of a temporary directory",

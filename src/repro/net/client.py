@@ -85,6 +85,7 @@ class NetClient:
         request_timeout_s: float = 1.0,
         total_timeout_s: float = 20.0,
         retry_delay_s: float = 0.02,
+        max_attempts: Optional[int] = None,
     ) -> None:
         if not addresses:
             raise ValueError("need at least one node address")
@@ -94,6 +95,10 @@ class NetClient:
         self.request_timeout_s = request_timeout_s
         self.total_timeout_s = total_timeout_s
         self.retry_delay_s = retry_delay_s
+        #: Per-operation attempt cap (None: deadline-bound only).  A
+        #: one-shot CLI invocation against a fully-down cluster fails
+        #: after this many tries instead of spinning out the deadline.
+        self.max_attempts = max_attempts
         self._seq = 0
         self._leader_guess: Optional[int] = None
         self._conns: Dict[int, socket.socket] = {}
@@ -159,13 +164,23 @@ class NetClient:
         return reply if isinstance(reply, StatusResponse) else None
 
     def committed_log(self, nid: int):
-        """A node's committed log (for cross-node safety checks);
-        ``None`` when unreachable."""
+        """A node's committed log entries (for cross-node safety
+        checks); ``None`` when unreachable.  After compaction only the
+        tail past the snapshot is available -- use
+        :meth:`committed_tail` when offsets matter."""
+        tail = self.committed_tail(nid)
+        return tail[0] if tail is not None else None
+
+    def committed_tail(self, nid: int):
+        """``(entries, base_len)``: a node's committed entries from
+        absolute index ``base_len`` on; ``None`` when unreachable."""
         try:
             reply = self._rpc(nid, LogRequest(), timeout_s=5.0)
         except (OSError, ProtocolError, ConnectionError):
             return None
-        return reply.entries if isinstance(reply, LogResponse) else None
+        if not isinstance(reply, LogResponse):
+            return None
+        return reply.entries, reply.base_len
 
     def find_leader(self) -> Optional[int]:
         """Probe every node and return the highest-term live leader."""
@@ -214,7 +229,14 @@ class NetClient:
         ordered = sorted(self.addresses)
         first = True
         probe = 0
+        attempts = 0
         while time.monotonic() < deadline:
+            if self.max_attempts is not None and attempts >= self.max_attempts:
+                raise ClientTimeout(
+                    f"{command!r}: no definitive response after "
+                    f"{attempts} attempts"
+                )
+            attempts += 1
             if self._leader_guess in self.addresses:
                 nid = self._leader_guess
             else:

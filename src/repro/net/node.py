@@ -2,28 +2,40 @@
 
 A :class:`NetNode` hosts exactly one **unmodified**
 :class:`repro.raft.server.Server` -- the same pure handlers the
-simulator schedules -- and supplies everything the spec abstracts
-away on a real network:
+simulator schedules (via the :class:`repro.net.snapshot.CompactServer`
+subclass, which only changes how derived state is *queried* once the
+log is compacted) -- and supplies everything the spec abstracts away
+on a real network:
 
 * **Timers**: the shared :class:`repro.runtime.driver.ElectionDriver`
   (identical policy to the simulator) armed against the asyncio clock
   (``loop.call_later``), so election timeouts and heartbeat chains run
   on wall-clock milliseconds.
 * **Transport**: one listening socket; per-peer *outbound* connections
-  with reconnect, capped exponential backoff, and a bounded outbox
-  that sheds the oldest message under overload (the spec ships full
-  logs, so the newest message always supersedes a shed one).
-  Log-carrying messages travel through the per-connection delta layer
-  (:mod:`repro.net.wire`), keeping steady-state frames O(new entries)
-  while a rejoining node pays its real catch-up cost.
+  with reconnect, capped exponential backoff, and a bounded outbox.
+  Replication ``CommitReq``\\ s are coalesced latest-wins (each carries
+  the full state, so an unsent older one is strictly superseded), and
+  the peer loop drains a bounded window of messages per socket write
+  -- pipelined AppendEntries without waiting for acks.  Log-carrying
+  messages travel through the per-connection delta layer
+  (:mod:`repro.net.wire`); a reconnect resets that state, which *is*
+  the rewind path when a peer's view diverges.
+* **Snapshots**: once the committed prefix outgrows
+  ``snapshot_threshold``, the leader folds it
+  (:mod:`repro.net.snapshot`); followers adopt the compact log through
+  the spec's own log-replacement, shipped as chunked InstallSnapshot
+  frames plus the live tail -- a late joiner pays O(state), not
+  O(history).
 * **Clients**: requests carry ``(client_id, seq)`` ids; the leader
-  deduplicates against its log (the PR-2 at-most-once semantics via
-  :func:`repro.runtime.driver.find_request`), lays down a no-op
-  barrier when commit rules require one, and answers when the entry's
-  index commits.  Reads (``get``) are serialized through the log, so
-  every response is linearizable by construction -- a deposed leader
-  cannot serve a stale read.  Non-leaders answer ``not-leader`` with
-  their best hint.
+  deduplicates against its log *and* the snapshot's session table,
+  lays down a no-op barrier when commit rules require one, batches all
+  appends from one event-loop tick into a single broadcast, and
+  answers when the entry's index commits.  Linearizable reads
+  (``get``) skip the log entirely via ReadIndex: the leader records
+  its commit index, confirms its leadership with a
+  :class:`~repro.net.wire.ReadProbe` quorum round, and serves from the
+  incrementally-applied committed state.  Non-leaders answer
+  ``not-leader`` with their best hint.
 
 Malformed frames close the offending connection and never crash the
 node (every decode failure is a :class:`repro.net.wire.ProtocolError`).
@@ -34,17 +46,26 @@ from __future__ import annotations
 import asyncio
 import logging
 import random
+import socket
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.trace import NULL_TRACER, Tracer
 from ..raft.messages import CommitAck, CommitReq, ElectAck, ElectReq, Msg
-from ..raft.server import FOLLOWER, LEADER, Server
-from ..runtime.driver import ElectionDriver, TimingConfig, find_request
-from ..runtime.kvstore import materialize
+from ..raft.server import FOLLOWER, LEADER
+from ..runtime.driver import ElectionDriver, TimingConfig
+from ..runtime.kvstore import apply_command, materialize
 from ..schemes.single_node import RaftSingleNodeScheme
+from .snapshot import (
+    CompactLog,
+    CompactServer,
+    config_positions,
+    find_request_compact,
+    slice_prefix,
+)
 from .wire import (
     ClientRequest,
     ClientResponse,
@@ -55,6 +76,8 @@ from .wire import (
     MAX_FRAME_BYTES,
     PeerHello,
     ProtocolError,
+    ReadProbe,
+    ReadProbeAck,
     StatusRequest,
     StatusResponse,
     encode_frame,
@@ -64,10 +87,27 @@ log = logging.getLogger("repro.net.node")
 
 _RAFT_TYPES = (ElectReq, ElectAck, CommitReq, CommitAck)
 
+#: Commands a node will admit into the log (anything else is refused
+#: at the door, so the apply path never sees unknown vocabulary).
+_COMMAND_ARITY = {
+    "put": 3, "add": 3, "delete": 2, "get": 2, "noop": 1, "reconfig": 2,
+}
+
 
 def now_ms() -> float:
     """Wall-clock milliseconds (monotonic within the process)."""
     return time.monotonic() * 1000.0
+
+
+def _set_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Disable Nagle: the traffic is small latency-sensitive frames
+    (acks, probes, responses), exactly what delayed coalescing hurts."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - non-TCP transports
+            pass
 
 
 async def read_frame(reader: asyncio.StreamReader) -> bytes:
@@ -107,6 +147,18 @@ class NodeConfig:
     #: Reconnect backoff: initial delay, doubled per failure, capped.
     reconnect_min_ms: float = 40.0
     reconnect_max_ms: float = 2_000.0
+    #: Fold the committed prefix into a snapshot once it has grown this
+    #: many entries past the current snapshot point (0 disables).
+    snapshot_threshold: int = 1024
+    #: Coalesce all appends from one event-loop tick into one broadcast
+    #: (False restores the PR 4 broadcast-per-request write path).
+    batching: bool = True
+    #: Serve linearizable ``get``\\ s via a ReadIndex quorum round
+    #: instead of a log append (False restores the PR 4 read path).
+    read_index: bool = True
+    #: Messages drained per socket write in the peer loop: the
+    #: pipelining window (in-flight, un-acked frames per connection).
+    pipeline_window: int = 32
 
 
 @dataclass
@@ -117,6 +169,71 @@ class _PendingRequest:
     target_len: int
     writer: asyncio.StreamWriter
     invoked_ms: float
+
+
+@dataclass
+class _ReadBatch:
+    """One ReadIndex round: reads registered at ``index`` waiting for a
+    quorum of same-term :class:`ReadProbeAck`\\ s at ``term``."""
+
+    probe: int
+    term: int
+    index: int
+    born_ms: float
+    acked: set
+    reads: List[Tuple[ClientRequest, asyncio.StreamWriter, float]]
+
+
+class _Outbox:
+    """Per-peer send queue.
+
+    Control messages (votes, acks, probes) are FIFO with
+    oldest-message shedding under overload.  Replication
+    ``CommitReq``\\ s get a dedicated latest-wins slot: the spec's
+    messages carry the entire log and commit index, so a newer one
+    strictly supersedes an unsent older one -- under load the peer
+    loop naturally sends one fresh AppendEntries per drain instead of
+    a backlog of stale ones.
+    """
+
+    __slots__ = ("limit", "misc", "commit", "event", "m_shed", "m_coalesced",
+                 "coalesce")
+
+    def __init__(self, limit: int, m_shed, m_coalesced,
+                 coalesce: bool = True) -> None:
+        self.limit = limit
+        self.misc: deque = deque()
+        self.commit: Optional[CommitReq] = None
+        self.event = asyncio.Event()
+        self.m_shed = m_shed
+        self.m_coalesced = m_coalesced
+        #: ``batching=False`` restores the PR 4 transport: every
+        #: CommitReq queues and ships individually, none superseded.
+        self.coalesce = coalesce
+
+    def put(self, msg: Msg) -> None:
+        if self.coalesce and isinstance(msg, CommitReq):
+            if self.commit is not None:
+                self.m_coalesced.inc()
+            self.commit = msg
+        else:
+            if len(self.misc) >= self.limit:
+                self.misc.popleft()
+                self.m_shed.inc()
+            self.misc.append(msg)
+        self.event.set()
+
+    def pop_batch(self, window: int) -> List[Msg]:
+        """Up to ``window`` messages for one pipelined socket write."""
+        out: List[Msg] = []
+        while self.misc and len(out) < window:
+            out.append(self.misc.popleft())
+        if self.commit is not None and len(out) < window:
+            out.append(self.commit)
+            self.commit = None
+        if not self.misc and self.commit is None:
+            self.event.clear()
+        return out
 
 
 class NetNode:
@@ -130,7 +247,9 @@ class NetNode:
     ) -> None:
         self.config = config
         self.scheme = RaftSingleNodeScheme()
-        self.server = Server(nid=config.nid, conf0=frozenset(config.conf0))
+        self.server = CompactServer(
+            nid=config.nid, conf0=frozenset(config.conf0)
+        )
         seed = config.seed if config.seed is not None else config.nid
         self.rng = random.Random(seed)
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -139,19 +258,38 @@ class NetNode:
         self._m_sent = self.metrics.counter("net.messages_sent")
         self._m_received = self.metrics.counter("net.messages_received")
         self._m_shed = self.metrics.counter("net.outbox_shed")
+        self._m_coalesced = self.metrics.counter("net.commit_coalesced")
         self._m_reconnects = self.metrics.counter("net.reconnects")
         self._m_protocol_errors = self.metrics.counter("net.protocol_errors")
         self._m_requests = self.metrics.counter("net.client_requests")
+        self._m_compactions = self.metrics.counter("net.compactions")
+        self._m_snapshots_in = self.metrics.counter("net.snapshots_installed")
+        self._m_reads_fast = self.metrics.counter("net.reads_fast")
         self._h_commit = self.metrics.histogram("net.commit_latency_ms")
         self.driver: Optional[ElectionDriver] = None
         self.loop: Optional[asyncio.AbstractEventLoop] = None
-        self._outboxes: Dict[int, asyncio.Queue] = {}
+        self._outboxes: Dict[int, _Outbox] = {}
         self._peer_tasks: List[asyncio.Task] = []
         self._tcp_server: Optional[asyncio.base_events.Server] = None
         self._pending: List[_PendingRequest] = []
         self._leader_hint: Optional[int] = None
         self._stopping = asyncio.Event()
         self._timer_handles: List[asyncio.TimerHandle] = []
+        self._flush_scheduled = False
+        #: ReadIndex state: outstanding quorum rounds, the id of the
+        #: round still accepting reads this tick, and an id counter.
+        self._read_batches: Dict[int, _ReadBatch] = {}
+        self._open_probe: Optional[int] = None
+        self._probe_counter = 0
+        #: Incrementally-applied committed state: ``_app_store`` is the
+        #: kvstore after folding ``log[:_app_len]`` (jumps to the
+        #: snapshot's store on compaction/installation).
+        self._app_store: Dict[str, Any] = {}
+        self._app_len = 0
+        #: Cumulative transport/observability counters.
+        self._n_bytes_sent = 0
+        self._n_snapshots_in = 0
+        self._n_reads_fast = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,10 +310,13 @@ class NetNode:
         for nid in self.config.peers:
             if nid == self.config.nid:
                 continue
-            queue: asyncio.Queue = asyncio.Queue()
-            self._outboxes[nid] = queue
+            outbox = _Outbox(
+                self.config.outbox_limit, self._m_shed, self._m_coalesced,
+                coalesce=self.config.batching,
+            )
+            self._outboxes[nid] = outbox
             self._peer_tasks.append(
-                asyncio.ensure_future(self._peer_loop(nid, queue))
+                asyncio.ensure_future(self._peer_loop(nid, outbox))
             )
         self._tcp_server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -237,19 +378,36 @@ class NetNode:
 
     def _send_all(self, msgs: List[Msg]) -> None:
         msgs = msgs + self._courtesy_heartbeats(msgs)
+        # Piggyback outstanding ReadIndex probes on every replication
+        # broadcast (the driver's heartbeat chain included): a follower
+        # that was behind on the term when first probed re-acks on the
+        # next round, so no read round can starve on one stale ack.
+        server = self.server
+        if (
+            self._read_batches
+            and server.role == LEADER
+            and any(
+                isinstance(m, CommitReq) and m.frm == self.config.nid
+                for m in msgs
+            )
+        ):
+            members = self.scheme.members(server.config())
+            probes = [
+                ReadProbe(
+                    frm=self.config.nid, to=peer,
+                    probe=batch.probe, time=server.time,
+                )
+                for batch in self._read_batches.values()
+                if batch.term == server.time
+                for peer in sorted(members)
+                if peer != self.config.nid
+            ]
+            msgs = msgs + probes
         for msg in msgs:
-            queue = self._outboxes.get(msg.to)
-            if queue is None:
+            outbox = self._outboxes.get(msg.to)
+            if outbox is None:
                 continue
-            if queue.qsize() >= self.config.outbox_limit:
-                # Overload shedding: the spec's messages carry full
-                # state, so the newest always supersedes the oldest.
-                try:
-                    queue.get_nowait()
-                except asyncio.QueueEmpty:  # pragma: no cover - race-free
-                    pass
-                self._m_shed.inc()
-            queue.put_nowait(msg)
+            outbox.put(msg)
 
     def _courtesy_heartbeats(self, msgs: List[Msg]) -> List[Msg]:
         """Replication for peers the configuration just dropped.
@@ -268,7 +426,10 @@ class NetNode:
         the peer's removal entry rather than the newest config entry
         matters: later reconfigurations must not wake long-removed
         peers back up and replicate to them logs they have no business
-        holding.
+        holding.  When the removal entry has been folded into a
+        snapshot, the snapshot itself is the shortest shippable prefix
+        covering it (the peer still goes quiescent; it just holds the
+        folded state instead of the raw prefix).
         """
         server = self.server
         if server.role != LEADER or not any(
@@ -276,12 +437,11 @@ class NetNode:
             for m in msgs
         ):
             return []
-        config_positions = [
-            (i, self.scheme.members(entry.payload))
-            for i, entry in enumerate(server.log)
-            if entry.is_config
+        positions = [
+            (i, self.scheme.members(payload))
+            for i, payload in config_positions(server)
         ]
-        if not config_positions:
+        if not positions:
             return []  # still on conf0: nobody has been removed
 
         def removal_target(peer: int) -> int:
@@ -289,34 +449,45 @@ class NetNode:
             last_in = (
                 -1 if peer in self.scheme.members(server.conf0) else None
             )
-            for i, group in config_positions:
+            for i, group in positions:
                 if peer in group:
                     last_in = i
             if last_in is None:
                 return 0  # never a member: nothing to tell it
-            for i, _ in config_positions:
+            for i, _ in positions:
                 if i > last_in:
                     return i + 1
             return 0  # still a member of the newest configuration
 
         members = self.scheme.members(server.config())
-        return [
-            CommitReq(
-                frm=self.config.nid,
-                to=peer,
-                time=server.time,
-                log=server.log[:target],
-                commit_len=min(server.commit_len, target),
+        out = []
+        for peer in sorted(self._outboxes):
+            if peer in members:
+                continue
+            target = removal_target(peer)
+            if server.acked.get(peer, 0) >= target:
+                continue
+            prefix = slice_prefix(server.log, target)
+            out.append(
+                CommitReq(
+                    frm=self.config.nid,
+                    to=peer,
+                    time=server.time,
+                    log=prefix,
+                    commit_len=min(server.commit_len, len(prefix)),
+                )
             )
-            for peer in sorted(self._outboxes)
-            if peer not in members
-            and server.acked.get(peer, 0) < (target := removal_target(peer))
-        ]
+        return out
 
-    async def _peer_loop(self, nid: int, queue: asyncio.Queue) -> None:
+    async def _peer_loop(self, nid: int, outbox: _Outbox) -> None:
         """Own the outbound connection to one peer: connect with capped
         exponential backoff, then drain the outbox through a fresh
-        delta encoder per connection."""
+        delta encoder per connection.  Each iteration pops a bounded
+        *window* of ready messages and ships them in one pipelined
+        write -- no per-message ack wait, no per-message drain.  A
+        connection drop resets the delta/snapshot state (the encoder is
+        per-connection), which is the rewind: the next frame re-ships
+        from the last point the fresh connection state supports."""
         host, port = self.config.peers[nid]
         backoff_ms = self.config.reconnect_min_ms
         while not self._stopping.is_set():
@@ -328,20 +499,34 @@ class NetNode:
                 continue
             backoff_ms = self.config.reconnect_min_ms
             self._m_reconnects.inc()
+            _set_nodelay(writer)
             encoder = DeltaEncoder()
             try:
                 writer.write(encode_frame(PeerHello(nid=self.config.nid)))
                 while True:
-                    msg = await queue.get()
-                    frame = encoder.encode(msg)
-                    writer.write(frame)
+                    await outbox.event.wait()
+                    # With batching off the transport is the PR 4 one:
+                    # one message per socket write, drained before the
+                    # next (no pipelined in-flight window).
+                    window = (
+                        self.config.pipeline_window
+                        if self.config.batching else 1
+                    )
+                    msgs = outbox.pop_batch(window)
+                    if not msgs:
+                        continue
+                    data = b"".join(encoder.encode(msg) for msg in msgs)
+                    writer.write(data)
                     await writer.drain()
-                    self._m_sent.inc()
+                    self._n_bytes_sent += len(data)
+                    self._m_sent.inc(len(msgs))
                     if self._obs:
-                        self.tracer.send(
-                            now_ms(), self.config.nid, nid,
-                            type(msg).__name__, bytes=len(frame),
-                        )
+                        for msg in msgs:
+                            self.tracer.send(
+                                now_ms(), self.config.nid, nid,
+                                type(msg).__name__,
+                                bytes=len(data) // len(msgs),
+                            )
             except (OSError, asyncio.IncompleteReadError):
                 pass  # peer went away: reconnect with fresh delta state
             finally:
@@ -354,8 +539,10 @@ class NetNode:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        _set_nodelay(writer)
         decoder = DeltaDecoder()
         peer_nid: Optional[int] = None
+        snapshots_seen = 0
         try:
             while True:
                 payload = await read_frame(reader)
@@ -371,18 +558,25 @@ class NetNode:
                         self.config.nid, exc,
                     )
                     return
+                if decoder.snapshots_installed > snapshots_seen:
+                    delta = decoder.snapshots_installed - snapshots_seen
+                    snapshots_seen = decoder.snapshots_installed
+                    self._n_snapshots_in += delta
+                    self._m_snapshots_in.inc(delta)
+                if msg is None:
+                    continue  # a snapshot chunk, absorbed by the decoder
                 if isinstance(msg, PeerHello):
                     peer_nid = msg.nid
                 elif isinstance(msg, _RAFT_TYPES):
                     self._deliver(msg)
+                elif isinstance(msg, ReadProbe):
+                    self._on_read_probe(msg)
+                elif isinstance(msg, ReadProbeAck):
+                    self._on_read_probe_ack(msg)
                 elif isinstance(msg, StatusRequest):
                     writer.write(encode_frame(self._status()))
                 elif isinstance(msg, LogRequest):
-                    writer.write(
-                        encode_frame(
-                            LogResponse(entries=self.server.committed_log())
-                        )
-                    )
+                    writer.write(encode_frame(self._committed_tail()))
                 elif isinstance(msg, ClientRequest):
                     self._handle_client_request(msg, writer)
                 else:  # a response type arriving where none belongs
@@ -399,6 +593,17 @@ class NetNode:
                     self.config.nid, peer_nid,
                 )
             writer.close()
+
+    def _committed_tail(self) -> LogResponse:
+        """The committed log for cross-node safety checks: the entries
+        past the snapshot point, tagged with their absolute offset."""
+        server = self.server
+        committed = server.committed_log()
+        if isinstance(committed, CompactLog):
+            return LogResponse(
+                entries=committed.tail, base_len=committed.snap.base_len
+            )
+        return LogResponse(entries=committed, base_len=0)
 
     # ------------------------------------------------------------------
     # Spec message path
@@ -419,7 +624,8 @@ class NetNode:
     def _after_progress(self) -> None:
         """React to state changes a delivery may have caused: complete
         committed client requests, step down if the committed config
-        dropped us, bounce the remaining pending ones on dethrone."""
+        dropped us, compact once the committed prefix outgrows the
+        threshold, bounce pending work on dethrone."""
         server = self.server
         if server.role == LEADER:
             still_waiting: List[_PendingRequest] = []
@@ -429,20 +635,51 @@ class NetNode:
                 else:
                     still_waiting.append(pending)
             self._pending = still_waiting
+            self._expire_stale_reads()
+            self._maybe_compact()
             self._maybe_step_down()
-        if server.role != LEADER and self._pending:
-            for pending in self._pending:
-                self._respond(
-                    pending,
-                    ClientResponse(
-                        client_id=pending.request.client_id,
-                        seq=pending.request.seq,
-                        ok=False,
-                        error="not-leader",
-                        leader_hint=self._hint(),
-                    ),
+        if server.role != LEADER:
+            if self._pending:
+                for pending in self._pending:
+                    self._respond(
+                        pending,
+                        ClientResponse(
+                            client_id=pending.request.client_id,
+                            seq=pending.request.seq,
+                            ok=False,
+                            error="not-leader",
+                            leader_hint=self._hint(),
+                        ),
+                    )
+                self._pending = []
+            if self._read_batches:
+                self._bounce_reads(error="not-leader")
+
+    def _maybe_compact(self) -> None:
+        """Leader-driven log compaction: fold the committed prefix once
+        it has grown ``snapshot_threshold`` entries past the snapshot
+        point.  Followers never compact on their own -- they adopt the
+        leader's compact log through replication (InstallSnapshot)."""
+        threshold = self.config.snapshot_threshold
+        server = self.server
+        if threshold <= 0 or server.role != LEADER:
+            return
+        if server.commit_len - server.snapshot_base() < threshold:
+            return
+        # Catch the applied store up first: after compaction it can
+        # only jump forward from the new snapshot's store.
+        self._apply_committed()
+        if server.compact():
+            self._m_compactions.inc()
+            if self._obs:
+                self.tracer.record(
+                    "compaction", now_ms(), self.config.nid,
+                    base_len=server.snapshot_base(), term=server.time,
                 )
-            self._pending = []
+            log.info(
+                "S%d compacted log to snapshot at %d entries",
+                self.config.nid, server.snapshot_base(),
+            )
 
     def _maybe_step_down(self) -> None:
         """Raft section 6: a leader that committed the configuration
@@ -455,26 +692,68 @@ class NetNode:
             return
         if self.config.nid in self.scheme.members(server.config()):
             return
-        for i in range(len(server.log) - 1, -1, -1):
-            if server.log[i].is_config:
-                if server.commit_len >= i + 1:
-                    log.info(
-                        "S%d removed by committed config %s: stepping down",
-                        self.config.nid, sorted(server.log[i].payload),
-                    )
-                    server.role = FOLLOWER
-                    self._leader_hint = None
-                return
+        positions = config_positions(server)
+        if not positions:
+            return
+        # The newest config entry governs; a config folded into a
+        # snapshot is committed by construction.
+        index, payload = positions[-1]
+        if server.commit_len >= index + 1:
+            log.info(
+                "S%d removed by committed config %s: stepping down",
+                self.config.nid, sorted(payload),
+            )
+            server.role = FOLLOWER
+            self._leader_hint = None
+
+    # ------------------------------------------------------------------
+    # Committed state (incremental apply)
+    # ------------------------------------------------------------------
+
+    def _apply_committed(self) -> None:
+        """Advance the applied store to the current commit index.
+
+        Entries below the commit index never change (Raft's state
+        machine safety), so each is applied exactly once; a snapshot
+        installation jumps the store to the snapshot's materialized
+        state.  This turns every read from O(history) folding into
+        O(new entries)."""
+        server = self.server
+        log_ = server.log
+        if isinstance(log_, CompactLog):
+            base = log_.snap.base_len
+            if self._app_len < base:
+                self._app_store = dict(log_.snap.store)
+                self._app_len = base
+        while self._app_len < server.commit_len:
+            entry = log_[self._app_len]
+            if not entry.is_config:
+                try:
+                    apply_command(self._app_store, entry.payload)
+                except (ValueError, TypeError, IndexError):
+                    pass  # unknown vocabulary folds as a no-op
+            self._app_len += 1
 
     def _committed_response(self, pending: _PendingRequest) -> ClientResponse:
         request = pending.request
         command = request.command
         result: object = True
         if command[0] == "get":
-            # The read linearizes at its own log entry: materialize the
-            # committed prefix up to (and including) that entry.
-            store = materialize(self.server.log[: pending.target_len])
-            result = store.get(command[1])
+            # The read linearizes at response time: every entry applied
+            # here committed before this response is sent.
+            server = self.server
+            if (self.config.batching or self.config.read_index
+                    or isinstance(server.log, CompactLog)):
+                self._apply_committed()
+                result = self._app_store.get(command[1])
+            else:
+                # Full-parity baseline (both optimizations off, log
+                # never compacted): fold the whole committed prefix per
+                # read, as the pre-optimization write path did.
+                store = materialize(
+                    server.log[i] for i in range(server.commit_len)
+                )
+                result = store.get(command[1])
         self._h_commit.observe(now_ms() - pending.invoked_ms)
         return ClientResponse(
             client_id=request.client_id,
@@ -490,6 +769,166 @@ class NetNode:
             pending.writer.write(encode_frame(response))
         except (OSError, RuntimeError):
             pass  # client gave up; its retry will dedup via request id
+
+    # ------------------------------------------------------------------
+    # ReadIndex reads
+    # ------------------------------------------------------------------
+
+    def _register_read(
+        self, request: ClientRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        """Queue a linearizable read without appending to the log.
+
+        The read joins the tick's open batch (one quorum round serves
+        every read registered in the same tick); the probes go out at
+        flush time alongside the batched broadcast."""
+        server = self.server
+        batch = (
+            self._read_batches.get(self._open_probe)
+            if self._open_probe is not None
+            else None
+        )
+        if batch is None or batch.term != server.time:
+            self._probe_counter += 1
+            batch = _ReadBatch(
+                probe=self._probe_counter,
+                term=server.time,
+                index=server.commit_len,
+                born_ms=now_ms(),
+                acked={self.config.nid},
+                reads=[],
+            )
+            self._read_batches[batch.probe] = batch
+            self._open_probe = batch.probe
+        batch.reads.append((request, writer, now_ms()))
+        self._schedule_flush()
+
+    def _on_read_probe(self, msg: ReadProbe) -> None:
+        """A follower answers with *its own* current term: the ack only
+        confirms the probing leader while the terms match."""
+        self._send_all([
+            ReadProbeAck(
+                frm=self.config.nid, to=msg.frm,
+                probe=msg.probe, time=self.server.time,
+            )
+        ])
+
+    def _on_read_probe_ack(self, msg: ReadProbeAck) -> None:
+        batch = self._read_batches.get(msg.probe)
+        if batch is None:
+            return
+        server = self.server
+        if server.role != LEADER or server.time != batch.term:
+            return  # the batch will be bounced by _after_progress
+        if msg.time != batch.term:
+            # A stale follower (it will re-ack via the heartbeat
+            # re-probe once caught up) or a newer term (in which case
+            # raft traffic is about to dethrone us anyway).
+            return
+        batch.acked.add(msg.frm)
+        self._maybe_complete_read(batch)
+
+    def _maybe_complete_read(self, batch: _ReadBatch) -> None:
+        server = self.server
+        if not self.scheme.is_quorum(frozenset(batch.acked), server.config()):
+            return
+        self._read_batches.pop(batch.probe, None)
+        if self._open_probe == batch.probe:
+            self._open_probe = None
+        # A same-term quorum acked after registration: no higher-term
+        # leader existed when those acks were sent, so commit_len at
+        # registration covered every write completed before the reads
+        # began.  commit_len is monotonic, so the applied store (which
+        # is at least at batch.index) serves linearizable results.
+        self._apply_committed()
+        for request, writer, invoked_ms in batch.reads:
+            result = self._app_store.get(request.command[1])
+            self._h_commit.observe(now_ms() - invoked_ms)
+            try:
+                writer.write(
+                    encode_frame(
+                        ClientResponse(
+                            client_id=request.client_id,
+                            seq=request.seq,
+                            ok=True,
+                            result=result,
+                        )
+                    )
+                )
+            except (OSError, RuntimeError):
+                pass
+        self._n_reads_fast += len(batch.reads)
+        self._m_reads_fast.inc(len(batch.reads))
+
+    def _expire_stale_reads(self) -> None:
+        """Abandon read rounds that outlived an election timeout (a
+        quorum is unreachable or the term moved on): the client
+        retries, and the retry re-registers under current state."""
+        if not self._read_batches:
+            return
+        horizon = now_ms() - 2 * self.config.timing.election_timeout_max_ms
+        stale = [
+            batch for batch in self._read_batches.values()
+            if batch.born_ms < horizon or batch.term != self.server.time
+        ]
+        for batch in stale:
+            self._read_batches.pop(batch.probe, None)
+            if self._open_probe == batch.probe:
+                self._open_probe = None
+            self._refuse_reads(batch, error="retry")
+
+    def _bounce_reads(self, error: str) -> None:
+        batches = list(self._read_batches.values())
+        self._read_batches = {}
+        self._open_probe = None
+        for batch in batches:
+            self._refuse_reads(batch, error=error)
+
+    def _refuse_reads(self, batch: _ReadBatch, error: str) -> None:
+        hint = self._hint() if error == "not-leader" else None
+        for request, writer, _ in batch.reads:
+            try:
+                writer.write(
+                    encode_frame(
+                        ClientResponse(
+                            client_id=request.client_id,
+                            seq=request.seq,
+                            ok=False,
+                            error=error,
+                            leader_hint=hint,
+                        )
+                    )
+                )
+            except (OSError, RuntimeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Batched flush
+    # ------------------------------------------------------------------
+
+    def _schedule_flush(self) -> None:
+        """Coalesce all appends/reads admitted in one event-loop tick
+        into a single broadcast (and a single ReadIndex round)."""
+        if not self.config.batching:
+            self._flush()
+            return
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.loop.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        server = self.server
+        if server.role == LEADER:
+            # Close the tick's read batch: new reads start a new round
+            # (this round's probes ride along with the broadcast).
+            self._open_probe = None
+            self._send_all(server.broadcast_commit(self.scheme))
+            # Single-member quorums (and the degenerate single-node
+            # cluster) need no remote acks to confirm leadership.
+            for batch in list(self._read_batches.values()):
+                self._maybe_complete_read(batch)
+        self._after_progress()
 
     # ------------------------------------------------------------------
     # Client requests
@@ -510,6 +949,10 @@ class NetNode:
             log_len=len(server.log),
             members=tuple(sorted(self.scheme.members(server.config()))),
             leader_hint=self._hint(),
+            base_len=server.snapshot_base(),
+            bytes_sent=self._n_bytes_sent,
+            snapshots_installed=self._n_snapshots_in,
+            reads_fast=self._n_reads_fast,
         )
 
     def _handle_client_request(
@@ -523,39 +966,61 @@ class NetNode:
                 payload=repr(request.command),
             )
         server = self.server
+        command = request.command
         refuse = None
         if server.role != LEADER:
             refuse = ClientResponse(
                 client_id=request.client_id, seq=request.seq, ok=False,
                 error="not-leader", leader_hint=self._hint(),
             )
-        elif not request.command:
+        elif not command:
             refuse = ClientResponse(
                 client_id=request.client_id, seq=request.seq, ok=False,
                 error="empty-command",
+            )
+        elif _COMMAND_ARITY.get(command[0]) != len(command):
+            # Admission-time vocabulary check: nothing the apply path
+            # cannot fold ever enters the log.
+            refuse = ClientResponse(
+                client_id=request.client_id, seq=request.seq, ok=False,
+                error="bad-command",
             )
         if refuse is not None:
             writer.write(encode_frame(refuse))
             return
 
+        if (
+            self.config.read_index
+            and command[0] == "get"
+            and server.has_commit_at_current_time()
+        ):
+            # ReadIndex fast path: no log append, no replication of the
+            # read itself -- a commit-index barrier plus one quorum
+            # probe round.  Requires a committed entry of the current
+            # term (leader completeness); before that, fall through to
+            # the log path below.
+            self._register_read(request, writer)
+            return
+
         request_id = (request.client_id, request.seq)
-        existing = find_request(server, request_id)
+        existing = find_request_compact(server, request_id)
         if existing is not None:
             # At-most-once: a previous attempt's entry survived (maybe
-            # from a dead leader's replicated log).  Wait for it -- and
-            # lay down a current-term no-op barrier so the commit rule
-            # can reach it (a new leader only counts its own term).
+            # from a dead leader's replicated log, maybe folded into a
+            # snapshot).  Wait for it -- and lay down a current-term
+            # no-op barrier so the commit rule can reach it (a new
+            # leader only counts its own term).
             target_len = existing
-            if all(e.time != server.time for e in server.log):
+            if not server.has_entry_at_current_time():
                 server.invoke(("noop",))
-        elif request.command[0] == "reconfig":
+        elif command[0] == "reconfig":
             outcome = self._start_reconfig(request, request_id)
             if isinstance(outcome, ClientResponse):
                 writer.write(encode_frame(outcome))
                 return
             target_len = outcome
         else:
-            server.invoke(request.command, request_id=request_id)
+            server.invoke(command, request_id=request_id)
             target_len = len(server.log)
 
         self._pending.append(
@@ -566,9 +1031,9 @@ class NetNode:
                 invoked_ms=now_ms(),
             )
         )
-        # Replicate immediately rather than waiting for the heartbeat.
-        self._send_all(server.broadcast_commit(self.scheme))
-        self._after_progress()  # single-member quorums commit inline
+        # Batch: every append admitted this tick replicates in one
+        # broadcast at flush (immediately when batching is off).
+        self._schedule_flush()
 
     def _start_reconfig(self, request: ClientRequest, request_id):
         """Append the config entry, or say why not.  Returns the target
@@ -594,9 +1059,9 @@ class NetNode:
             # No committed entry of the current term yet: lay down a
             # no-op barrier (once) and ask the client to retry; the
             # retry passes R3 after the barrier commits.
-            if all(e.time != server.time for e in server.log):
+            if not server.has_entry_at_current_time():
                 server.invoke(("noop",))
-                self._send_all(server.broadcast_commit(self.scheme))
+                self._schedule_flush()
         return ClientResponse(
             client_id=request.client_id, seq=request.seq, ok=False,
             error=reason if reason != "r3-denied" else "retry",

@@ -107,6 +107,12 @@ class LocalCluster:
     seed: int = 0
     log_dir: Optional[str] = None
     startup_timeout_s: float = 10.0
+    #: Per-node compaction threshold (0 disables snapshotting).
+    snapshot_threshold: int = 1024
+    #: Per-tick append batching (False: PR 4 broadcast-per-request).
+    batching: bool = True
+    #: ReadIndex reads (False: PR 4 reads-through-the-log).
+    read_index: bool = True
     handles: Dict[int, NodeHandle] = field(default_factory=dict)
     _tempdir: Optional[tempfile.TemporaryDirectory] = field(
         default=None, repr=False
@@ -169,7 +175,10 @@ class LocalCluster:
                 "--election-min-ms", str(self.election_timeout_min_ms),
                 "--election-max-ms", str(self.election_timeout_max_ms),
                 "--seed", str(self.seed * 1000 + nid),
-            ],
+                "--snapshot-threshold", str(self.snapshot_threshold),
+            ]
+            + ([] if self.batching else ["--no-batch"])
+            + ([] if self.read_index else ["--no-read-index"]),
             stdout=log_file,
             stderr=subprocess.STDOUT,
             env=env,

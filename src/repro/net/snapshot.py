@@ -1,0 +1,391 @@
+"""Raft snapshotting for the real-network runtime.
+
+The specification keeps the whole log forever -- being a spec, its
+messages carry full logs and its handlers index into them freely.
+Neither survives the ROADMAP's "millions of requests": memory grows
+without bound, and a rejoining node replays every entry it missed.
+This module is the production answer, layered so the *spec semantics
+stay intact* while the *representation* becomes compact:
+
+* :class:`Snapshot` -- the committed prefix of a log, folded down to
+  what the rest of the system can still ask about it: the materialized
+  key-value state, the latest configuration (plus the positions of
+  every folded config entry, for courtesy replication to removed
+  peers), the ``(client_id, seq)`` dedup sessions, and the final
+  folded :class:`~repro.raft.messages.LogEntry` verbatim (so Raft's
+  up-to-dateness comparison still sees the true last coordinates).
+
+* :class:`CompactLog` -- a log value whose first ``base_len`` entries
+  are elided behind a :class:`Snapshot`.  It answers exactly the
+  queries the unmodified spec handlers perform on logs -- absolute
+  ``len``, last-entry access, suffix slicing and indexing at or beyond
+  the snapshot point, append -- and **raises loudly**
+  (:class:`SnapshotElided`) on any access to the folded prefix, so a
+  code path that silently needed the full history fails a test instead
+  of corrupting state.
+
+* :class:`CompactServer` -- a :class:`~repro.raft.server.Server`
+  subclass overriding only the handful of derived-state queries that
+  would otherwise iterate the elided prefix (current configuration,
+  the R3 commit-at-current-term check, ``describe``).  Every message
+  handler, the commit rule, and the election logic are inherited
+  unchanged: the compaction is invisible to the protocol.
+
+Compaction is leader-driven: once the committed prefix has grown
+``snapshot_threshold`` entries past the current base, the leader folds
+it (:meth:`CompactServer.compact`).  Followers never compact on their
+own -- they adopt the leader's compact representation wholesale through
+the spec's own ``CommitReq`` log replacement, which is exactly how
+*InstallSnapshot* works here: the wire layer
+(:mod:`repro.net.wire`) ships the snapshot once per connection as
+chunked frames, and every subsequent delta frame references it by id.
+A late-joining follower therefore catches up by receiving the folded
+state plus the live tail instead of replaying the full history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..raft.messages import Log, LogEntry
+from ..raft.server import Server, config_of
+from ..runtime.kvstore import apply_command
+
+
+class SnapshotElided(RuntimeError):
+    """An access reached into a log prefix that has been folded into a
+    snapshot.  This is a programming error, not a protocol condition:
+    every spec query the runtime performs is answerable from the
+    snapshot digest, so raising (rather than silently answering from
+    the tail only) is what keeps compaction honest."""
+
+
+def _fold_command(store: Dict[str, Any], payload) -> None:
+    """Apply one non-config payload to the folding store, tolerating
+    vocabulary the kvstore does not know (e.g. bare no-op markers the
+    simulator uses): unknown commands fold as no-ops rather than
+    poisoning compaction."""
+    if isinstance(payload, tuple) and payload:
+        try:
+            apply_command(store, payload)
+        except (ValueError, TypeError):
+            pass
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """The folded committed prefix of a log.
+
+    ``last_entry`` is the final folded entry kept verbatim: Raft's
+    up-to-dateness key needs its ``(time, vrsn)``, and times are
+    nondecreasing along a log, so it also answers "does the prefix
+    contain an entry of term t" for every t >= its own time -- the only
+    terms the R3 check ever asks about.
+    """
+
+    #: Number of log entries folded in (an absolute prefix length > 0).
+    base_len: int
+    #: The final folded entry, verbatim.
+    last_entry: LogEntry
+    #: The newest configuration in the folded prefix (conf0 if none).
+    config: frozenset
+    #: Materialized key-value state of the folded prefix.
+    store: Dict[str, Any] = field(default_factory=dict)
+    #: At-most-once dedup: client_id -> highest folded seq.
+    sessions: Dict[str, int] = field(default_factory=dict)
+    #: Every folded config entry as (absolute index, members) -- kept
+    #: so courtesy replication can still locate a removed peer's
+    #: removal entry after it has been compacted away.
+    config_history: Tuple[Tuple[int, frozenset], ...] = ()
+
+    @property
+    def sid(self) -> str:
+        """Stable identity: a snapshot is determined by its log
+        position (log matching), so ``(base_len, last time, last
+        vrsn)`` identifies the content across the cluster."""
+        return f"{self.base_len}.{self.last_entry.time}.{self.last_entry.vrsn}"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Snapshot):
+            return NotImplemented
+        return self.sid == other.sid
+
+    def __hash__(self) -> int:
+        return hash(self.sid)
+
+
+class CompactLog:
+    """A log whose committed prefix is elided behind a snapshot.
+
+    Duck-types the subset of tuple behaviour the spec handlers use on
+    logs, with **absolute** indexing: ``len`` counts elided entries,
+    ``log[i]`` works for any ``i`` at or beyond the snapshot point (and
+    for ``-1``, the up-to-dateness probe), suffix slices return plain
+    tuples, and prefix slices down to the snapshot point return another
+    :class:`CompactLog`.  Anything that would need a folded entry
+    raises :class:`SnapshotElided`.
+    """
+
+    __slots__ = ("snap", "tail")
+
+    def __init__(self, snap: Snapshot, tail: Log = ()) -> None:
+        self.snap = snap
+        self.tail = tuple(tail)
+
+    # -- size / truthiness -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.snap.base_len + len(self.tail)
+
+    def __bool__(self) -> bool:
+        return True  # base_len > 0 by construction
+
+    # -- element access ----------------------------------------------------
+
+    def __getitem__(self, index):
+        base = self.snap.base_len
+        if isinstance(index, slice):
+            if index.step not in (None, 1):
+                raise SnapshotElided("CompactLog slices must be contiguous")
+            start = 0 if index.start is None else index.start
+            stop = len(self) if index.stop is None else min(index.stop, len(self))
+            if stop <= start:
+                return ()
+            if start >= base:
+                return self.tail[start - base : stop - base]
+            if start == 0:
+                if stop >= base:
+                    return CompactLog(self.snap, self.tail[: stop - base])
+                raise SnapshotElided(
+                    f"log[:{stop}] reaches into the {base}-entry snapshot"
+                )
+            raise SnapshotElided(
+                f"log[{start}:{stop}] starts inside the {base}-entry snapshot"
+            )
+        if index < 0:
+            index += len(self)
+        if index >= base:
+            return self.tail[index - base]
+        if index == base - 1:
+            return self.snap.last_entry
+        raise SnapshotElided(
+            f"log[{index}] was folded into the {base}-entry snapshot"
+        )
+
+    def __iter__(self):
+        raise SnapshotElided(
+            "cannot iterate a CompactLog from the start; iterate .tail "
+            "or answer the query from the snapshot digest"
+        )
+
+    # -- append (the spec's only log mutation shape) -----------------------
+
+    def __add__(self, other):
+        if isinstance(other, tuple):
+            return CompactLog(self.snap, self.tail + other)
+        return NotImplemented
+
+    # -- value semantics ---------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CompactLog):
+            return self.snap == other.snap and self.tail == other.tail
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.snap.sid, self.tail))
+
+    def __repr__(self) -> str:
+        return (
+            f"CompactLog(<{self.snap.base_len} folded, sid={self.snap.sid}>"
+            f" + {len(self.tail)} tail)"
+        )
+
+
+def base_len(log) -> int:
+    """The number of elided entries of any log representation."""
+    return log.snap.base_len if isinstance(log, CompactLog) else 0
+
+
+def config_positions(server: Server) -> List[Tuple[int, frozenset]]:
+    """Every configuration entry of ``server``'s log as ``(absolute
+    index, members)``, including those folded into a snapshot."""
+    log = server.log
+    if isinstance(log, CompactLog):
+        positions = list(log.snap.config_history)
+        base = log.snap.base_len
+        positions.extend(
+            (base + i, entry.payload)
+            for i, entry in enumerate(log.tail)
+            if entry.is_config
+        )
+        return positions
+    return [
+        (i, entry.payload) for i, entry in enumerate(log) if entry.is_config
+    ]
+
+
+def slice_prefix(log, target: int):
+    """``log[:target]`` for replication purposes: when ``target`` falls
+    inside the elided prefix, the snapshot itself (which covers
+    ``target`` and more) is the shortest shippable prefix."""
+    if isinstance(log, CompactLog) and target < log.snap.base_len:
+        return CompactLog(log.snap, ())
+    return log[:target]
+
+
+def materialize_prefix(log, upto: int) -> Dict[str, Any]:
+    """Fold ``log[:upto]`` into key-value state, starting from the
+    snapshot's store when the prefix is compacted."""
+    if isinstance(log, CompactLog):
+        base = log.snap.base_len
+        if upto < base:
+            raise SnapshotElided(
+                f"cannot materialize log[:{upto}] below the snapshot "
+                f"point {base}"
+            )
+        store = dict(log.snap.store)
+        entries = log.tail[: upto - base]
+    else:
+        store = {}
+        entries = log[:upto]
+    for entry in entries:
+        if not entry.is_config:
+            _fold_command(store, entry.payload)
+    return store
+
+
+def find_request_compact(server: Server, request_id) -> Optional[int]:
+    """Snapshot-aware at-most-once lookup.
+
+    Returns the absolute 1-based prefix length that must commit for
+    ``request_id``'s entry to be durable -- or, when the request was
+    folded into the snapshot (necessarily committed), the snapshot's
+    own base length, which the commit length always covers, so the
+    caller answers immediately.
+    """
+    if request_id is None:
+        return None
+    log = server.log
+    if isinstance(log, CompactLog):
+        client_id, seq = request_id
+        if log.snap.sessions.get(client_id, -1) >= seq:
+            return log.snap.base_len
+        base = log.snap.base_len
+        for i, entry in enumerate(log.tail):
+            if entry.request_id == request_id:
+                return base + i + 1
+        return None
+    for i, entry in enumerate(log):
+        if entry.request_id == request_id:
+            return i + 1
+    return None
+
+
+class CompactServer(Server):
+    """A spec replica whose log may carry an elided, snapshotted prefix.
+
+    Only derived-state *queries* are overridden; every handler,
+    election step, and the commit rule run the inherited spec code
+    against the compact representation (absolute lengths and suffix
+    access keep them correct by construction).
+    """
+
+    # -- derived state over the elided prefix ------------------------------
+
+    def config(self):
+        log = self.log
+        if isinstance(log, CompactLog):
+            for entry in reversed(log.tail):
+                if entry.is_config:
+                    return entry.payload
+            return log.snap.config
+        return config_of(log, self.conf0)
+
+    def has_commit_at_current_time(self) -> bool:
+        log = self.log
+        if isinstance(log, CompactLog):
+            snap = log.snap
+            # The snapshot covers only committed entries, and times are
+            # nondecreasing, so its last entry decides for its terms.
+            if snap.last_entry.time == self.time:
+                return True
+            committed_tail = self.commit_len - snap.base_len
+            return any(
+                entry.time == self.time
+                for entry in log.tail[:max(committed_tail, 0)]
+            )
+        return super().has_commit_at_current_time()
+
+    def has_entry_at_current_time(self) -> bool:
+        """Whether any entry (committed or not) carries the current
+        term -- the no-op-barrier trigger.  Times are nondecreasing, so
+        the last entry answers for the whole log."""
+        log = self.log
+        return bool(log) and log[-1].time == self.time
+
+    def describe(self) -> str:
+        log = self.log
+        if isinstance(log, CompactLog):
+            entries = ", ".join(e.describe() for e in log.tail)
+            return (
+                f"S{self.nid}[{self.role} t{self.time} "
+                f"commit={self.commit_len}] "
+                f"log=[<snap:{log.snap.sid}>, {entries}]"
+            )
+        return super().describe()
+
+    # -- compaction --------------------------------------------------------
+
+    def snapshot_base(self) -> int:
+        return base_len(self.log)
+
+    def compact(self) -> bool:
+        """Fold the committed prefix into a (new) snapshot.
+
+        Leader-only by convention (the node gates on role); always
+        safe: only committed entries fold, and every query the runtime
+        performs on the prefix is preserved in the digest.  Returns
+        whether anything was folded.
+        """
+        log = self.log
+        base = base_len(log)
+        upto = self.commit_len
+        if upto <= base:
+            return False
+        if isinstance(log, CompactLog):
+            snap = log.snap
+            store = dict(snap.store)
+            sessions = dict(snap.sessions)
+            history = list(snap.config_history)
+            config = snap.config
+            folding = log.tail[: upto - base]
+            tail = log.tail[upto - base :]
+        else:
+            store = {}
+            sessions = {}
+            history = []
+            config = self.conf0
+            folding = log[:upto]
+            tail = log[upto:]
+        for i, entry in enumerate(folding):
+            if entry.is_config:
+                config = entry.payload
+                history.append((base + i, entry.payload))
+            else:
+                _fold_command(store, entry.payload)
+            if entry.request_id is not None:
+                client_id, seq = entry.request_id
+                if sessions.get(client_id, -1) < seq:
+                    sessions[client_id] = seq
+        snap = Snapshot(
+            base_len=upto,
+            last_entry=folding[-1],
+            config=config,
+            store=store,
+            sessions=sessions,
+            config_history=tuple(history),
+        )
+        self.log = CompactLog(snap, tail)
+        return True

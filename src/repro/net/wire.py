@@ -32,6 +32,20 @@ whole log in one large frame: exactly the catch-up cost that makes
 *growing* the cluster the expensive direction in Fig. 16.  The layer
 is stateful per TCP connection (both ends reset on reconnect); TCP's
 ordered delivery is what makes the shared state sound.
+
+**InstallSnapshot layer.**  Once a log has been compacted
+(:mod:`repro.net.snapshot`), its elided prefix travels as a
+*snapshot*: the sender ships the serialized snapshot once per
+connection as chunked, length-capped :class:`SnapshotChunk` frames
+(identified by the snapshot's ``sid``), and every subsequent delta
+frame references it by id (``"b"``) with the shared-prefix length
+``"p"`` counted in **absolute** entries.  The receiver reassembles the
+chunks, recomputes the sid from the assembled content (an integrity
+check -- a mismatch is a :class:`MalformedFrame`), and reconstructs
+:class:`~repro.net.snapshot.CompactLog` values transparently.  A
+late-joining follower therefore receives ``O(state)`` bytes, not
+``O(history)``: that is InstallSnapshot, expressed as a wire-level
+representation change the spec handlers never observe.
 """
 
 from __future__ import annotations
@@ -49,6 +63,7 @@ from ..raft.messages import (
     Log,
     LogEntry,
 )
+from .snapshot import CompactLog, Snapshot
 
 #: Bumped on any incompatible frame/body change.
 PROTOCOL_VERSION = 1
@@ -56,6 +71,14 @@ PROTOCOL_VERSION = 1
 #: Hard cap on a frame's declared length: a malicious or corrupt
 #: 4-byte prefix must not make a node try to buffer gigabytes.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Serialized-snapshot text per :class:`SnapshotChunk` (well under the
+#: frame cap, so a chunk frame never trips :class:`FrameTooLarge`).
+SNAPSHOT_CHUNK_CHARS = 1 << 20
+
+#: Hard cap on chunks per snapshot: bounds what a connection can make
+#: the receiver buffer during reassembly.
+MAX_SNAPSHOT_CHUNKS = 64
 
 _LENGTH = struct.Struct(">I")
 
@@ -146,6 +169,14 @@ class StatusResponse:
     log_len: int
     members: Tuple[int, ...]
     leader_hint: Optional[int] = None
+    #: Entries elided behind this node's snapshot (0 = uncompacted).
+    base_len: int = 0
+    #: Total replication bytes this node has written to peers.
+    bytes_sent: int = 0
+    #: Snapshots this node has installed from peers (InstallSnapshot).
+    snapshots_installed: int = 0
+    #: Linearizable reads served via ReadIndex (no log append).
+    reads_fast: int = 0
 
 
 @dataclass(frozen=True)
@@ -155,7 +186,50 @@ class LogRequest:
 
 @dataclass(frozen=True)
 class LogResponse:
+    """The committed *tail*: entries from absolute index ``base_len``
+    on (``base_len`` is 0 when the node's log is uncompacted)."""
+
     entries: Log
+    base_len: int = 0
+
+
+@dataclass(frozen=True)
+class SnapshotChunk:
+    """One piece of a serialized snapshot (InstallSnapshot transport).
+
+    ``sid`` identifies the snapshot; ``seq``/``n`` place this chunk in
+    the reassembly; ``data`` is a slice of the serialized text.  The
+    receiver recomputes the sid from the assembled snapshot -- a
+    mismatch with the declared ``sid`` is an integrity failure."""
+
+    sid: str
+    seq: int
+    n: int
+    data: str
+
+
+@dataclass(frozen=True)
+class ReadProbe:
+    """A leader's ReadIndex heartbeat: "are you still following me at
+    term ``time``?" -- ``probe`` identifies the read batch."""
+
+    frm: int
+    to: int
+    probe: int
+    time: int
+
+
+@dataclass(frozen=True)
+class ReadProbeAck:
+    """A follower's reply, carrying *its own* current term.  An ack
+    whose term equals the leader's proves no higher-term leader existed
+    when the ack was sent -- the quorum barrier that makes ReadIndex
+    reads linearizable without a log append."""
+
+    frm: int
+    to: int
+    probe: int
+    time: int
 
 
 WireMessage = Any  # one of the raft Msg types or the RPC types above
@@ -296,10 +370,22 @@ _ENCODERS = {
         "nid": m.nid, "role": m.role, "term": m.term,
         "commit_len": m.commit_len, "log_len": m.log_len,
         "members": list(m.members), "leader_hint": m.leader_hint,
+        "base_len": m.base_len, "bytes_sent": m.bytes_sent,
+        "snapshots_installed": m.snapshots_installed,
+        "reads_fast": m.reads_fast,
     }),
     LogRequest: ("log_request", lambda m: {}),
     LogResponse: ("log_response", lambda m: {
-        "entries": _pack_log(m.entries),
+        "entries": _pack_log(m.entries), "base_len": m.base_len,
+    }),
+    SnapshotChunk: ("snap_chunk", lambda m: {
+        "sid": m.sid, "seq": m.seq, "n": m.n, "data": m.data,
+    }),
+    ReadProbe: ("read_probe", lambda m: {
+        "frm": m.frm, "to": m.to, "probe": m.probe, "time": m.time,
+    }),
+    ReadProbeAck: ("read_probe_ack", lambda m: {
+        "frm": m.frm, "to": m.to, "probe": m.probe, "time": m.time,
     }),
 }
 
@@ -319,6 +405,29 @@ def _opt_int(body: Dict, key: str) -> Optional[int]:
     if value is not None and not isinstance(value, int):
         raise MalformedFrame(f"field {key!r} must be int or null")
     return value
+
+
+def _int_or_zero(body: Dict, key: str) -> int:
+    """A backward-compatible int field: absent means 0 (frames from a
+    peer predating the field still decode)."""
+    value = body.get(key, 0)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise MalformedFrame(f"field {key!r} must be an int")
+    return value
+
+
+def _decode_snapshot_chunk(body: Dict) -> SnapshotChunk:
+    chunk = SnapshotChunk(
+        sid=_require(body, "sid", str),
+        seq=_require(body, "seq", int),
+        n=_require(body, "n", int),
+        data=_require(body, "data", str),
+    )
+    if not 1 <= chunk.n <= MAX_SNAPSHOT_CHUNKS:
+        raise MalformedFrame(f"snapshot chunk count {chunk.n} out of range")
+    if not 0 <= chunk.seq < chunk.n:
+        raise MalformedFrame(f"snapshot chunk seq {chunk.seq}/{chunk.n}")
+    return chunk
 
 
 def _decode_elect_req(body: Dict) -> ElectReq:
@@ -381,10 +490,24 @@ _DECODERS = {
         log_len=_require(b, "log_len", int),
         members=tuple(_require(b, "members", list)),
         leader_hint=_opt_int(b, "leader_hint"),
+        base_len=_int_or_zero(b, "base_len"),
+        bytes_sent=_int_or_zero(b, "bytes_sent"),
+        snapshots_installed=_int_or_zero(b, "snapshots_installed"),
+        reads_fast=_int_or_zero(b, "reads_fast"),
     ),
     "log_request": lambda b: LogRequest(),
     "log_response": lambda b: LogResponse(
         entries=_unpack_log(_require(b, "entries", list)),
+        base_len=_int_or_zero(b, "base_len"),
+    ),
+    "snap_chunk": _decode_snapshot_chunk,
+    "read_probe": lambda b: ReadProbe(
+        frm=_require(b, "frm", int), to=_require(b, "to", int),
+        probe=_require(b, "probe", int), time=_require(b, "time", int),
+    ),
+    "read_probe_ack": lambda b: ReadProbeAck(
+        frm=_require(b, "frm", int), to=_require(b, "to", int),
+        probe=_require(b, "probe", int), time=_require(b, "time", int),
     ),
 }
 
@@ -462,6 +585,90 @@ def decode_frame(data: bytes, offset: int = 0) -> Tuple[WireMessage, int]:
 
 
 # ----------------------------------------------------------------------
+# Snapshot serialization (InstallSnapshot payload)
+# ----------------------------------------------------------------------
+
+
+def pack_snapshot(snap: Snapshot) -> str:
+    """Serialize a snapshot to the JSON text shipped in chunks."""
+    obj = {
+        "base_len": snap.base_len,
+        "last_entry": _pack_entry(snap.last_entry),
+        "config": _pack(snap.config),
+        "store": _pack(dict(snap.store)),
+        "sessions": dict(snap.sessions),
+        "config_history": [
+            [index, _pack(config)] for index, config in snap.config_history
+        ],
+    }
+    try:
+        return json.dumps(obj, separators=(",", ":"), allow_nan=False)
+    except (ValueError, TypeError) as exc:
+        raise UnencodableValue(f"unencodable snapshot: {exc}") from exc
+
+
+def unpack_snapshot(text: str) -> Snapshot:
+    """Inverse of :func:`pack_snapshot`, with full shape validation."""
+    try:
+        obj = json.loads(text)
+    except (ValueError, TypeError) as exc:
+        raise MalformedFrame(f"undecodable snapshot: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise MalformedFrame(f"snapshot must be an object, got {obj!r}")
+    base_len = _require(obj, "base_len", int)
+    if base_len < 1:
+        raise MalformedFrame(f"snapshot base_len {base_len} must be >= 1")
+    config = _unpack(_require(obj, "config", None))
+    if not isinstance(config, frozenset):
+        raise MalformedFrame("snapshot config must be a frozenset")
+    store = _unpack(_require(obj, "store", None))
+    if not isinstance(store, dict):
+        raise MalformedFrame("snapshot store must be a dict")
+    sessions = _require(obj, "sessions", dict)
+    if not all(
+        isinstance(k, str) and isinstance(v, int) and not isinstance(v, bool)
+        for k, v in sessions.items()
+    ):
+        raise MalformedFrame("snapshot sessions must map str -> int")
+    raw_history = _require(obj, "config_history", list)
+    history = []
+    for item in raw_history:
+        if not (isinstance(item, list) and len(item) == 2
+                and isinstance(item[0], int)):
+            raise MalformedFrame(f"bad config_history item {item!r}")
+        members = _unpack(item[1])
+        if not isinstance(members, frozenset):
+            raise MalformedFrame(f"bad config_history members {item!r}")
+        history.append((item[0], members))
+    return Snapshot(
+        base_len=base_len,
+        last_entry=_unpack_entry(_require(obj, "last_entry", list)),
+        config=config,
+        store=store,
+        sessions=dict(sessions),
+        config_history=tuple(history),
+    )
+
+
+def snapshot_chunks(snap: Snapshot) -> List[SnapshotChunk]:
+    """Split a snapshot into its wire chunks."""
+    text = pack_snapshot(snap)
+    parts = [
+        text[i : i + SNAPSHOT_CHUNK_CHARS]
+        for i in range(0, len(text), SNAPSHOT_CHUNK_CHARS)
+    ] or [""]
+    if len(parts) > MAX_SNAPSHOT_CHUNKS:
+        raise FrameTooLarge(
+            f"snapshot needs {len(parts)} chunks > {MAX_SNAPSHOT_CHUNKS}"
+        )
+    sid = snap.sid
+    return [
+        SnapshotChunk(sid=sid, seq=i, n=len(parts), data=part)
+        for i, part in enumerate(parts)
+    ]
+
+
+# ----------------------------------------------------------------------
 # Per-connection log-delta layer
 # ----------------------------------------------------------------------
 
@@ -481,26 +688,59 @@ class DeltaEncoder:
     ``{"p": shared_prefix_len, "s": suffix}`` relative to the last log
     sent on this connection.  Everything else passes through
     :func:`encode_message` untouched.
+
+    Compact logs additionally reference their snapshot by id
+    (``"b"``); the first frame carrying a given snapshot is preceded by
+    its :class:`SnapshotChunk` frames (so ``encode`` may return several
+    concatenated frames -- callers write the bytes to the stream as
+    one unit).  ``"p"`` stays an *absolute* entry count; for a compact
+    log it is at least the snapshot's ``base_len``.
     """
 
     def __init__(self) -> None:
         self._last: Log = ()
+        #: Snapshot ids already shipped on this connection.
+        self._shipped: set = set()
 
     def encode(self, msg: WireMessage) -> bytes:
         if not isinstance(msg, (ElectReq, CommitReq)):
             frame = encode_frame(msg)
             return frame
-        prefix = _common_prefix_len(self._last, msg.log)
-        self._last = msg.log
+        log = msg.log
+        preamble = b""
         body = {
             "kind": "delta_" + ("elect_req" if isinstance(msg, ElectReq)
                                  else "commit_req"),
             "frm": msg.frm,
             "to": msg.to,
             "time": msg.time,
-            "p": prefix,
-            "s": _pack_log(msg.log[prefix:]),
         }
+        if isinstance(log, CompactLog):
+            snap = log.snap
+            if snap.sid not in self._shipped:
+                preamble = b"".join(
+                    encode_frame(chunk) for chunk in snapshot_chunks(snap)
+                )
+                self._shipped.add(snap.sid)
+            if (isinstance(self._last, CompactLog)
+                    and self._last.snap.sid == snap.sid):
+                prefix = snap.base_len + _common_prefix_len(
+                    self._last.tail, log.tail
+                )
+            else:
+                # New snapshot on this connection (or the peer last saw
+                # a plain log): nothing beyond the snapshot is shared.
+                prefix = snap.base_len
+            body["b"] = snap.sid
+        elif isinstance(self._last, CompactLog):
+            # Compact -> plain transition (e.g. a partitioned node that
+            # never compacted won an election): full reship.
+            prefix = 0
+        else:
+            prefix = _common_prefix_len(self._last, log)
+        self._last = log
+        body["p"] = prefix
+        body["s"] = _pack_log(log[prefix:])
         if isinstance(msg, CommitReq):
             body["commit_len"] = msg.commit_len
         try:
@@ -510,7 +750,7 @@ class DeltaEncoder:
         payload = bytes([PROTOCOL_VERSION]) + text.encode("utf-8")
         if len(payload) > MAX_FRAME_BYTES:
             raise FrameTooLarge(f"{len(payload)} bytes > {MAX_FRAME_BYTES}")
-        return _LENGTH.pack(len(payload)) + payload
+        return preamble + _LENGTH.pack(len(payload)) + payload
 
 
 class DeltaDecoder:
@@ -520,12 +760,55 @@ class DeltaDecoder:
     seen is a :class:`MalformedFrame` (it can only happen if sender and
     receiver state diverged, which the connection-scoped lifetime and
     TCP ordering rule out short of a bug or corruption).
+
+    :class:`SnapshotChunk` frames are absorbed into per-connection
+    reassembly state and yield ``None`` (no message for the handlers);
+    a delta frame referencing snapshot ``"b"`` reconstructs a
+    :class:`~repro.net.snapshot.CompactLog` over the assembled
+    snapshot.  The assembled snapshot's recomputed sid must match the
+    declared one -- corruption is caught at the wire, not in the
+    handlers.
     """
+
+    #: Reassembly buffers / installed snapshots kept per connection.
+    _MAX_PENDING = 2
+    _MAX_INSTALLED = 4
 
     def __init__(self) -> None:
         self._last: Log = ()
+        self._pending: Dict[str, Dict] = {}
+        self._snapshots: Dict[str, Snapshot] = {}
+        #: Fully assembled snapshots on this connection (observability).
+        self.snapshots_installed = 0
 
-    def decode(self, payload: bytes) -> WireMessage:
+    def _absorb_chunk(self, chunk: SnapshotChunk) -> None:
+        state = self._pending.get(chunk.sid)
+        if state is None:
+            while len(self._pending) >= self._MAX_PENDING:
+                self._pending.pop(next(iter(self._pending)))
+            state = self._pending[chunk.sid] = {"n": chunk.n, "parts": {}}
+        if chunk.n != state["n"]:
+            self._pending.pop(chunk.sid, None)
+            raise MalformedFrame(
+                f"inconsistent chunk count for snapshot {chunk.sid}"
+            )
+        state["parts"][chunk.seq] = chunk.data
+        if len(state["parts"]) < state["n"]:
+            return
+        text = "".join(state["parts"][i] for i in range(state["n"]))
+        self._pending.pop(chunk.sid)
+        snap = unpack_snapshot(text)
+        if snap.sid != chunk.sid:
+            raise MalformedFrame(
+                f"snapshot integrity failure: assembled {snap.sid}, "
+                f"declared {chunk.sid}"
+            )
+        while len(self._snapshots) >= self._MAX_INSTALLED:
+            self._snapshots.pop(next(iter(self._snapshots)))
+        self._snapshots[chunk.sid] = snap
+        self.snapshots_installed += 1
+
+    def decode(self, payload: bytes) -> Optional[WireMessage]:
         if not payload:
             raise TruncatedFrame("empty frame body")
         if payload[0] != PROTOCOL_VERSION:
@@ -539,16 +822,48 @@ class DeltaDecoder:
         if not isinstance(body, dict):
             raise MalformedFrame(f"body must be an object, got {body!r}")
         kind = body.get("kind")
+        if kind == "snap_chunk":
+            self._absorb_chunk(decode_message(payload))
+            return None
         if kind not in ("delta_elect_req", "delta_commit_req"):
             return decode_message(payload)
         prefix = _require(body, "p", int)
-        if prefix < 0 or prefix > len(self._last):
-            raise MalformedFrame(
-                f"delta prefix {prefix} exceeds connection state "
-                f"({len(self._last)} entries)"
-            )
         suffix = _unpack_log(_require(body, "s", list))
-        log = self._last[:prefix] + suffix
+        sid = body.get("b")
+        if sid is not None:
+            if not isinstance(sid, str):
+                raise MalformedFrame(f"snapshot reference {sid!r} not a str")
+            snap = self._snapshots.get(sid)
+            if snap is None:
+                raise MalformedFrame(
+                    f"delta references uninstalled snapshot {sid}"
+                )
+            if (isinstance(self._last, CompactLog)
+                    and self._last.snap.sid == sid):
+                reusable = self._last.tail
+            else:
+                reusable = ()
+            if not snap.base_len <= prefix <= snap.base_len + len(reusable):
+                raise MalformedFrame(
+                    f"delta prefix {prefix} incompatible with snapshot "
+                    f"{sid} (+{len(reusable)} shared tail entries)"
+                )
+            log = CompactLog(snap, reusable[: prefix - snap.base_len] + suffix)
+        else:
+            if prefix < 0 or prefix > len(self._last):
+                raise MalformedFrame(
+                    f"delta prefix {prefix} exceeds connection state "
+                    f"({len(self._last)} entries)"
+                )
+            if isinstance(self._last, CompactLog):
+                if prefix != 0:
+                    raise MalformedFrame(
+                        f"plain delta prefix {prefix} over snapshotted "
+                        f"connection state"
+                    )
+                log = suffix
+            else:
+                log = self._last[:prefix] + suffix
         self._last = log
         if kind == "delta_elect_req":
             return ElectReq(

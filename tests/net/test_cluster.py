@@ -8,13 +8,17 @@ SIGKILL to a live OS process, a real failover, and a history that
 still linearizes.
 """
 
+import os
 import socket
 import struct
+import subprocess
+import sys
+import time
 
 import pytest
 
 from repro.net import allocate_ports
-from repro.net.client import ClientTimeout
+from repro.net.client import ClientTimeout, NetClient
 from repro.net.procs import LocalCluster
 from repro.net.wire import ClientRequest, ClientResponse, encode_frame
 from repro.runtime.linearize import check_history
@@ -158,6 +162,45 @@ def test_follower_redirects_clients_to_the_leader():
         with cluster.client(client_id="c1") as client:
             client._leader_guess = follower  # start aimed at the wrong node
             assert client.put("k", 2) is True
+
+
+def test_client_gives_up_after_max_attempts():
+    # A client aimed at a cluster that is entirely down must fail after
+    # its attempt budget, not spin out the whole wall-clock deadline.
+    port = allocate_ports(1)[0]  # allocated then released: nobody listens
+    client = NetClient(
+        {1: ("127.0.0.1", port)},
+        client_id="one-shot",
+        request_timeout_s=0.2,
+        total_timeout_s=60.0,
+        retry_delay_s=0.01,
+        max_attempts=3,
+    )
+    started = time.monotonic()
+    with pytest.raises(ClientTimeout, match="3 attempts"):
+        client.request(("get", "k"))
+    assert time.monotonic() - started < 10.0  # nowhere near 60s
+
+
+def test_one_shot_cli_invocation_exits_nonzero_when_cluster_is_down():
+    # Regression: ``python -m repro.net client`` one-shot invocations
+    # used to spin until the 20s deadline when no node was reachable;
+    # --max-attempts bounds them to a quick, clean non-zero exit.
+    from repro.net.procs import _repro_pythonpath
+
+    port = allocate_ports(1)[0]
+    env = dict(os.environ, PYTHONPATH=_repro_pythonpath())
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.net", "client",
+            "--peers", f"1=127.0.0.1:{port}",
+            "--max-attempts", "3",
+            "get", "k",
+        ],
+        capture_output=True, text=True, timeout=60, env=env,
+    )
+    assert proc.returncode == 1
+    assert "error:" in proc.stderr
 
 
 def test_timeout_leaves_operation_pending():
