@@ -60,6 +60,14 @@ SPECS: dict = {
          ("test_disabled_observability_overhead", "enabled_ratio"),
          "lower", "warn", 0.20),
     ],
+    "BENCH_monitor_overhead.json": [
+        ("monitor disabled-path overhead ratio",
+         ("test_disabled_monitor_overhead", "disabled_ratio"),
+         "lower", "fail", 0.20),
+        ("monitor enabled-path overhead ratio",
+         ("test_disabled_monitor_overhead", "enabled_ratio"),
+         "lower", "warn", 0.20),
+    ],
 }
 
 

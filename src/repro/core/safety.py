@@ -18,10 +18,21 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterable, List, Optional, Tuple
 
-from .cache import Cid, cache_gt, is_ccache, is_committable, is_ecache, is_rcache, order_key
+from .cache import (
+    CCache,
+    Cid,
+    MCache,
+    RCache,
+    cache_gt,
+    is_ccache,
+    is_committable,
+    is_ecache,
+    is_rcache,
+    order_key,
+)
 from .errors import SafetyViolation
-from .state import AdoreState
-from .tree import ROOT_CID, CacheTree
+from .state import AdoreState, TimeMap
+from .tree import ROOT_CID, CacheTree, forget_tree
 
 
 # ----------------------------------------------------------------------
@@ -439,8 +450,17 @@ def _delta_clean(
             ):
                 return False
     if "safety" in wanted and new_is_c:
+        # Same predicate as ``same_branch`` over every other CCache, in
+        # O(depth + |C|) instead of O(|C| * depth): a CCache shares a
+        # branch with the new one iff it lies on the new node's root
+        # path (membership in ``on_branch``) or is its descendant (the
+        # rare direction -- on clean trees almost every existing CCache
+        # is an ancestor of the newly committed one).
+        on_branch = set(tree.branch(new_cid))
         for other in tree.kind_cids("C"):
-            if other != new_cid and not tree.same_branch(new_cid, other):
+            if other == new_cid or other in on_branch:
+                continue
+            if not tree.is_ancestor(new_cid, other, strict=True):
                 return False
     if "leader-time-uniqueness" in wanted and new_is_e:
         for other in tree.kind_cids("E"):
@@ -582,3 +602,270 @@ def assert_safe(state: AdoreState, lemma_rdist_bound: Optional[int] = 1) -> None
         raise SafetyViolation(
             "; ".join(report.all_violations()), witness=state
         )
+
+
+# ----------------------------------------------------------------------
+# Incremental checking over observed logs (one engine, three consumers)
+# ----------------------------------------------------------------------
+
+#: Sentinel for an ``(absolute position, entry)`` pair observed at two
+#: distinct tree nodes -- re-anchoring across an export gap must refuse
+#: to guess between branches.
+_AMBIGUOUS = object()
+
+
+def _freeze(value):
+    """An equal-by-value hashable form of an observed payload.
+
+    Log payloads come from client commands and wire-decoded JSON, so
+    they may contain dicts/lists (a kvstore ``put`` of a JSON object).
+    The engine keys its trie -- and builds hash-consed caches -- on
+    payloads, so they must hash; identical payloads must freeze
+    identically regardless of dict insertion order.
+    """
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+#: Invariants vacuous on treeified logs: log observations never create
+#: ECaches, so the election lemmas have nothing to say and skipping them
+#: saves the (empty) scans.
+DEFAULT_LOG_INVARIANTS = (
+    "safety",
+    "well-formedness",
+    "descendant-order",
+    "ccache-in-rcache-fork",
+    "version-reset",
+)
+
+_NO_TIMES = TimeMap()
+
+
+class IncrementalTreeChecker:
+    """Maintain the Appendix-B invariants over *observed* replica logs.
+
+    This is the one incremental engine behind three consumers: the model
+    checker reaches the same machinery through :func:`check_state` on
+    states it generates itself; the simulated cluster's ``check_safety``
+    and the live-cluster monitor (:mod:`repro.monitor`) instead *observe*
+    per-node logs and fold them into a single growing cache tree here.
+
+    Observations are duck-typed log entries carrying ``time`` (term),
+    ``vrsn``, ``payload``, and ``is_config`` -- the shape of
+    :class:`repro.raft.messages.LogEntry`, without importing it.  Each
+    distinct entry-at-a-position becomes one tree node (a trie over
+    logs, so agreeing replicas share structure); a node's committed
+    length plants a CCache at its committed tip via ``insert_btw``, the
+    same growth operation ``push`` uses in the model.  Unlike the batch
+    refinement mapping, commit markers are never retired: a commit
+    observed on a branch that later loses stays in the tree, so
+    divergent commits are caught even after the losing replica adopts
+    the winner's log.
+
+    Every growth step is checked through :func:`check_state`, which
+    takes the provenance fast path (:func:`_delta_clean`) because the
+    previous tree's clean report is always in its memo -- each observed
+    entry costs O(depth), not O(tree).  After each step the superseded
+    tree is released from the hash-consing table (``trim=True``), so a
+    monitor that runs for days holds one tree, not its whole history.
+    """
+
+    def __init__(
+        self,
+        conf0,
+        nodes: Optional[Iterable[int]] = None,
+        lemma_rdist_bound: Optional[int] = 1,
+        invariants: Optional[Iterable[str]] = DEFAULT_LOG_INVARIANTS,
+        trim: bool = True,
+    ) -> None:
+        members = frozenset(nodes) if nodes is not None else frozenset(conf0)
+        self._tree = CacheTree.initial(
+            CCache(caller=0, time=0, vrsn=0, conf=conf0, voters=members)
+        )
+        self._bound = lemma_rdist_bound
+        self._invariants = (
+            None if invariants is None else validate_invariant_labels(invariants)
+        )
+        self._trim = trim
+        #: (parent cid, entry key) -> the entry's cid: the log trie.
+        self._edges: dict = {}
+        #: entry cid -> cid new children attach under (the commit marker
+        #: once the entry is marked; itself otherwise, via .get default).
+        self._attach: dict = {}
+        #: entry cids whose commit marker exists already.
+        self._marked: set = set()
+        #: (absolute position, entry key) -> cid, for gap re-anchoring.
+        self._placed: dict = {}
+        #: nid -> entry cid per absolute log position (None = unknown).
+        self._paths: dict = {}
+        #: nid -> highest committed length folded in so far.
+        self._commits: dict = {}
+        self.events = 0
+        self.entries_added = 0
+        self.gaps = 0
+        self.violation: Optional[SafetyReport] = None
+        self.violation_event: Optional[str] = None
+
+    # -- construction helpers ------------------------------------------
+
+    @staticmethod
+    def _entry_key(entry) -> Tuple:
+        return (
+            entry.time, entry.vrsn, bool(entry.is_config),
+            _freeze(entry.payload),
+        )
+
+    @staticmethod
+    def _cache_for(entry):
+        if entry.is_config:
+            return RCache(
+                caller=0, time=entry.time, vrsn=entry.vrsn,
+                conf=frozenset(entry.payload),
+            )
+        return MCache(
+            caller=0, time=entry.time, vrsn=entry.vrsn, conf=None,
+            method=_freeze(entry.payload),
+        )
+
+    def _grew(self, tree: CacheTree, description: str) -> None:
+        prev, self._tree = self._tree, tree
+        if self.violation is None:
+            report = check_state(
+                AdoreState(tree, _NO_TIMES), self._bound, only=self._invariants
+            )
+            if not report.ok:
+                self.violation = report
+                self.violation_event = description
+        if self._trim:
+            # Drop the provenance chain (it pins every predecessor tree)
+            # and release the superseded tree from the intern table.
+            tree.memo().pop("prov", None)
+            if prev is not tree:
+                forget_tree(prev)
+
+    # -- observations --------------------------------------------------
+
+    def observe(
+        self, nid: int, base: int, entries, commit_len: int, anchor_entry=None
+    ) -> Optional[SafetyReport]:
+        """Fold one replica's log advance into the tree and check it.
+
+        ``base`` is the absolute length of the prefix shared with the
+        replica's previous observation, ``entries`` the suffix from
+        there, and ``commit_len`` its absolute committed length.  When
+        ``base`` lies beyond everything previously observed from this
+        replica (it adopted a snapshot covering entries it never
+        exported), ``anchor_entry`` -- the last entry of the elided
+        prefix -- lets the engine re-anchor onto a position another
+        replica already placed; without a unique anchor the advance is
+        counted in :attr:`gaps` and skipped.
+
+        Returns the violation report if *this* call detected the first
+        violation, else ``None`` (also after a violation: the tree keeps
+        growing so the trie stays consistent, but checking stops).
+        """
+        already = self.violation
+        self.events += 1
+        path = self._paths.setdefault(nid, [])
+        if base > len(path):
+            anchored = False
+            if anchor_entry is not None and base > 0:
+                cid = self._placed.get((base - 1, self._entry_key(anchor_entry)))
+                if cid is not None and cid is not _AMBIGUOUS:
+                    path.extend([None] * (base - len(path)))
+                    path[base - 1] = cid
+                    anchored = True
+            if not anchored:
+                self.gaps += 1
+                return None
+        else:
+            del path[base:]
+        parent = path[base - 1] if base > 0 else ROOT_CID
+        if parent is None:
+            self.gaps += 1
+            return None
+        for offset, entry in enumerate(entries):
+            pos = base + offset
+            key = (parent, self._entry_key(entry))
+            cid = self._edges.get(key)
+            if cid is None:
+                attach = self._attach.get(parent, parent)
+                tree, cid = self._tree.add_leaf(attach, self._cache_for(entry))
+                self._edges[key] = cid
+                placed_key = (pos, self._entry_key(entry))
+                held = self._placed.get(placed_key)
+                if held is None:
+                    self._placed[placed_key] = cid
+                elif held is not _AMBIGUOUS and held != cid:
+                    self._placed[placed_key] = _AMBIGUOUS
+                self.entries_added += 1
+                self._grew(
+                    tree,
+                    f"S{nid} appended entry #{pos} "
+                    f"(t{entry.time},v{entry.vrsn}, {entry.payload!r})",
+                )
+            path.append(cid)
+            parent = cid
+        self._mark_commit(nid, commit_len, path)
+        if self.violation is not already:
+            return self.violation
+        return None
+
+    def _mark_commit(self, nid: int, commit_len: int, path) -> None:
+        if commit_len <= self._commits.get(nid, 0):
+            return
+        self._commits[nid] = commit_len
+        tip_pos = commit_len - 1
+        if tip_pos >= len(path):
+            self.gaps += 1
+            return
+        tip = path[tip_pos]
+        if tip is None or tip in self._marked:
+            return
+        cache = self._tree.cache(tip)
+        marker = CCache(
+            caller=0,
+            time=cache.time,
+            vrsn=cache.vrsn,
+            conf=None,
+            voters=frozenset({nid}),
+        )
+        tree, marker_cid = self._tree.insert_btw(tip, marker)
+        self._marked.add(tip)
+        # Extensions of a committed prefix must land *below* the marker:
+        # attaching them as siblings would put a later commit of the
+        # same branch off-branch from this one and fabricate violations.
+        self._attach[tip] = marker_cid
+        self._grew(tree, f"S{nid} committed through entry #{tip_pos}")
+
+    # -- reporting -----------------------------------------------------
+
+    @property
+    def tree(self) -> CacheTree:
+        """The current (hash-consed) cache tree."""
+        return self._tree
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def stats(self) -> dict:
+        return {
+            "events": self.events,
+            "entries": self.entries_added,
+            "caches": len(self._tree),
+            "commits": len(self._marked),
+            "nodes": sorted(self._paths),
+            "gaps": self.gaps,
+            "ok": self.ok,
+        }
+
+    def violations(self) -> List[str]:
+        """The first violation's descriptions (empty while clean)."""
+        if self.violation is None:
+            return []
+        return self.violation.all_violations()

@@ -636,3 +636,19 @@ def _restore_tree(entries: Dict[Cid, TreeEntry]) -> CacheTree:
     """Unpickle hook: rebuild and re-intern a tree in this process."""
     tree = CacheTree(entries)
     return _intern_tree(tree.fingerprint(), tree)
+
+
+def forget_tree(tree: CacheTree) -> None:
+    """Drop ``tree`` from the process-wide intern table.
+
+    The table holds *strong* references (see :data:`_INTERNED_TREES`),
+    which is right for the model checker -- every distinct tree recurs
+    -- but wrong for a long-lived incremental consumer that grows one
+    tree forever and never revisits predecessors: each superseded tree
+    would stay pinned until an epoch flush.  Forgetting is always safe:
+    the worst case is that an equal tree is re-built and re-interned
+    later, losing only its memo scratch.
+    """
+    got = _INTERNED_TREES.get(tree.fingerprint())
+    if got is tree:
+        del _INTERNED_TREES[tree.fingerprint()]

@@ -1,0 +1,100 @@
+"""``python -m repro.monitor`` -- run or audit the safety monitor.
+
+Subcommands:
+
+* ``serve`` -- listen for node trace streams and check them live (what
+  :class:`repro.net.procs.LocalCluster` spawns with ``monitor=True``).
+  Exits 1 if a violation was detected by shutdown time, so a wrapper
+  script can gate on the verdict.
+* ``check`` -- replay a written bundle offline and verify the recorded
+  verdict reproduces (:func:`verdict_matches`).  Exit 0 means the
+  bundle's violation is real and replayable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import List
+
+from .bundle import replay_bundle, verdict_matches
+from .service import MonitorConfig, run_monitor
+
+
+def _parse_conf(spec: str) -> frozenset:
+    return frozenset(int(part) for part in spec.split(",") if part.strip())
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stdout,
+    )
+    monitor = run_monitor(MonitorConfig(
+        host=args.host,
+        port=args.port,
+        conf0=_parse_conf(args.conf),
+        nodes=_parse_conf(args.nodes) if args.nodes else None,
+        bundle_dir=args.bundle_dir,
+    ))
+    stats = monitor.engine.stats()
+    print(f"monitor: {stats}")
+    if monitor.verdict is not None:
+        print(
+            f"monitor: VIOLATION at event #{monitor.verdict.event_index}: "
+            f"{monitor.verdict.described}"
+        )
+        return 1
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    engine, verdict = replay_bundle(args.bundle)
+    if verdict is None:
+        print("check: replay found no violation", file=sys.stderr)
+        return 1
+    print(
+        f"check: replay reproduces a violation at event "
+        f"#{verdict['event_index']}"
+    )
+    for line in verdict["violations"]:
+        print(f"  {line}")
+    if not verdict_matches(args.bundle):
+        print("check: replayed verdict DIFFERS from the recorded one",
+              file=sys.stderr)
+        return 1
+    print("check: verdict matches the bundle manifest")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.monitor")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the live safety monitor")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, required=True)
+    serve.add_argument("--conf", required=True, help="e.g. 1,2,3")
+    serve.add_argument(
+        "--nodes", default=None,
+        help="all node ids that may stream (default: --conf)",
+    )
+    serve.add_argument(
+        "--bundle-dir", default=None,
+        help="write the violation bundle under this directory",
+    )
+    serve.add_argument("--verbose", action="store_true")
+    serve.set_defaults(func=_cmd_serve)
+
+    check = sub.add_parser("check", help="replay and audit a bundle")
+    check.add_argument("bundle", help="path to a monitor bundle directory")
+    check.set_defaults(func=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Replayable monitor bundles.
+
+Same shape as the nemesis bundles of :mod:`repro.obs.bundle` (a
+directory with ``manifest.json`` + ``trace.jsonl``) but with
+``"kind": "monitor"`` and a different replay contract: instead of
+re-running a seeded simulation, :func:`replay_bundle` re-feeds the
+journaled trace through a **fresh** :class:`IncrementalTreeChecker`
+and re-derives the verdict; :func:`verdict_matches` asserts the replay
+reaches the same violations at the same offending event.  That makes a
+live detection auditable offline: the bundle alone decides whether the
+monitor cried wolf.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..core.safety import IncrementalTreeChecker
+from ..obs.bundle import BUNDLE_VERSION, MANIFEST_FILE, TRACE_FILE
+
+MONITOR_BUNDLE_KIND = "monitor"
+
+
+def write_monitor_bundle(
+    directory: str,
+    conf0,
+    nodes,
+    journal: List[Dict],
+    event_index: int,
+    described: str,
+    violations: List[str],
+) -> str:
+    """Write the journal and verdict under ``directory``; returns the
+    bundle path (a timestamp-free name: one bundle per monitor run)."""
+    path = os.path.join(directory, "monitor-violation")
+    os.makedirs(path, exist_ok=True)
+    manifest = {
+        "version": BUNDLE_VERSION,
+        "kind": MONITOR_BUNDLE_KIND,
+        "conf0": sorted(conf0),
+        "nodes": sorted(nodes),
+        "event_count": len(journal),
+        "violation": {
+            "event_index": event_index,
+            "event": journal[event_index] if 0 <= event_index < len(journal)
+            else None,
+            "described": described,
+            "violations": list(violations),
+        },
+    }
+    with open(os.path.join(path, MANIFEST_FILE), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    with open(os.path.join(path, TRACE_FILE), "w") as handle:
+        for event in journal:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def load_monitor_bundle(path: str) -> Tuple[Dict, List[Dict]]:
+    """The manifest and the journaled events of a monitor bundle."""
+    with open(os.path.join(path, MANIFEST_FILE)) as handle:
+        manifest = json.load(handle)
+    if manifest.get("kind") != MONITOR_BUNDLE_KIND:
+        raise ValueError(
+            f"not a monitor bundle: kind={manifest.get('kind')!r}"
+        )
+    journal: List[Dict] = []
+    with open(os.path.join(path, TRACE_FILE)) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                journal.append(json.loads(line))
+    return manifest, journal
+
+
+def replay_bundle(path: str):
+    """Re-derive the verdict by folding the journal through a fresh
+    engine; returns ``(engine, replayed_verdict_or_None)`` where the
+    verdict is ``{"event_index", "violations"}``."""
+    from .service import _observe  # shared event-folding, no cycle at import
+
+    manifest, journal = load_monitor_bundle(path)
+    engine = IncrementalTreeChecker(
+        frozenset(manifest["conf0"]),
+        nodes=frozenset(manifest["nodes"]),
+    )
+    verdict: Optional[Dict] = None
+    for index, event in enumerate(journal):
+        if event.get("kind") != "log_advance":
+            continue
+        report = _observe(engine, event.get("node"), event)
+        if report is not None and verdict is None:
+            verdict = {
+                "event_index": index,
+                "violations": report.all_violations(),
+            }
+    return engine, verdict
+
+
+def verdict_matches(path: str) -> bool:
+    """Does replaying the bundle reproduce the recorded verdict?"""
+    manifest, _ = load_monitor_bundle(path)
+    recorded = manifest["violation"]
+    _, replayed = replay_bundle(path)
+    if replayed is None:
+        return False
+    return (
+        replayed["event_index"] == recorded["event_index"]
+        and replayed["violations"] == recorded["violations"]
+    )

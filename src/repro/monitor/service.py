@@ -1,0 +1,284 @@
+"""The monitor process: trace streams in, safety verdicts out.
+
+One asyncio TCP server accepts two kinds of connections on the same
+port, distinguished by their first frame:
+
+* **Nodes** send :class:`~repro.net.wire.MonitorHello` and then a
+  stream of :class:`~repro.net.wire.TraceBatch` frames (the node side
+  is fire-and-forget; nothing is ever written back).
+* **Probes** (tests, :class:`~repro.net.procs.LocalCluster`, the demo)
+  send :class:`~repro.net.wire.MonitorStatusRequest` and read one
+  :class:`~repro.net.wire.MonitorStatusResponse` carrying the engine
+  counters and any violation.
+
+Every received event is appended to an in-memory journal (the future
+bundle's trace); ``log_advance`` events additionally feed
+:meth:`IncrementalTreeChecker.observe`.  On the first violation the
+monitor writes a replayable bundle naming the offending event and
+keeps serving status (checking stops, journaling continues), so a CI
+job can poll, assert, and collect the artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.safety import IncrementalTreeChecker
+from ..net.node import read_frame
+from ..net.wire import (
+    MonitorHello,
+    MonitorStatusRequest,
+    MonitorStatusResponse,
+    ProtocolError,
+    TraceBatch,
+    _unpack_entry,
+    decode_message,
+    encode_frame,
+)
+from .bundle import write_monitor_bundle
+
+log = logging.getLogger("repro.monitor")
+
+#: Journal cap: a soak's detail events beyond this are dropped oldest-
+#: first (counted), but the engine's verdict is unaffected -- it folds
+#: events as they arrive, not from the journal.
+MAX_JOURNAL_EVENTS = 500_000
+
+
+@dataclass
+class MonitorConfig:
+    """Everything the monitor process needs."""
+
+    host: str
+    port: int
+    #: The cluster's initial configuration (the engine's root CCache).
+    conf0: frozenset
+    #: All node ids that may stream (defaults to ``conf0``).
+    nodes: Optional[frozenset] = None
+    #: Where to write the violation bundle (None: no bundle).
+    bundle_dir: Optional[str] = None
+    lemma_rdist_bound: Optional[int] = 1
+
+
+@dataclass
+class _Verdict:
+    """The first violation, frozen at detection time."""
+
+    event_index: int
+    event: Dict
+    described: str
+    violations: List[str]
+    bundle: Optional[str] = None
+
+
+class Monitor:
+    """The incremental safety monitor behind one listening socket."""
+
+    def __init__(self, config: MonitorConfig) -> None:
+        self.config = config
+        nodes = config.nodes if config.nodes is not None else config.conf0
+        self.engine = IncrementalTreeChecker(
+            frozenset(config.conf0),
+            nodes=frozenset(nodes),
+            lemma_rdist_bound=config.lemma_rdist_bound,
+        )
+        #: Arrival-ordered journal of every received event dict.
+        self.journal: List[Dict] = []
+        self.journal_dropped = 0
+        self.nodes_seen: set = set()
+        self.verdict: Optional[_Verdict] = None
+        self._tcp_server: Optional[asyncio.base_events.Server] = None
+        self._stopping = asyncio.Event()
+
+    # -- event path ----------------------------------------------------
+
+    def on_event(self, nid: int, event: Dict) -> None:
+        """Fold one arrived trace event (already a plain JSON dict)."""
+        if len(self.journal) >= MAX_JOURNAL_EVENTS:
+            self.journal_dropped += 1
+        else:
+            self.journal.append(event)
+        index = len(self.journal) - 1
+        if event.get("kind") != "log_advance":
+            return
+        # The event's own "node" stamp is authoritative (and what
+        # replay uses); the batch nid is only a fallback.
+        report = _observe(self.engine, event.get("node", nid), event)
+        if report is not None and self.verdict is None:
+            self.verdict = _Verdict(
+                event_index=index,
+                event=event,
+                described=self.engine.violation_event or "",
+                violations=report.all_violations(),
+            )
+            for line in self.verdict.violations:
+                log.error("VIOLATION %s", line)
+            log.error(
+                "VIOLATION detected at event #%d: %s",
+                index, self.verdict.described,
+            )
+            if self.config.bundle_dir:
+                self.verdict.bundle = write_monitor_bundle(
+                    self.config.bundle_dir,
+                    conf0=self.config.conf0,
+                    nodes=sorted(
+                        self.config.nodes
+                        if self.config.nodes is not None
+                        else self.config.conf0
+                    ),
+                    journal=self.journal,
+                    event_index=index,
+                    described=self.verdict.described,
+                    violations=self.verdict.violations,
+                )
+                log.error("bundle written to %s", self.verdict.bundle)
+
+    def status(self) -> MonitorStatusResponse:
+        stats = self.engine.stats()
+        verdict = self.verdict
+        return MonitorStatusResponse(
+            ok=verdict is None,
+            events=stats["events"],
+            entries=stats["entries"],
+            caches=stats["caches"],
+            commits=stats["commits"],
+            gaps=stats["gaps"],
+            nodes=tuple(sorted(self.nodes_seen)),
+            violations=tuple(verdict.violations) if verdict else (),
+            bundle=verdict.bundle if verdict else None,
+        )
+
+    # -- transport -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._tcp_server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        log.info(
+            "monitor listening on %s:%d (conf0=%s)",
+            self.config.host, self.config.port, sorted(self.config.conf0),
+        )
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        await self._stopping.wait()
+        await self.close()
+
+    def stop(self) -> None:
+        self._stopping.set()
+
+    async def close(self) -> None:
+        self._stopping.set()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        nid: Optional[int] = None
+        try:
+            while True:
+                payload = await read_frame(reader)
+                try:
+                    msg = decode_message(payload)
+                except ProtocolError as exc:
+                    log.warning("dropping connection: %s", exc)
+                    return
+                if isinstance(msg, MonitorHello):
+                    nid = msg.nid
+                    self.nodes_seen.add(nid)
+                    log.info("S%d connected", nid)
+                elif isinstance(msg, TraceBatch):
+                    self.nodes_seen.add(msg.nid)
+                    for event in msg.events:
+                        self.on_event(msg.nid, event)
+                elif isinstance(msg, MonitorStatusRequest):
+                    writer.write(encode_frame(self.status()))
+                    await writer.drain()
+                else:
+                    log.warning("unexpected %s frame", type(msg).__name__)
+                    return
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        finally:
+            if nid is not None:
+                log.info("S%d disconnected", nid)
+            writer.close()
+
+
+def _observe(engine: IncrementalTreeChecker, nid: int, event: Dict):
+    """Feed one ``log_advance`` event dict into the engine.
+
+    Shared by the live path and bundle replay so both fold events
+    identically.  Malformed entries are a stream bug, not a safety
+    violation -- count them as gaps rather than crash the monitor.
+    """
+    try:
+        entries = [_unpack_entry(raw) for raw in event.get("entries", [])]
+        anchor_raw = event.get("anchor")
+        anchor = _unpack_entry(anchor_raw) if anchor_raw is not None else None
+        base = event["base"]
+        commit_len = event["commit"]
+    except (ProtocolError, KeyError, TypeError):
+        engine.gaps += 1
+        return None
+    return engine.observe(
+        nid, base, entries, commit_len, anchor_entry=anchor
+    )
+
+
+# ----------------------------------------------------------------------
+# Blocking status probe (for tests, procs, the demo)
+# ----------------------------------------------------------------------
+
+
+def monitor_status(
+    host: str, port: int, timeout_s: float = 5.0
+) -> Optional[MonitorStatusResponse]:
+    """One blocking status round-trip; None if the monitor is down."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout_s) as sock:
+            sock.settimeout(timeout_s)
+            sock.sendall(encode_frame(MonitorStatusRequest()))
+            header = _recv_exact(sock, 4)
+            length = struct.unpack(">I", header)[0]
+            reply = decode_message(_recv_exact(sock, length))
+    except (OSError, ProtocolError):
+        return None
+    return reply if isinstance(reply, MonitorStatusResponse) else None
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("monitor closed the connection")
+        buf += chunk
+    return buf
+
+
+async def _run(monitor: Monitor) -> None:
+    loop = asyncio.get_running_loop()
+    import signal
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, monitor.stop)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    await monitor.serve_forever()
+
+
+def run_monitor(config: MonitorConfig) -> Monitor:
+    """Run a monitor until SIGTERM/SIGINT; returns it (for its final
+    verdict) after shutdown."""
+    monitor = Monitor(config)
+    asyncio.run(_run(monitor))
+    return monitor

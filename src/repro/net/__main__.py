@@ -44,6 +44,11 @@ def _parse_conf(spec: str) -> frozenset:
     return frozenset(int(part) for part in spec.split(",") if part.strip())
 
 
+def _parse_addr(spec: str) -> Tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    return host, int(port)
+
+
 # ----------------------------------------------------------------------
 # node
 # ----------------------------------------------------------------------
@@ -70,6 +75,8 @@ def _cmd_node(args: argparse.Namespace) -> int:
         snapshot_threshold=args.snapshot_threshold,
         batching=not args.no_batch,
         read_index=not args.no_read_index,
+        monitor=_parse_addr(args.monitor) if args.monitor else None,
+        spec=args.spec,
     )
     run_node(config)
     return 0
@@ -190,14 +197,78 @@ def _committed_prefix_agreement(cluster: LocalCluster) -> Tuple[bool, str]:
     return True, f"{len(nids)} nodes agree on committed prefixes"
 
 
+def _run_fig4(cluster: LocalCluster, args: argparse.Namespace,
+              failures: List[str]) -> None:
+    """The staged divergent-reconfig schedule, asserted per spec."""
+    from .fig4 import run_fig4_live
+
+    print("demo: staging the Fig. 4 divergent-reconfig schedule ...")
+    result = run_fig4_live(cluster, expect_violation=args.spec == "buggy")
+    print(result.describe())
+    if args.spec == "buggy":
+        if not result.detected:
+            failures.append(
+                "the monitor missed the seeded fig4 violation"
+            )
+        elif result.bundle:
+            from ..monitor.bundle import replay_bundle, verdict_matches
+
+            _, verdict = replay_bundle(result.bundle)
+            if verdict is None or not verdict_matches(result.bundle):
+                failures.append(
+                    f"bundle {result.bundle} does not replay to the "
+                    f"recorded verdict"
+                )
+            else:
+                print(f"demo: bundle replays and matches "
+                      f"({result.bundle})")
+        return
+    # Clean spec under the same schedule: the reconfig must complete
+    # legally, nothing may be flagged, and the survivors stay live.
+    if result.detected:
+        failures.append(
+            f"monitor flagged the clean spec: {result.violations}"
+        )
+    if result.reconfig_outcome != "committed":
+        failures.append(
+            f"legal reconfig did not complete: {result.reconfig_outcome}"
+        )
+    with cluster.client(
+        client_id="post-fig4", total_timeout_s=args.op_timeout_s
+    ) as survivor:
+        survivor.find_leader()
+        try:
+            for i in range(5):
+                survivor.put(f"post-fig4-{i}", i)
+            print("demo: survivors are live after the reconfiguration")
+        except (ClientError, ClientTimeout) as exc:
+            failures.append(f"survivors not live after reconfig: {exc}")
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
+    if args.spec == "buggy" and not args.monitor:
+        print("--spec buggy requires --monitor (nothing else would "
+              "observe the violation)", file=sys.stderr)
+        return 2
+    fig4 = args.fig4 or args.spec == "buggy"
+    if fig4 and args.kill_leader:
+        print("--kill-leader cannot be combined with the fig4 schedule",
+              file=sys.stderr)
+        return 2
+    if fig4 and args.nodes < 3:
+        print("the fig4 schedule needs at least 3 nodes", file=sys.stderr)
+        return 2
     nids = tuple(range(1, args.nodes + 1))
     rng = random.Random(args.seed)
     keys = [f"k{i}" for i in range(5)]
-    print(f"demo: spawning {args.nodes}-node cluster ...")
+    print(f"demo: spawning {args.nodes}-node cluster"
+          + (" + monitor" if args.monitor else "")
+          + (f" [spec={args.spec}]" if args.spec != "raft" else "")
+          + " ...")
     with LocalCluster(
         nids=nids, seed=args.seed, log_dir=args.log_dir,
         snapshot_threshold=args.snapshot_threshold,
+        spec=args.spec, monitor=args.monitor,
     ) as cluster:
         leader = cluster.wait_for_leader()
         print(f"demo: S{leader} is leader; driving {args.ops} ops ...")
@@ -232,6 +303,29 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 failures.append(detail)
             if ok == 0:
                 failures.append("no operation completed")
+
+        if fig4:
+            _run_fig4(cluster, args, failures)
+        if args.monitor:
+            status = cluster.monitor_status()
+            if status is None:
+                failures.append("safety monitor unreachable at the end")
+            elif args.spec == "buggy":
+                if status.ok:
+                    failures.append(
+                        "monitor reports ok on the buggy spec"
+                    )
+            elif not status.ok:
+                failures.append(
+                    f"monitor flagged violations: {list(status.violations)}"
+                )
+            else:
+                print(
+                    f"demo: monitor clean after {status.events} events "
+                    f"({status.entries} entries, {status.commits} commits, "
+                    f"{status.gaps} gaps) from nodes "
+                    f"{list(status.nodes)}"
+                )
 
         codes = cluster.shutdown()
         clean = all(
@@ -281,6 +375,15 @@ def main(argv: List[str] = None) -> int:
         "--no-read-index", action="store_true",
         help="serialize reads through the log instead of ReadIndex",
     )
+    node.add_argument(
+        "--monitor", default=None, metavar="HOST:PORT",
+        help="stream trace events to the safety monitor at this address",
+    )
+    node.add_argument(
+        "--spec", choices=["raft", "buggy"], default="raft",
+        help="server semantics: the spec, or the pre-fix algorithm "
+             "with the R3 reconfiguration guard disabled",
+    )
     node.add_argument("--verbose", action="store_true")
     node.set_defaults(func=_cmd_node)
 
@@ -321,6 +424,21 @@ def main(argv: List[str] = None) -> int:
     demo.add_argument(
         "--log-dir", default=None,
         help="keep node logs here instead of a temporary directory",
+    )
+    demo.add_argument(
+        "--monitor", action="store_true",
+        help="attach the streaming safety monitor and require a clean "
+             "verdict (with --spec buggy: require a violation verdict)",
+    )
+    demo.add_argument(
+        "--spec", choices=["raft", "buggy"], default="raft",
+        help="node semantics; 'buggy' disables the R3 reconfiguration "
+             "guard and implies the fig4 schedule",
+    )
+    demo.add_argument(
+        "--fig4", action="store_true",
+        help="stage the Fig. 4 divergent-reconfig schedule after the "
+             "workload (always on under --spec buggy)",
     )
     demo.set_defaults(func=_cmd_demo)
 

@@ -34,6 +34,8 @@ from .wire import (
     LogRequest,
     LogResponse,
     MAX_FRAME_BYTES,
+    PartitionRequest,
+    PartitionResponse,
     ProtocolError,
     StatusRequest,
     StatusResponse,
@@ -109,13 +111,15 @@ class NetClient:
     # Connections
     # ------------------------------------------------------------------
 
-    def _connect(self, nid: int) -> socket.socket:
+    def _connect(
+        self, nid: int, timeout_s: Optional[float] = None
+    ) -> socket.socket:
         sock = self._conns.get(nid)
         if sock is not None:
             return sock
         host, port = self.addresses[nid]
         sock = socket.create_connection(
-            (host, port), timeout=self.request_timeout_s
+            (host, port), timeout=timeout_s or self.request_timeout_s
         )
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._conns[nid] = sock
@@ -147,7 +151,7 @@ class NetClient:
         """One request/response exchange; connection errors propagate
         (after dropping the cached socket)."""
         try:
-            sock = self._connect(nid)
+            sock = self._connect(nid, timeout_s)
             sock.settimeout(timeout_s or self.request_timeout_s)
             sock.sendall(encode_frame(message))
             return _recv_frame(sock)
@@ -244,10 +248,22 @@ class NetClient:
                 probe += 1
             if not first:
                 self.retries += 1
-                time.sleep(self.retry_delay_s)
+                time.sleep(
+                    min(self.retry_delay_s, max(0.0, deadline - time.monotonic()))
+                )
             first = False
+            # Clamp the attempt to the remaining total budget: an
+            # unclamped per-attempt timeout lets the last attempt
+            # overshoot ``total_timeout_s`` by up to a full
+            # ``request_timeout_s`` (connect + recv).
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
             try:
-                reply = self._rpc(nid, request)
+                reply = self._rpc(
+                    nid, request,
+                    timeout_s=min(self.request_timeout_s, remaining),
+                )
             except (OSError, ProtocolError, ConnectionError):
                 # Dead or confused node: forget a guess that failed us
                 # and move on to the next candidate.
@@ -301,6 +317,42 @@ class NetClient:
     def reconfigure(self, members: Iterable[int]):
         """Change the membership (not a kvstore op: no history record)."""
         return self.request(("reconfig", frozenset(members)))
+
+    # ------------------------------------------------------------------
+    # Directed operations (fault-injection drivers)
+    # ------------------------------------------------------------------
+
+    def request_direct(
+        self, nid: int, command: Tuple, timeout_s: Optional[float] = None
+    ) -> ClientResponse:
+        """One attempt against one *specific* node: no redirects, no
+        retries, no history record.  Partition-schedule drivers need to
+        ask a particular replica to act (e.g. a reconfig at an isolated
+        leader) and to see its verbatim refusal; socket errors and
+        timeouts propagate."""
+        seq = self._seq
+        self._seq += 1
+        reply = self._rpc(
+            nid,
+            ClientRequest(
+                client_id=self.client_id, seq=seq, command=command
+            ),
+            timeout_s=timeout_s,
+        )
+        if not isinstance(reply, ClientResponse):
+            raise ProtocolError(f"unexpected reply {type(reply).__name__}")
+        return reply
+
+    def partition(self, nid: int, blocked: Iterable[int]):
+        """Replace node ``nid``'s blocked-peer set (admin fault
+        injection; an empty set heals).  Returns the ack or raises."""
+        reply = self._rpc(
+            nid, PartitionRequest(blocked=tuple(sorted(blocked))),
+            timeout_s=5.0,
+        )
+        if not isinstance(reply, PartitionResponse):
+            raise ProtocolError(f"unexpected reply {type(reply).__name__}")
+        return reply
 
 
 def merge_histories(histories: Iterable[History]) -> History:

@@ -74,12 +74,17 @@ from .wire import (
     LogRequest,
     LogResponse,
     MAX_FRAME_BYTES,
+    MonitorHello,
+    PartitionRequest,
+    PartitionResponse,
     PeerHello,
     ProtocolError,
     ReadProbe,
     ReadProbeAck,
     StatusRequest,
     StatusResponse,
+    TraceBatch,
+    _pack_entry,
     encode_frame,
 )
 
@@ -94,8 +99,37 @@ _COMMAND_ARITY = {
 }
 
 
+def _server_class(spec: str):
+    """The server semantics a node hosts: the spec (R3 on) or the
+    pre-fix algorithm (R3 forced off) for seeding live violations."""
+    if spec == "raft":
+        return CompactServer
+    if spec == "buggy":
+        from ..raft.buggy import NoR3Mixin
+
+        class BuggyCompactServer(NoR3Mixin, CompactServer):
+            pass
+
+        return BuggyCompactServer
+    raise ValueError(f"unknown server spec {spec!r}")
+
+
+#: Trace kinds streamed to the monitor.  Per-message ``send``/``receive``
+#: events stay local (the ring buffer keeps them for bundles); the
+#: monitor needs protocol milestones, not transport chatter.
+_EXPORT_SKIP = frozenset({"send", "receive"})
+
+
 def now_ms() -> float:
-    """Wall-clock milliseconds (monotonic within the process)."""
+    """Milliseconds on this process's monotonic clock.
+
+    Monotonic *within one process only*: each node (and each client)
+    starts its clock at an arbitrary origin, so these values must never
+    be compared across processes.  They time intra-node intervals
+    (commit latency, read staleness) and order events recorded *at this
+    node*; cross-process ordering -- what the safety monitor consumes --
+    uses per-node Lamport stamps and arrival order exclusively.
+    """
     return time.monotonic() * 1000.0
 
 
@@ -159,6 +193,18 @@ class NodeConfig:
     #: Messages drained per socket write in the peer loop: the
     #: pipelining window (in-flight, un-acked frames per connection).
     pipeline_window: int = 32
+    #: Safety-monitor address; when set, the node streams its trace
+    #: (log/commit advances and protocol milestones) there as
+    #: :class:`TraceBatch` frames.  None keeps the export entirely off
+    #: -- one boolean test per progress step, nothing else.
+    monitor: Optional[Tuple[str, int]] = None
+    #: Which server semantics to host: ``"raft"`` (the spec, R3 on) or
+    #: ``"buggy"`` (R3 off -- the pre-fix algorithm, for seeding live
+    #: violations the monitor must catch).
+    spec: str = "raft"
+    #: Ring-buffer capacity of the auto-created tracer when a monitor
+    #: address is configured.
+    trace_capacity: int = 65_536
 
 
 @dataclass
@@ -247,13 +293,33 @@ class NetNode:
     ) -> None:
         self.config = config
         self.scheme = RaftSingleNodeScheme()
-        self.server = CompactServer(
+        self.server = _server_class(config.spec)(
             nid=config.nid, conf0=frozenset(config.conf0)
         )
         seed = config.seed if config.seed is not None else config.nid
         self.rng = random.Random(seed)
+        #: Trace export to the safety monitor.  ``_export_enabled`` is
+        #: the single gate the hot path tests; everything else below it
+        #: only exists (and only costs) when a monitor is configured.
+        self._export_enabled = config.monitor is not None
+        self._export_q: deque = deque(maxlen=4096)
+        self._export_dropped = 0
+        self._export_event: Optional[asyncio.Event] = None
+        self._export_task: Optional[asyncio.Task] = None
+        #: Absolute-indexed shadow of the entries already exported
+        #: (None marks positions elided before export could see them).
+        self._shadow: List[Any] = []
+        self._exported_commit = 0
+        if tracer is None and self._export_enabled:
+            tracer = Tracer(
+                capacity=config.trace_capacity, sink=self._export_sink,
+                metrics=metrics,
+            )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: Fault injection: raft/probe traffic from or to these peers is
+        #: dropped (admin :class:`PartitionRequest`; clients unaffected).
+        self._blocked: frozenset = frozenset()
         self._obs = self.tracer.enabled or self.metrics.enabled
         self._m_sent = self.metrics.counter("net.messages_sent")
         self._m_received = self.metrics.counter("net.messages_received")
@@ -265,6 +331,9 @@ class NetNode:
         self._m_compactions = self.metrics.counter("net.compactions")
         self._m_snapshots_in = self.metrics.counter("net.snapshots_installed")
         self._m_reads_fast = self.metrics.counter("net.reads_fast")
+        self._m_partition_dropped = self.metrics.counter(
+            "net.partition_dropped"
+        )
         self._h_commit = self.metrics.histogram("net.commit_latency_ms")
         self.driver: Optional[ElectionDriver] = None
         self.loop: Optional[asyncio.AbstractEventLoop] = None
@@ -321,6 +390,11 @@ class NetNode:
         self._tcp_server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self._export_enabled:
+            self._export_event = asyncio.Event()
+            if self._export_q:
+                self._export_event.set()
+            self._export_task = asyncio.ensure_future(self._monitor_loop())
         self.driver.arm()
         log.info(
             "S%d listening on %s:%d (conf0=%s)",
@@ -347,6 +421,9 @@ class NetNode:
         for task in self._peer_tasks:
             task.cancel()
         await asyncio.gather(*self._peer_tasks, return_exceptions=True)
+        if self._export_task is not None:
+            self._export_task.cancel()
+            await asyncio.gather(self._export_task, return_exceptions=True)
         log.info("S%d stopped cleanly", self.config.nid)
 
     # ------------------------------------------------------------------
@@ -403,7 +480,11 @@ class NetNode:
                 if peer != self.config.nid
             ]
             msgs = msgs + probes
+        blocked = self._blocked
         for msg in msgs:
+            if blocked and msg.to in blocked:
+                self._m_partition_dropped.inc()
+                continue
             outbox = self._outboxes.get(msg.to)
             if outbox is None:
                 continue
@@ -570,9 +651,17 @@ class NetNode:
                 elif isinstance(msg, _RAFT_TYPES):
                     self._deliver(msg)
                 elif isinstance(msg, ReadProbe):
-                    self._on_read_probe(msg)
+                    if self._blocked and msg.frm in self._blocked:
+                        self._m_partition_dropped.inc()
+                    else:
+                        self._on_read_probe(msg)
                 elif isinstance(msg, ReadProbeAck):
-                    self._on_read_probe_ack(msg)
+                    if self._blocked and msg.frm in self._blocked:
+                        self._m_partition_dropped.inc()
+                    else:
+                        self._on_read_probe_ack(msg)
+                elif isinstance(msg, PartitionRequest):
+                    writer.write(encode_frame(self._set_partition(msg)))
                 elif isinstance(msg, StatusRequest):
                     writer.write(encode_frame(self._status()))
                 elif isinstance(msg, LogRequest):
@@ -606,10 +695,144 @@ class NetNode:
         return LogResponse(entries=committed, base_len=0)
 
     # ------------------------------------------------------------------
+    # Fault injection (admin)
+    # ------------------------------------------------------------------
+
+    def _set_partition(self, msg: PartitionRequest) -> PartitionResponse:
+        """Replace the blocked-peer set (an empty request heals)."""
+        self._blocked = frozenset(msg.blocked) - {self.config.nid}
+        if self._obs:
+            self.tracer.record(
+                "partition_start", now_ms(), self.config.nid,
+                blocked=sorted(self._blocked),
+            )
+        log.info(
+            "S%d partition set: blocking %s",
+            self.config.nid, sorted(self._blocked) or "nothing",
+        )
+        return PartitionResponse(
+            nid=self.config.nid, blocked=tuple(sorted(self._blocked))
+        )
+
+    # ------------------------------------------------------------------
+    # Trace export (the monitor's feed)
+    # ------------------------------------------------------------------
+
+    def _export_sink(self, event) -> None:
+        """Tracer sink: queue every non-transport event for shipment.
+        Bounded; sheds oldest under backpressure (the monitor counts
+        arrivals, not acks, so shedding only loses detail events --
+        ``log_advance`` events re-carry cumulative state, so the next
+        one resynchronizes the engine's view)."""
+        if event.kind in _EXPORT_SKIP:
+            return
+        q = self._export_q
+        if len(q) == q.maxlen:
+            self._export_dropped += 1
+        q.append(event.to_dict())
+        if self._export_event is not None:
+            self._export_event.set()
+
+    def _maybe_export_log(self) -> None:
+        """Emit a ``log_advance`` trace event when the server's log or
+        commit point moved past what was last exported.
+
+        The event carries the *delta* against an absolute-indexed shadow
+        of everything exported so far: ``base`` (the common-prefix
+        length), the packed entries from there, and the absolute commit
+        length.  Entries folded into a snapshot before this node ever
+        exported them (a follower catching up via InstallSnapshot) show
+        up as ``base`` jumping past the shadow; the event then carries
+        the snapshot's verbatim ``last_entry`` as ``anchor`` so the
+        monitor can re-anchor the suffix onto entries some other node
+        already streamed."""
+        server = self.server
+        log_ = server.log
+        if isinstance(log_, CompactLog):
+            base, tail = log_.snap.base_len, log_.tail
+        else:
+            base, tail = 0, log_
+        shadow = self._shadow
+        gap = base > len(shadow)
+        if gap:
+            j = base
+        else:
+            hi = min(len(shadow), base + len(tail))
+            if hi > base and shadow[hi - 1] == tail[hi - 1 - base]:
+                # Log matching: an identical entry at an identical
+                # position implies an identical prefix, so the
+                # append-only common case costs one comparison.
+                j = hi
+            else:
+                j = base
+                while j < hi and shadow[j] == tail[j - base]:
+                    j += 1
+        entries = tail[j - base:]
+        commit_len = server.commit_len
+        if not entries and j == len(shadow) and commit_len == self._exported_commit:
+            return
+        data = {
+            "base": j,
+            "entries": [_pack_entry(e) for e in entries],
+            "commit": commit_len,
+            "term": server.time,
+        }
+        if gap:
+            data["gap"] = True
+            data["anchor"] = _pack_entry(log_.snap.last_entry)
+        if j > len(shadow):
+            shadow.extend([None] * (j - len(shadow)))
+        del shadow[j:]
+        shadow.extend(entries)
+        self._exported_commit = commit_len
+        self.tracer.record("log_advance", now_ms(), self.config.nid, **data)
+
+    async def _monitor_loop(self) -> None:
+        """Own the outbound connection to the monitor: connect with
+        capped backoff, say hello, then ship queued trace events as
+        :class:`TraceBatch` frames.  Fire-and-forget -- the monitor
+        never replies on this connection, and a dead monitor costs the
+        node nothing but this loop's backoff timer."""
+        host, port = self.config.monitor
+        backoff_ms = self.config.reconnect_min_ms
+        while not self._stopping.is_set():
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff_ms / 1000.0)
+                backoff_ms = min(backoff_ms * 2, self.config.reconnect_max_ms)
+                continue
+            backoff_ms = self.config.reconnect_min_ms
+            _set_nodelay(writer)
+            try:
+                writer.write(encode_frame(MonitorHello(nid=self.config.nid)))
+                while True:
+                    await self._export_event.wait()
+                    events = []
+                    q = self._export_q
+                    while q and len(events) < 256:
+                        events.append(q.popleft())
+                    if not q:
+                        self._export_event.clear()
+                    if not events:
+                        continue
+                    writer.write(encode_frame(TraceBatch(
+                        nid=self.config.nid, events=tuple(events),
+                    )))
+                    await writer.drain()
+            except (OSError, asyncio.IncompleteReadError):
+                pass  # monitor went away: reconnect and resume the queue
+            finally:
+                writer.close()
+
+    # ------------------------------------------------------------------
     # Spec message path
     # ------------------------------------------------------------------
 
     def _deliver(self, msg: Msg) -> None:
+        if self._blocked and msg.frm in self._blocked:
+            self._m_partition_dropped.inc()
+            return
         self._m_received.inc()
         if self._obs:
             self.tracer.receive(
@@ -626,6 +849,8 @@ class NetNode:
         committed client requests, step down if the committed config
         dropped us, compact once the committed prefix outgrows the
         threshold, bounce pending work on dethrone."""
+        if self._export_enabled:
+            self._maybe_export_log()
         server = self.server
         if server.role == LEADER:
             still_waiting: List[_PendingRequest] = []

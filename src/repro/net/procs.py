@@ -113,7 +113,16 @@ class LocalCluster:
     batching: bool = True
     #: ReadIndex reads (False: PR 4 reads-through-the-log).
     read_index: bool = True
+    #: Server semantics the nodes host ("raft" or "buggy" -- the
+    #: pre-fix algorithm with the R3 guard off).
+    spec: str = "raft"
+    #: Spawn a ``repro.monitor`` process and point every node at it.
+    monitor: bool = False
+    #: Where the monitor writes its violation bundle (defaults to the
+    #: cluster's log dir).
+    bundle_dir: Optional[str] = None
     handles: Dict[int, NodeHandle] = field(default_factory=dict)
+    monitor_handle: Optional[NodeHandle] = field(default=None, repr=False)
     _tempdir: Optional[tempfile.TemporaryDirectory] = field(
         default=None, repr=False
     )
@@ -130,13 +139,23 @@ class LocalCluster:
             self.log_dir = self._tempdir.name
         else:
             os.makedirs(self.log_dir, exist_ok=True)
-        ports = allocate_ports(len(self.nids), self.host)
+        ports = allocate_ports(len(self.nids) + (1 if self.monitor else 0),
+                               self.host)
         for nid, port in zip(self.nids, ports):
             self.handles[nid] = NodeHandle(
                 nid=nid,
                 host=self.host,
                 port=port,
                 log_path=os.path.join(self.log_dir, f"node-{nid}.log"),
+            )
+        if self.monitor:
+            if self.bundle_dir is None:
+                self.bundle_dir = self.log_dir
+            self.monitor_handle = NodeHandle(
+                nid=0,
+                host=self.host,
+                port=ports[-1],
+                log_path=os.path.join(self.log_dir, "monitor.log"),
             )
 
     # ------------------------------------------------------------------
@@ -178,7 +197,13 @@ class LocalCluster:
                 "--snapshot-threshold", str(self.snapshot_threshold),
             ]
             + ([] if self.batching else ["--no-batch"])
-            + ([] if self.read_index else ["--no-read-index"]),
+            + ([] if self.read_index else ["--no-read-index"])
+            + ([] if self.spec == "raft" else ["--spec", self.spec])
+            + (
+                ["--monitor",
+                 f"{self.monitor_handle.host}:{self.monitor_handle.port}"]
+                if self.monitor_handle is not None else []
+            ),
             stdout=log_file,
             stderr=subprocess.STDOUT,
             env=env,
@@ -187,15 +212,60 @@ class LocalCluster:
         log_file.close()  # the child holds its own descriptor
         return handle
 
+    def spawn_monitor(self) -> NodeHandle:
+        handle = self.monitor_handle
+        if handle is None or handle.alive:
+            return handle
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _repro_pythonpath()
+        log_file = open(handle.log_path, "ab")
+        handle.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.monitor", "serve",
+                "--host", handle.host,
+                "--port", str(handle.port),
+                "--conf", ",".join(str(n) for n in sorted(self.conf0)),
+                "--nodes", ",".join(str(n) for n in self.nids),
+                "--bundle-dir", self.bundle_dir,
+            ],
+            stdout=log_file,
+            stderr=subprocess.STDOUT,
+            env=env,
+            start_new_session=True,
+        )
+        log_file.close()
+        return handle
+
     def start(self) -> "LocalCluster":
+        if self.monitor:
+            # The monitor comes up first so no node burns its startup
+            # window in export-reconnect backoff.
+            self.spawn_monitor()
         for nid in self.nids:
             self.spawn(nid)
         self.wait_healthy()
         return self
 
+    def monitor_status(self, timeout_s: float = 5.0):
+        """The monitor's live verdict (a
+        :class:`~repro.net.wire.MonitorStatusResponse`), or ``None``
+        when no monitor is attached or it is unreachable."""
+        if self.monitor_handle is None:
+            return None
+        from ..monitor.service import monitor_status
+
+        return monitor_status(
+            self.monitor_handle.host, self.monitor_handle.port,
+            timeout_s=timeout_s,
+        )
+
     def wait_healthy(self, timeout_s: Optional[float] = None) -> None:
         """Block until every spawned node answers a status probe."""
         deadline = time.monotonic() + (timeout_s or self.startup_timeout_s)
+        if self.monitor_handle is not None:
+            while (time.monotonic() < deadline
+                   and self.monitor_status(timeout_s=0.5) is None):
+                time.sleep(0.05)
         pending = set(self.nids)
         with self.client(client_id="health-check") as probe:
             while pending and time.monotonic() < deadline:
@@ -272,13 +342,31 @@ class LocalCluster:
                 except (ProcessLookupError, PermissionError):
                     handle.process.kill()
                 handle.process.wait(timeout=5)
+        # The monitor goes last so every node's final batches land.
+        monitor = self.monitor_handle
+        if monitor is not None and monitor.process is not None:
+            if monitor.alive:
+                try:
+                    monitor.process.terminate()
+                except ProcessLookupError:  # pragma: no cover - exit race
+                    pass
+            try:
+                monitor.process.wait(timeout=grace_s)
+            except subprocess.TimeoutExpired:
+                monitor.process.kill()
+                monitor.process.wait(timeout=5)
         return {
             nid: (handle.process.returncode if handle.process else None)
             for nid, handle in self.handles.items()
         }
 
     def logs(self) -> Dict[int, str]:
-        return {nid: handle.log_text() for nid, handle in self.handles.items()}
+        out = {
+            nid: handle.log_text() for nid, handle in self.handles.items()
+        }
+        if self.monitor_handle is not None:
+            out[0] = self.monitor_handle.log_text()
+        return out
 
     def __enter__(self) -> "LocalCluster":
         return self.start()

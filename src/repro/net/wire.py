@@ -53,7 +53,7 @@ from __future__ import annotations
 import json
 import struct
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..raft.messages import (
     CommitAck,
@@ -232,6 +232,72 @@ class ReadProbeAck:
     time: int
 
 
+@dataclass(frozen=True)
+class MonitorHello:
+    """A node introducing itself to the safety monitor before its first
+    :class:`TraceBatch`."""
+
+    nid: int
+
+
+@dataclass(frozen=True)
+class TraceBatch:
+    """A batch of :class:`repro.obs.trace.TraceEvent` dicts streamed
+    from node ``nid`` to the monitor.
+
+    Events travel as their ``to_dict()`` JSON form (log entries inside
+    ``log_advance`` events are already ``_pack_entry``-encoded by the
+    node), so the batch body is plain JSON with no re-tagging.  The
+    monitor orders events by arrival and per-node ``lamport`` only --
+    ``t_ms`` is each node's *private* monotonic clock and is never
+    compared across nodes.
+    """
+
+    nid: int
+    events: Tuple[Mapping, ...]
+
+
+@dataclass(frozen=True)
+class MonitorStatusRequest:
+    """Ask the monitor for its verdict so far."""
+
+
+@dataclass(frozen=True)
+class MonitorStatusResponse:
+    """The monitor's verdict: engine counters plus the (possibly empty)
+    violation descriptions and the bundle directory if one was written."""
+
+    ok: bool
+    events: int
+    entries: int
+    caches: int
+    commits: int
+    gaps: int
+    nodes: Tuple[int, ...]
+    violations: Tuple[str, ...]
+    bundle: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PartitionRequest:
+    """Admin fault injection: replace the node's blocked-peer set.
+
+    The node drops raft/probe traffic from and to every nid in
+    ``blocked`` until the next request (empty tuple heals).  Client
+    connections are never affected.
+    """
+
+    blocked: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PartitionResponse:
+    """Ack echoing the node id and its now-active blocked set."""
+
+    nid: int
+    blocked: Tuple[int, ...]
+
+
 WireMessage = Any  # one of the raft Msg types or the RPC types above
 
 
@@ -387,6 +453,23 @@ _ENCODERS = {
     ReadProbeAck: ("read_probe_ack", lambda m: {
         "frm": m.frm, "to": m.to, "probe": m.probe, "time": m.time,
     }),
+    MonitorHello: ("monitor_hello", lambda m: {"nid": m.nid}),
+    TraceBatch: ("trace_batch", lambda m: {
+        "nid": m.nid, "events": [dict(e) for e in m.events],
+    }),
+    MonitorStatusRequest: ("monitor_status_request", lambda m: {}),
+    MonitorStatusResponse: ("monitor_status_response", lambda m: {
+        "ok": m.ok, "events": m.events, "entries": m.entries,
+        "caches": m.caches, "commits": m.commits, "gaps": m.gaps,
+        "nodes": list(m.nodes), "violations": list(m.violations),
+        "bundle": m.bundle,
+    }),
+    PartitionRequest: ("partition_request", lambda m: {
+        "blocked": list(m.blocked),
+    }),
+    PartitionResponse: ("partition_response", lambda m: {
+        "nid": m.nid, "blocked": list(m.blocked),
+    }),
 }
 
 
@@ -449,6 +532,32 @@ def _decode_commit_req(body: Dict) -> CommitReq:
     )
 
 
+def _decode_nid_tuple(body: Dict, key: str) -> Tuple[int, ...]:
+    raw = body.get(key, [])
+    if not isinstance(raw, list) or not all(
+        isinstance(v, int) and not isinstance(v, bool) for v in raw
+    ):
+        raise MalformedFrame(f"field {key!r} must be a list of ints")
+    return tuple(raw)
+
+
+def _decode_str_tuple(body: Dict, key: str) -> Tuple[str, ...]:
+    raw = body.get(key, [])
+    if not isinstance(raw, list) or not all(isinstance(v, str) for v in raw):
+        raise MalformedFrame(f"field {key!r} must be a list of strings")
+    return tuple(raw)
+
+
+def _decode_trace_batch(body: Dict) -> TraceBatch:
+    events = _require(body, "events", list)
+    if not all(isinstance(e, dict) for e in events):
+        raise MalformedFrame("trace batch events must be objects")
+    return TraceBatch(
+        nid=_require(body, "nid", int),
+        events=tuple(events),
+    )
+
+
 def _decode_client_request(body: Dict) -> ClientRequest:
     command = _unpack(_require(body, "command", None))
     if not isinstance(command, tuple):
@@ -508,6 +617,27 @@ _DECODERS = {
     "read_probe_ack": lambda b: ReadProbeAck(
         frm=_require(b, "frm", int), to=_require(b, "to", int),
         probe=_require(b, "probe", int), time=_require(b, "time", int),
+    ),
+    "monitor_hello": lambda b: MonitorHello(nid=_require(b, "nid", int)),
+    "trace_batch": _decode_trace_batch,
+    "monitor_status_request": lambda b: MonitorStatusRequest(),
+    "monitor_status_response": lambda b: MonitorStatusResponse(
+        ok=_require(b, "ok", bool),
+        events=_int_or_zero(b, "events"),
+        entries=_int_or_zero(b, "entries"),
+        caches=_int_or_zero(b, "caches"),
+        commits=_int_or_zero(b, "commits"),
+        gaps=_int_or_zero(b, "gaps"),
+        nodes=_decode_nid_tuple(b, "nodes"),
+        violations=_decode_str_tuple(b, "violations"),
+        bundle=_require(b, "bundle", (str, type(None))),
+    ),
+    "partition_request": lambda b: PartitionRequest(
+        blocked=_decode_nid_tuple(b, "blocked"),
+    ),
+    "partition_response": lambda b: PartitionResponse(
+        nid=_require(b, "nid", int),
+        blocked=_decode_nid_tuple(b, "blocked"),
     ),
 }
 

@@ -43,11 +43,13 @@ from .metrics import (
 from .trace import (
     EVENT_KINDS,
     NULL_TRACER,
+    TRACE_HEADER_KEY,
     NullTracer,
     TraceEvent,
     Tracer,
     events_by_kind,
     load_jsonl,
+    load_jsonl_header,
 )
 
 __all__ = [
@@ -61,6 +63,7 @@ __all__ = [
     "NULL_TRACER",
     "NullMetrics",
     "NullTracer",
+    "TRACE_HEADER_KEY",
     "TraceEvent",
     "Tracer",
     "ViolationBundle",
@@ -68,6 +71,7 @@ __all__ = [
     "find_bundles",
     "load_bundle",
     "load_jsonl",
+    "load_jsonl_header",
     "nemesis_config_from_dict",
     "nemesis_config_to_dict",
     "replay_bundle",

@@ -54,7 +54,16 @@ EVENT_KINDS = frozenset({
     "reconfig",
     "client_invoke",
     "client_response",
+    # Live-cluster kinds (repro.net): a node's log/commit advance (the
+    # monitor's input) and a leader folding its committed prefix.
+    "log_advance",
+    "compaction",
 })
+
+#: First line of every JSONL export: lets a consumer distinguish "the
+#: buffer was empty" from "the buffer evicted events" -- fatal ambiguity
+#: for an online monitor reading someone else's dump.
+TRACE_HEADER_KEY = "__trace_header"
 
 
 @dataclass(frozen=True)
@@ -109,15 +118,22 @@ class Tracer:
     """A bounded recorder of typed cluster events.
 
     ``capacity`` bounds the ring buffer; when it overflows, the oldest
-    events are evicted (``recorded`` keeps the true total, so overflow
-    is detectable as ``recorded > len(events)``).
+    events are evicted.  Eviction is *counted* (``dropped``), reported
+    by every export as a leading header line, and mirrored into
+    ``metrics`` (counter ``trace.dropped``) when one is supplied --
+    a silent ring buffer cannot back an online monitor.
+
+    ``sink``, when given, is called synchronously with every recorded
+    :class:`TraceEvent` *before* it can be evicted; it is how a node
+    streams its trace to :mod:`repro.monitor` without the exporter
+    racing the ring buffer.  A sink must never raise.
     """
 
     #: Instrumented hot paths guard on this instead of an isinstance
     #: check; the null tracer overrides it to False.
     enabled: bool = True
 
-    def __init__(self, capacity: int = 65_536) -> None:
+    def __init__(self, capacity: int = 65_536, sink=None, metrics=None) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
@@ -126,6 +142,13 @@ class Tracer:
         self.clocks: Dict[object, int] = {}
         #: Events recorded over the tracer's lifetime (>= len(events)).
         self.recorded = 0
+        #: Events evicted from the ring buffer (recorded - buffered).
+        self.dropped = 0
+        self._sink = sink
+        self._m_dropped = (
+            metrics.counter("trace.dropped")
+            if metrics is not None and metrics.enabled else None
+        )
 
     # -- recording -----------------------------------------------------
 
@@ -134,13 +157,23 @@ class Tracer:
         self.clocks[node] = stamp
         return stamp
 
+    def _append(self, event: TraceEvent) -> None:
+        events = self.events
+        if len(events) == self.capacity:
+            self.dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
+        events.append(event)
+        self.recorded += 1
+        if self._sink is not None:
+            self._sink(event)
+
     def record(self, kind: str, t_ms: float, node, **data) -> int:
         """Record one local event at ``node``; returns its Lamport stamp."""
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         stamp = self._tick(node)
-        self.events.append(TraceEvent(kind, t_ms, node, stamp, data))
-        self.recorded += 1
+        self._append(TraceEvent(kind, t_ms, node, stamp, data))
         return stamp
 
     def send(self, t_ms: float, frm, to, msg: str, **data) -> int:
@@ -154,11 +187,10 @@ class Tracer:
         ``L(to) = max(L(to), sent) + 1``."""
         stamp = max(self.clocks.get(to, 0), sent_lamport) + 1
         self.clocks[to] = stamp
-        self.events.append(TraceEvent(
+        self._append(TraceEvent(
             "receive", t_ms, to, stamp,
             dict(frm=frm, msg=msg, sent_lamport=sent_lamport, **data),
         ))
-        self.recorded += 1
         return stamp
 
     # -- export --------------------------------------------------------
@@ -167,16 +199,28 @@ class Tracer:
         """The buffered events, oldest first."""
         return list(self.events)
 
+    def _header(self) -> Dict:
+        return {
+            TRACE_HEADER_KEY: 1,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+        }
+
     def to_jsonl(self) -> str:
-        """The buffered events as one JSON object per line."""
-        return "\n".join(
+        """Header line plus the buffered events, one JSON object per line."""
+        lines = [json.dumps(self._header(), sort_keys=True)]
+        lines.extend(
             json.dumps(event.to_dict(), sort_keys=True)
             for event in self.events
         )
+        return "\n".join(lines)
 
     def dump_jsonl(self, path: str) -> int:
-        """Write the buffer to ``path`` as JSONL; returns the event count."""
+        """Write the header and buffer to ``path``; returns the event count."""
         with open(path, "w") as handle:
+            handle.write(json.dumps(self._header(), sort_keys=True))
+            handle.write("\n")
             for event in self.events:
                 handle.write(json.dumps(event.to_dict(), sort_keys=True))
                 handle.write("\n")
@@ -184,14 +228,35 @@ class Tracer:
 
 
 def load_jsonl(path: str) -> List[TraceEvent]:
-    """Read a JSONL trace back into :class:`TraceEvent` values."""
+    """Read a JSONL trace back into :class:`TraceEvent` values.
+
+    Tolerates (and skips) the ``__trace_header`` line that
+    :meth:`Tracer.dump_jsonl` now writes, as well as header-less dumps
+    from before it existed.
+    """
     events: List[TraceEvent] = []
     with open(path) as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(TraceEvent.from_dict(json.loads(line)))
+            if not line:
+                continue
+            raw = json.loads(line)
+            if TRACE_HEADER_KEY in raw:
+                continue
+            events.append(TraceEvent.from_dict(raw))
     return events
+
+
+def load_jsonl_header(path: str) -> Dict:
+    """The export's header counters (``recorded``/``dropped``/
+    ``capacity``); empty for a pre-header dump."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                raw = json.loads(line)
+                return raw if TRACE_HEADER_KEY in raw else {}
+    return {}
 
 
 def events_by_kind(

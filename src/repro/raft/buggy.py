@@ -36,6 +36,26 @@ from .spec import RaftSystem
 CONF0 = frozenset({1, 2, 3, 4})
 
 
+class NoR3Mixin:
+    """Force ``enforce_r3=False`` on every reconfiguration.
+
+    Mixed in front of any :class:`~repro.raft.server.Server` subclass
+    (``class Buggy(NoR3Mixin, CompactServer)``) this turns it into the
+    pre-fix algorithm of Ongaro's thesis: a leader may propose a
+    membership change before it has committed anything at its own term.
+    ``repro.net`` uses it (``--spec buggy``) to seed a *live* Fig. 4
+    violation for the runtime monitor to catch; it carries no state of
+    its own, so the dataclass-generated ``__init__`` is untouched.
+    """
+
+    def reconfig(self, new_conf, scheme, enforce_r2=True, enforce_r3=True,
+                 request_id=None):
+        return super().reconfig(
+            new_conf, scheme, enforce_r2=enforce_r2, enforce_r3=False,
+            request_id=request_id,
+        )
+
+
 @dataclass
 class BugOutcome:
     """The result of one run of the Fig. 4 schedule."""

@@ -61,6 +61,7 @@ class Cluster:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.conf0 = conf0
         self.scheme = scheme
         self.sim = Simulator(seed=seed)
         self.latency = latency or LatencyModel()
@@ -461,6 +462,20 @@ class Cluster:
                     problems.append(
                         f"S{nid_a}/S{nid_b} committed prefixes disagree"
                     )
+        # The same engine the streaming monitor runs live: fold every
+        # node's full log and commit point into one cache tree and
+        # evaluate the core invariants.  This sees past the committed
+        # prefixes -- e.g. two reconfig entries forked without an
+        # intervening commit (Lemma B.8) are flagged here even though
+        # no committed entry disagrees yet.
+        from ..core.safety import IncrementalTreeChecker
+
+        engine = IncrementalTreeChecker(
+            frozenset(self.conf0), nodes=frozenset(self.servers)
+        )
+        for nid, server in sorted(self.servers.items()):
+            engine.observe(nid, 0, list(server.log), server.commit_len)
+        problems.extend(engine.violations())
         return problems
 
     def latencies(self) -> List[float]:

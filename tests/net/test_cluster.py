@@ -203,6 +203,33 @@ def test_one_shot_cli_invocation_exits_nonzero_when_cluster_is_down():
     assert "error:" in proc.stderr
 
 
+def test_attempt_timeouts_clamp_to_the_total_deadline():
+    # Regression: a node that accepts connections but never answers
+    # must not stretch one operation to ``request_timeout_s`` when
+    # ``total_timeout_s`` is shorter -- the last attempt used to
+    # overshoot the total deadline by a full per-attempt timeout.
+    listener = socket.socket()
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(4)
+    addr = listener.getsockname()
+    try:
+        client = NetClient(
+            {1: addr}, client_id="c0",
+            request_timeout_s=5.0, total_timeout_s=0.5,
+        )
+        started = time.monotonic()
+        with pytest.raises(ClientTimeout):
+            client.put("k", 1)
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.0, (
+            f"deadline overshot: {elapsed:.2f}s for a 0.5s budget"
+        )
+        client.close()
+    finally:
+        listener.close()
+
+
 def test_timeout_leaves_operation_pending():
     with LocalCluster(nids=(1, 2, 3), seed=17) as cluster:
         cluster.wait_for_leader()

@@ -30,6 +30,11 @@ from repro.net.wire import (
     LogRequest,
     LogResponse,
     MalformedFrame,
+    MonitorHello,
+    MonitorStatusRequest,
+    MonitorStatusResponse,
+    PartitionRequest,
+    PartitionResponse,
     PeerHello,
     ProtocolError,
     ReadProbe,
@@ -37,6 +42,7 @@ from repro.net.wire import (
     SnapshotChunk,
     StatusRequest,
     StatusResponse,
+    TraceBatch,
     TruncatedFrame,
     UnencodableValue,
     VersionMismatch,
@@ -149,6 +155,39 @@ rpc_messages = st.one_of(
     st.builds(
         ReadProbeAck, frm=nids, to=nids,
         probe=st.integers(0, 10**6), time=terms,
+    ),
+    st.builds(MonitorHello, nid=nids),
+    # Trace events travel as plain-JSON dicts (TraceEvent.to_dict()).
+    st.builds(
+        TraceBatch, nid=nids,
+        events=st.lists(
+            st.dictionaries(
+                st.text(min_size=1, max_size=8),
+                st.one_of(
+                    st.integers(-5, 10**6), st.text(max_size=8),
+                    st.booleans(), st.none(),
+                ),
+                max_size=4,
+            ),
+            max_size=3,
+        ).map(tuple),
+    ),
+    st.builds(MonitorStatusRequest),
+    st.builds(
+        MonitorStatusResponse, ok=st.booleans(),
+        events=st.integers(0, 10**6), entries=st.integers(0, 10**6),
+        caches=st.integers(0, 10**6), commits=st.integers(0, 10**6),
+        gaps=st.integers(0, 100),
+        nodes=st.lists(nids, max_size=5).map(tuple),
+        violations=st.lists(st.text(max_size=30), max_size=3).map(tuple),
+        bundle=st.one_of(st.none(), st.text(max_size=20)),
+    ),
+    st.builds(
+        PartitionRequest, blocked=st.lists(nids, max_size=4).map(tuple)
+    ),
+    st.builds(
+        PartitionResponse, nid=nids,
+        blocked=st.lists(nids, max_size=4).map(tuple),
     ),
 )
 raft_messages = st.one_of(elect_reqs, elect_acks, commit_reqs, commit_acks)

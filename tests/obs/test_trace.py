@@ -1,16 +1,21 @@
 """The tracer: closed vocabulary, Lamport clocks, ring buffer, JSONL."""
 
+import json
+
 import pytest
 
 from repro.obs import (
     EVENT_KINDS,
     NULL_TRACER,
+    TRACE_HEADER_KEY,
     NullTracer,
     TraceEvent,
     Tracer,
     events_by_kind,
     load_jsonl,
+    load_jsonl_header,
 )
+from repro.obs.metrics import MetricsRegistry
 
 
 class TestVocabulary:
@@ -65,6 +70,28 @@ class TestRingBuffer:
         with pytest.raises(ValueError):
             Tracer(capacity=0)
 
+    def test_eviction_is_counted_not_silent(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.record("commit", float(i), 1, index=i)
+        assert tracer.dropped == 6
+        assert tracer.recorded - tracer.dropped == len(tracer.events)
+
+    def test_eviction_mirrors_into_metrics(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer(capacity=2, metrics=metrics)
+        for i in range(5):
+            tracer.record("commit", float(i), 1)
+        assert metrics.counter("trace.dropped").value == 3
+
+    def test_sink_sees_every_event_before_eviction(self):
+        seen = []
+        tracer = Tracer(capacity=2, sink=seen.append)
+        for i in range(6):
+            tracer.record("commit", float(i), 1, index=i)
+        # The ring kept 2; the sink (the monitor's feed) missed none.
+        assert [e.data["index"] for e in seen] == list(range(6))
+
 
 class TestExport:
     def test_jsonl_round_trip(self, tmp_path):
@@ -76,6 +103,32 @@ class TestExport:
         loaded = load_jsonl(path)
         assert loaded == tracer.snapshot()
         assert loaded[1].data == {"term": 3}
+
+    def test_export_header_reports_drops(self, tmp_path):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record("commit", float(i), 1)
+        path = str(tmp_path / "trace.jsonl")
+        tracer.dump_jsonl(path)
+        header = load_jsonl_header(path)
+        assert header["recorded"] == 5
+        assert header["dropped"] == 3
+        assert header["capacity"] == 2
+        # The header never leaks into the event stream.
+        events = load_jsonl(path)
+        assert len(events) == 2
+        assert all(TRACE_HEADER_KEY not in e.data for e in events)
+
+    def test_load_tolerates_headerless_dumps(self, tmp_path):
+        # Dumps from before the header existed must still load.
+        tracer = Tracer()
+        tracer.record("commit", 1.0, 1, index=0)
+        path = str(tmp_path / "old.jsonl")
+        with open(path, "w") as handle:
+            for event in tracer.snapshot():
+                handle.write(json.dumps(event.to_dict()) + "\n")
+        assert load_jsonl(path) == tracer.snapshot()
+        assert load_jsonl_header(path) == {}
 
     def test_event_dict_round_trip(self):
         event = TraceEvent("drop", 3.0, 1, 7, {"to": 2, "reason": "loss"})
