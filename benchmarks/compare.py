@@ -60,6 +60,14 @@ SPECS: dict = {
          ("test_disabled_observability_overhead", "enabled_ratio"),
          "lower", "warn", 0.20),
     ],
+    "BENCH_shard_throughput.json": [
+        ("shard routing overhead ratio (sharded/raw, same run)",
+         ("test_shard_routing_overhead", "overhead_ratio"),
+         "lower", "fail", 0.20),
+        ("sharded ops/sec (1 group)",
+         ("test_shard_routing_overhead", "sharded", "ops_per_s"),
+         "higher", "warn", 0.20),
+    ],
     "BENCH_monitor_overhead.json": [
         ("monitor disabled-path overhead ratio",
          ("test_disabled_monitor_overhead", "disabled_ratio"),

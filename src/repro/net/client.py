@@ -23,6 +23,7 @@ Jepsen-style semantics the Wing-Gong checker
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
@@ -37,6 +38,10 @@ from .wire import (
     PartitionRequest,
     PartitionResponse,
     ProtocolError,
+    ShardDumpRequest,
+    ShardDumpResponse,
+    ShardOwnershipRequest,
+    ShardOwnershipResponse,
     StatusRequest,
     StatusResponse,
     decode_message,
@@ -54,6 +59,21 @@ class ClientError(Exception):
 
 class ClientTimeout(ClientError):
     """The operation's outcome is unknown: every attempt timed out."""
+
+
+class WrongShard(ClientError):
+    """The group refused the key: it does not own it (any more).
+
+    Definitive and *safe to retry elsewhere*: the refusal happens at
+    admission, before anything enters the log, so the command was not
+    applied.  ``table_version`` is the refusing node's ownership
+    version -- a routing-aware caller (:class:`repro.shard.client.
+    ShardClient`) refetches at least that table version and re-routes.
+    """
+
+    def __init__(self, message: str, table_version: Optional[int] = None):
+        super().__init__(message)
+        self.table_version = table_version
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -118,8 +138,15 @@ class NetClient:
         if sock is not None:
             return sock
         host, port = self.addresses[nid]
+        # ``is None``, not truthiness: an explicit ``timeout_s=0.0`` (or
+        # a sub-ms clamped remainder rounding to 0.0) must stay 0.0 --
+        # ``or`` would silently replace it with the full default and
+        # defeat the total-deadline clamp in :meth:`request`.
         sock = socket.create_connection(
-            (host, port), timeout=timeout_s or self.request_timeout_s
+            (host, port),
+            timeout=(
+                timeout_s if timeout_s is not None else self.request_timeout_s
+            ),
         )
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._conns[nid] = sock
@@ -152,7 +179,9 @@ class NetClient:
         (after dropping the cached socket)."""
         try:
             sock = self._connect(nid, timeout_s)
-            sock.settimeout(timeout_s or self.request_timeout_s)
+            sock.settimeout(
+                timeout_s if timeout_s is not None else self.request_timeout_s
+            )
             sock.sendall(encode_frame(message))
             return _recv_frame(sock)
         except (OSError, ProtocolError, ConnectionError):
@@ -212,13 +241,21 @@ class NetClient:
     # The at-most-once request loop
     # ------------------------------------------------------------------
 
-    def request(self, command: Tuple, operation: Optional[Operation] = None):
+    def request(
+        self,
+        command: Tuple,
+        operation: Optional[Operation] = None,
+        table_version: Optional[int] = None,
+    ):
         """Submit one command until a definitive response or deadline.
 
         Returns the result value on success.  Raises
-        :class:`ClientTimeout` when the outcome is unknown and
-        :class:`ClientError` on a definitive refusal.  ``operation``
-        (an open history record) is completed only on success.
+        :class:`ClientTimeout` when the outcome is unknown,
+        :class:`WrongShard` when the group refuses the key at admission
+        (safe to re-route), and :class:`ClientError` on any other
+        definitive refusal.  ``operation`` (an open history record) is
+        completed only on success.  ``table_version`` stamps the
+        request with the routing-table version the caller routed by.
 
         Targeting: the current leader guess first; a refusal or failure
         updates or clears the guess, falling back to round-robin
@@ -227,7 +264,8 @@ class NetClient:
         seq = self._seq
         self._seq += 1
         request = ClientRequest(
-            client_id=self.client_id, seq=seq, command=command
+            client_id=self.client_id, seq=seq, command=command,
+            table_version=table_version,
         )
         deadline = time.monotonic() + self.total_timeout_s
         ordered = sorted(self.addresses)
@@ -289,6 +327,12 @@ class NetClient:
             if reply.error == "retry":
                 self._leader_guess = nid
                 continue
+            if reply.error == "wrong-shard":
+                raise WrongShard(
+                    f"{command!r} refused: group does not own the key "
+                    f"(node table version {reply.table_version})",
+                    table_version=reply.table_version,
+                )
             raise ClientError(f"{command!r} refused: {reply.error}")
         raise ClientTimeout(f"{command!r}: outcome unknown after deadline")
 
@@ -354,13 +398,49 @@ class NetClient:
             raise ProtocolError(f"unexpected reply {type(reply).__name__}")
         return reply
 
+    def shard_ownership(
+        self, nid: int, version: int, ranges: Iterable[Tuple[int, int]]
+    ) -> ShardOwnershipResponse:
+        """Push an ownership fact to node ``nid``: at routing-table
+        ``version`` this group owns exactly ``ranges`` (hash-space
+        ``[lo, hi)`` pairs).  The node refuses keyed commands outside
+        them with ``"wrong-shard"``.  Returns the ack or raises."""
+        reply = self._rpc(
+            nid,
+            ShardOwnershipRequest(
+                version=version,
+                ranges=tuple((lo, hi) for lo, hi in ranges),
+            ),
+            timeout_s=5.0,
+        )
+        if not isinstance(reply, ShardOwnershipResponse):
+            raise ProtocolError(f"unexpected reply {type(reply).__name__}")
+        return reply
+
+    def shard_dump(
+        self, nid: int, lo: int, hi: int, timeout_s: float = 10.0
+    ) -> ShardDumpResponse:
+        """Ask node ``nid`` for its *applied committed* kvstore entries
+        whose keys hash into ``[lo, hi)`` (migration drain).  The reply
+        carries the node's role and log/commit lengths so the caller
+        can insist on a quiesced leader.  Returns the dump or raises."""
+        reply = self._rpc(
+            nid, ShardDumpRequest(lo=lo, hi=hi), timeout_s=timeout_s
+        )
+        if not isinstance(reply, ShardDumpResponse):
+            raise ProtocolError(f"unexpected reply {type(reply).__name__}")
+        return reply
+
 
 def merge_histories(histories: Iterable[History]) -> History:
     """Merge per-client histories into one checkable record.
 
     Monotonic timestamps from one process are comparable across
     threads, so concatenation plus re-numbering preserves real-time
-    order; op_ids are re-assigned to stay unique.
+    order; op_ids are re-assigned to stay unique.  The sources are left
+    untouched: renumbering happens on *copies*, so a history can be
+    merged (e.g. per-group first, then across groups) any number of
+    times without corrupting the originals' op_ids.
     """
     merged = History()
     operations = [
@@ -368,6 +448,5 @@ def merge_histories(histories: Iterable[History]) -> History:
     ]
     operations.sort(key=lambda op: op.invoked_ms)
     for op_id, op in enumerate(operations):
-        op.op_id = op_id
-        merged.operations.append(op)
+        merged.operations.append(dataclasses.replace(op, op_id=op_id))
     return merged

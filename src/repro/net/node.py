@@ -44,6 +44,7 @@ node (every decode failure is a :class:`repro.net.wire.ProtocolError`).
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import logging
 import random
 import socket
@@ -81,6 +82,10 @@ from .wire import (
     ProtocolError,
     ReadProbe,
     ReadProbeAck,
+    ShardDumpRequest,
+    ShardDumpResponse,
+    ShardOwnershipRequest,
+    ShardOwnershipResponse,
     StatusRequest,
     StatusResponse,
     TraceBatch,
@@ -97,6 +102,19 @@ _RAFT_TYPES = (ElectReq, ElectAck, CommitReq, CommitAck)
 _COMMAND_ARITY = {
     "put": 3, "add": 3, "delete": 2, "get": 2, "noop": 1, "reconfig": 2,
 }
+
+#: Commands whose second element is a kvstore key (the ones shard
+#: ownership applies to; ``noop``/``reconfig`` are group-local).
+_KEYED_COMMANDS = frozenset(("put", "add", "delete", "get"))
+
+
+def _key_position(key: str) -> int:
+    """The key's 64-bit hash-ring position.  Mirrors
+    :func:`repro.shard.ring.hash_key` -- kept dependency-free here so
+    the layering stays one-way (``repro.shard`` imports ``repro.net``,
+    never the reverse); a unit test pins the two to agree."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 def _server_class(spec: str):
@@ -355,6 +373,17 @@ class NetNode:
         #: snapshot's store on compaction/installation).
         self._app_store: Dict[str, Any] = {}
         self._app_len = 0
+        #: Shard ownership, pushed by a sharding manager
+        #: (:class:`repro.shard.manager.ShardedCluster`): at routing
+        #: table version ``_shard_version`` this node's group owns
+        #: exactly the half-open hash ranges ``_shard_ranges``.
+        #: ``None`` = never told: unsharded deployments accept every
+        #: key, while *stamped* requests are refused until the manager
+        #: (re-)pushes ownership -- that makes a freshly respawned
+        #: node, whose in-memory ownership died with its predecessor,
+        #: safe by refusal instead of wrong by amnesia.
+        self._shard_version: Optional[int] = None
+        self._shard_ranges: Tuple[Tuple[int, int], ...] = ()
         #: Cumulative transport/observability counters.
         self._n_bytes_sent = 0
         self._n_snapshots_in = 0
@@ -662,6 +691,12 @@ class NetNode:
                         self._on_read_probe_ack(msg)
                 elif isinstance(msg, PartitionRequest):
                     writer.write(encode_frame(self._set_partition(msg)))
+                elif isinstance(msg, ShardOwnershipRequest):
+                    writer.write(
+                        encode_frame(self._set_shard_ownership(msg))
+                    )
+                elif isinstance(msg, ShardDumpRequest):
+                    writer.write(encode_frame(self._shard_dump(msg)))
                 elif isinstance(msg, StatusRequest):
                     writer.write(encode_frame(self._status()))
                 elif isinstance(msg, LogRequest):
@@ -713,6 +748,92 @@ class NetNode:
         return PartitionResponse(
             nid=self.config.nid, blocked=tuple(sorted(self._blocked))
         )
+
+    # ------------------------------------------------------------------
+    # Shard ownership (admin)
+    # ------------------------------------------------------------------
+
+    def _set_shard_ownership(
+        self, msg: ShardOwnershipRequest
+    ) -> ShardOwnershipResponse:
+        """Adopt an ownership fact at version >= the current one.
+
+        An older push (a delayed manager retry) is ignored but acked
+        with the version actually held, so the caller can tell; an
+        equal version is re-adopted idempotently (the respawn re-push
+        path)."""
+        if self._shard_version is None or msg.version >= self._shard_version:
+            self._shard_version = msg.version
+            self._shard_ranges = tuple(msg.ranges)
+            if self._obs:
+                self.tracer.record(
+                    "shard_ownership", now_ms(), self.config.nid,
+                    version=msg.version, ranges=len(msg.ranges),
+                )
+            log.info(
+                "S%d shard ownership v%d: %d range(s)",
+                self.config.nid, msg.version, len(msg.ranges),
+            )
+        return ShardOwnershipResponse(
+            nid=self.config.nid, version=self._shard_version
+        )
+
+    def _shard_dump(self, msg: ShardDumpRequest) -> ShardDumpResponse:
+        """The applied committed kvstore entries hashing into
+        ``[lo, hi)`` (the drain half of a migration), plus the log and
+        commit lengths the manager's quiesce loop keys off."""
+        server = self.server
+        self._apply_committed()
+        items = tuple(sorted(
+            (key, value)
+            for key, value in self._app_store.items()
+            if msg.lo <= _key_position(key) < msg.hi
+        ))
+        return ShardDumpResponse(
+            nid=self.config.nid,
+            role=server.role,
+            commit_len=server.commit_len,
+            log_len=len(server.log),
+            items=items,
+            version=self._shard_version,
+        )
+
+    def _shard_refuses(self, request: ClientRequest) -> bool:
+        """The wrong-shard admission check.
+
+        Only *stamped* requests (``table_version`` set) participate --
+        plain clients against an unsharded cluster are untouched.  A
+        stamped keyed command is refused when this node cannot prove it
+        owns the key:
+
+        * it was never told its ownership (``_shard_version`` is
+          ``None``: e.g. freshly respawned), or
+        * the client routed by a *newer* table than the node has seen
+          (the node's ownership may have shrunk since), or
+        * the key's hash falls outside the owned ranges.
+
+        Refusal happens before anything enters the log, so the client
+        may safely re-route the command (fresh seq) to another group.
+        The one exception is a retry of a command that *already*
+        entered the log pre-freeze: at-most-once beats ownership, the
+        existing entry is served so the client can learn the outcome
+        that may well have committed.
+        """
+        stamp = request.table_version
+        command = request.command
+        if stamp is None or command[0] not in _KEYED_COMMANDS:
+            return False
+        if (
+            self._shard_version is not None
+            and stamp <= self._shard_version
+            and any(
+                lo <= _key_position(command[1]) < hi
+                for lo, hi in self._shard_ranges
+            )
+        ):
+            return False
+        request_id = (request.client_id, request.seq)
+        return find_request_compact(self.server, request_id) is None
 
     # ------------------------------------------------------------------
     # Trace export (the monitor's feed)
@@ -1209,6 +1330,14 @@ class NetNode:
             refuse = ClientResponse(
                 client_id=request.client_id, seq=request.seq, ok=False,
                 error="bad-command",
+            )
+        elif self._shard_refuses(request):
+            # Before the ReadIndex fast path on purpose: a frozen or
+            # handed-off range must refuse reads too, or a stale-routed
+            # get could observe state the new owner has moved past.
+            refuse = ClientResponse(
+                client_id=request.client_id, seq=request.seq, ok=False,
+                error="wrong-shard", table_version=self._shard_version,
             )
         if refuse is not None:
             writer.write(encode_frame(refuse))

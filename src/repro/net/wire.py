@@ -133,11 +133,18 @@ class PeerHello:
 class ClientRequest:
     """One client command; ``command`` uses the kvstore vocabulary
     (``("put", k, v)`` / ``("add", k, d)`` / ``("delete", k)`` /
-    ``("get", k)`` / ``("noop",)``) or ``("reconfig", members)``."""
+    ``("get", k)`` / ``("noop",)``) or ``("reconfig", members)``.
+
+    ``table_version`` stamps the routing-table version the sender
+    routed by (``None`` for unsharded clients).  A node holding shard
+    ownership refuses keyed commands it does not own -- or that carry a
+    stamp newer than its own ownership -- with ``"wrong-shard"``, so a
+    stale route can never silently land on the wrong group."""
 
     client_id: str
     seq: int
     command: Tuple
+    table_version: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -145,7 +152,9 @@ class ClientResponse:
     """The reply to a :class:`ClientRequest`.
 
     ``ok=False`` carries an ``error`` tag; ``"not-leader"`` additionally
-    carries the responder's best ``leader_hint`` (or ``None``)."""
+    carries the responder's best ``leader_hint`` (or ``None``);
+    ``"wrong-shard"`` additionally carries the refusing node's
+    ``table_version`` so the client knows how stale its table is."""
 
     client_id: str
     seq: int
@@ -153,6 +162,7 @@ class ClientResponse:
     result: Any = None
     error: Optional[str] = None
     leader_hint: Optional[int] = None
+    table_version: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -298,6 +308,57 @@ class PartitionResponse:
     blocked: Tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class ShardOwnershipRequest:
+    """Admin (shard manager): replace this node's owned key ranges.
+
+    ``ranges`` are half-open ``[lo, hi)`` intervals over the 64-bit key
+    hash space (:mod:`repro.shard.ring`); ``version`` is the routing
+    table version the ownership belongs to.  A node only moves forward:
+    a request older than its current ownership version is ignored (the
+    ack carries the version actually in force).  Every node of a group
+    gets the same push, so whichever of them is (or becomes) leader
+    enforces the same ownership.
+    """
+
+    version: int
+    ranges: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class ShardOwnershipResponse:
+    """Ack echoing the node id and its now-active ownership version."""
+
+    nid: int
+    version: int
+
+
+@dataclass(frozen=True)
+class ShardDumpRequest:
+    """Ask a leader for its *committed* key-value state within one hash
+    range (the drain half of a shard migration): every key ``k`` with
+    ``lo <= hash_key(k) < hi``, folded up to the commit index -- the
+    same fold the snapshot machinery performs, restricted to the range
+    being shipped to the new owner."""
+
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class ShardDumpResponse:
+    """The folded range.  ``role``/``commit_len`` let the manager check
+    it asked a settled leader (``log_len == commit_len`` means nothing
+    admitted before the freeze is still in flight)."""
+
+    nid: int
+    role: str
+    commit_len: int
+    log_len: int
+    items: Tuple[Tuple[str, Any], ...]
+    version: Optional[int] = None
+
+
 WireMessage = Any  # one of the raft Msg types or the RPC types above
 
 
@@ -425,11 +486,12 @@ _ENCODERS = {
     PeerHello: ("peer_hello", lambda m: {"nid": m.nid}),
     ClientRequest: ("client_request", lambda m: {
         "client_id": m.client_id, "seq": m.seq, "command": _pack(m.command),
+        "table_version": m.table_version,
     }),
     ClientResponse: ("client_response", lambda m: {
         "client_id": m.client_id, "seq": m.seq, "ok": m.ok,
         "result": _pack(m.result), "error": m.error,
-        "leader_hint": m.leader_hint,
+        "leader_hint": m.leader_hint, "table_version": m.table_version,
     }),
     StatusRequest: ("status_request", lambda m: {}),
     StatusResponse: ("status_response", lambda m: {
@@ -469,6 +531,22 @@ _ENCODERS = {
     }),
     PartitionResponse: ("partition_response", lambda m: {
         "nid": m.nid, "blocked": list(m.blocked),
+    }),
+    ShardOwnershipRequest: ("shard_ownership_request", lambda m: {
+        "version": m.version,
+        "ranges": [[lo, hi] for lo, hi in m.ranges],
+    }),
+    ShardOwnershipResponse: ("shard_ownership_response", lambda m: {
+        "nid": m.nid, "version": m.version,
+    }),
+    ShardDumpRequest: ("shard_dump_request", lambda m: {
+        "lo": m.lo, "hi": m.hi,
+    }),
+    ShardDumpResponse: ("shard_dump_response", lambda m: {
+        "nid": m.nid, "role": m.role, "commit_len": m.commit_len,
+        "log_len": m.log_len,
+        "items": [[k, _pack(v)] for k, v in m.items],
+        "version": m.version,
     }),
 }
 
@@ -566,6 +644,51 @@ def _decode_client_request(body: Dict) -> ClientRequest:
         client_id=_require(body, "client_id", str),
         seq=_require(body, "seq", int),
         command=command,
+        table_version=_opt_int(body, "table_version"),
+    )
+
+
+def _decode_shard_ownership(body: Dict) -> ShardOwnershipRequest:
+    raw = _require(body, "ranges", list)
+    ranges = []
+    for item in raw:
+        if not (
+            isinstance(item, list) and len(item) == 2
+            and all(isinstance(v, int) and not isinstance(v, bool)
+                    for v in item)
+            and 0 <= item[0] < item[1]
+        ):
+            raise MalformedFrame(f"bad ownership range {item!r}")
+        ranges.append((item[0], item[1]))
+    version = _require(body, "version", int)
+    if version < 0:
+        raise MalformedFrame(f"ownership version {version} must be >= 0")
+    return ShardOwnershipRequest(version=version, ranges=tuple(ranges))
+
+
+def _decode_shard_dump_request(body: Dict) -> ShardDumpRequest:
+    lo = _require(body, "lo", int)
+    hi = _require(body, "hi", int)
+    if not 0 <= lo < hi:
+        raise MalformedFrame(f"bad dump range [{lo}, {hi})")
+    return ShardDumpRequest(lo=lo, hi=hi)
+
+
+def _decode_shard_dump_response(body: Dict) -> ShardDumpResponse:
+    raw = _require(body, "items", list)
+    items = []
+    for item in raw:
+        if not (isinstance(item, list) and len(item) == 2
+                and isinstance(item[0], str)):
+            raise MalformedFrame(f"bad dump item {item!r}")
+        items.append((item[0], _unpack(item[1])))
+    return ShardDumpResponse(
+        nid=_require(body, "nid", int),
+        role=_require(body, "role", str),
+        commit_len=_require(body, "commit_len", int),
+        log_len=_require(body, "log_len", int),
+        items=tuple(items),
+        version=_opt_int(body, "version"),
     )
 
 
@@ -589,6 +712,7 @@ _DECODERS = {
         result=_unpack(b.get("result")),
         error=_require(b, "error", (str, type(None))),
         leader_hint=_opt_int(b, "leader_hint"),
+        table_version=_opt_int(b, "table_version"),
     ),
     "status_request": lambda b: StatusRequest(),
     "status_response": lambda b: StatusResponse(
@@ -639,6 +763,13 @@ _DECODERS = {
         nid=_require(b, "nid", int),
         blocked=_decode_nid_tuple(b, "blocked"),
     ),
+    "shard_ownership_request": _decode_shard_ownership,
+    "shard_ownership_response": lambda b: ShardOwnershipResponse(
+        nid=_require(b, "nid", int),
+        version=_require(b, "version", int),
+    ),
+    "shard_dump_request": _decode_shard_dump_request,
+    "shard_dump_response": _decode_shard_dump_response,
 }
 
 

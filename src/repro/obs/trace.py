@@ -58,6 +58,9 @@ EVENT_KINDS = frozenset({
     # monitor's input) and a leader folding its committed prefix.
     "log_advance",
     "compaction",
+    # Sharding (repro.shard): a node adopting a routing-table version
+    # (the freeze/grant/publish pushes of a shard migration).
+    "shard_ownership",
 })
 
 #: First line of every JSONL export: lets a consumer distinguish "the

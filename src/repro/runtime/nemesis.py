@@ -379,6 +379,65 @@ def run_nemesis(config: NemesisConfig) -> NemesisResult:
     return result
 
 
+# ----------------------------------------------------------------------
+# Per-shard fault schedules (the multi-group nemesis)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One scheduled fault against one shard group, keyed to a global
+    completed-operation count (so schedules are load-relative and
+    deterministic per seed, not wall-clock flaky)."""
+
+    at_op: int
+    gid: int
+    action: str  # "kill-leader" | "respawn" | "partition-leader" | "heal"
+
+    def describe(self) -> str:
+        return f"@{self.at_op} g{self.gid}:{self.action}"
+
+
+def per_shard_schedule(
+    seed: int,
+    gids: Tuple[int, ...],
+    ops: int,
+    kills_per_group: int = 1,
+    respawn_after_ops: int = 40,
+    partition_groups: int = 1,
+    partition_ops: int = 30,
+) -> Tuple[ShardFault, ...]:
+    """A deterministic multi-group fault schedule.
+
+    Each group gets ``kills_per_group`` leader kills (each paired with
+    a respawn ``respawn_after_ops`` later) and the first
+    ``partition_groups`` groups get one leader partition (paired with a
+    heal ``partition_ops`` later).  Fault points are jittered per seed
+    inside the middle of the run -- the window where the shard
+    scenario's split and merge migrations are in flight, which is
+    exactly when losing a per-shard leader stresses the freeze/drain/
+    install protocol.  Events are sorted by ``at_op``; a consumer pops
+    every event whose ``at_op`` has passed its shared op counter.
+    """
+    if ops < 10:
+        raise ValueError(f"{ops} ops leaves no room for a schedule")
+    rng = random.Random(seed * 7919 + 0x5AD)
+    window_lo, window_hi = ops // 5, (4 * ops) // 5
+    events: List[ShardFault] = []
+    for gid in sorted(gids):
+        for _ in range(kills_per_group):
+            at = rng.randrange(window_lo, window_hi)
+            events.append(ShardFault(at, gid, "kill-leader"))
+            events.append(
+                ShardFault(at + respawn_after_ops, gid, "respawn")
+            )
+    for gid in sorted(gids)[:partition_groups]:
+        at = rng.randrange(window_lo, window_hi)
+        events.append(ShardFault(at, gid, "partition-leader"))
+        events.append(ShardFault(at + partition_ops, gid, "heal"))
+    return tuple(sorted(events, key=lambda e: (e.at_op, e.gid, e.action)))
+
+
 def fig16_chaos_config(seed: int = 0, ops: int = 500) -> NemesisConfig:
     """The Fig. 16 5→3→5 trajectory under churn: drops, duplication,
     reordering, two leader crashes, and one mid-run partition."""

@@ -1,0 +1,46 @@
+"""Multi-group sharding over independent ``repro.net`` groups.
+
+One consensus group caps out no matter how fast its node loop gets
+(PR 6 measured the ceiling); the ROADMAP's "millions of users" needs
+many groups.  This package routes keys across N independent
+:mod:`repro.net` clusters:
+
+* :mod:`repro.shard.ring` -- a deterministic hash ring: named key
+  ranges over group ids, held in a **versioned** routing table whose
+  versions make stale routing *safe* (a group refuses keys it no
+  longer owns, the client refetches and retries).
+* :mod:`repro.shard.client` -- :class:`ShardClient`: routes single-key
+  operations to the owning group, fans multi-key operations out across
+  groups, records one Jepsen-style history across all of them.
+* :mod:`repro.shard.manager` -- :class:`ShardedCluster`: spawns the
+  groups (reusing :class:`repro.net.procs.LocalCluster` per group, one
+  safety monitor per group) and drives shard **split/merge** as a
+  checked reconfiguration scenario: freeze the range, drain the folded
+  state to the new owner, bump the table version.
+
+Linearizability composes for free: the Wing-Gong checker is per-key
+(locality), every key lives in exactly one group at a time, so the
+merged cross-group history is checkable with the unmodified checker.
+"""
+
+from .client import ShardClient, TableAuthority
+from .manager import ShardedCluster
+from .ring import HASH_SPACE, KeyRange, RoutingTable, hash_key
+from .scenario import (
+    ShardScenarioConfig,
+    ShardScenarioResult,
+    run_shard_scenario,
+)
+
+__all__ = [
+    "HASH_SPACE",
+    "KeyRange",
+    "RoutingTable",
+    "ShardClient",
+    "ShardScenarioConfig",
+    "ShardScenarioResult",
+    "ShardedCluster",
+    "TableAuthority",
+    "hash_key",
+    "run_shard_scenario",
+]

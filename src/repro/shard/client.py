@@ -1,0 +1,273 @@
+"""Routing clients for a sharded deployment.
+
+:class:`TableAuthority` is the process-local routing-table authority:
+one current :class:`~repro.shard.ring.RoutingTable`, replaced
+atomically by strictly newer versions.  (A networked authority would
+serve the same two calls over a socket; everything downstream only
+needs ``table()`` and ``publish()``.)
+
+:class:`ShardClient` is the application-facing client.  It routes each
+single-key operation to the group owning the key, fans multi-key reads
+out across groups, and records everything into **one** Jepsen-style
+:class:`~repro.runtime.history.History`, so the unmodified per-key
+Wing-Gong checker (:mod:`repro.runtime.linearize`) can verify the
+whole sharded deployment at once -- locality makes cross-group
+composition free.
+
+The correctness-critical retry split, inherited from
+:mod:`repro.net.client`:
+
+* ``WrongShard`` is an *admission-time* refusal -- the command never
+  entered any log -- so re-routing it to another group with a fresh
+  seq cannot double-apply.  The client refetches the table and
+  retries, bounded by its deadline, surfacing exhaustion as
+  :class:`~repro.net.client.ClientTimeout` (the op stays pending).
+* ``ClientTimeout`` from a group means the outcome there is
+  *unknown* -- the command may commit later.  It is **never** retried
+  at another group: dedup domains are per-group, so a cross-group
+  retry could apply the command twice.  The op simply stays pending,
+  which the checker treats soundly (it may take effect once or never).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..net.client import (
+    ClientError,
+    ClientTimeout,
+    NetClient,
+    WrongShard,
+    now_ms,
+)
+from ..runtime.history import History, Operation
+from .ring import RoutingTable
+
+
+class TableAuthority:
+    """The routing-table authority: one current table, thread-safe.
+
+    ``publish`` only accepts strictly newer versions -- a delayed
+    publish of a stale table is a programming error upstream, not
+    something to paper over."""
+
+    def __init__(self, table: RoutingTable) -> None:
+        self._lock = threading.Lock()
+        self._table = table
+
+    def table(self) -> RoutingTable:
+        """The current table (an immutable snapshot: safe to keep)."""
+        with self._lock:
+            return self._table
+
+    def publish(self, table: RoutingTable) -> RoutingTable:
+        """Install a strictly newer table; returns it."""
+        with self._lock:
+            if table.version <= self._table.version:
+                raise ValueError(
+                    f"publish v{table.version} would not advance "
+                    f"v{self._table.version}"
+                )
+            self._table = table
+            return table
+
+
+class ShardClient:
+    """A key-routing client over N independent ``repro.net`` groups.
+
+    One :class:`~repro.net.client.NetClient` per group, created lazily
+    (injectable via ``client_factory`` for tests), all sharing this
+    client's single history and ``client_id`` -- the same id across
+    groups is safe because dedup domains are per-group and a command is
+    only ever *re-routed* after a definitive not-applied refusal.
+    """
+
+    def __init__(
+        self,
+        authority: TableAuthority,
+        group_addresses: Dict[int, Dict[int, Tuple[str, int]]],
+        client_id: str = "shard-client-0",
+        history: Optional[History] = None,
+        request_timeout_s: float = 1.0,
+        total_timeout_s: float = 20.0,
+        retry_delay_s: float = 0.02,
+        reroute_delay_s: float = 0.05,
+        client_factory: Optional[Callable[[int], NetClient]] = None,
+    ) -> None:
+        if not group_addresses:
+            raise ValueError("need at least one group")
+        self.authority = authority
+        self.group_addresses = {
+            gid: dict(addresses)
+            for gid, addresses in group_addresses.items()
+        }
+        self.client_id = client_id
+        self.history = history if history is not None else History()
+        self.total_timeout_s = total_timeout_s
+        self.reroute_delay_s = reroute_delay_s
+        self._factory = (
+            client_factory
+            if client_factory is not None
+            else lambda gid: NetClient(
+                self.group_addresses[gid],
+                client_id=client_id,
+                history=self.history,
+                request_timeout_s=request_timeout_s,
+                total_timeout_s=total_timeout_s,
+                retry_delay_s=retry_delay_s,
+            )
+        )
+        self._clients: Dict[int, NetClient] = {}
+        self._clients_lock = threading.Lock()
+        #: Per-group serialization: a fan-out thread and the caller
+        #: must never interleave on one NetClient (shared seq/socket).
+        self._group_locks: Dict[int, threading.Lock] = {}
+        #: Cross-group re-routes taken (wrong-shard refusals absorbed).
+        self.reroutes = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _client(self, gid: int) -> NetClient:
+        with self._clients_lock:
+            if gid not in self._clients:
+                self._clients[gid] = self._factory(gid)
+                self._group_locks[gid] = threading.Lock()
+            return self._clients[gid]
+
+    def close(self) -> None:
+        with self._clients_lock:
+            for client in self._clients.values():
+                client.close()
+            self._clients.clear()
+            self._group_locks.clear()
+
+    def __enter__(self) -> "ShardClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The routing loop
+    # ------------------------------------------------------------------
+
+    def _route(
+        self,
+        command: Tuple,
+        key: str,
+        operation: Optional[Operation] = None,
+    ):
+        """Route one command to the key's owning group, absorbing
+        wrong-shard refusals by refetching the table, until the
+        deadline.  Timeouts from a group propagate (never re-routed --
+        see the module docstring)."""
+        deadline = time.monotonic() + self.total_timeout_s
+        last_refusal: Optional[WrongShard] = None
+        while True:
+            table = self.authority.table()
+            gid = table.owner(key)
+            client = self._client(gid)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                with self._group_locks[gid]:
+                    return client.request(
+                        command,
+                        operation=operation,
+                        table_version=table.version,
+                    )
+            except WrongShard as refusal:
+                # Definitive and not applied: the range is frozen
+                # mid-migration (or our table is stale).  Wait for a
+                # newer table and re-route with a fresh seq.
+                last_refusal = refusal
+                self.reroutes += 1
+                time.sleep(
+                    min(self.reroute_delay_s,
+                        max(0.0, deadline - time.monotonic()))
+                )
+        raise ClientTimeout(
+            f"{command!r}: re-routed past the deadline without an "
+            f"accepting group (last refusal at node table version "
+            f"{last_refusal.table_version if last_refusal else None})"
+        )
+
+    # ------------------------------------------------------------------
+    # The kvstore surface (history-recorded)
+    # ------------------------------------------------------------------
+
+    def _op(self, op: str, key: str, value: Any, command: Tuple):
+        operation = self.history.invoke(
+            self.client_id, op, key, value, now_ms()
+        )
+        return self._route(command, key, operation=operation)
+
+    def put(self, key: str, value: Any):
+        return self._op("put", key, value, ("put", key, value))
+
+    def add(self, key: str, delta: int = 1):
+        return self._op("add", key, delta, ("add", key, delta))
+
+    def delete(self, key: str):
+        return self._op("delete", key, None, ("delete", key))
+
+    def get(self, key: str):
+        return self._op("get", key, None, ("get", key))
+
+    # ------------------------------------------------------------------
+    # Multi-key fan-out
+    # ------------------------------------------------------------------
+
+    def mget(self, keys: Iterable[str]) -> Dict[str, Any]:
+        """Read many keys, fanning out one thread per owning group.
+
+        All invocations are recorded up front (single-threaded, so
+        op_ids stay unique), then each group's reads run sequentially
+        on that group's own thread -- per-group locks keep a re-routed
+        straggler from interleaving with another thread's client.
+        Returns ``{key: value}`` for the reads that completed; a key
+        whose read failed stays out of the result (its operation stays
+        pending in the history) and the first failure is re-raised
+        after the whole fan-out finishes.
+        """
+        ordered = list(dict.fromkeys(keys))  # dedup, keep order
+        table = self.authority.table()
+        pairs = [
+            (key, self.history.invoke(
+                self.client_id, "get", key, None, now_ms()
+            ))
+            for key in ordered
+        ]
+        by_gid: Dict[int, List[Tuple[str, Operation]]] = {}
+        for key, operation in pairs:
+            by_gid.setdefault(table.owner(key), []).append((key, operation))
+        for gid in by_gid:
+            self._client(gid)  # materialize before the threads race
+        results: Dict[str, Any] = {}
+        failures: List[ClientError] = []
+
+        def drain(items: List[Tuple[str, Operation]]) -> None:
+            for key, operation in items:
+                try:
+                    results[key] = self._route(
+                        ("get", key), key, operation=operation
+                    )
+                except ClientError as exc:
+                    failures.append(exc)
+
+        threads = [
+            threading.Thread(target=drain, args=(items,), daemon=True)
+            for items in by_gid.values()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        return results

@@ -1,0 +1,115 @@
+"""Client-layer regressions pinned by tests that fail if reverted.
+
+Two bugs found while building the sharded client on top of this layer:
+
+* ``merge_histories`` renumbered operations *in place*, corrupting the
+  source histories' op_ids -- fatal once histories are merged more than
+  once (per-group first, then across groups).
+* ``_connect``/``_rpc`` chose the timeout with ``timeout_s or
+  default``: an explicit ``0.0`` (a total-deadline remainder clamped to
+  zero) is falsy, so the call silently got the full default timeout and
+  the last attempt of a request could overshoot its total deadline.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.net.client import NetClient, merge_histories
+from repro.net.wire import StatusRequest
+from repro.runtime.history import History
+
+
+# ----------------------------------------------------------------------
+# merge_histories must not mutate its sources
+# ----------------------------------------------------------------------
+
+
+def _history(client, *keys):
+    history = History()
+    for key in keys:
+        op = history.invoke(client, "put", key, 1, time.monotonic() * 1000)
+        history.complete(op, time.monotonic() * 1000)
+    return history
+
+
+def test_merge_histories_leaves_sources_untouched():
+    a = _history("c-a", "x", "y")
+    b = _history("c-b", "z")
+    a_ids = [op.op_id for op in a.operations]
+    b_ids = [op.op_id for op in b.operations]
+
+    merged = merge_histories([a, b])
+
+    assert len(merged) == 3
+    assert [op.op_id for op in merged.operations] == [0, 1, 2]
+    # The sources keep their own numbering...
+    assert [op.op_id for op in a.operations] == a_ids
+    assert [op.op_id for op in b.operations] == b_ids
+    # ...because the merged record holds copies, not the same objects.
+    merged_set = {id(op) for op in merged.operations}
+    for source in (a, b):
+        for op in source.operations:
+            assert id(op) not in merged_set
+
+
+def test_merge_histories_is_repeatable():
+    # Merging per-group merges again across groups (what the sharded
+    # scenario does) must give the same record every time.
+    a = _history("c-a", "x")
+    b = _history("c-b", "y")
+    once = merge_histories([a, b])
+    twice = merge_histories([merge_histories([a]), merge_histories([b])])
+    assert [
+        (op.client, op.op_id, op.key) for op in once.operations
+    ] == [(op.client, op.op_id, op.key) for op in twice.operations]
+
+
+# ----------------------------------------------------------------------
+# Explicit zero timeouts must stay zero (not become the default)
+# ----------------------------------------------------------------------
+
+
+def test_rpc_honors_explicit_zero_timeout():
+    # Inject one end of a socketpair as the cached connection: the far
+    # end never answers, so with ``timeout_s=0.0`` the read must fail
+    # immediately.  The falsy-timeout bug substituted the client's full
+    # default (here: 30s) and hung.
+    near, far = socket.socketpair()
+    try:
+        client = NetClient(
+            {1: ("127.0.0.1", 1)}, client_id="t", request_timeout_s=30.0
+        )
+        client._conns[1] = near
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            client._rpc(1, StatusRequest(), timeout_s=0.0)
+        assert time.monotonic() - started < 2.0
+    finally:
+        far.close()
+        near.close()
+
+
+def test_connect_honors_explicit_zero_timeout():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    try:
+        client = NetClient(
+            {1: listener.getsockname()}, client_id="t",
+            request_timeout_s=30.0,
+        )
+        started = time.monotonic()
+        try:
+            sock = client._connect(1, timeout_s=0.0)
+        except OSError:
+            # A non-blocking loopback connect may legitimately raise
+            # EINPROGRESS -- either way it must not take the default.
+            pass
+        else:
+            assert sock.gettimeout() == 0.0
+        assert time.monotonic() - started < 2.0
+        client.close()
+    finally:
+        listener.close()

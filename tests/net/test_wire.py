@@ -39,6 +39,10 @@ from repro.net.wire import (
     ProtocolError,
     ReadProbe,
     ReadProbeAck,
+    ShardDumpRequest,
+    ShardDumpResponse,
+    ShardOwnershipRequest,
+    ShardOwnershipResponse,
     SnapshotChunk,
     StatusRequest,
     StatusResponse,
@@ -127,14 +131,16 @@ rpc_messages = st.one_of(
             commands.filter(lambda c: isinstance(c, tuple)),
             st.tuples(st.just("reconfig"), configs),
         ),
+        table_version=st.one_of(st.none(), st.integers(1, 100)),
     ),
     st.builds(
         ClientResponse, client_id=client_ids, seq=st.integers(0, 10_000),
         ok=st.booleans(), result=scalars,
         error=st.one_of(st.none(), st.sampled_from(
-            ["not-leader", "timeout", "denied"]
+            ["not-leader", "timeout", "denied", "wrong-shard"]
         )),
         leader_hint=st.one_of(st.none(), nids),
+        table_version=st.one_of(st.none(), st.integers(1, 100)),
     ),
     st.builds(StatusRequest),
     st.builds(
@@ -188,6 +194,31 @@ rpc_messages = st.one_of(
     st.builds(
         PartitionResponse, nid=nids,
         blocked=st.lists(nids, max_size=4).map(tuple),
+    ),
+    st.builds(
+        ShardOwnershipRequest, version=st.integers(0, 100),
+        ranges=st.lists(
+            st.tuples(st.integers(0, 2**63), st.integers(1, 2**63))
+            .map(lambda pair: (min(pair), max(pair)))
+            .filter(lambda pair: pair[0] < pair[1]),
+            max_size=4,
+        ).map(tuple),
+    ),
+    st.builds(
+        ShardOwnershipResponse, nid=nids, version=st.integers(0, 100)
+    ),
+    st.builds(
+        ShardDumpRequest,
+        lo=st.integers(0, 2**63 - 1), hi=st.integers(2**63, 2**64),
+    ),
+    st.builds(
+        ShardDumpResponse, nid=nids,
+        role=st.sampled_from(["follower", "candidate", "leader"]),
+        commit_len=st.integers(0, 100), log_len=st.integers(0, 100),
+        items=st.lists(
+            st.tuples(keys, scalars), max_size=4
+        ).map(lambda pairs: tuple(dict(pairs).items())),
+        version=st.one_of(st.none(), st.integers(0, 100)),
     ),
 )
 raft_messages = st.one_of(elect_reqs, elect_acks, commit_reqs, commit_acks)

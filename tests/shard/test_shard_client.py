@@ -1,0 +1,219 @@
+"""ShardClient routing logic, unit-tested against stub group clients.
+
+No sockets here: the ``client_factory`` hook injects stubs, so these
+tests pin the routing loop's contract precisely -- who gets which key,
+what happens on a ``wrong-shard`` refusal (refetch and re-route), and
+that retry exhaustion surfaces as :class:`ClientTimeout` instead of a
+hang (the regression ISSUE 8 calls out).
+"""
+
+import time
+
+import pytest
+
+from repro.net.client import ClientError, ClientTimeout, WrongShard
+from repro.runtime.history import History
+from repro.shard.client import ShardClient, TableAuthority
+from repro.shard.ring import RoutingTable, hash_key
+
+
+def _key_owned_by(table: RoutingTable, gid: int) -> str:
+    for i in range(10_000):
+        key = f"key-{i}"
+        if table.owner(key) == gid:
+            return key
+    raise AssertionError(f"no probe key hashes into group {gid}")
+
+
+class _StubGroup:
+    """A scripted stand-in for one group's NetClient."""
+
+    def __init__(self, script):
+        #: ``script(command, table_version)`` -> result or raises.
+        self.script = script
+        self.calls = []
+
+    def request(self, command, operation=None, table_version=None):
+        self.calls.append((command, table_version))
+        result = self.script(command, table_version)
+        return result
+
+    def close(self):
+        pass
+
+
+def _client(authority, stubs, **kwargs):
+    kwargs.setdefault("total_timeout_s", 2.0)
+    kwargs.setdefault("reroute_delay_s", 0.01)
+    return ShardClient(
+        authority,
+        {gid: {1: ("127.0.0.1", 1)} for gid in stubs},
+        client_factory=lambda gid: stubs[gid],
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# TableAuthority
+# ----------------------------------------------------------------------
+
+
+def test_authority_rejects_stale_publish():
+    table = RoutingTable.initial([1, 2])
+    authority = TableAuthority(table)
+    with pytest.raises(ValueError):
+        authority.publish(table)  # same version
+    newer = table.move(table.split_candidate(1), 2)
+    authority.publish(newer)
+    assert authority.table() is newer
+    with pytest.raises(ValueError):
+        authority.publish(table)  # rewind
+
+
+# ----------------------------------------------------------------------
+# Routing
+# ----------------------------------------------------------------------
+
+
+def test_single_key_ops_route_to_owner_and_stamp_version():
+    table = RoutingTable.initial([1, 2])
+    authority = TableAuthority(table)
+    stubs = {1: _StubGroup(lambda c, v: "g1"),
+             2: _StubGroup(lambda c, v: "g2")}
+    client = _client(authority, stubs)
+    key1 = _key_owned_by(table, 1)
+    key2 = _key_owned_by(table, 2)
+    assert client.put(key1, 10) == "g1"
+    assert client.get(key2) == "g2"
+    assert stubs[1].calls == [(("put", key1, 10), 1)]
+    assert stubs[2].calls == [(("get", key2), 1)]
+
+
+def test_wrong_shard_triggers_refetch_and_reroute():
+    table = RoutingTable.initial([1, 2])
+    authority = TableAuthority(table)
+    key = _key_owned_by(table, 1)
+    rng = next(
+        r for r in table.ranges_of(1) if r.contains(hash_key(key))
+    )
+    moved = table.move(rng, 2)
+
+    def frozen(command, version):
+        # Group 1 froze the range mid-migration; publish the new table
+        # the moment it refuses, as the manager's last step would.
+        if authority.table().version == 1:
+            authority.publish(moved)
+        raise WrongShard("frozen", table_version=moved.version)
+
+    stubs = {1: _StubGroup(frozen), 2: _StubGroup(lambda c, v: "moved")}
+    client = _client(authority, stubs)
+    assert client.get(key) == "moved"
+    assert client.reroutes == 1
+    # The re-route went to the new owner, stamped with the new version.
+    assert stubs[2].calls == [(("get", key), 2)]
+
+
+def test_reroute_exhaustion_is_a_timeout_not_a_hang():
+    # Every group refuses forever (a migration that never publishes):
+    # the client must come back with ClientTimeout in bounded time.
+    table = RoutingTable.initial([1])
+    authority = TableAuthority(table)
+    stubs = {1: _StubGroup(
+        lambda c, v: (_ for _ in ()).throw(WrongShard("no", 99))
+    )}
+    client = _client(authority, stubs, total_timeout_s=0.3)
+    started = time.monotonic()
+    with pytest.raises(ClientTimeout):
+        client.put("stuck", 1)
+    assert time.monotonic() - started < 5.0
+    assert client.reroutes > 0
+    # The operation's outcome is unknown: it stays pending.
+    assert client.history.operations[-1].completed is False
+
+
+def test_group_timeouts_are_never_rerouted():
+    # ClientTimeout from the owning group means "unknown outcome";
+    # trying another group could double-apply.  It must propagate.
+    table = RoutingTable.initial([1, 2])
+    authority = TableAuthority(table)
+    calls = []
+
+    def unknown(command, version):
+        calls.append(command)
+        raise ClientTimeout("maybe applied")
+
+    stubs = {1: _StubGroup(unknown), 2: _StubGroup(unknown)}
+    client = _client(authority, stubs)
+    key = _key_owned_by(table, 1)
+    with pytest.raises(ClientTimeout):
+        client.add(key, 5)
+    assert calls == [("add", key, 5)]  # one group, one attempt
+    assert stubs[2].calls == []
+
+
+def test_definitive_refusals_propagate():
+    table = RoutingTable.initial([1])
+    authority = TableAuthority(table)
+    stubs = {1: _StubGroup(
+        lambda c, v: (_ for _ in ()).throw(ClientError("denied"))
+    )}
+    client = _client(authority, stubs)
+    with pytest.raises(ClientError):
+        client.put("k", 1)
+
+
+# ----------------------------------------------------------------------
+# Multi-key fan-out
+# ----------------------------------------------------------------------
+
+
+def test_mget_fans_out_by_owner():
+    table = RoutingTable.initial([1, 2])
+    authority = TableAuthority(table)
+    stubs = {
+        1: _StubGroup(lambda c, v: f"g1:{c[1]}"),
+        2: _StubGroup(lambda c, v: f"g2:{c[1]}"),
+    }
+    client = _client(authority, stubs)
+    keys = [f"key-{i}" for i in range(20)]
+    results = client.mget(keys + keys)  # duplicates collapse
+    assert set(results) == set(keys)
+    for key in keys:
+        gid = table.owner(key)
+        assert results[key] == f"g{gid}:{key}"
+        assert (("get", key), 1) in stubs[gid].calls
+    # Both groups actually saw work (20 keys cannot all hash one way
+    # for this to be a fan-out test; blake2b spreads them).
+    assert stubs[1].calls and stubs[2].calls
+    assert len(client.history) == len(keys)
+
+
+def test_mget_surfaces_failures_after_completing_the_rest():
+    table = RoutingTable.initial([1, 2])
+    authority = TableAuthority(table)
+    bad_key = _key_owned_by(table, 1)
+
+    def flaky(command, version):
+        if command[1] == bad_key:
+            raise ClientTimeout("gone")
+        return "ok"
+
+    stubs = {1: _StubGroup(flaky), 2: _StubGroup(flaky)}
+    client = _client(authority, stubs)
+    keys = [f"key-{i}" for i in range(10)]
+    if bad_key not in keys:
+        keys.append(bad_key)
+    with pytest.raises(ClientTimeout):
+        client.mget(keys)
+
+
+def test_shared_history_across_groups_is_one_record():
+    table = RoutingTable.initial([1, 2])
+    authority = TableAuthority(table)
+    stubs = {1: _StubGroup(lambda c, v: True),
+             2: _StubGroup(lambda c, v: True)}
+    history = History()
+    client = _client(authority, stubs, history=history)
+    client.put(_key_owned_by(table, 1), 1)
+    client.put(_key_owned_by(table, 2), 2)
+    assert [op.op_id for op in history.operations] == [0, 1]
