@@ -69,6 +69,17 @@ class WrongShard(ClientError):
     applied.  ``table_version`` is the refusing node's ownership
     version -- a routing-aware caller (:class:`repro.shard.client.
     ShardClient`) refetches at least that table version and re-routes.
+
+    :meth:`NetClient.request` only raises this when **every** attempt
+    of the request ended in a definitive pre-admission refusal.  If any
+    attempt was ambiguous -- it timed out or errored after the request
+    may have reached a node, or a dethroned leader bounced it *after*
+    appending it (``admitted`` refusals) -- the command may sit in some
+    log and commit later, so a wrong-shard reply from one node proves
+    nothing group-wide: the request keeps retrying in-group (the dedup
+    path can still surface the committed result) and exhaustion raises
+    :class:`ClientTimeout`, never this.  Re-routing an ambiguous
+    command to another group would let it apply twice.
     """
 
     def __init__(self, message: str, table_version: Optional[int] = None):
@@ -272,6 +283,15 @@ class NetClient:
         first = True
         probe = 0
         attempts = 0
+        # Whether any attempt of *this* request ended ambiguously: the
+        # request may have reached a node (sent but no definitive
+        # reply), or a dethroned leader bounced it after appending it.
+        # Once set, the command may sit in a log and commit later, so
+        # "wrong-shard" from one node stops proving group-wide
+        # non-admission and must surface as ClientTimeout, never as a
+        # re-routable WrongShard (a cross-group retry could apply the
+        # command twice).
+        maybe_admitted = False
         while time.monotonic() < deadline:
             if self.max_attempts is not None and attempts >= self.max_attempts:
                 raise ClientTimeout(
@@ -297,20 +317,37 @@ class NetClient:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 break
+            budget = min(self.request_timeout_s, remaining)
+            # Connect separately from send/recv: a connection that
+            # never came up is a *definitive* non-delivery, while any
+            # failure after it (timeout, reset, garbage) leaves the
+            # attempt's fate unknown.
             try:
-                reply = self._rpc(
-                    nid, request,
-                    timeout_s=min(self.request_timeout_s, remaining),
-                )
+                self._connect(nid, timeout_s=budget)
+            except (OSError, ConnectionError):
+                if self._leader_guess == nid:
+                    self._leader_guess = None
+                continue
+            try:
+                reply = self._rpc(nid, request, timeout_s=budget)
             except (OSError, ProtocolError, ConnectionError):
-                # Dead or confused node: forget a guess that failed us
+                # The request may have reached the node before the
+                # failure: ambiguous.  Forget a guess that failed us
                 # and move on to the next candidate.
+                maybe_admitted = True
                 if self._leader_guess == nid:
                     self._leader_guess = None
                 continue
             if not isinstance(reply, ClientResponse) or reply.seq != seq:
-                self._drop(nid)  # stale frame from an abandoned attempt
+                # Stale frame from an abandoned attempt; this attempt's
+                # own request went out and its reply is lost: ambiguous.
+                maybe_admitted = True
+                self._drop(nid)
                 continue
+            if reply.admitted:
+                # The command entered a log before this refusal (a
+                # dethroned leader's bounce): it may still commit.
+                maybe_admitted = True
             if reply.ok:
                 if operation is not None:
                     self.history.complete(operation, now_ms(), reply.result)
@@ -328,6 +365,15 @@ class NetClient:
                 self._leader_guess = nid
                 continue
             if reply.error == "wrong-shard":
+                if maybe_admitted:
+                    # This node refused at admission, but an earlier
+                    # attempt may have landed the command in another
+                    # node's log pre-freeze.  Keep retrying in-group:
+                    # at-most-once beats ownership, so a node holding
+                    # the entry serves its outcome; if none does, the
+                    # deadline surfaces ClientTimeout (never re-routed).
+                    self._leader_guess = None
+                    continue
                 raise WrongShard(
                     f"{command!r} refused: group does not own the key "
                     f"(node table version {reply.table_version})",

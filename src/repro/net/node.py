@@ -796,6 +796,8 @@ class NetNode:
             log_len=len(server.log),
             items=items,
             version=self._shard_version,
+            term=server.time,
+            commit_in_term=server.has_commit_at_current_time(),
         )
 
     def _shard_refuses(self, request: ClientRequest) -> bool:
@@ -987,6 +989,11 @@ class NetNode:
         if server.role != LEADER:
             if self._pending:
                 for pending in self._pending:
+                    # Everything pending was *appended* before the
+                    # dethrone: the entry survives in the log and may
+                    # still commit under the next leader, so the bounce
+                    # is flagged as an ambiguous (admitted) refusal --
+                    # the client must not treat it as not-applied.
                     self._respond(
                         pending,
                         ClientResponse(
@@ -995,6 +1002,7 @@ class NetNode:
                             ok=False,
                             error="not-leader",
                             leader_hint=self._hint(),
+                            admitted=True,
                         ),
                     )
                 self._pending = []

@@ -154,7 +154,15 @@ class ClientResponse:
     ``ok=False`` carries an ``error`` tag; ``"not-leader"`` additionally
     carries the responder's best ``leader_hint`` (or ``None``);
     ``"wrong-shard"`` additionally carries the refusing node's
-    ``table_version`` so the client knows how stale its table is."""
+    ``table_version`` so the client knows how stale its table is.
+
+    ``admitted`` distinguishes the two ways a request can be refused:
+    ``False`` means the refusal happened at admission -- the command
+    never entered this node's log; ``True`` means the command *had*
+    already been appended when the refusal was sent (a leader bounced
+    its pending requests on dethrone), so the entry survives in the log
+    and may still commit.  Clients must treat an ``admitted`` refusal
+    as an ambiguous outcome, exactly like a timeout."""
 
     client_id: str
     seq: int
@@ -163,6 +171,7 @@ class ClientResponse:
     error: Optional[str] = None
     leader_hint: Optional[int] = None
     table_version: Optional[int] = None
+    admitted: bool = False
 
 
 @dataclass(frozen=True)
@@ -347,9 +356,13 @@ class ShardDumpRequest:
 
 @dataclass(frozen=True)
 class ShardDumpResponse:
-    """The folded range.  ``role``/``commit_len`` let the manager check
-    it asked a settled leader (``log_len == commit_len`` means nothing
-    admitted before the freeze is still in flight)."""
+    """The folded range, plus the coordinates the manager's drain
+    barrier keys off: ``role``/``term`` identify *who* answered (two
+    dumps from the same node at the same leader term bracket a window
+    of continuous leadership -- a leader never regains a term it
+    stepped down from), ``log_len``/``commit_len`` place the log, and
+    ``commit_in_term`` says whether an entry of the responder's current
+    term is already committed (Raft's current-term commit barrier)."""
 
     nid: int
     role: str
@@ -357,6 +370,8 @@ class ShardDumpResponse:
     log_len: int
     items: Tuple[Tuple[str, Any], ...]
     version: Optional[int] = None
+    term: int = 0
+    commit_in_term: bool = False
 
 
 WireMessage = Any  # one of the raft Msg types or the RPC types above
@@ -492,6 +507,7 @@ _ENCODERS = {
         "client_id": m.client_id, "seq": m.seq, "ok": m.ok,
         "result": _pack(m.result), "error": m.error,
         "leader_hint": m.leader_hint, "table_version": m.table_version,
+        "admitted": m.admitted,
     }),
     StatusRequest: ("status_request", lambda m: {}),
     StatusResponse: ("status_response", lambda m: {
@@ -546,7 +562,8 @@ _ENCODERS = {
         "nid": m.nid, "role": m.role, "commit_len": m.commit_len,
         "log_len": m.log_len,
         "items": [[k, _pack(v)] for k, v in m.items],
-        "version": m.version,
+        "version": m.version, "term": m.term,
+        "commit_in_term": m.commit_in_term,
     }),
 }
 
@@ -574,6 +591,14 @@ def _int_or_zero(body: Dict, key: str) -> int:
     value = body.get(key, 0)
     if not isinstance(value, int) or isinstance(value, bool):
         raise MalformedFrame(f"field {key!r} must be an int")
+    return value
+
+
+def _bool_or_false(body: Dict, key: str) -> bool:
+    """A backward-compatible bool field: absent means ``False``."""
+    value = body.get(key, False)
+    if not isinstance(value, bool):
+        raise MalformedFrame(f"field {key!r} must be a bool")
     return value
 
 
@@ -689,6 +714,8 @@ def _decode_shard_dump_response(body: Dict) -> ShardDumpResponse:
         log_len=_require(body, "log_len", int),
         items=tuple(items),
         version=_opt_int(body, "version"),
+        term=_int_or_zero(body, "term"),
+        commit_in_term=_bool_or_false(body, "commit_in_term"),
     )
 
 
@@ -713,6 +740,7 @@ _DECODERS = {
         error=_require(b, "error", (str, type(None))),
         leader_hint=_opt_int(b, "leader_hint"),
         table_version=_opt_int(b, "table_version"),
+        admitted=_bool_or_false(b, "admitted"),
     ),
     "status_request": lambda b: StatusRequest(),
     "status_response": lambda b: StatusResponse(

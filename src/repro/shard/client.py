@@ -17,16 +17,21 @@ composition free.
 The correctness-critical retry split, inherited from
 :mod:`repro.net.client`:
 
-* ``WrongShard`` is an *admission-time* refusal -- the command never
-  entered any log -- so re-routing it to another group with a fresh
-  seq cannot double-apply.  The client refetches the table and
-  retries, bounded by its deadline, surfacing exhaustion as
+* ``WrongShard`` means *every* attempt of the request ended in a
+  definitive admission-time refusal -- the command never entered any
+  log -- so re-routing it to another group with a fresh seq cannot
+  double-apply.  The client refetches the table and retries, bounded
+  by its deadline, surfacing exhaustion as
   :class:`~repro.net.client.ClientTimeout` (the op stays pending).
 * ``ClientTimeout`` from a group means the outcome there is
-  *unknown* -- the command may commit later.  It is **never** retried
-  at another group: dedup domains are per-group, so a cross-group
-  retry could apply the command twice.  The op simply stays pending,
-  which the checker treats soundly (it may take effect once or never).
+  *unknown* -- the command may commit later.  That includes requests
+  where some attempt was ambiguous (timed out after possibly being
+  admitted, or was bounced by a dethroned leader post-append) and a
+  later node answered wrong-shard: ``NetClient.request`` downgrades
+  such a refusal to a timeout precisely so it is **never** retried at
+  another group -- dedup domains are per-group, so a cross-group retry
+  could apply the command twice.  The op simply stays pending, which
+  the checker treats soundly (it may take effect once or never).
 """
 
 from __future__ import annotations

@@ -12,15 +12,11 @@ scenario -- as a five-step protocol over the admin wire surface:
    command on the range enters any source log (``"wrong-shard"`` at
    admission); only retries of *pre-freeze* entries are still served,
    for at-most-once.
-2. **Drain** (source group): pin, per live source node, its log length
-   at freeze time -- every in-range entry anywhere in the group sits
-   below its node's pin, because post-freeze appends are refused
-   everywhere (a node respawned without ownership refuses stamped
-   commands outright).  Then wait for a leader whose commit index has
-   passed the *maximum* pin and take its applied in-range dump.  Any
-   in-range entry still uncommitted elsewhere now conflicts with a
-   committed entry at its index, so by Leader Completeness it can
-   never commit later: the dump is the range's final state.
+2. **Drain** (source group): wait for a leader that has committed an
+   entry *of its own term* at or past its post-freeze log length, and
+   take its applied in-range dump (the commit barrier -- see
+   :meth:`ShardedCluster._barrier_dump` for why that dump is the
+   range's provably final state even across leader kills mid-drain).
 3. **Grant** (destination group): push ``version + 1`` ownership
    *plus* the range to every live destination node.
 4. **Install** (destination group): delete the destination's stale
@@ -42,6 +38,7 @@ groups.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from typing import Dict, Optional, Tuple
 
@@ -88,6 +85,12 @@ class ShardedCluster:
         #: stamped commands until told its ownership).
         self._pushed: Dict[int, Tuple[int, Tuple[Tuple[int, int], ...]]] = {}
         self._admins: Dict[int, NetClient] = {}
+        #: Orders ownership pushes against each other: :meth:`respawn`
+        #: runs on a nemesis thread, and its re-push of ``_pushed``
+        #: must never interleave with a migration's freeze push (a
+        #: stale pre-freeze re-push landing after the freeze would
+        #: re-admit the frozen range at the fresh node).
+        self._ownership_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -144,7 +147,13 @@ class ShardedCluster:
 
         Until the push lands, the fresh process refuses every stamped
         keyed command (it holds no ownership), which is exactly what
-        keeps a respawn mid-migration safe."""
+        keeps a respawn mid-migration safe.  Safe to call from a
+        nemesis thread while a migration runs on another: the re-push
+        goes through this call's own client (never the shared admin,
+        whose socket a concurrent migration may be mid-request on) and
+        takes the ownership lock, so it pushes either the pre-freeze
+        fact before the freeze starts or the post-freeze fact after it
+        completes -- never a stale fact after the freeze."""
         cluster = self.clusters[gid]
         cluster.spawn(nid)
         deadline = time.monotonic() + timeout_s
@@ -157,20 +166,19 @@ class ShardedCluster:
                 raise RuntimeError(
                     f"group {gid} node {nid} not healthy after respawn"
                 )
-        if gid in self._pushed:
-            version, ranges = self._pushed[gid]
-            admin = self._admin(gid)
-            deadline = time.monotonic() + timeout_s
-            while True:
-                try:
-                    admin.shard_ownership(nid, version, ranges)
-                    break
-                except (OSError, ProtocolError, ConnectionError):
-                    # A pooled connection from before the kill dies on
-                    # first use; retry against the fresh process.
-                    if time.monotonic() >= deadline:
-                        raise
-                    time.sleep(0.05)
+            with self._ownership_lock:
+                if gid not in self._pushed:
+                    return
+                version, ranges = self._pushed[gid]
+                deadline = time.monotonic() + timeout_s
+                while True:
+                    try:
+                        probe.shard_ownership(nid, version, ranges)
+                        break
+                    except (OSError, ProtocolError, ConnectionError):
+                        if time.monotonic() >= deadline:
+                            raise
+                        time.sleep(0.05)
 
     # ------------------------------------------------------------------
     # Migration: freeze -> drain -> grant -> install -> publish
@@ -219,7 +227,7 @@ class ShardedCluster:
         # 1. Freeze: the source stops admitting the range.
         self._push_ownership(src, version, self._ranges(new_table, src))
         # 2. Drain: the range's final state, provably complete.
-        dump = self._drain(src, rng, timeout_s=drain_timeout_s)
+        dump = self._barrier_dump(src, rng, timeout_s=drain_timeout_s)
         # 3. Grant: the destination starts admitting the range (clients
         #    cannot route to it yet -- the table is unpublished).
         self._push_ownership(dst, version, self._ranges(new_table, dst))
@@ -267,45 +275,78 @@ class ShardedCluster:
         Dead nodes are skipped deliberately: a SIGKILLed process lost
         its in-memory ownership with everything else, and its respawn
         refuses stamped commands until :meth:`respawn` re-pushes --
-        refusal is safe, amnesia would not be."""
-        admin = self._admin(gid)
-        pending = {
-            nid for nid, handle in self.clusters[gid].handles.items()
-            if handle.alive
-        }
-        deadline = time.monotonic() + timeout_s
-        while pending and time.monotonic() < deadline:
-            for nid in sorted(pending):
-                if not self.clusters[gid].handles[nid].alive:
-                    pending.discard(nid)
-                    continue
-                try:
-                    reply = admin.shard_ownership(nid, version, ranges)
-                except (OSError, ProtocolError, ConnectionError):
-                    continue
-                if reply.version >= version:
-                    pending.discard(nid)
+        refusal is safe, amnesia would not be.  The whole push (and
+        the ``_pushed`` record) sits under the ownership lock so a
+        concurrent respawn can never wedge a stale fact in between."""
+        with self._ownership_lock:
+            admin = self._admin(gid)
+            pending = {
+                nid for nid, handle in self.clusters[gid].handles.items()
+                if handle.alive
+            }
+            deadline = time.monotonic() + timeout_s
+            while pending and time.monotonic() < deadline:
+                for nid in sorted(pending):
+                    if not self.clusters[gid].handles[nid].alive:
+                        pending.discard(nid)
+                        continue
+                    try:
+                        reply = admin.shard_ownership(nid, version, ranges)
+                    except (OSError, ProtocolError, ConnectionError):
+                        continue
+                    if reply.version >= version:
+                        pending.discard(nid)
+                if pending:
+                    time.sleep(0.05)
             if pending:
-                time.sleep(0.05)
-        if pending:
-            raise RuntimeError(
-                f"group {gid}: live nodes {sorted(pending)} did not ack "
-                f"ownership v{version}"
-            )
-        self._pushed[gid] = (version, ranges)
+                raise RuntimeError(
+                    f"group {gid}: live nodes {sorted(pending)} did not "
+                    f"ack ownership v{version}"
+                )
+            self._pushed[gid] = (version, ranges)
 
-    def _leader_dump(
+    def _barrier_dump(
         self, gid: int, rng: KeyRange, timeout_s: float = 30.0
     ) -> ShardDumpResponse:
-        """An in-range dump from whoever is currently leader of
-        ``gid``, retried across leader kills and dropped connections.
-        No quiesce condition: any leader's applied store already holds
-        every *committed* in-range entry, which is all the install
-        step's stale-key sweep needs (in-range appends at the
-        destination stopped when the range last froze away)."""
+        """An in-range dump taken behind a same-term commit barrier:
+        from a leader that has committed an entry *of its own term* at
+        or past its log length as first observed in that term.
+
+        Soundness (drain): the freeze already completed, so no node
+        admits new in-range entries -- a node killed and respawned
+        refuses them outright until :meth:`respawn` re-pushes the
+        post-freeze ownership.  Leadership within a term is contiguous
+        (a node votes for itself and can never be elected twice in one
+        term), so two dumps from the same ``(nid, term)`` with
+        ``role == "leader"`` bracket one continuous reign: every
+        in-range entry in that leader's log sits below ``n0``, its log
+        length at the first dump.  When a later dump from the same
+        reign shows ``commit_in_term`` and ``commit_len >= n0``, all
+        those entries are committed and applied, hence in the dump.
+        Any in-range entry on some *other* node's log is absent from
+        the leader's log; by the Log Matching property it conflicts
+        below the committed term-``T`` entry, and any candidate
+        carrying it loses the election up-to-date check against the
+        majority holding that entry (its last log term is ``< T``), so
+        it can never commit later.  The dump is the range's final
+        state.
+
+        This also covers the weaker need of the install step's
+        stale-key sweep: a *fresh* leader's commit index may trail
+        entries committed under its predecessor until it commits in
+        its own term, so only a barrier dump is guaranteed to have
+        applied every committed in-range key.
+
+        The wait is not a quiesce: an idle group never commits in a
+        new term on its own, so each unsatisfied round nudges the
+        leader with a replicated no-op (unkeyed, so never
+        shard-refused) to move the barrier.  Leader kills mid-wait
+        just re-anchor the barrier at the next reign.
+        """
         cluster = self.clusters[gid]
         admin = self._admin(gid)
         deadline = time.monotonic() + timeout_s
+        base: Optional[Tuple[int, int, int]] = None  # (nid, term, n0)
         while time.monotonic() < deadline:
             try:
                 leader = cluster.wait_for_leader(
@@ -315,69 +356,21 @@ class ShardedCluster:
                 dump = admin.shard_dump(leader, rng.lo, rng.hi)
             except (RuntimeError, OSError, ProtocolError, ConnectionError):
                 continue
-            if dump.role == "leader":
-                return dump
-            time.sleep(0.05)
-        raise RuntimeError(
-            f"group {gid}: no leader answered an in-range dump within "
-            f"{timeout_s:.0f}s"
-        )
-
-    def _drain(
-        self, src: int, rng: KeyRange, timeout_s: float
-    ) -> ShardDumpResponse:
-        """Wait until the frozen range is provably complete at a
-        leader, and return that leader's in-range dump.
-
-        Soundness: every in-range entry anywhere in the group was
-        appended before the freeze finished, so it sits below its
-        node's log length as first observed here (the pin).  Once some
-        leader's commit index passes the maximum pin, every pinned
-        index holds a committed entry on the leader's log; an in-range
-        entry elsewhere either *is* that committed entry (then it is in
-        the dump) or conflicts with it (then Leader Completeness bars
-        it from every future leader's log -- it can never commit).
-        Leader kills mid-drain just restart the wait, never the pins.
-        """
-        cluster = self.clusters[src]
-        admin = self._admin(src)
-        deadline = time.monotonic() + timeout_s
-        pins: Dict[int, int] = {}
-        # Pin every node currently alive.  A node that dies before
-        # acking stops mattering (its unpinned entries are either
-        # committed -- hence below a pinned live log -- or gone with
-        # the process); a node respawned later refuses stamped appends
-        # until re-pushed, so it never adds in-range entries either.
-        while time.monotonic() < deadline:
-            pending = [
-                nid for nid, handle in cluster.handles.items()
-                if handle.alive and nid not in pins
-            ]
-            if not pending:
-                break
-            for nid in pending:
-                try:
-                    probe = admin.shard_dump(nid, rng.lo, rng.hi,
-                                             timeout_s=2.0)
-                except (OSError, ProtocolError, ConnectionError):
-                    continue
-                pins[probe.nid] = probe.log_len
-        target = max(pins.values(), default=0)
-        while time.monotonic() < deadline:
-            try:
-                leader = cluster.wait_for_leader(
-                    timeout_s=min(5.0, max(0.1,
-                                           deadline - time.monotonic()))
-                )
-                dump = admin.shard_dump(leader, rng.lo, rng.hi)
-            except (RuntimeError, OSError, ProtocolError, ConnectionError):
+            if dump.role != "leader":
+                time.sleep(0.05)
                 continue
-            if dump.role == "leader" and dump.commit_len >= target:
+            if base is None or (base[0], base[1]) != (dump.nid, dump.term):
+                base = (dump.nid, dump.term, dump.log_len)
+            if dump.commit_in_term and dump.commit_len >= base[2]:
                 return dump
+            try:
+                admin.request_direct(leader, ("noop",), timeout_s=1.0)
+            except (OSError, ProtocolError, ConnectionError):
+                pass
             time.sleep(0.05)
         raise RuntimeError(
-            f"group {src}: {rng.describe()} did not drain within "
-            f"{timeout_s:.0f}s (target commit {target})"
+            f"group {gid}: {rng.describe()} gave no barrier dump within "
+            f"{timeout_s:.0f}s (last leader base {base})"
         )
 
     def _install(
@@ -396,7 +389,7 @@ class ShardedCluster:
         are survived, not special-cased."""
         admin = self._admin(dst)
         incoming = dict(items)
-        stale = self._leader_dump(dst, rng)
+        stale = self._barrier_dump(dst, rng)
         for key, _ in stale.items:
             if key not in incoming:
                 admin.request(("delete", key), table_version=version)

@@ -4,10 +4,11 @@ The Jepsen-style drill for the sharded deployment: worker threads
 drive a mixed kvstore workload through :class:`ShardClient`\\ s (one
 history each) while the control loop performs a shard **split** (half
 of group 1's range moves to group 2) and then a **merge** (the range
-moves back) mid-load, and a per-shard nemesis kills group leaders and
-partitions them away -- deliberately jittered into the migration
-window, which is when the freeze/drain/install protocol is actually
-under fire.
+moves back) mid-load, and a per-shard nemesis -- on its own thread,
+so faults keep firing while the control thread is blocked inside a
+migration -- kills group leaders and partitions them away,
+deliberately jittered into the migration window, which is when the
+freeze/drain/install protocol is actually under fire.
 
 At the end the per-client histories are merged
 (:func:`repro.net.client.merge_histories`) and the whole cross-group
@@ -222,8 +223,15 @@ class _Workload:
 
 class _Nemesis:
     """The fault side: consumes a load-relative schedule against the
-    live cluster; every action is best-effort (a fault that finds its
-    target already dead just logs)."""
+    live cluster on its **own daemon thread** (sharing the control
+    thread would stall every fault for the full length of a migration
+    call -- precisely the window faults exist to hit); every action is
+    best-effort (a fault that finds its target already dead just
+    logs).  Cluster surfaces it touches are nemesis-thread-safe:
+    ``wait_for_leader`` probes through a fresh client, ``respawn``
+    re-pushes ownership through its own client under the manager's
+    ownership lock, and partitions go through this class's own admin
+    clients."""
 
     def __init__(self, cluster: ShardedCluster,
                  schedule: Tuple[ShardFault, ...],
@@ -233,6 +241,27 @@ class _Nemesis:
         self.stats = stats
         self._killed: Dict[int, int] = {}
         self._partitioned: Dict[int, int] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._halt = threading.Event()
+
+    def start(self, at_op_fn) -> None:
+        """Fire schedule entries as ``at_op_fn()`` (the workload's
+        attempt counter) passes them, until :meth:`stop` or the
+        schedule runs dry."""
+
+        def loop() -> None:
+            while not self._halt.is_set() and self.pending:
+                self.poll(at_op_fn())
+                self._halt.wait(0.02)
+
+        self._thread = threading.Thread(target=loop, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._halt.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
 
     def poll(self, at_op: int) -> None:
         while self.pending and self.pending[0].at_op <= at_op:
@@ -336,6 +365,7 @@ def run_shard_scenario(config: ShardScenarioConfig) -> ShardScenarioResult:
         workload = _Workload(config, cluster)
         nemesis = _Nemesis(cluster, schedule, stats)
         workload.start()
+        nemesis.start(lambda: workload.attempts)
         deadline = time.monotonic() + config.run_timeout_s
         moved: Optional[KeyRange] = None
         merged_back = False
@@ -351,7 +381,6 @@ def run_shard_scenario(config: ShardScenarioConfig) -> ShardScenarioResult:
                 stats.fault_log.append("run timeout: aborted workload")
                 break
             at_op = workload.attempts
-            nemesis.poll(at_op)
             if (moved is None and at_op >= split_at and dst != src
                     and attempts_left > 0):
                 try:
@@ -380,6 +409,7 @@ def run_shard_scenario(config: ShardScenarioConfig) -> ShardScenarioResult:
                     attempts_left -= 1
                     stats.fault_log.append(f"@{at_op} merge failed: {exc}")
             time.sleep(0.02)
+        nemesis.stop()
         nemesis.heal_all()
         workload.join(timeout_s=30.0)
         stats.ops_attempted = workload.attempts

@@ -1,6 +1,6 @@
 """Client-layer regressions pinned by tests that fail if reverted.
 
-Two bugs found while building the sharded client on top of this layer:
+Bugs found while building the sharded client on top of this layer:
 
 * ``merge_histories`` renumbered operations *in place*, corrupting the
   source histories' op_ids -- fatal once histories are merged more than
@@ -9,15 +9,34 @@ Two bugs found while building the sharded client on top of this layer:
   default``: an explicit ``0.0`` (a total-deadline remainder clamped to
   zero) is falsy, so the call silently got the full default timeout and
   the last attempt of a request could overshoot its total deadline.
+* ``request`` treated a ``wrong-shard`` reply as proof the command
+  never entered *any* log, when it only proves non-admission at the
+  responding node.  An earlier attempt of the same request can time out
+  after the true leader admitted it (or get bounced ``admitted`` by a
+  dethroned leader post-append); re-routing then double-applies the
+  command across groups.  A wrong-shard reply after any such ambiguous
+  attempt must surface as :class:`ClientTimeout`, never
+  :class:`WrongShard`.
 """
 
 import socket
+import threading
 import time
 
 import pytest
 
-from repro.net.client import NetClient, merge_histories
-from repro.net.wire import StatusRequest
+from repro.net.client import (
+    ClientTimeout,
+    NetClient,
+    WrongShard,
+    merge_histories,
+)
+from repro.net.wire import (
+    ClientResponse,
+    StatusRequest,
+    decode_message,
+    encode_frame,
+)
 from repro.runtime.history import History
 
 
@@ -89,6 +108,158 @@ def test_rpc_honors_explicit_zero_timeout():
     finally:
         far.close()
         near.close()
+
+
+def _recv_exact(conn, n):
+    chunks = []
+    while n:
+        chunk = conn.recv(n)
+        if not chunk:
+            raise ConnectionError("client went away")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+class _ScriptedNode(threading.Thread):
+    """A fake node socket replying to each request per a script.
+
+    Each received frame consumes the next script item: ``None``
+    swallows the request (the client's attempt times out on its
+    per-attempt budget), a callable gets the decoded request and
+    returns the :class:`ClientResponse` to send back.  The last item
+    repeats once the script is exhausted.
+    """
+
+    def __init__(self, *script):
+        super().__init__(daemon=True)
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(8)
+        self.address = self.listener.getsockname()
+        self.script = list(script)
+        self.requests = []
+        self._halt = threading.Event()
+
+    def run(self):
+        self.listener.settimeout(0.1)
+        while not self._halt.is_set():
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                continue
+            with conn:
+                conn.settimeout(5.0)
+                try:
+                    while not self._halt.is_set():
+                        header = _recv_exact(conn, 4)
+                        length = int.from_bytes(header, "big")
+                        request = decode_message(_recv_exact(conn, length))
+                        self.requests.append(request)
+                        item = (self.script.pop(0) if len(self.script) > 1
+                                else self.script[0])
+                        if item is None:
+                            continue  # swallow: the attempt times out
+                        conn.sendall(encode_frame(item(request)))
+                except OSError:
+                    pass  # client dropped the connection; accept anew
+
+    def close(self):
+        self._halt.set()
+        self.listener.close()
+        self.join(timeout=5.0)
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def _wrong_shard(request):
+    return ClientResponse(
+        client_id=request.client_id, seq=request.seq, ok=False,
+        error="wrong-shard", table_version=7,
+    )
+
+
+def _not_leader(admitted):
+    def reply(request):
+        return ClientResponse(
+            client_id=request.client_id, seq=request.seq, ok=False,
+            error="not-leader", leader_hint=None, admitted=admitted,
+        )
+    return reply
+
+
+def _fast_client(*addresses, **kwargs):
+    kwargs.setdefault("request_timeout_s", 0.3)
+    kwargs.setdefault("total_timeout_s", 1.5)
+    kwargs.setdefault("retry_delay_s", 0.01)
+    return NetClient(
+        {nid: address for nid, address in enumerate(addresses, start=1)},
+        client_id="ambig-c", **kwargs,
+    )
+
+
+def test_wrong_shard_after_timed_out_attempt_is_a_timeout():
+    # Attempt 1 is swallowed (the node may have admitted the command
+    # pre-freeze); attempt 2 gets wrong-shard.  Outcome unknown: must
+    # raise ClientTimeout so the routing layer never re-routes it.
+    with _ScriptedNode(None, _wrong_shard) as node:
+        with _fast_client(node.address) as client:
+            with pytest.raises(ClientTimeout):
+                client.request(("put", "k", 1), table_version=1)
+        assert len(node.requests) >= 2
+
+
+def test_wrong_shard_after_admitted_bounce_is_a_timeout():
+    # A dethroned leader bounced the request *after* appending it
+    # (admitted=True): the entry may still commit, so a later
+    # wrong-shard reply must not claim group-wide non-admission.
+    with _ScriptedNode(_not_leader(admitted=True), _wrong_shard) as node:
+        with _fast_client(node.address) as client:
+            with pytest.raises(ClientTimeout):
+                client.request(("put", "k", 1), table_version=1)
+
+
+def test_wrong_shard_after_definitive_refusals_still_reroutes():
+    # Every attempt was a clean pre-admission refusal: wrong-shard
+    # really does prove the command entered no log, and propagates so
+    # the routing layer can re-route it.
+    with _ScriptedNode(_not_leader(admitted=False), _wrong_shard) as node:
+        with _fast_client(node.address) as client:
+            with pytest.raises(WrongShard) as exc:
+                client.request(("put", "k", 1), table_version=1)
+            assert exc.value.table_version == 7
+
+
+def test_wrong_shard_after_connection_refused_still_reroutes():
+    # A connection that never came up cannot have delivered the
+    # request: the failed attempt is definitive, not ambiguous.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_address = probe.getsockname()
+    probe.close()
+    with _ScriptedNode(_wrong_shard) as node:
+        with _fast_client(dead_address, node.address) as client:
+            with pytest.raises(WrongShard):
+                client.request(("put", "k", 1), table_version=1)
+
+
+def test_ambiguous_attempt_can_still_be_served_by_dedup():
+    # After a swallowed attempt the client keeps retrying in-group; a
+    # node that holds the entry serves its (possibly committed) result.
+    def served(request):
+        return ClientResponse(
+            client_id=request.client_id, seq=request.seq, ok=True,
+            result="v1",
+        )
+
+    with _ScriptedNode(None, served) as node:
+        with _fast_client(node.address) as client:
+            assert client.request(("put", "k", 1), table_version=1) == "v1"
 
 
 def test_connect_honors_explicit_zero_timeout():

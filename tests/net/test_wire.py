@@ -141,6 +141,7 @@ rpc_messages = st.one_of(
         )),
         leader_hint=st.one_of(st.none(), nids),
         table_version=st.one_of(st.none(), st.integers(1, 100)),
+        admitted=st.booleans(),
     ),
     st.builds(StatusRequest),
     st.builds(
@@ -219,6 +220,7 @@ rpc_messages = st.one_of(
             st.tuples(keys, scalars), max_size=4
         ).map(lambda pairs: tuple(dict(pairs).items())),
         version=st.one_of(st.none(), st.integers(0, 100)),
+        term=terms, commit_in_term=st.booleans(),
     ),
 )
 raft_messages = st.one_of(elect_reqs, elect_acks, commit_reqs, commit_acks)
