@@ -68,6 +68,17 @@ SPECS: dict = {
          ("test_shard_routing_overhead", "sharded", "ops_per_s"),
          "higher", "warn", 0.20),
     ],
+    "BENCH_differential_throughput.json": [
+        ("logless overhead ratio (raft st/s / logless st/s, same run)",
+         ("test_differential_throughput", "logless_overhead_ratio"),
+         "lower", "fail", 0.20),
+        ("raft-single-node states/sec (intact, bfs)",
+         ("test_differential_throughput", "per_scheme", "raft-single-node",
+          "states_per_second"), "higher", "warn", 0.20),
+        ("mongo-logless states/sec (intact, bfs)",
+         ("test_differential_throughput", "per_scheme", "mongo-logless",
+          "states_per_second"), "higher", "warn", 0.20),
+    ],
     "BENCH_monitor_overhead.json": [
         ("monitor disabled-path overhead ratio",
          ("test_disabled_monitor_overhead", "disabled_ratio"),

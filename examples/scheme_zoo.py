@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""The reconfiguration scheme zoo (paper Section 6).
+"""The reconfiguration scheme zoo (paper Section 6, plus scheme #7).
 
 Adore's safety proof is parameterized: any ``Config``/``isQuorum``/
 ``R1⁺`` triple satisfying REFLEXIVE and OVERLAP inherits the proof.
@@ -11,10 +11,14 @@ This script exercises each bundled scheme twice:
 * running the same generic Adore machine through an election, a
   commit, and a reconfiguration under that scheme.
 
-It also checks the deliberately broken multi-node scheme and shows
-OVERLAP failing with a concrete pair of disjoint quorums.
+The zoo includes scheme #7, MongoDB's logless dynamic reconfiguration
+(config state outside the oplog, ordered by ``(term, version)``).  It
+also checks the deliberately broken multi-node scheme and shows OVERLAP
+failing with a concrete witness: the R1⁺-related config pair and one
+disjoint quorum of each.
 
 Run:  python examples/scheme_zoo.py
+      python examples/scheme_zoo.py --differential   (comparison matrix)
 """
 
 from repro.analysis import render_table
@@ -23,6 +27,8 @@ from repro.schemes import (
     DynamicQuorumScheme,
     JointConfig,
     JointConsensusScheme,
+    LoglessConfig,
+    LoglessReconfigScheme,
     PrimaryBackupConfig,
     PrimaryBackupScheme,
     RaftSingleNodeScheme,
@@ -61,14 +67,46 @@ ZOO = [
         WeightedConfig.of({1: 2, 2: 1, 3: 1}),
         WeightedConfig.of({1: 2, 2: 1, 3: 1, 4: 1}),
     ),
+    (
+        # The reconfig bumps the version at the leader's (post-election)
+        # term, exactly as MongoDB installs (version+1, leader_term).
+        LoglessReconfigScheme(),
+        LoglessConfig.initial({1, 2, 3}),
+        LoglessConfig.of(1, 1, {1, 2, 3, 4}),
+    ),
 ]
 
 
-def main() -> None:
+def print_witnesses(report) -> None:
+    """Render an assumption report's concrete counterexamples."""
+    for witness in report.reflexive_witnesses[:3]:
+        print(f"  witness: {witness.describe()}")
+    for witness in report.overlap_witnesses[:3]:
+        print(f"  witness: {witness.old_described} -> {witness.new_described}")
+        print(f"    quorum of old config: {list(witness.quorum_old)}")
+        print(f"    quorum of new config: {list(witness.quorum_new)} (disjoint)")
+
+
+def main(differential: bool = False) -> None:
+    if differential:
+        from repro.mc.differential import SMOKE_BUDGETS, run_differential
+
+        print("== Differential matrix (smoke budgets) ==\n")
+        report = run_differential(
+            budgets=SMOKE_BUDGETS,
+            max_states=50_000,
+            progress=lambda message: print(f"  {message}"),
+        )
+        print()
+        print(report.render())
+        return
+
     print("== REFLEXIVE / OVERLAP assumption checks (3-node universe) ==\n")
     rows = []
+    reports = []
     for scheme, _, _ in ZOO:
         report = check_assumptions(scheme, [1, 2, 3])
+        reports.append(report)
         rows.append((
             scheme.name,
             report.configs_checked,
@@ -80,6 +118,10 @@ def main() -> None:
         ["scheme", "configs", "R1+ transitions", "quorum pairs", "result"],
         rows,
     ))
+    for report in reports:
+        if not report.ok:
+            print(f"\n{report.scheme} violations:")
+            print_witnesses(report)
 
     print("\n== The same generic machine under every scheme ==\n")
     for scheme, conf0, target in ZOO:
@@ -107,9 +149,16 @@ def main() -> None:
         UnsafeMultiNodeScheme(), [1, 2, 3, 4], stop_at_first=True
     )
     print(broken.summary())
-    if broken.overlap_violations:
-        print("witness:", broken.overlap_violations[0])
+    print_witnesses(broken)
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--differential",
+        action="store_true",
+        help="print the seven-scheme comparison matrix on smoke budgets",
+    )
+    main(differential=parser.parse_args().differential)

@@ -27,6 +27,18 @@ from .ablations import (
     verify_intact_explorer,
 )
 from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .differential import (
+    ABLATIONS,
+    DEFAULT_BUDGETS,
+    SMOKE_BUDGETS,
+    DifferentialReport,
+    OverlapAblation,
+    RunRecord,
+    SchemeScenario,
+    default_scenarios,
+    explorer_for,
+    run_differential,
+)
 from .fpset import FingerprintSet
 from .explorer import (
     ExplorationResult,
@@ -52,17 +64,24 @@ from .symmetry import (
 )
 
 __all__ = [
+    "ABLATIONS",
+    "DEFAULT_BUDGETS",
     "FIG4_BUDGET",
     "FIG4_NODES",
+    "SMOKE_BUDGETS",
     "Checkpoint",
+    "DifferentialReport",
     "EngineStats",
     "ExplorationResult",
     "Explorer",
     "FingerprintSet",
-    "SymmetryReducer",
     "OpBudget",
+    "OverlapAblation",
     "ParallelExplorer",
     "ProgressSnapshot",
+    "RunRecord",
+    "SchemeScenario",
+    "SymmetryReducer",
     "Violation",
     "ablate_insert_btw",
     "ablate_overlap",
@@ -70,7 +89,9 @@ __all__ = [
     "ablate_r3",
     "apply_renaming",
     "canonical_key",
+    "default_scenarios",
     "explore",
+    "explorer_for",
     "insert_btw_explorer",
     "jump_reconfig_candidates",
     "load_checkpoint",
@@ -79,6 +100,7 @@ __all__ = [
     "print_progress",
     "r2_explorer",
     "r3_explorer",
+    "run_differential",
     "save_checkpoint",
     "set_reconfig_candidates",
     "symmetry_group",

@@ -5,8 +5,7 @@ Each scheme instantiates the paper's opaque parameters (``Config``,
 satisfying REFLEXIVE and OVERLAP; :mod:`repro.schemes.assumptions`
 checks those exhaustively over bounded node universes.
 
-Bundled schemes (the four from Section 6 plus two more, matching the
-artifact's six examples):
+Bundled schemes (the four from Section 6 plus three more):
 
 * :class:`RaftSingleNodeScheme` -- majority quorums, one node at a time.
 * :class:`JointConsensusScheme` -- Raft joint consensus with explicit
@@ -18,6 +17,10 @@ artifact's six examples):
 * :class:`UnanimousScheme` -- full quorums, arbitrary one-step changes.
 * :class:`WeightedMajorityScheme` -- weighted majorities with a
   pigeonhole R1⁺.
+* :class:`LoglessReconfigScheme` -- MongoDB's logless dynamic
+  reconfiguration (scheme #7): config state outside the log, ordered by
+  ``(term, version)``, with the protocol's own Q1/Q2 enabling
+  conditions.
 
 Plus :class:`RotatingPrimaryScheme` (the paper's suggested primary-
 rotation remedy) and the deliberately broken
@@ -27,6 +30,8 @@ rotation remedy) and the deliberately broken
 from ..core.config import ReconfigScheme, StaticScheme, majority
 from .assumptions import (
     AssumptionReport,
+    OverlapWitness,
+    ReflexiveWitness,
     check_all_schemes,
     check_assumptions,
     configs_for,
@@ -34,6 +39,15 @@ from .assumptions import (
 )
 from .dynamic_quorum import DynamicQuorumScheme, SizedConfig
 from .joint import JointConfig, JointConsensusScheme
+from .logless import (
+    LoglessConfig,
+    LoglessReconfigScheme,
+    as_logless,
+    config_quorum_check,
+    logless_jump_candidates,
+    logless_reconfig_candidates,
+    oplog_commitment_check,
+)
 from .primary_backup import (
     PrimaryBackupConfig,
     PrimaryBackupScheme,
@@ -48,10 +62,14 @@ __all__ = [
     "DynamicQuorumScheme",
     "JointConfig",
     "JointConsensusScheme",
+    "LoglessConfig",
+    "LoglessReconfigScheme",
+    "OverlapWitness",
     "PrimaryBackupConfig",
     "PrimaryBackupScheme",
     "RaftSingleNodeScheme",
     "ReconfigScheme",
+    "ReflexiveWitness",
     "RotatingPrimaryScheme",
     "SizedConfig",
     "StaticScheme",
@@ -59,9 +77,13 @@ __all__ = [
     "UnsafeMultiNodeScheme",
     "WeightedConfig",
     "WeightedMajorityScheme",
+    "as_logless",
     "check_all_schemes",
     "check_assumptions",
+    "config_quorum_check",
     "configs_for",
+    "logless_jump_candidates",
+    "logless_reconfig_candidates",
     "majority",
-    "register_config_generator",
+    "oplog_commitment_check",
 ]

@@ -24,15 +24,54 @@ from ..core.cache import Config, NodeId
 from ..core.config import ReconfigScheme, StaticScheme
 from .dynamic_quorum import DynamicQuorumScheme, SizedConfig
 from .joint import JointConfig, JointConsensusScheme
+from .logless import LoglessConfig, LoglessReconfigScheme
 from .primary_backup import PrimaryBackupConfig, PrimaryBackupScheme, RotatingPrimaryScheme
 from .single_node import RaftSingleNodeScheme, UnsafeMultiNodeScheme
 from .unanimous import UnanimousScheme
 from .weighted import WeightedConfig, WeightedMajorityScheme
 
 
+@dataclass(frozen=True)
+class ReflexiveWitness:
+    """A configuration at which ``R1⁺(cf, cf)`` failed."""
+
+    config: Config
+    described: str
+
+    def describe(self) -> str:
+        return f"R1+ not reflexive at {self.described}"
+
+
+@dataclass(frozen=True)
+class OverlapWitness:
+    """A concrete OVERLAP counterexample: an R1⁺-related config pair
+    plus one disjoint quorum of each."""
+
+    old_config: Config
+    new_config: Config
+    old_described: str
+    new_described: str
+    quorum_old: Tuple[NodeId, ...]
+    quorum_new: Tuple[NodeId, ...]
+
+    def describe(self) -> str:
+        return (
+            f"disjoint quorums {list(self.quorum_old)} / "
+            f"{list(self.quorum_new)} for {self.old_described} → "
+            f"{self.new_described}"
+        )
+
+
 @dataclass
 class AssumptionReport:
-    """The result of exhaustively checking REFLEXIVE and OVERLAP."""
+    """The result of exhaustively checking REFLEXIVE and OVERLAP.
+
+    A violated assumption carries its concrete witnesses: the
+    configuration (REFLEXIVE) or the config pair with one disjoint
+    quorum of each (OVERLAP), both as raw values and as rendered
+    strings, so a failure report shows *why* the scheme is broken
+    rather than just that it is.
+    """
 
     scheme: str
     universe: Tuple[NodeId, ...]
@@ -41,6 +80,8 @@ class AssumptionReport:
     quorum_pairs_checked: int = 0
     reflexive_violations: List[str] = field(default_factory=list)
     overlap_violations: List[str] = field(default_factory=list)
+    reflexive_witnesses: List[ReflexiveWitness] = field(default_factory=list)
+    overlap_witnesses: List[OverlapWitness] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -144,6 +185,17 @@ def _weighted_configs(nodes: Sequence[NodeId]) -> Iterator[Config]:
             yield WeightedConfig.of(dict(zip(ordered, weights)))
 
 
+@register_config_generator(LoglessReconfigScheme)
+def _logless_configs(nodes: Sequence[NodeId]) -> Iterator[Config]:
+    # Versions and terms in {0, 1, 2} cover same-term version bumps,
+    # cross-term bumps, and order-decreasing pairs (which R1⁺ must
+    # reject) without blowing up the pair enumeration.
+    for members in _nonempty_subsets(nodes):
+        for term in range(3):
+            for version in range(3):
+                yield LoglessConfig(version=version, term=term, members=members)
+
+
 # ----------------------------------------------------------------------
 # The checker
 # ----------------------------------------------------------------------
@@ -167,9 +219,11 @@ def check_assumptions(
 
     for conf in config_list:
         if not scheme.r1_plus(conf, conf):
-            report.reflexive_violations.append(
-                f"R1+ not reflexive at {scheme.describe_config(conf)}"
+            witness = ReflexiveWitness(
+                config=conf, described=scheme.describe_config(conf)
             )
+            report.reflexive_witnesses.append(witness)
+            report.reflexive_violations.append(witness.describe())
             if stop_at_first:
                 return report
 
@@ -188,10 +242,16 @@ def check_assumptions(
             for q_new in quorums_of(new):
                 report.quorum_pairs_checked += 1
                 if not q_old & q_new:
-                    report.overlap_violations.append(
-                        f"disjoint quorums {sorted(q_old)} / {sorted(q_new)} for "
-                        f"{scheme.describe_config(old)} → {scheme.describe_config(new)}"
+                    witness = OverlapWitness(
+                        old_config=old,
+                        new_config=new,
+                        old_described=scheme.describe_config(old),
+                        new_described=scheme.describe_config(new),
+                        quorum_old=tuple(sorted(q_old)),
+                        quorum_new=tuple(sorted(q_new)),
                     )
+                    report.overlap_witnesses.append(witness)
+                    report.overlap_violations.append(witness.describe())
                     if stop_at_first:
                         return report
     return report
@@ -210,6 +270,7 @@ def check_all_schemes(
             DynamicQuorumScheme(),
             UnanimousScheme(),
             WeightedMajorityScheme(),
+            LoglessReconfigScheme(),
             StaticScheme(),
         ]
     return [check_assumptions(scheme, nodes) for scheme in schemes]

@@ -31,6 +31,7 @@ FAST_EXAMPLES = [
 SLOW_EXAMPLES = [
     "raft_reconfig_bug",
     "model_check_safety",
+    "differential",
 ]
 
 
@@ -61,6 +62,12 @@ def test_slow_example_runs(name):
     with redirect_stdout(buffer):
         if name == "model_check_safety":
             module.main(full=False)
+        elif name == "differential":
+            # Two schemes on the smoke budgets keeps it in CI time; the
+            # full seven-scheme matrix runs in the dedicated CI job.
+            assert module.main(
+                schemes=["raft-single-node", "mongo-logless"]
+            ) == 0
         else:
             module.main()
     output = buffer.getvalue()

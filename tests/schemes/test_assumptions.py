@@ -6,6 +6,7 @@ import pytest
 from repro.schemes import (
     DynamicQuorumScheme,
     JointConsensusScheme,
+    LoglessReconfigScheme,
     PrimaryBackupScheme,
     RaftSingleNodeScheme,
     RotatingPrimaryScheme,
@@ -26,6 +27,7 @@ SAFE_SCHEMES = [
     DynamicQuorumScheme(),
     UnanimousScheme(),
     WeightedMajorityScheme(),
+    LoglessReconfigScheme(),
     StaticScheme(),
 ]
 
@@ -43,7 +45,7 @@ def test_assumptions_hold_over_three_nodes(scheme):
 @pytest.mark.parametrize(
     "scheme",
     [RaftSingleNodeScheme(), PrimaryBackupScheme(), UnanimousScheme(),
-     DynamicQuorumScheme()],
+     DynamicQuorumScheme(), LoglessReconfigScheme()],
     ids=lambda s: s.name,
 )
 def test_assumptions_hold_over_four_nodes(scheme):
@@ -93,5 +95,35 @@ def test_report_summary_format():
 
 def test_check_all_schemes_returns_one_report_each():
     reports = check_all_schemes([1, 2, 3])
-    assert len(reports) == 8
+    assert len(reports) == 9
     assert all(r.ok for r in reports)
+
+
+def test_overlap_witness_carries_configs_and_disjoint_quorums():
+    report = check_assumptions(UnsafeMultiNodeScheme(), [1, 2, 3, 4],
+                               stop_at_first=True)
+    assert report.overlap_witnesses
+    witness = report.overlap_witnesses[0]
+    scheme = UnsafeMultiNodeScheme()
+    # The witness is concrete and re-checkable.
+    assert scheme.r1_plus(witness.old_config, witness.new_config)
+    assert scheme.is_quorum(frozenset(witness.quorum_old), witness.old_config)
+    assert scheme.is_quorum(frozenset(witness.quorum_new), witness.new_config)
+    assert not (set(witness.quorum_old) & set(witness.quorum_new))
+    assert witness.describe() == report.overlap_violations[0]
+    assert "disjoint quorums" in witness.describe()
+
+
+def test_reflexive_witness_carries_config():
+    class NeverReflexive(RaftSingleNodeScheme):
+        name = "never-reflexive"
+
+        def r1_plus(self, old, new):
+            return False
+
+    report = check_assumptions(NeverReflexive(), [1, 2], stop_at_first=True)
+    assert not report.ok
+    assert report.reflexive_witnesses
+    witness = report.reflexive_witnesses[0]
+    assert witness.config in set(configs_for(NeverReflexive(), [1, 2]))
+    assert witness.describe() == report.reflexive_violations[0]
