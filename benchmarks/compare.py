@@ -79,6 +79,14 @@ SPECS: dict = {
          ("test_differential_throughput", "per_scheme", "mongo-logless",
           "states_per_second"), "higher", "warn", 0.20),
     ],
+    "BENCH_bounded_mc.json": [
+        ("bounded-mc throughput ratio (bounded/unbounded states/s, same run)",
+         ("test_bounded_vs_unbounded", "throughput_ratio"),
+         "higher", "fail", 0.20),
+        ("bounded-mc bounded-run peak RSS (KB)",
+         ("test_bounded_vs_unbounded", "bounded", "peak_rss_kb"),
+         "lower", "warn", 0.25),
+    ],
     "BENCH_monitor_overhead.json": [
         ("monitor disabled-path overhead ratio",
          ("test_disabled_monitor_overhead", "disabled_ratio"),
@@ -107,9 +115,55 @@ def _load(path: str) -> Optional[dict]:
         return None
 
 
+#: Warn (never fail) when a test's peak RSS grows past this fraction of
+#: its committed baseline.  RSS is allocator- and hardware-dependent,
+#: so this tracks the memory trajectory without gating merges on it.
+RSS_WARN_TOLERANCE = 0.25
+
+
+def scan_rss(results_dir: str, baselines_dir: str, warnings: List[str]) -> None:
+    """Warn-only sweep of ``peak_rss_kb`` across every benchmark pair.
+
+    The ``bench_json`` fixture stamps each payload with the process's
+    peak RSS; any test whose fresh value regressed past
+    :data:`RSS_WARN_TOLERANCE` gets a warning line, whether or not it
+    has tracked timing metrics in :data:`SPECS`.
+    """
+    import glob
+
+    for base_path in sorted(
+        glob.glob(os.path.join(baselines_dir, "BENCH_*.json"))
+    ):
+        filename = os.path.basename(base_path)
+        baseline = _load(base_path)
+        fresh = _load(os.path.join(results_dir, filename))
+        if not baseline or not fresh:
+            continue
+        for test, payload in sorted(baseline.items()):
+            if test.startswith("_") or not isinstance(payload, dict):
+                continue
+            ref = payload.get("peak_rss_kb")
+            now_payload = fresh.get(test)
+            now = (
+                now_payload.get("peak_rss_kb")
+                if isinstance(now_payload, dict) else None
+            )
+            if (
+                isinstance(ref, (int, float)) and ref > 0
+                and isinstance(now, (int, float))
+            ):
+                change = now / ref - 1.0
+                if change > RSS_WARN_TOLERANCE:
+                    warnings.append(
+                        f"{filename}:{test}: peak RSS {now:,.0f} KB vs "
+                        f"baseline {ref:,.0f} KB ({change:+.1%}; warn-only)"
+                    )
+
+
 def compare(results_dir: str, baselines_dir: str) -> int:
     failures: List[str] = []
     warnings: List[str] = []
+    scan_rss(results_dir, baselines_dir, warnings)
     rows: List[Tuple[str, str, str, str, str]] = []
     compared = 0
     for filename, specs in sorted(SPECS.items()):

@@ -39,14 +39,47 @@ def report(capfd):
     return emit
 
 
+def _resource_snapshot():
+    """Peak-RSS and intern-cache occupancy at emit time.
+
+    Attached to every dict payload so ``compare.py`` can track memory
+    trajectory (warn-only: absolute KB is hardware/allocator
+    dependent) alongside the timing numbers.
+    """
+    snapshot = {}
+    try:
+        import resource
+
+        snapshot["peak_rss_kb"] = resource.getrusage(
+            resource.RUSAGE_SELF
+        ).ru_maxrss
+    except ImportError:
+        pass
+    try:
+        from repro.core import cachemgr
+
+        stats = cachemgr.stats()
+        snapshot["cache_occupancy"] = {
+            "trees": stats["tree_interns"]["occupancy"],
+            "caches": stats["cache_interns"]["occupancy"],
+            "tree_flushes": stats["tree_interns"]["flushes"],
+        }
+    except ImportError:
+        pass
+    return snapshot
+
+
 @pytest.fixture
 def bench_json(request):
     """Record this test's machine-readable result.
 
     ``bench_json(payload)`` merges ``{test_name: payload}`` into the
     module's ``BENCH_<name>.json`` (name = module minus the ``test_``
-    prefix).  Values that JSON cannot express (frozensets, tuples as
-    keys, ...) are stringified rather than rejected.  Returns the path.
+    prefix).  Dict payloads are additionally annotated with the
+    process's peak RSS and the intern-cache occupancy (see
+    :func:`_resource_snapshot`); explicit keys of the same name win.
+    Values that JSON cannot express (frozensets, tuples as keys, ...)
+    are stringified rather than rejected.  Returns the path.
     """
     module = request.node.module.__name__
     name = module[len("test_"):] if module.startswith("test_") else module
@@ -54,6 +87,10 @@ def bench_json(request):
 
     def emit(payload, test=None):
         os.makedirs(_bench_dir(), exist_ok=True)
+        if isinstance(payload, dict):
+            merged = _resource_snapshot()
+            merged.update(payload)
+            payload = merged
         data = {}
         if os.path.exists(path):
             with open(path) as handle:

@@ -32,7 +32,40 @@ from .cache import (
 )
 from .errors import SafetyViolation
 from .state import AdoreState, TimeMap
-from .tree import ROOT_CID, CacheTree, forget_tree
+from .tree import ROOT_CID, CacheTree, forget_tree, set_memo_trimmer
+
+
+# ----------------------------------------------------------------------
+# Memo trimming (cache-manager hook)
+# ----------------------------------------------------------------------
+
+#: Per-tree memo entries that are pure speed/space trades: large derived
+#: tables rebuilt on demand if the tree is ever revisited.  What the
+#: trimmer deliberately KEEPS is the cheap, high-leverage scratch --
+#: memoized safety-report verdicts (the whole point of letting a tree
+#: survive a flush) and the small ``rprefix`` prefix-count table the
+#: incremental ``rdist`` of future successors derives from.
+_HEAVY_MEMO_KEYS = ("branches", "descendants", "node_tables", "kinds")
+
+
+def trim_tree_memo(tree: CacheTree) -> None:
+    """Drop heavy derived scratch from ``tree``'s memo, keep verdicts.
+
+    Installed as :mod:`repro.core.tree`'s memo trimmer: the policy-driven
+    epoch flush applies it to trees that survive a ``"recall"`` flush, so
+    a bounded run's heuristic survivors cost one small dict each rather
+    than the full O(tree²) ancestry tables.  (``"subnodes"`` survivors
+    are the live frontier and keep their tables: the engine is about to
+    expand them, so trimming would force an immediate rebuild.)
+    """
+    memo = tree._memo
+    if not memo:
+        return
+    for key in _HEAVY_MEMO_KEYS:
+        memo.pop(key, None)
+
+
+set_memo_trimmer(trim_tree_memo)
 
 
 # ----------------------------------------------------------------------

@@ -22,6 +22,7 @@ to a separate persistent log as in the ADO model; instead a cache is
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -29,6 +30,7 @@ from .cache import (
     Cache,
     Cid,
     NodeId,
+    add_cache_flush_listener,
     intern_cache,
     is_ccache,
     is_committable,
@@ -75,24 +77,179 @@ def _entry_fp(cid: Cid, parent: Optional[Cid], cache: Cache) -> int:
 
 _ENTRY_FPS: Dict[Tuple, int] = {}
 
+# The table above keys on id(cache), which is stable only while the
+# cache intern table keeps its members immortal.  A cache-table flush
+# breaks that, so it must drop this memo in the same step -- before any
+# recycled id can alias a dead cache's entry.
+add_cache_flush_listener(_ENTRY_FPS.clear)
+
 
 #: Per-process hash-consing table: tree fingerprint -> the one shared
 #: instance.  Deliberately *strong*: the model checker generates each
 #: distinct successor tree a dozen times on average, and with weak
 #: values the discarded duplicates die before the next occurrence can
 #: hit the table, defeating hash-consing exactly where it pays.  Bounded
-#: by an epoch flush (:data:`_INTERN_CAP`) so pathological runs cannot
-#: grow it without limit -- a flush only costs subsequent re-interning.
+#: by a policy-driven epoch flush (:func:`_flush_interned_trees`) so
+#: pathological runs cannot grow it without limit -- a flush only costs
+#: subsequent re-interning.  Configure via
+#: :mod:`repro.core.cachemgr` / :func:`configure_tree_cache`.
 _INTERNED_TREES: Dict[int, "CacheTree"] = {}
 
-#: Epoch-flush threshold for the tree intern table.
-_INTERN_CAP = 1 << 19
+#: Default epoch-flush threshold for the tree intern table.
+_DEFAULT_INTERN_CAP = 1 << 19
+
+#: Current cap (mutable via :func:`configure_tree_cache`).
+_INTERN_CAP = _DEFAULT_INTERN_CAP
+
+#: Wipe strategy applied at the cap (the pydl8.5 ``WipeType`` shape):
+#: ``"all"`` clears the table, ``"subnodes"`` keeps trees a pin provider
+#: (typically: the explorer's in-RAM frontier) names as reachable, and
+#: ``"recall"`` keeps the most re-interned trees since the last flush.
+_WIPE = "all"
+
+#: ``fp -> recall count`` since the last flush.  ``None`` unless the
+#: ``"recall"`` policy is active, so the hot intern paths pay only a
+#: global load + ``is not None`` when any other policy is selected.
+_TREE_RECALLS: Optional[Dict[int, int]] = None
+
+#: Callable yielding tree fingerprints the ``"subnodes"`` policy must
+#: keep (set by the model-checking engines to their live frontier).
+_PIN_PROVIDER: Optional[Callable[[], Iterable[int]]] = None
+
+#: Callable that drops heavy derived scratch from a surviving tree's
+#: memo at flush time (registered by :mod:`repro.core.safety`, which
+#: owns the memo-key vocabulary).
+_MEMO_TRIMMER: Optional[Callable[["CacheTree"], None]] = None
+
+#: Effective flush trigger.  Normally ``_INTERN_CAP``; raised after a
+#: flush whose survivors (pinned frontier trees can exceed the cap)
+#: would otherwise re-trigger a flush on every insert.
+_FLUSH_AT = _INTERN_CAP
+
+#: Flush/occupancy counters, surfaced via repro.obs metrics by
+#: :func:`repro.core.cachemgr.export_metrics`.
+_TREE_STATS: Dict[str, int] = {"flushes": 0, "evicted": 0, "survivors": 0, "prov_trimmed": 0}
+
+
+def _flush_interned_trees() -> None:
+    """Apply the configured wipe policy to the tree intern table.
+
+    Whatever the policy, every table member -- evicted *and* surviving
+    -- has its ``"prov"`` memo entry dropped: provenance tuples hold a
+    strong reference to the parent tree, so an untrimmed chain would
+    pin every flushed ancestor of a live frontier tree in memory for
+    the rest of the run (provenance only exists to give the incremental
+    safety checker *one* valid derivation; new successors of live trees
+    re-establish it immediately).
+    """
+    global _FLUSH_AT
+    table = _INTERNED_TREES
+    before = len(table)
+    survivors: List["CacheTree"] = []
+    if _WIPE == "subnodes" and _PIN_PROVIDER is not None:
+        pinned = set(_PIN_PROVIDER())
+        if pinned:
+            survivors = [tree for fp, tree in table.items() if fp in pinned]
+    elif _WIPE == "recall" and _TREE_RECALLS:
+        recalls = _TREE_RECALLS
+        keep = max(_INTERN_CAP // 2, 1)
+        recalled = [fp for fp in recalls if fp in table]
+        if len(recalled) > keep:
+            recalled = heapq.nlargest(keep, recalled, key=recalls.__getitem__)
+        survivors = [table[fp] for fp in recalled]
+    trimmed = 0
+    for tree in table.values():
+        memo = tree._memo
+        if memo is not None and memo.pop("prov", None) is not None:
+            trimmed += 1
+    # "recall" survivors are a heuristic bet that may never pay off, so
+    # their heavy derived tables are dropped (rebuilt on demand).
+    # "subnodes" survivors are the *live frontier* -- the engine expands
+    # them next, so trimming would only force an immediate rebuild.
+    trimmer = _MEMO_TRIMMER
+    if trimmer is not None and _WIPE != "subnodes":
+        for tree in survivors:
+            trimmer(tree)
+    table.clear()
+    for tree in survivors:
+        table[tree.fingerprint()] = tree
+    if _TREE_RECALLS is not None:
+        _TREE_RECALLS.clear()
+    stats = _TREE_STATS
+    stats["flushes"] += 1
+    stats["evicted"] += before - len(table)
+    stats["survivors"] = len(table)
+    stats["prov_trimmed"] += trimmed
+    # Survivors may legitimately exceed the cap (a pinned frontier wider
+    # than the table bound); back off the trigger so the next flush
+    # happens after a fresh quarter-epoch of growth, not on every insert.
+    _FLUSH_AT = max(_INTERN_CAP, len(table) + max(_INTERN_CAP // 4, 1))
 
 
 def _intern_tree(fp: int, tree: "CacheTree") -> "CacheTree":
-    if len(_INTERNED_TREES) >= _INTERN_CAP:
-        _INTERNED_TREES.clear()
+    if len(_INTERNED_TREES) >= _FLUSH_AT:
+        _flush_interned_trees()
     return _INTERNED_TREES.setdefault(fp, tree)
+
+
+def configure_tree_cache(cap: Optional[int] = None, wipe: Optional[str] = None) -> None:
+    """Set the tree intern table's bound and wipe policy.
+
+    ``cap`` is the flush threshold (``None`` leaves it unchanged);
+    ``wipe`` is ``"all"``, ``"subnodes"`` or ``"recall"``.  Prefer the
+    :mod:`repro.core.cachemgr` facade, which configures both intern
+    tables together and restores defaults on exit.
+    """
+    global _INTERN_CAP, _WIPE, _TREE_RECALLS, _FLUSH_AT
+    if cap is not None:
+        if cap < 1:
+            raise ValueError(f"tree cache cap must be >= 1, got {cap}")
+        _INTERN_CAP = cap
+        _FLUSH_AT = cap
+    if wipe is not None:
+        if wipe not in ("all", "subnodes", "recall"):
+            raise ValueError(f"unknown wipe policy {wipe!r}")
+        _WIPE = wipe
+        _TREE_RECALLS = {} if wipe == "recall" else None
+
+
+def tree_cache_policy() -> Tuple[int, str]:
+    """The current ``(cap, wipe)`` of the tree intern table."""
+    return _INTERN_CAP, _WIPE
+
+
+def tree_cache_stats() -> Dict[str, int]:
+    """Flush/occupancy counters plus current table sizes."""
+    stats = dict(_TREE_STATS)
+    stats["occupancy"] = len(_INTERNED_TREES)
+    stats["entry_fp_occupancy"] = len(_ENTRY_FPS)
+    return stats
+
+
+def set_tree_pin_provider(
+    provider: Optional[Callable[[], Iterable[int]]],
+) -> Optional[Callable[[], Iterable[int]]]:
+    """Install the ``"subnodes"`` pin provider; returns the previous one.
+
+    The provider is consulted only at flush time and must yield the
+    fingerprints of trees that stay reachable from the caller's working
+    set (the model checker passes its in-RAM frontier window).
+    """
+    global _PIN_PROVIDER
+    previous = _PIN_PROVIDER
+    _PIN_PROVIDER = provider
+    return previous
+
+
+def set_memo_trimmer(trimmer: Optional[Callable[["CacheTree"], None]]) -> None:
+    """Install the survivor memo trimmer (see :data:`_MEMO_TRIMMER`)."""
+    global _MEMO_TRIMMER
+    _MEMO_TRIMMER = trimmer
+
+
+def flush_interned_trees() -> None:
+    """Force an epoch flush now (tests and the cachemgr facade)."""
+    _flush_interned_trees()
 
 
 class CacheTree:
@@ -103,7 +260,7 @@ class CacheTree:
     tree as the paper does: a set of caches with ancestor structure.
     """
 
-    __slots__ = ("_entries", "_children", "_fp", "_items", "_memo")
+    __slots__ = ("_entries", "_children", "_fp", "_items", "_memo", "__weakref__")
 
     def __init__(self, entries: Dict[Cid, TreeEntry], _fp: Optional[int] = None) -> None:
         held = dict(entries)
@@ -149,6 +306,8 @@ class CacheTree:
         tree = _INTERNED_TREES.get(fp)
         if tree is None:
             tree = _intern_tree(fp, cls(entries, _fp=fp))
+        elif _TREE_RECALLS is not None:
+            _TREE_RECALLS[fp] = _TREE_RECALLS.get(fp, 0) + 1
         return tree
 
     def fingerprint(self) -> int:
@@ -212,6 +371,8 @@ class CacheTree:
             # checker uses any one valid derivation (the report is a
             # pure function of the tree, so which one is irrelevant).
             tree.memo().setdefault("prov", (self, "leaf", cid, parent))
+        elif _TREE_RECALLS is not None:
+            _TREE_RECALLS[fp] = _TREE_RECALLS.get(fp, 0) + 1
         return tree, cid
 
     def insert_btw(self, parent: Cid, cache: Cache) -> Tuple["CacheTree", Cid]:
@@ -242,6 +403,8 @@ class CacheTree:
             entries[cid] = TreeEntry(parent, cache)
             tree = CacheTree._shared(entries, fp)
             tree.memo().setdefault("prov", (self, "btw", cid, parent))
+        elif _TREE_RECALLS is not None:
+            _TREE_RECALLS[fp] = _TREE_RECALLS.get(fp, 0) + 1
         return tree, cid
 
     # ------------------------------------------------------------------
@@ -612,7 +775,11 @@ class CacheTree:
         # Trees carry caches (weak-referenceable, memoized) and derived
         # tables; ship only the entries and re-intern on the other side
         # so unpickled trees rejoin that process's hash-consing table.
-        return (_restore_tree, (self._entries,))
+        # The fingerprint rides along so the reader can resolve an
+        # intern hit without reconstructing anything -- the spill
+        # files' hot path (a frontier entry is typically reloaded
+        # while its tree is still interned).
+        return (_restore_tree, (self._entries, self.fingerprint()))
 
     def __repr__(self) -> str:
         return f"CacheTree({len(self._entries)} caches)"
@@ -632,8 +799,22 @@ class CacheTree:
         return "\n".join(lines)
 
 
-def _restore_tree(entries: Dict[Cid, TreeEntry]) -> CacheTree:
-    """Unpickle hook: rebuild and re-intern a tree in this process."""
+def _restore_tree(
+    entries: Dict[Cid, TreeEntry], fp: Optional[int] = None
+) -> CacheTree:
+    """Unpickle hook: rebuild and re-intern a tree in this process.
+
+    ``fp`` (the pickled tree's own fingerprint -- a pure function of
+    ``entries``) lets an intern hit return without building a tree at
+    all.  Pre-spill pickles omit it; they pay the recompute.
+    """
+    if fp is not None:
+        tree = _INTERNED_TREES.get(fp)
+        if tree is not None:
+            if _TREE_RECALLS is not None:
+                _TREE_RECALLS[fp] = _TREE_RECALLS.get(fp, 0) + 1
+            return tree
+        return _intern_tree(fp, CacheTree(entries, _fp=fp))
     tree = CacheTree(entries)
     return _intern_tree(tree.fingerprint(), tree)
 

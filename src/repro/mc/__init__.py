@@ -56,6 +56,12 @@ from .parallel import (
     merge_results,
     print_progress,
 )
+from .spill import (
+    SpillDeque,
+    SpilledMinHeap,
+    iter_packed_records,
+    write_packed_records,
+)
 from .symmetry import (
     SymmetryReducer,
     apply_renaming,
@@ -81,6 +87,8 @@ __all__ = [
     "ProgressSnapshot",
     "RunRecord",
     "SchemeScenario",
+    "SpillDeque",
+    "SpilledMinHeap",
     "SymmetryReducer",
     "Violation",
     "ablate_insert_btw",
@@ -93,6 +101,7 @@ __all__ = [
     "explore",
     "explorer_for",
     "insert_btw_explorer",
+    "iter_packed_records",
     "jump_reconfig_candidates",
     "load_checkpoint",
     "merge_results",
@@ -106,4 +115,5 @@ __all__ = [
     "symmetry_group",
     "verify_intact",
     "verify_intact_explorer",
+    "write_packed_records",
 ]

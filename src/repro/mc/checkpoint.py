@@ -34,7 +34,21 @@ from typing import Any, List, Optional, Set, Tuple
 #:    128-bit fingerprints in ``visited_fps`` (16 bytes per state,
 #:    canonical byte form of :class:`repro.mc.fpset.FingerprintSet`);
 #:    ``visited_keys`` stays for legacy exact-equality runs.
-CHECKPOINT_VERSION = 2
+#: 3. Spill-aware: a disk-spilled run references its frontier/visited
+#:    snapshots as *sidecar files* (``<checkpoint>.frontier`` in packed
+#:    spill-record format, ``<checkpoint>.visited`` as a raw
+#:    FingerprintSet table) via ``frontier_ref``/``visited_ref`` --
+#:    ``{"file": basename, "sha256": hex, "count": n}`` -- instead of
+#:    re-pickling gigabytes into the checkpoint itself.  The sha256 is
+#:    verified at load, so a mutated or corrupt sidecar is rejected
+#:    like a corrupt checkpoint.  Unspilled runs keep the embedded v2
+#:    fields; v2 files still load.
+CHECKPOINT_VERSION = 3
+
+#: Versions this loader can resume.  v2 lacks the sidecar fields, whose
+#: dataclass defaults (``None``) apply -- exactly the meaning a v2
+#: checkpoint had.
+_LOADABLE_VERSIONS = (2, 3)
 
 
 @dataclass
@@ -65,22 +79,77 @@ class Checkpoint:
     #: ``None`` for legacy exact-equality runs, which keep using
     #: ``visited_keys``.
     visited_fps: Optional[bytes] = None
+    #: v3 spill-mode sidecar references (see the version history);
+    #: ``None`` for unspilled checkpoints.
+    frontier_ref: Optional[dict] = None
+    visited_ref: Optional[dict] = None
 
     @property
     def states_visited(self) -> int:
+        if self.visited_ref is not None:
+            return self.visited_ref["count"]
         if self.visited_fps is not None:
             return len(self.visited_fps) // 16
         return len(self.visited_keys)
 
-    def restore_visited(self):
-        """The live visited-set this checkpoint describes: a
-        :class:`repro.mc.fpset.FingerprintSet` for fingerprint-mode
-        checkpoints, a plain ``set`` otherwise."""
+    @property
+    def frontier_len(self) -> int:
+        if self.frontier_ref is not None:
+            return self.frontier_ref["count"]
+        return len(self.frontier)
+
+    def restore_frontier(self, checkpoint_path: Optional[str] = None):
+        """Iterate the frontier entries, embedded or from the sidecar."""
+        if self.frontier_ref is None:
+            return iter(self.frontier)
+        from .spill import iter_packed_records
+
+        return iter_packed_records(sidecar_path(checkpoint_path, self.frontier_ref))
+
+    def restore_visited(
+        self,
+        checkpoint_path: Optional[str] = None,
+        spill_to: Optional[str] = None,
+    ):
+        """The live visited-set this checkpoint describes.
+
+        A :class:`repro.mc.fpset.FingerprintSet` for fingerprint-mode
+        checkpoints, a plain ``set`` otherwise.  For a v3 sidecar
+        checkpoint, ``spill_to`` names the working spill file to copy
+        the snapshot into (the snapshot itself stays untouched, so a
+        second resume from the same checkpoint still verifies); without
+        it the snapshot is loaded into RAM.
+        """
+        if self.visited_ref is not None:
+            from .fpset import FingerprintSet
+
+            src = sidecar_path(checkpoint_path, self.visited_ref)
+            if spill_to is not None:
+                import shutil
+
+                os.makedirs(os.path.dirname(os.path.abspath(spill_to)), exist_ok=True)
+                shutil.copyfile(src, spill_to)
+                return FingerprintSet.spilled(spill_to, clear=False)
+            with open(src, "rb") as handle:
+                snapshot = FingerprintSet.attach(bytearray(handle.read()))
+            live = FingerprintSet(capacity=max(64, snapshot.capacity))
+            for fp in snapshot:
+                live.add(fp)
+            snapshot.release()
+            return live
         if self.visited_fps is not None:
             from .fpset import FingerprintSet
 
             return FingerprintSet.from_packed(self.visited_fps)
         return set(self.visited_keys)
+
+
+def sidecar_path(checkpoint_path: Optional[str], ref: dict) -> str:
+    """Resolve a sidecar reference next to its checkpoint file."""
+    if checkpoint_path is None:
+        raise ValueError("sidecar checkpoint needs the checkpoint path to resolve files")
+    directory = os.path.dirname(os.path.abspath(checkpoint_path))
+    return os.path.join(directory, ref["file"])
 
 
 def save_checkpoint(path: str, checkpoint: Checkpoint) -> None:
@@ -149,7 +218,7 @@ def load_checkpoint(
             f"ignoring {path!r}: not a model-checker checkpoint", stacklevel=2
         )
         return None
-    if checkpoint.version != CHECKPOINT_VERSION:
+    if checkpoint.version not in _LOADABLE_VERSIONS:
         if checkpoint.version == 1:
             # v1 checkpoints predate the compact visited set; their
             # visited_keys pickles full state objects from the old
@@ -176,4 +245,33 @@ def load_checkpoint(
             stacklevel=2,
         )
         return None
+    # v3 sidecars: the checkpoint is only as good as the spill files it
+    # references -- verify each by content fingerprint before trusting
+    # it, exactly like a corrupt pickle.
+    for label, ref in (
+        ("frontier", checkpoint.frontier_ref),
+        ("visited", checkpoint.visited_ref),
+    ):
+        if ref is None:
+            continue
+        from .spill import file_sha256
+
+        try:
+            side = sidecar_path(path, ref)
+            actual = file_sha256(side)
+        except (OSError, KeyError, ValueError) as exc:
+            warnings.warn(
+                f"ignoring checkpoint {path!r}: its {label} spill file "
+                f"is missing or unreadable ({exc}); starting fresh",
+                stacklevel=2,
+            )
+            return None
+        if actual != ref.get("sha256"):
+            warnings.warn(
+                f"ignoring checkpoint {path!r}: its {label} spill file "
+                f"{ref.get('file')!r} does not match the recorded content "
+                "fingerprint (corrupt or overwritten); starting fresh",
+                stacklevel=2,
+            )
+            return None
     return checkpoint

@@ -19,6 +19,7 @@ counterexample schedules (e.g. the Fig. 4 violation).
 from __future__ import annotations
 
 import hashlib
+import os
 import time as _time
 from collections import deque
 from dataclasses import dataclass
@@ -231,6 +232,8 @@ class Explorer:
         push_step: Optional[Callable] = None,
         symmetry: bool = False,
         fingerprints: bool = True,
+        spill_dir: Optional[str] = None,
+        spill_window: int = 4096,
     ) -> None:
         self.scheme = scheme
         self.conf0 = conf0
@@ -285,6 +288,18 @@ class Explorer:
         #: kept as a collision canary: fingerprint mode must visit the
         #: same states (see tests/mc/test_parity.py).
         self.fingerprints = fingerprints
+        #: Bounded-memory mode: keep only ``spill_window`` frontier
+        #: entries in RAM, streaming overflow to packed-record files
+        #: under ``spill_dir``, and back the visited FingerprintSet with
+        #: an mmap'd file there.  Pure engine concern: the explored
+        #: transition system is identical (exact parity with the
+        #: unspilled engine), so it is deliberately NOT part of
+        #: :meth:`config_fingerprint` -- a checkpoint taken unspilled
+        #: can resume spilled and vice versa.
+        self.spill_dir = spill_dir
+        if spill_window < 1:
+            raise ValueError(f"spill window must be >= 1, got {spill_window}")
+        self.spill_window = spill_window
         self._sym_group = None
         self._sym_reducer = None
         if symmetry:
@@ -332,11 +347,19 @@ class Explorer:
 
     def new_visited_set(self):
         """An empty visited-set of the kind this configuration needs:
-        a :class:`repro.mc.fpset.FingerprintSet` in fingerprint mode, a
-        plain ``set`` otherwise."""
+        a :class:`repro.mc.fpset.FingerprintSet` in fingerprint mode
+        (mmap-spilled under ``spill_dir`` when one is set), a plain
+        ``set`` otherwise (legacy dedup keeps full states, which cannot
+        spill)."""
         if self.fingerprints:
             from .fpset import FingerprintSet
 
+            if self.spill_dir is not None:
+                os.makedirs(self.spill_dir, exist_ok=True)
+                return FingerprintSet.spilled(
+                    os.path.join(self.spill_dir, "visited.fps"),
+                    expected=self.max_states,
+                )
             return FingerprintSet()
         return set()
 
@@ -581,64 +604,126 @@ class Explorer:
             return 3 * len(full.all_violations()) + uncommitted_r
 
         counter = 0
+        spill = self.spill_dir is not None
         if guided:
-            frontier: List = []
-            heapq.heappush(frontier, (0, 0, 0, counter, init, self.budget, ()))
+            if spill:
+                from .spill import SpilledMinHeap
+
+                frontier = SpilledMinHeap(
+                    os.path.join(self.spill_dir, "frontier.spill"),
+                    self.spill_window,
+                )
+                fpush, fpop = frontier.push, frontier.pop
+            else:
+                frontier: List = []
+
+                def fpush(item, _heap=frontier):
+                    heapq.heappush(_heap, item)
+
+                def fpop(_heap=frontier):
+                    return heapq.heappop(_heap)
+
+            fpush((0, 0, 0, counter, init, self.budget, ()))
         else:
-            frontier = deque([(init, self.budget, ())])
+            if spill:
+                from .spill import SpillDeque
+
+                frontier = SpillDeque(
+                    os.path.join(self.spill_dir, "frontier.spill"),
+                    self.spill_window,
+                )
+            else:
+                frontier = deque()
+            frontier.append((init, self.budget, ()))
+            fpop = frontier.popleft
+
+        # The "subnodes" wipe policy evicts trees unreachable from the
+        # engine's working set; tell the cache manager what that set is.
+        # Only the in-RAM window is pinned -- walking a spilled tail
+        # would unpickle (and re-intern!) the very trees a flush is
+        # trying to shed.
+        from ..core.tree import set_tree_pin_provider
+
+        expanding: List[Optional[AdoreState]] = [None]
+        state_index = 4 if guided else 0
+
+        def _pinned_tree_fps():
+            if spill:
+                entries = frontier._heap if guided else frontier._head
+            else:
+                entries = frontier
+            fps = [entry[state_index].tree.fingerprint() for entry in entries]
+            current = expanding[0]
+            if current is not None:
+                fps.append(current.tree.fingerprint())
+            return fps
+
+        previous_provider = set_tree_pin_provider(_pinned_tree_fps)
 
         report = self.check(init)
         if not report.ok:
             violations.append(Violation(init, (), report))
 
-        while frontier:
-            if guided:
-                *_, state, budget, trace = heapq.heappop(frontier)
-            else:
-                state, budget, trace = frontier.popleft()
-            max_depth = max(max_depth, len(trace))
-            for op_desc, next_state, next_budget, key in self.expand(
-                state, budget
-            ):
-                transitions += 1
-                if len(visited) >= self.max_states:
-                    if key not in visited:
-                        exhausted = False
-                    continue
-                if not add_if_new(key):
-                    continue
-                next_trace = trace + (op_desc,)
-                report = self.check(next_state)
-                if not report.ok:
-                    violations.append(Violation(next_state, next_trace, report))
-                    if self.stop_at_first_violation:
-                        return ExplorationResult(
-                            states_visited=len(visited),
-                            transitions=transitions,
-                            max_depth=len(next_trace),
-                            exhausted=False,
-                            violations=violations,
-                            elapsed_seconds=_time.monotonic() - start,
-                            budget=self.budget,
-                        )
-                    continue
+        try:
+            while frontier:
                 if guided:
-                    counter += 1
-                    # Additive combination: scent and depth trade off,
-                    # so a deep clean state (the tail of a
-                    # counterexample whose reconfigurations already
-                    # committed) still outranks shallow smelly ones.
-                    priority = (
-                        -(2 * aux_score(next_state) + len(next_trace)),
-                        0,
-                        0,
-                    )
-                    heapq.heappush(
-                        frontier,
-                        (*priority, counter, next_state, next_budget, next_trace),
-                    )
+                    *_, state, budget, trace = fpop()
                 else:
-                    frontier.append((next_state, next_budget, next_trace))
+                    state, budget, trace = fpop()
+                expanding[0] = state
+                max_depth = max(max_depth, len(trace))
+                for op_desc, next_state, next_budget, key in self.expand(
+                    state, budget
+                ):
+                    transitions += 1
+                    if len(visited) >= self.max_states:
+                        if key not in visited:
+                            exhausted = False
+                        continue
+                    if not add_if_new(key):
+                        continue
+                    next_trace = trace + (op_desc,)
+                    report = self.check(next_state)
+                    if not report.ok:
+                        violations.append(Violation(next_state, next_trace, report))
+                        if self.stop_at_first_violation:
+                            return ExplorationResult(
+                                states_visited=len(visited),
+                                transitions=transitions,
+                                max_depth=len(next_trace),
+                                exhausted=False,
+                                violations=violations,
+                                elapsed_seconds=_time.monotonic() - start,
+                                budget=self.budget,
+                            )
+                        continue
+                    if guided:
+                        counter += 1
+                        # Additive combination: scent and depth trade off,
+                        # so a deep clean state (the tail of a
+                        # counterexample whose reconfigurations already
+                        # committed) still outranks shallow smelly ones.
+                        priority = (
+                            -(2 * aux_score(next_state) + len(next_trace)),
+                            0,
+                            0,
+                        )
+                        fpush(
+                            (*priority, counter, next_state, next_budget, next_trace),
+                        )
+                    else:
+                        frontier.append((next_state, next_budget, next_trace))
+        finally:
+            set_tree_pin_provider(previous_provider)
+            if spill:
+                frontier.close(unlink=True)
+                visited_path = getattr(visited, "spill_path", None)
+                if visited_path:
+                    visited.close()
+                    try:
+                        os.unlink(visited_path)
+                    except OSError:
+                        pass
 
         return ExplorationResult(
             states_visited=len(visited),

@@ -104,6 +104,25 @@ def _expand_batch(payload):
     batch_seen = set()
     produced = 0
     results = []
+    # Under the "subnodes" wipe policy (inherited through fork) a cache
+    # flush inside this batch must keep the trees the batch is working
+    # from; the provider costs two calls per batch and is consulted
+    # only at flush time.
+    from ..core.tree import set_tree_pin_provider
+
+    previous_provider = set_tree_pin_provider(
+        lambda: [state.tree.fingerprint() for state, _ in items]
+    )
+    try:
+        return _expand_batch_inner(
+            base_index, items, explorer, shared, batch_seen, results
+        )
+    finally:
+        set_tree_pin_provider(previous_provider)
+
+
+def _expand_batch_inner(base_index, items, explorer, shared, batch_seen, results):
+    produced = 0
     for offset, (state, budget) in enumerate(items):
         succs: List[Optional[Tuple]] = []
         for op_desc, next_state, next_budget, key in explorer.expand(
@@ -335,11 +354,17 @@ class ParallelExplorer:
         authoritative visited set.  Only applies when a real fork pool
         will exist and the table fits the size cap; everything else
         keeps the master-private table and just loses the pre-filter.
+
+        A *spilled* visited table needs no segment at all: its
+        ``MAP_SHARED`` file mapping is inherited through ``fork``, so
+        workers probe the master's table directly -- the caller passes
+        it to the pool as-is.
         """
         if (
             self.workers <= 1
             or not self.explorer.fingerprints
             or self._fork_context() is None
+            or getattr(current, "spill_path", None) is not None
         ):
             return None, current
         nbytes = FingerprintSet.buffer_bytes(self.explorer.max_states)
@@ -375,14 +400,54 @@ class ParallelExplorer:
         exhausted = True
         violations: List[Violation] = []
 
+        # Bounded-memory mode: the frontier lives in SpillDeques (only
+        # the active window in RAM; levels processed window-by-window)
+        # and the visited set in an mmap'd file.  Requires fingerprint
+        # dedup -- legacy full-state keys have no packed form.
+        spill = explorer.spill_dir is not None and explorer.fingerprints
+        spill_dir = explorer.spill_dir
+        spill_deques: List[Any] = []
+
+        def _new_level_deque(tag: int):
+            from .spill import SpillDeque
+
+            deque_ = SpillDeque(
+                os.path.join(spill_dir, f"frontier-{tag}.spill"),
+                explorer.spill_window,
+            )
+            spill_deques.append(deque_)
+            return deque_
+
+        if spill:
+            os.makedirs(spill_dir, exist_ok=True)
+
         loaded = None
         if self.checkpoint and resume:
             loaded = load_checkpoint(
                 self.checkpoint, explorer.config_fingerprint()
             )
         if loaded is not None:
-            frontier: List[FrontierEntry] = list(loaded.frontier)
-            visited = loaded.restore_visited()
+            if spill:
+                frontier = _new_level_deque(loaded.level % 2)
+                for entry in loaded.restore_frontier(self.checkpoint):
+                    frontier.append(entry)
+                visited = loaded.restore_visited(
+                    self.checkpoint,
+                    spill_to=os.path.join(spill_dir, "visited.fps"),
+                )
+                if getattr(visited, "spill_path", None) is None:
+                    # v2 / unspilled-v3 checkpoint resumed in spill
+                    # mode: migrate its embedded visited set to disk.
+                    ram = visited
+                    visited = FingerprintSet.spilled(
+                        os.path.join(spill_dir, "visited.fps"),
+                        expected=max(explorer.max_states, len(ram)),
+                    )
+                    for fp in ram:
+                        visited.add(fp)
+            else:
+                frontier = list(loaded.restore_frontier(self.checkpoint))
+                visited = loaded.restore_visited(self.checkpoint)
             level = loaded.level
             transitions = loaded.transitions
             max_depth = loaded.max_depth
@@ -393,7 +458,11 @@ class ParallelExplorer:
             init = explorer.initial()
             visited = explorer.new_visited_set()
             visited.add(explorer.state_key(init))
-            frontier = [(init, explorer.budget, ())]
+            if spill:
+                frontier = _new_level_deque(0)
+                frontier.append((init, explorer.budget, ()))
+            else:
+                frontier = [(init, explorer.budget, ())]
             report = explorer.check(init)
             if not report.ok:
                 violations.append(Violation(init, (), report))
@@ -417,15 +486,53 @@ class ParallelExplorer:
             return ExplorationResult(**values)
 
         def write_checkpoint() -> None:
-            if isinstance(visited, FingerprintSet):
-                visited_keys: set = set()
-                visited_fps = visited.to_bytes()
+            if spill:
+                # v3 sidecars: snapshot the frontier and the visited
+                # table to files next to the checkpoint (the *working*
+                # spill files keep mutating after this point, so the
+                # checkpoint must reference copies, not the live files)
+                # and record their content fingerprints.
+                import shutil
+
+                from .spill import file_sha256
+
+                frontier_file = self.checkpoint + ".frontier"
+                sha_frontier = frontier.snapshot_to(frontier_file)
+                visited.sync()
+                visited_file = self.checkpoint + ".visited"
+                tmp = visited_file + ".tmp"
+                shutil.copyfile(visited.spill_path, tmp)
+                os.replace(tmp, visited_file)
+                checkpoint = Checkpoint(
+                    fingerprint=explorer.config_fingerprint(),
+                    level=level,
+                    frontier=[],
+                    visited_keys=set(),
+                    transitions=transitions,
+                    max_depth=max_depth,
+                    exhausted=exhausted,
+                    violations=list(violations),
+                    elapsed_seconds=elapsed(),
+                    visited_fps=None,
+                    frontier_ref={
+                        "file": os.path.basename(frontier_file),
+                        "sha256": sha_frontier,
+                        "count": len(frontier),
+                    },
+                    visited_ref={
+                        "file": os.path.basename(visited_file),
+                        "sha256": file_sha256(visited_file),
+                        "count": len(visited),
+                    },
+                )
             else:
-                visited_keys = set(visited)
-                visited_fps = None
-            save_checkpoint(
-                self.checkpoint,
-                Checkpoint(
+                if isinstance(visited, FingerprintSet):
+                    visited_keys: set = set()
+                    visited_fps = visited.to_bytes()
+                else:
+                    visited_keys = set(visited)
+                    visited_fps = None
+                checkpoint = Checkpoint(
                     fingerprint=explorer.config_fingerprint(),
                     level=level,
                     frontier=list(frontier),
@@ -436,12 +543,47 @@ class ParallelExplorer:
                     violations=list(violations),
                     elapsed_seconds=elapsed(),
                     visited_fps=visited_fps,
-                ),
-            )
+                )
+            save_checkpoint(self.checkpoint, checkpoint)
             stats.checkpoints_written += 1
 
         shm, visited = self._make_shared_visited(visited)
-        pool = self._make_pool(visited if shm is not None else None)
+        # A spilled visited table fork-shares for free: its MAP_SHARED
+        # mapping is inherited by pool workers, and the level barrier
+        # means the master only writes while no worker runs.  (A master
+        # growth swaps in a *new* file; workers then keep their stale,
+        # smaller mapping -- a subset of visited, which is sound for a
+        # pre-filter: it can only miss, never wrongly hit.)
+        share_visited = shm is not None or (
+            getattr(visited, "spill_path", None) is not None
+            and self.workers > 1
+            and self._fork_context() is not None
+        )
+        pool = self._make_pool(visited if share_visited else None)
+
+        # Under the "subnodes" wipe policy a master-side cache flush
+        # must keep the trees of the states still pending in this
+        # window and the RAM head of the next frontier; spilled tails
+        # are deliberately *not* pinned (walking them would re-intern
+        # the very trees a flush is shedding).
+        from ..core.tree import set_tree_pin_provider
+
+        current_window: List[Sequence[FrontierEntry]] = [()]
+        next_frontier_ref: List[Any] = [None]
+
+        def _pinned_tree_fps():
+            fps = [
+                entry[0].tree.fingerprint() for entry in current_window[0]
+            ]
+            pending = next_frontier_ref[0]
+            if pending is not None:
+                ram_entries = pending._head if spill else pending
+                fps.extend(
+                    entry[0].tree.fingerprint() for entry in ram_entries
+                )
+            return fps
+
+        previous_provider = set_tree_pin_provider(_pinned_tree_fps)
         # Single-probe dedup: FingerprintSet.add reports newness; for
         # plain sets one insert plus a length check does the same.
         if isinstance(visited, set):
@@ -457,41 +599,67 @@ class ParallelExplorer:
             while frontier:
                 max_depth = max(max_depth, level)
                 level_started = _time.monotonic()
-                expanded = self._run_level(pool, frontier, stats)
-                next_frontier: List[FrontierEntry] = []
-                for index, succs in expanded:
-                    trace = frontier[index][2]
-                    for entry in succs:
-                        transitions += 1
-                        if entry is None:  # batch-local duplicate
-                            stats.dedup_hits += 1
-                            continue
-                        op_desc, next_state, next_budget, key, report = entry
-                        if len(visited) >= explorer.max_states:
-                            if key in visited:
+                if spill:
+                    next_frontier: Any = _new_level_deque((level + 1) % 2)
+                else:
+                    next_frontier = []
+                next_frontier_ref[0] = next_frontier
+                queue_next = next_frontier.append
+                level_entries = 0
+                # In spill mode a level is processed one RAM window at
+                # a time; the barrier/merge discipline is per-window,
+                # which preserves sequential BFS order because windows
+                # are contiguous frontier slices processed in order.
+                while True:
+                    if spill:
+                        window = frontier.pop_window(explorer.spill_window)
+                        if not window:
+                            break
+                    else:
+                        window = frontier
+                    current_window[0] = window
+                    expanded = self._run_level(pool, window, stats)
+                    level_entries += len(window)
+                    for index, succs in expanded:
+                        trace = window[index][2]
+                        for entry in succs:
+                            transitions += 1
+                            if entry is None:  # batch-local duplicate
                                 stats.dedup_hits += 1
-                            else:
-                                exhausted = False
-                            continue
-                        if not add_if_new(key):
-                            stats.dedup_hits += 1
-                            continue
-                        next_trace = trace + (op_desc,)
-                        if report is not None and not report.ok:
-                            violations.append(
-                                Violation(next_state, next_trace, report)
-                            )
-                            if explorer.stop_at_first_violation:
-                                self._discard_checkpoint()
-                                return result(
-                                    max_depth=len(next_trace),
-                                    exhausted=False,
+                                continue
+                            op_desc, next_state, next_budget, key, report = entry
+                            if len(visited) >= explorer.max_states:
+                                if key in visited:
+                                    stats.dedup_hits += 1
+                                else:
+                                    exhausted = False
+                                continue
+                            if not add_if_new(key):
+                                stats.dedup_hits += 1
+                                continue
+                            next_trace = trace + (op_desc,)
+                            if report is not None and not report.ok:
+                                violations.append(
+                                    Violation(next_state, next_trace, report)
                                 )
-                            continue
-                        next_frontier.append(
-                            (next_state, next_budget, next_trace)
-                        )
+                                if explorer.stop_at_first_violation:
+                                    self._discard_checkpoint()
+                                    return result(
+                                        max_depth=len(next_trace),
+                                        exhausted=False,
+                                    )
+                                continue
+                            queue_next(
+                                (next_state, next_budget, next_trace)
+                            )
+                    if not spill:
+                        break
+                current_window[0] = ()
+                if spill:
+                    frontier.close(unlink=True)
+                    spill_deques.remove(frontier)
                 frontier = next_frontier
+                next_frontier_ref[0] = None
                 level += 1
                 levels_this_slice += 1
                 stats.levels = levels_this_slice
@@ -507,12 +675,12 @@ class ParallelExplorer:
                     if level_seconds > 0:
                         self.metrics.histogram(
                             "mc.level_states_per_second"
-                        ).observe(len(expanded) / level_seconds)
+                        ).observe(level_entries / level_seconds)
                 if self.progress is not None:
                     now_elapsed = elapsed()
                     self.progress(ProgressSnapshot(
                         level=level,
-                        frontier=len(expanded),
+                        frontier=level_entries,
                         next_frontier=len(frontier),
                         states_visited=len(visited),
                         transitions=transitions,
@@ -554,6 +722,7 @@ class ParallelExplorer:
                 pool = None
             raise
         finally:
+            set_tree_pin_provider(previous_provider)
             if pool is not None:
                 pool.close()
                 pool.join()
@@ -563,17 +732,36 @@ class ParallelExplorer:
                 visited.release()
                 shm.close()
                 shm.unlink()
+            # Working spill files are scratch: checkpointed state lives
+            # in sidecar *snapshots*, so these are always safe to drop.
+            for deque_ in spill_deques:
+                deque_.close(unlink=True)
+            visited_path = getattr(visited, "spill_path", None)
+            if visited_path is not None:
+                visited.close()
+                try:
+                    os.unlink(visited_path)
+                except OSError:
+                    pass
 
         self._discard_checkpoint()
         return result()
 
     def _discard_checkpoint(self) -> None:
-        """Remove the checkpoint of a run that reached a final verdict."""
-        if self.checkpoint and os.path.exists(self.checkpoint):
-            try:
-                os.unlink(self.checkpoint)
-            except OSError:
-                pass
+        """Remove the checkpoint of a run that reached a final verdict,
+        along with any v3 sidecar snapshots it referenced."""
+        if not self.checkpoint:
+            return
+        for path in (
+            self.checkpoint,
+            self.checkpoint + ".frontier",
+            self.checkpoint + ".visited",
+        ):
+            if os.path.exists(path):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
 
 
 # ----------------------------------------------------------------------

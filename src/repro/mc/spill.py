@@ -1,0 +1,296 @@
+"""Disk-spilled frontier containers for the bounded model checker.
+
+A deep BFS level (or a wide guided-search heap) can dwarf the visited
+set: every frontier entry pins a full ``(state, budget, trace)`` triple.
+The containers here keep only a bounded *working window* of entries in
+RAM and stream the overflow to an append-only spill file of packed
+records, so frontier size is bounded by disk, not RAM:
+
+* :class:`SpillDeque` -- FIFO, for BFS.  Exactly preserves deque order:
+  once anything has spilled, appends keep going to disk until the disk
+  tail has drained back through the RAM window.
+* :class:`SpilledMinHeap` -- for guided search.  Exactly preserves heap
+  pop order: overflow sheds the *worst* half of the heap to disk, and a
+  pop reloads the spilled records whenever the disk might hold the
+  global minimum (tracked via the spilled minimum).
+
+Record format: ``<u32 little-endian length><pickle bytes>``, one record
+per entry, appended in order.  The same format serves the checkpoint-v3
+frontier snapshot (:meth:`SpillDeque.snapshot_to`), which is referenced
+from the checkpoint by content digest instead of being re-pickled into
+it.
+
+Entries round-trip through pickle: trees re-intern on load (see
+``CacheTree.__reduce__``), so a reloaded entry usually rebinds to the
+already-interned tree -- memo scratch included -- and only pays the
+re-intern when cache eviction has dropped it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import pickle
+import struct
+from collections import deque
+from typing import Any, Iterator, List, Optional
+
+__all__ = [
+    "SpillDeque",
+    "SpilledMinHeap",
+    "file_sha256",
+    "iter_packed_records",
+    "write_packed_records",
+]
+
+_LEN = struct.Struct("<I")
+
+
+def write_packed_records(path: str, records: Iterator[Any]) -> str:
+    """Write ``records`` to ``path`` in spill format; return its sha256.
+
+    Written to a temp sibling and atomically renamed, like checkpoints.
+    """
+    tmp = path + ".tmp"
+    digest = hashlib.sha256()
+    with open(tmp, "wb") as handle:
+        for record in records:
+            data = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            chunk = _LEN.pack(len(data)) + data
+            handle.write(chunk)
+            digest.update(chunk)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return digest.hexdigest()
+
+
+def file_sha256(path: str) -> str:
+    """The sha256 of ``path``'s contents (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def iter_packed_records(path: str) -> Iterator[Any]:
+    """Yield the records of a spill-format file in order."""
+    with open(path, "rb") as handle:
+        while True:
+            header = handle.read(_LEN.size)
+            if not header:
+                return
+            if len(header) != _LEN.size:
+                raise ValueError(f"truncated record header in {path}")
+            (length,) = _LEN.unpack(header)
+            data = handle.read(length)
+            if len(data) != length:
+                raise ValueError(f"truncated record body in {path}")
+            yield pickle.loads(data)
+
+
+class _SpillFile:
+    """An append-only packed-record file with an independent read cursor.
+
+    One buffered handle; reads and appends each seek to their own
+    position.  When every appended record has been read the file is
+    truncated and both cursors reset, so a frontier that repeatedly
+    drains reuses the same disk space.
+    """
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._handle = open(path, "w+b")
+        self._read_pos = 0
+        self._write_pos = 0
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def append(self, record: Any) -> None:
+        data = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        handle = self._handle
+        handle.seek(self._write_pos)
+        handle.write(_LEN.pack(len(data)))
+        handle.write(data)
+        self._write_pos = handle.tell()
+
+    def read(self) -> Any:
+        handle = self._handle
+        handle.seek(self._read_pos)
+        (length,) = _LEN.unpack(handle.read(_LEN.size))
+        record = pickle.loads(handle.read(length))
+        self._read_pos = handle.tell()
+        return record
+
+    def iter_unread(self) -> Iterator[Any]:
+        """Yield every unread record without advancing the read cursor."""
+        handle = self._handle
+        pos = self._read_pos
+        while pos < self._write_pos:
+            handle.seek(pos)
+            (length,) = _LEN.unpack(handle.read(_LEN.size))
+            yield pickle.loads(handle.read(length))
+            pos = handle.tell()
+
+    def reset(self) -> None:
+        self._handle.seek(0)
+        self._handle.truncate()
+        self._read_pos = 0
+        self._write_pos = 0
+
+    def close(self, *, unlink: bool = True) -> None:
+        self._handle.close()
+        if unlink:
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+
+
+class SpillDeque:
+    """A FIFO of frontier entries with a bounded in-RAM head window.
+
+    Append/popleft-compatible with ``collections.deque`` for the
+    explorer's BFS loop.  Order invariant: every RAM entry precedes
+    every disk entry, so ``popleft`` order is exactly deque order.
+    """
+
+    def __init__(self, path: str, window: int) -> None:
+        self._window = max(int(window), 1)
+        self._head: deque = deque()
+        self._file = _SpillFile(path)
+        self._disk_len = 0
+
+    def append(self, item: Any) -> None:
+        # Once anything has spilled, later appends must follow it to
+        # disk regardless of RAM headroom, or FIFO order would break.
+        if self._disk_len or len(self._head) >= self._window:
+            self._file.append(item)
+            self._disk_len += 1
+        else:
+            self._head.append(item)
+
+    def popleft(self) -> Any:
+        if not self._head:
+            self._refill()
+        return self._head.popleft()
+
+    def pop_window(self, limit: int) -> List[Any]:
+        """Up to ``limit`` entries off the front, in order (may hit disk)."""
+        out: List[Any] = []
+        while len(out) < limit and self:
+            out.append(self.popleft())
+        return out
+
+    def _refill(self) -> None:
+        if not self._disk_len:
+            raise IndexError("pop from an empty SpillDeque")
+        take = min(self._disk_len, self._window)
+        head = self._head
+        for _ in range(take):
+            head.append(self._file.read())
+        self._disk_len -= take
+        if not self._disk_len:
+            self._file.reset()
+
+    def __len__(self) -> int:
+        return len(self._head) + self._disk_len
+
+    def __bool__(self) -> bool:
+        return bool(self._head) or bool(self._disk_len)
+
+    def __iter__(self) -> Iterator[Any]:
+        """All pending entries in order, non-destructively."""
+        yield from self._head
+        yield from self._file.iter_unread()
+
+    @property
+    def spilled(self) -> int:
+        """How many pending entries currently live on disk."""
+        return self._disk_len
+
+    def snapshot_to(self, path: str) -> str:
+        """Write all pending entries to ``path``; return the sha256."""
+        return write_packed_records(path, iter(self))
+
+    def close(self, *, unlink: bool = True) -> None:
+        self._head.clear()
+        self._disk_len = 0
+        self._file.close(unlink=unlink)
+
+
+class SpilledMinHeap:
+    """A min-heap of comparable entries with a bounded in-RAM window.
+
+    When a push overflows the window, the *largest* half of the heap is
+    shed to the spill file and the minimum shed key is remembered; a
+    pop reloads the spilled records only when the disk could hold the
+    global minimum.  Pop order is therefore exactly ``heapq`` order --
+    entries must be totally ordered (the explorer's carry a unique
+    tie-break counter ahead of the state).
+    """
+
+    def __init__(self, path: str, window: int) -> None:
+        self._window = max(int(window), 2)
+        self._heap: List[Any] = []
+        self._file = _SpillFile(path)
+        self._spilled = 0
+        self._spill_min: Optional[Any] = None
+
+    def push(self, item: Any) -> None:
+        heapq.heappush(self._heap, item)
+        if len(self._heap) > self._window:
+            self._shed()
+
+    def _shed(self) -> None:
+        keep = max(self._window // 2, 1)
+        heap = self._heap
+        # Popping in order leaves `best` ascending -- itself a valid heap.
+        best = [heapq.heappop(heap) for _ in range(keep)]
+        spill_min = self._spill_min
+        for item in heap:
+            self._file.append(item)
+            if spill_min is None or item < spill_min:
+                spill_min = item
+        self._spilled += len(heap)
+        self._spill_min = spill_min
+        self._heap = best
+
+    def _reload(self) -> None:
+        items = [self._file.read() for _ in range(self._spilled)]
+        self._spilled = 0
+        self._spill_min = None
+        self._file.reset()
+        heap = self._heap
+        heap.extend(items)
+        heapq.heapify(heap)
+
+    def pop(self) -> Any:
+        heap = self._heap
+        if self._spilled and (not heap or self._spill_min < heap[0]):
+            self._reload()
+        return heapq.heappop(heap)
+
+    def __len__(self) -> int:
+        return len(self._heap) + self._spilled
+
+    def __bool__(self) -> bool:
+        return bool(self._heap) or bool(self._spilled)
+
+    def __iter__(self) -> Iterator[Any]:
+        """All pending entries (unordered), non-destructively."""
+        yield from self._heap
+        yield from self._file.iter_unread()
+
+    @property
+    def spilled(self) -> int:
+        return self._spilled
+
+    def close(self, *, unlink: bool = True) -> None:
+        self._heap.clear()
+        self._spilled = 0
+        self._file.close(unlink=unlink)

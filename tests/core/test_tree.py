@@ -217,3 +217,53 @@ def test_rcaches_selector():
         2: (1, rc(1, 1, 1, conf=frozenset({1, 2}))),
     })
     assert tree.rcaches() == [2]
+
+
+# ---------------------------------------------------------------------------
+# Bounded intern-table eviction (repro.core.cachemgr)
+
+
+def test_flush_trims_provenance_of_all_table_members():
+    """Regression: an epoch flush must drop the ``"prov"`` memo entry
+    from every interned tree -- survivors included.
+
+    Provenance tuples hold a strong reference to the parent tree, so a
+    surviving frontier tree would otherwise pin its *entire* flushed
+    ancestor chain for the rest of the run, defeating the flush.
+    """
+    import gc
+    import weakref
+
+    from repro.core.tree import flush_interned_trees, tree_cache_stats
+
+    tree = CacheTree.initial(root())
+    parent_cid = ROOT_CID
+    ancestors = []
+    for t in range(1, 30):
+        tree, parent_cid = tree.add_leaf(parent_cid, mc(1, t, t))
+        ancestors.append(weakref.ref(tree))
+    tip = tree
+    del tree
+    ancestors, tip_ref = ancestors[:-1], ancestors[-1]
+    assert tip_ref() is tip
+
+    before = tree_cache_stats()["prov_trimmed"]
+    flush_interned_trees()
+    gc.collect()
+
+    assert tree_cache_stats()["prov_trimmed"] > before
+    assert "prov" not in (tip._memo or {})
+    # With provenance trimmed, nothing references the flushed chain.
+    leaked = [ref for ref in ancestors if ref() is not None]
+    assert not leaked, f"{len(leaked)} flushed ancestors still pinned"
+
+
+def test_successors_reestablish_provenance_after_flush():
+    from repro.core.tree import flush_interned_trees
+
+    tree = CacheTree.initial(root())
+    tree, cid = tree.add_leaf(ROOT_CID, mc(1, 1, 1))
+    flush_interned_trees()
+    assert "prov" not in (tree._memo or {})
+    child, _ = tree.add_leaf(cid, mc(1, 2, 2))
+    assert (child._memo or {}).get("prov") is not None

@@ -1,0 +1,176 @@
+"""Bounded-memory engine parity (ISSUE 10 acceptance).
+
+Cache eviction and disk spilling only discard *recomputable* memoized
+state (interned trees/caches, memo scratch) or move *exact* data
+structures to disk (the visited table, the frontier).  Therefore every
+wipe policy and the spill mode must reproduce the seed engine's answer
+bit for bit: same state count, same transition count, same verdict,
+same first violation -- on the intact configuration and all four
+ablations, sequentially and through the parallel engine.
+
+Caps here are deliberately tiny so every run actually flushes and
+spills many times; the unbounded runs in ``tests/mc/test_parity.py``
+stay the baseline for the unbounded engine.
+"""
+
+import pytest
+
+from repro.core import cachemgr
+from repro.mc import ParallelExplorer, legacy
+from repro.mc.ablations import (
+    insert_btw_explorer,
+    overlap_explorer,
+    r2_explorer,
+    r3_explorer,
+    verify_intact_explorer,
+)
+from repro.mc.explorer import OpBudget
+
+SMALL_INTACT = dict(budget=OpBudget(pulls=2, invokes=1, reconfigs=1, pushes=2))
+
+#: (name, seed factory, new factory, overrides applied to both).
+CONFIGS = [
+    ("intact", legacy.verify_intact_explorer, verify_intact_explorer, SMALL_INTACT),
+    ("r3", legacy.r3_explorer, r3_explorer, {}),
+    ("r2", legacy.r2_explorer, r2_explorer, dict(max_states=4_000)),
+    ("overlap", legacy.overlap_explorer, overlap_explorer, dict(max_states=4_000)),
+    ("insert_btw", legacy.insert_btw_explorer, insert_btw_explorer, {}),
+]
+
+#: Tiny bounds: every configuration overflows these many times over.
+TREE_CAP = 512
+SPILL_WINDOW = 64
+
+
+def signature(result):
+    first = None
+    if result.violations:
+        violation = result.violations[0]
+        first = (
+            tuple(repr(op) for op in violation.trace),
+            tuple(violation.report.all_violations()),
+        )
+    return {
+        "states": result.states_visited,
+        "transitions": result.transitions,
+        "verdict": result.safe,
+        "violations": len(result.violations),
+        "first_violation": first,
+    }
+
+
+@pytest.fixture(scope="module")
+def seed_signatures():
+    return {
+        name: signature(seed_factory(**overrides).run())
+        for name, seed_factory, _, overrides in CONFIGS
+    }
+
+
+@pytest.mark.parametrize(
+    "name,new_factory,overrides",
+    [(name, new, overrides) for name, _, new, overrides in CONFIGS],
+    ids=[name for name, *_ in CONFIGS],
+)
+class TestWipePolicyParity:
+    """Every eviction policy, tiny cap, no spill: exact seed parity."""
+
+    @pytest.mark.parametrize("wipe", sorted(cachemgr.WIPE_POLICIES))
+    def test_matches_seed_engine(
+        self, seed_signatures, name, new_factory, overrides, wipe
+    ):
+        with cachemgr.bounded(tree_cap=TREE_CAP, wipe=wipe):
+            result = new_factory(**overrides).run()
+            flushes = cachemgr.stats()["tree_interns"]["flushes"]
+        assert signature(result) == seed_signatures[name]
+        assert flushes > 0, "cap never hit: the test is not exercising eviction"
+
+
+@pytest.mark.parametrize(
+    "name,new_factory,overrides",
+    [(name, new, overrides) for name, _, new, overrides in CONFIGS],
+    ids=[name for name, *_ in CONFIGS],
+)
+class TestSpillParity:
+    """Disk-spilled frontier + visited set, sequential engine."""
+
+    def test_matches_seed_engine(
+        self, seed_signatures, name, new_factory, overrides, tmp_path
+    ):
+        explorer = new_factory(
+            spill_dir=str(tmp_path), spill_window=SPILL_WINDOW, **overrides
+        )
+        result = explorer.run()
+        assert signature(result) == seed_signatures[name]
+        # The engine cleans its working spill files up after itself.
+        assert not list(tmp_path.iterdir())
+
+
+BFS_CONFIGS = [
+    ("intact", legacy.verify_intact_explorer, verify_intact_explorer, SMALL_INTACT),
+    (
+        "r3-bfs",
+        legacy.r3_explorer,
+        r3_explorer,
+        dict(strategy="bfs", max_states=4_000),
+    ),
+    ("insert_btw", legacy.insert_btw_explorer, insert_btw_explorer, {}),
+]
+
+
+@pytest.fixture(scope="module")
+def bfs_seed_signatures():
+    return {
+        name: signature(seed_factory(**overrides).run())
+        for name, seed_factory, _, overrides in BFS_CONFIGS
+    }
+
+
+class TestParallelSpillParity:
+    """Spilled frontier/visited through the parallel engine: the
+    fork-shared mmap visited table and the windowed level merge must
+    not change the answer for any worker count."""
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize(
+        "name,new_factory,overrides",
+        [(name, new, overrides) for name, _, new, overrides in BFS_CONFIGS],
+        ids=[name for name, *_ in BFS_CONFIGS],
+    )
+    def test_matches_seed_engine(
+        self, bfs_seed_signatures, name, new_factory, overrides, workers, tmp_path
+    ):
+        explorer = new_factory(
+            spill_dir=str(tmp_path), spill_window=SPILL_WINDOW, **overrides
+        )
+        with cachemgr.bounded(
+            tree_cap=TREE_CAP, wipe=cachemgr.WIPE_SUBNODES
+        ):
+            result = ParallelExplorer(explorer, workers=workers).run()
+        assert signature(result) == bfs_seed_signatures[name]
+        assert not list(tmp_path.iterdir())
+
+
+class TestBoundedCli:
+    """The CI harness module itself (one in-process invocation)."""
+
+    def test_small_budget_parity(self, capsys):
+        import json
+        import resource
+
+        from repro.mc import bounded_cli
+
+        # --limit-mb 0: the pytest process's address space is already
+        # larger than a meaningful cap; the CI job runs the module
+        # standalone where the rlimit is real.
+        saved = resource.getrlimit(resource.RLIMIT_AS)
+        try:
+            code = bounded_cli.main(
+                ["--tree-cap", "512", "--window", "128", "--limit-mb", "0"]
+            )
+        finally:
+            resource.setrlimit(resource.RLIMIT_AS, saved)
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert summary["parity"] is True
+        assert summary["cache_flushes"] > 0
